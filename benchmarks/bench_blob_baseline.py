@@ -1,0 +1,75 @@
+"""E10: arrays as first-class citizens vs the BLOB workflow.
+
+The paper's Section 4 claim: storing arrays natively beats storing them
+as BLOBs.  Each pair below runs the same logical operation (a) in-DB
+on the SciQL array and (b) through the BLOB workflow (ship whole blob
+out, compute in the application, ship back).  The expected shape:
+the BLOB path pays serialisation on every operation, and the gap is
+widest for region selection (zoom), where the array path only moves
+the requested pixels.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.apps import imaging, rasters
+from repro.apps.blob_baseline import BlobImageStore
+
+SIZE = 64
+
+
+@pytest.fixture
+def stores():
+    conn = repro.connect()
+    image = rasters.remote_sensing_image(SIZE)
+    imaging.load_image(conn, "earth", image)
+    blob_store = BlobImageStore(conn)
+    blob_store.store("earth", image)
+    return conn, imaging.ImageProcessor(conn, "earth"), blob_store, image
+
+
+@pytest.mark.benchmark(group="E10-brighten")
+def test_array_brighten(benchmark, stores):
+    _, proc, _, image = stores
+    result = benchmark(proc.brighten, 40)
+    assert np.array_equal(
+        imaging.result_to_image(result), imaging.reference_brighten(image, 40)
+    )
+
+
+@pytest.mark.benchmark(group="E10-brighten")
+def test_blob_brighten(benchmark, stores):
+    _, _, blob_store, image = stores
+    out = benchmark(blob_store.brighten, "earth", 0)  # amount 0: idempotent
+    assert np.array_equal(out, image)
+
+
+@pytest.mark.benchmark(group="E10-histogram")
+def test_array_histogram(benchmark, stores):
+    _, proc, _, image = stores
+    histogram = benchmark(proc.histogram, 16)
+    assert histogram == imaging.reference_histogram(image, 16)
+
+
+@pytest.mark.benchmark(group="E10-histogram")
+def test_blob_histogram(benchmark, stores):
+    _, _, blob_store, image = stores
+    histogram = benchmark(blob_store.histogram, "earth", 16)
+    assert histogram == imaging.reference_histogram(image, 16)
+
+
+@pytest.mark.benchmark(group="E10-zoom")
+def test_array_zoom_small_region(benchmark, stores):
+    """The array ships only the 8×8 region out of the database."""
+    _, proc, _, image = stores
+    result = benchmark(proc.zoom, 0, 0, 8, 8)
+    assert np.array_equal(imaging.result_to_image(result), image[0:8, 0:8])
+
+
+@pytest.mark.benchmark(group="E10-zoom")
+def test_blob_zoom_small_region(benchmark, stores):
+    """The BLOB must ship all 64×64 pixels to cut out 8×8."""
+    _, _, blob_store, image = stores
+    out = benchmark(blob_store.zoom, "earth", 0, 0, 8, 8)
+    assert np.array_equal(out, image[0:8, 0:8])

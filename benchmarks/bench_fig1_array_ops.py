@@ -1,0 +1,115 @@
+"""E1–E5: the Figure 1 array-operation suite.
+
+One benchmark per paper statement, at the paper's 4×4 scale and at
+64×64 to show the columnar kernel's scaling.  Each benchmark asserts
+the figure's exact result at least once.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+
+FIG1B = [
+    [-3, -2, -1, 0],
+    [-2, -1, 0, 5],
+    [-1, 0, 3, 4],
+    [0, 1, 2, 3],
+]
+
+
+def make_matrix(conn, size=4, name="matrix"):
+    conn.execute(
+        f"CREATE ARRAY {name} (x INT DIMENSION[0:1:{size}], "
+        f"y INT DIMENSION[0:1:{size}], v INT DEFAULT 0)"
+    )
+
+
+@pytest.mark.benchmark(group="E1-create-array")
+@pytest.mark.parametrize("size", [4, 64])
+def test_fig1a_create(benchmark, size):
+    counter = [0]
+
+    def run():
+        conn = repro.connect()
+        make_matrix(conn, size, f"m{counter[0]}")
+        counter[0] += 1
+        return conn
+
+    conn = benchmark(run)
+    result = conn.execute(f"SELECT COUNT(*) FROM m{counter[0] - 1}")
+    assert result.scalar() == size * size
+
+
+@pytest.mark.benchmark(group="E2-guarded-update")
+@pytest.mark.parametrize("size", [4, 64])
+def test_fig1b_guarded_update(benchmark, conn, size):
+    make_matrix(conn, size)
+    update = (
+        "UPDATE matrix SET v = CASE WHEN x > y THEN x + y "
+        "WHEN x < y THEN x - y ELSE 0 END"
+    )
+    benchmark(conn.execute, update)
+    if size == 4:
+        grid = conn.execute("SELECT [x],[y],v FROM matrix").grid()
+        assert np.flipud(grid.T).tolist() == FIG1B
+
+
+@pytest.mark.benchmark(group="E3-insert-delete")
+@pytest.mark.parametrize("size", [4, 64])
+def test_fig1c_insert_delete(benchmark, conn, size):
+    make_matrix(conn, size)
+    conn.execute(
+        "UPDATE matrix SET v = CASE WHEN x > y THEN x + y "
+        "WHEN x < y THEN x - y ELSE 0 END"
+    )
+
+    def insert_and_delete():
+        conn.execute(
+            "INSERT INTO matrix SELECT [x], [y], x * y FROM matrix WHERE x = y"
+        )
+        conn.execute("DELETE FROM matrix WHERE x > y")
+
+    benchmark(insert_and_delete)
+    holes = conn.execute("SELECT COUNT(*) FROM matrix WHERE v IS NULL").scalar()
+    assert holes == size * (size - 1) // 2
+
+
+@pytest.mark.benchmark(group="E4-tiling")
+@pytest.mark.parametrize("size", [4, 64])
+def test_fig1de_tiling(benchmark, conn, size):
+    make_matrix(conn, size)
+    conn.execute(
+        "UPDATE matrix SET v = CASE WHEN x > y THEN x + y "
+        "WHEN x < y THEN x - y ELSE 0 END"
+    )
+    conn.execute("INSERT INTO matrix SELECT [x], [y], x * y FROM matrix WHERE x = y")
+    conn.execute("DELETE FROM matrix WHERE x > y")
+    query = (
+        "SELECT [x], [y], AVG(v) FROM matrix "
+        "GROUP BY matrix[x:x+2][y:y+2] "
+        "HAVING x MOD 2 = 1 AND y MOD 2 = 1"
+    )
+    result = benchmark(conn.execute, query)
+    if size == 4:
+        grid = result.grid()
+        assert grid[1, 3] == pytest.approx(-1.5)
+        assert grid[3, 3] == pytest.approx(9.0)
+        assert grid[1, 1] == pytest.approx(4 / 3)
+
+
+@pytest.mark.benchmark(group="E5-alter-dimension")
+@pytest.mark.parametrize("size", [4, 64])
+def test_fig1f_alter_dimension(benchmark, conn, size):
+    make_matrix(conn, size)
+
+    def expand_and_shrink():
+        conn.execute(
+            f"ALTER ARRAY matrix ALTER DIMENSION x SET RANGE [-1:1:{size + 1}]"
+        )
+        conn.execute(
+            f"ALTER ARRAY matrix ALTER DIMENSION x SET RANGE [0:1:{size}]"
+        )
+
+    benchmark(expand_and_shrink)
+    assert conn.catalog.get_array("matrix").shape() == (size, size)

@@ -1,0 +1,65 @@
+"""E12: the MAL optimizer pipeline ablation (Figure 2's optimizer box).
+
+Runs representative demo queries with the optimizer pipeline on and
+off; results must be identical either way, and the optimizer must
+reduce the interpreted instruction count on CSE-heavy plans.
+"""
+
+import pytest
+
+import repro
+
+#: a query whose plan contains duplicated sub-expressions and constants.
+CSE_QUERY = (
+    "SELECT station, AVG(temp) * 2 + 1 * 1 FROM obs "
+    "WHERE day * 2 > 1 + 1 AND day * 2 < 10 + 10 GROUP BY station"
+)
+
+
+def build_obs(conn, rows=2000):
+    conn.execute("CREATE TABLE obs (station VARCHAR(8), day INT, temp DOUBLE)")
+    values = ", ".join(
+        f"('s{i % 7}', {i % 30}, {float(i % 40)})" for i in range(rows)
+    )
+    conn.execute(f"INSERT INTO obs VALUES {values}")
+
+
+@pytest.mark.benchmark(group="E12-optimizer")
+def test_with_optimizer(benchmark):
+    conn = repro.connect(optimize=True)
+    build_obs(conn)
+    result = benchmark(conn.execute, CSE_QUERY)
+    assert len(result.rows()) == 7
+
+
+@pytest.mark.benchmark(group="E12-optimizer")
+def test_without_optimizer(benchmark):
+    conn = repro.connect(optimize=False)
+    build_obs(conn)
+    result = benchmark(conn.execute, CSE_QUERY)
+    assert len(result.rows()) == 7
+
+
+def test_optimizer_equivalence_and_instruction_reduction():
+    """Not a timing benchmark: the invariant behind E12."""
+    optimized = repro.connect(optimize=True)
+    raw = repro.connect(optimize=False)
+    for connection in (optimized, raw):
+        build_obs(connection, rows=500)
+    fast = optimized.execute(CSE_QUERY, collect_stats=True)
+    slow = raw.execute(CSE_QUERY, collect_stats=True)
+    assert sorted(fast.rows()) == sorted(slow.rows())
+    fast_work = {
+        op: n
+        for op, n in optimized.last_stats.per_operation.items()
+        if not op.startswith("language.")
+    }
+    slow_work = raw.last_stats.per_operation
+    assert sum(fast_work.values()) < sum(slow_work.values())
+
+
+@pytest.mark.benchmark(group="E12-compile-only")
+def test_compilation_cost(benchmark):
+    conn = repro.connect()
+    build_obs(conn, rows=10)
+    benchmark(conn.compile, CSE_QUERY)

@@ -1,0 +1,75 @@
+"""E7 + E11: Scenario I — Game of Life, SciQL tiling vs SQL self-join.
+
+The paper's implicit performance claim: the 3×3-neighbourhood rule is
+one structural-grouping query in SciQL, while plain SQL needs an
+eight-way self-join.  The benchmark rows regenerate the comparison
+across board sizes; the expected *shape* is that SciQL wins by a factor
+that grows with board size (9 shifted scans vs ~8·N join pairs plus
+grouping).
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.apps.life import GameOfLife, SQLGameOfLife, numpy_life_step
+
+BOARDS = [16, 32, 48]
+
+
+def seeded_sciql(size):
+    conn = repro.connect()
+    game = GameOfLife(conn, size, size)
+    game.seed_random(density=0.3, seed=42)
+    return game
+
+
+def seeded_sql(size):
+    conn = repro.connect()
+    game = SQLGameOfLife(conn, size, size)
+    rng = np.random.default_rng(42)
+    alive = rng.random((size, size)) < 0.3
+    # bulk-seed through the staging table swap to keep setup fast
+    rows = ", ".join(
+        f"({x}, {y}, {int(alive[x, y])})"
+        for x in range(size)
+        for y in range(size)
+    )
+    game.connection.execute(f"DELETE FROM {game.name}")
+    game.connection.execute(f"INSERT INTO {game.name} VALUES {rows}")
+    return game
+
+
+@pytest.mark.benchmark(group="E7-life-step")
+@pytest.mark.parametrize("size", BOARDS)
+def test_sciql_generation(benchmark, size):
+    game = seeded_sciql(size)
+    reference = numpy_life_step(game.board())
+    benchmark(game.step)
+    # the first measured step must agree with the reference
+    first_board = seeded_sciql(size)
+    expected = numpy_life_step(first_board.board())
+    first_board.step()
+    assert np.array_equal(first_board.board(), expected)
+
+
+@pytest.mark.benchmark(group="E7-life-step")
+@pytest.mark.parametrize("size", BOARDS)
+def test_sql_selfjoin_generation(benchmark, size):
+    game = seeded_sql(size)
+    benchmark(game.step)
+
+
+@pytest.mark.benchmark(group="E7-life-step")
+@pytest.mark.parametrize("size", BOARDS)
+def test_numpy_reference_generation(benchmark, size):
+    """Lower bound: the hand-written numpy implementation."""
+    rng = np.random.default_rng(42)
+    board = (rng.random((size, size)) < 0.3).astype(np.int64)
+    benchmark(numpy_life_step, board)
+
+
+@pytest.mark.benchmark(group="E7-life-run")
+def test_sciql_ten_generations(benchmark):
+    game = seeded_sciql(24)
+    benchmark(game.run, 10)

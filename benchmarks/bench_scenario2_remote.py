@@ -1,0 +1,66 @@
+"""E9: Scenario II — remote-sensing operations incl. the array ⋈ table join."""
+
+import numpy as np
+import pytest
+
+from repro.apps import imaging
+
+
+@pytest.fixture
+def processor(earth64):
+    conn, image = earth64
+    return conn, imaging.ImageProcessor(conn, "earth"), image
+
+
+@pytest.mark.benchmark(group="E9-remote-sensing")
+def test_filter_water(benchmark, processor):
+    _, proc, image = processor
+    result = benchmark(proc.filter_water, 48)
+    water = result.grid()
+    assert np.array_equal(np.isnan(water), image >= 48)
+
+
+@pytest.mark.benchmark(group="E9-remote-sensing")
+def test_histogram(benchmark, processor):
+    _, proc, image = processor
+    histogram = benchmark(proc.histogram, 16)
+    assert histogram == imaging.reference_histogram(image, 16)
+
+
+@pytest.mark.benchmark(group="E9-remote-sensing")
+def test_zoom(benchmark, processor):
+    _, proc, image = processor
+    result = benchmark(proc.zoom, 16, 16, 48, 48)
+    assert np.array_equal(
+        imaging.result_to_image(result), image[16:48, 16:48]
+    )
+
+
+@pytest.mark.benchmark(group="E9-remote-sensing")
+def test_brighten(benchmark, processor):
+    _, proc, image = processor
+    result = benchmark(proc.brighten, 40)
+    assert np.array_equal(
+        imaging.result_to_image(result), imaging.reference_brighten(image, 40)
+    )
+
+
+@pytest.mark.benchmark(group="E9-remote-sensing")
+def test_areas_of_interest_mask(benchmark, processor):
+    conn, proc, image = processor
+    mask = np.zeros((64, 64), dtype=np.int64)
+    mask[8:24, 8:24] = 1
+    imaging.create_mask(conn, "aoi_mask", mask)
+    result = benchmark(proc.areas_of_interest_mask, "aoi_mask")
+    out = result.grid()
+    assert np.array_equal(np.isnan(out), mask == 0)
+
+
+@pytest.mark.benchmark(group="E9-remote-sensing")
+def test_areas_of_interest_boxes(benchmark, processor):
+    conn, proc, image = processor
+    imaging.create_boxes_table(
+        conn, "aoi_boxes", [(8, 8, 23, 23), (40, 32, 55, 47)]
+    )
+    result = benchmark(proc.areas_of_interest_boxes, "aoi_boxes")
+    assert len(result.rows()) == 16 * 16 * 2

@@ -1,0 +1,80 @@
+"""E15: structural grouping as a generalisation of window queries.
+
+The paper motivates structural grouping from SQL:2003 windows ("it was
+primarily introduced to better handle time series").  This bench
+regenerates the sequence side: a moving aggregate over a 1-D signal as
+(a) one SciQL tiling query, (b) the equivalent SQL formulation via a
+self-join over an offsets table, and (c) the numpy reference — across
+window sizes.  Expected shape: SciQL cost grows linearly (one shifted
+scan per window slot) and stays far below the join formulation.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.apps import timeseries as ts
+
+LENGTH = 2048
+
+
+@pytest.fixture
+def log():
+    conn = repro.connect()
+    signal = ts.synthetic_signal(LENGTH)
+    return ts.SensorLog.from_numpy(conn, "sensor", signal), signal
+
+
+@pytest.mark.benchmark(group="E15-window-size")
+@pytest.mark.parametrize("window", [3, 9, 27])
+def test_sciql_moving_average(benchmark, log, window):
+    sensor, signal = log
+    out = benchmark(sensor.moving_average, window)
+    assert np.allclose(
+        out, ts.reference_moving_average(signal, window), equal_nan=True
+    )
+
+
+@pytest.mark.benchmark(group="E15-window-size")
+@pytest.mark.parametrize("window", [3, 9, 27])
+def test_numpy_moving_average(benchmark, log, window):
+    _, signal = log
+    benchmark(ts.reference_moving_average, signal, window)
+
+
+@pytest.mark.benchmark(group="E15-window-join")
+@pytest.mark.parametrize("window", [3, 9])
+def test_sql_join_moving_average(benchmark, window):
+    """The relational formulation: offsets table + self-join + GROUP BY."""
+    conn = repro.connect()
+    signal = ts.synthetic_signal(512)  # the join blows up; keep it modest
+    conn.execute("CREATE TABLE sensor_t (t INT, v DOUBLE)")
+    rows = ", ".join(f"({i}, {float(v)!r})" for i, v in enumerate(signal))
+    conn.execute(f"INSERT INTO sensor_t VALUES {rows}")
+    half = window // 2
+    offsets = ", ".join(f"({d})" for d in range(-half, half + 1))
+    conn.execute("CREATE TABLE w_offsets (d INT)")
+    conn.execute(f"INSERT INTO w_offsets VALUES {offsets}")
+    query = (
+        "SELECT a.t, AVG(b.v) FROM sensor_t a "
+        "CROSS JOIN w_offsets o "
+        "INNER JOIN sensor_t b ON b.t = a.t + o.d "
+        "GROUP BY a.t"
+    )
+    result = benchmark(conn.execute, query)
+    expected = ts.reference_moving_average(signal, window)
+    got = dict(result.rows())
+    # interior points (full windows) must agree with the reference
+    assert got[100] == pytest.approx(expected[100])
+
+
+@pytest.mark.benchmark(group="E15-interpolation")
+def test_hole_interpolation(benchmark):
+    conn = repro.connect()
+    signal = ts.synthetic_signal(LENGTH, hole_fraction=0.05)
+    sensor = ts.SensorLog.from_numpy(conn, "sensor", signal)
+
+    def interpolate():
+        return sensor.interpolate_holes(5)
+
+    benchmark(interpolate)

@@ -1,0 +1,53 @@
+"""E11: tiling cost scales with tile size × array size (ablation).
+
+The structural-grouping kernel does one shifted scan per tile cell, so
+cost should grow linearly in ``|tile|`` for a fixed array, and linearly
+in cell count for a fixed tile — unlike the join formulation, whose
+intermediate result explodes with both.
+"""
+
+import pytest
+
+import repro
+from repro.gdk.atoms import Atom
+from repro.gdk.column import Column
+from repro.core.tiling import TileSpec, tile_aggregate
+
+
+def build_array(conn, size):
+    conn.execute(
+        f"CREATE ARRAY grid (x INT DIMENSION[0:1:{size}], "
+        f"y INT DIMENSION[0:1:{size}], v INT DEFAULT 1)"
+    )
+
+
+@pytest.mark.benchmark(group="E11-tile-size")
+@pytest.mark.parametrize("tile", [2, 3, 4, 5])
+def test_tile_size_scaling(benchmark, conn, tile):
+    build_array(conn, 64)
+    query = (
+        f"SELECT [x], [y], SUM(v) FROM grid GROUP BY grid[x:x+{tile}][y:y+{tile}]"
+    )
+    result = benchmark(conn.execute, query)
+    grid = result.grid()
+    assert grid[0, 0] == tile * tile  # interior anchor covers the full tile
+
+
+@pytest.mark.benchmark(group="E11-array-size")
+@pytest.mark.parametrize("size", [32, 64, 128])
+def test_array_size_scaling(benchmark, conn, size):
+    build_array(conn, size)
+    query = "SELECT [x], [y], SUM(v) FROM grid GROUP BY grid[x:x+3][y:y+3]"
+    result = benchmark(conn.execute, query)
+    assert result.grid()[0, 0] == 9
+
+
+@pytest.mark.benchmark(group="E11-kernel-only")
+@pytest.mark.parametrize("tile", [2, 4, 8])
+def test_raw_kernel_tile_scaling(benchmark, tile):
+    """The tiling kernel alone, without SQL overhead."""
+    size = 128
+    values = Column.constant(Atom.INT, 1, size * size)
+    spec = TileSpec.from_ranges([(0, tile), (0, tile)])
+    out = benchmark(tile_aggregate, values, (size, size), spec, "sum")
+    assert out.get(0) == tile * tile

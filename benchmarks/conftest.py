@@ -1,0 +1,36 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark is a pytest-benchmark test; the experiment ids (E1 …
+E14) refer to the index in DESIGN.md / EXPERIMENTS.md.  Benchmarks
+assert correctness of whatever they measure so a regression can never
+hide behind a fast wrong answer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.apps import imaging, rasters
+
+
+@pytest.fixture
+def conn():
+    return repro.connect()
+
+
+@pytest.fixture
+def building64(conn):
+    """A 64×64 building image stored as the array ``building``."""
+    image = rasters.building_image(64)
+    imaging.load_image(conn, "building", image)
+    return conn, image
+
+
+@pytest.fixture
+def earth64(conn):
+    """A 64×64 remote-sensing tile stored as the array ``earth``."""
+    image = rasters.remote_sensing_image(64)
+    imaging.load_image(conn, "earth", image)
+    return conn, image

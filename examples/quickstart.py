@@ -1,0 +1,76 @@
+"""Quickstart: the paper's Figure 1 walk-through, statement by statement.
+
+Run with::
+
+    python examples/quickstart.py
+
+Creates the 4×4 ``matrix`` array, applies the guarded UPDATE, the
+INSERT/DELETE pair, the 2×2 tiling query and the dimension expansion —
+printing each intermediate state in the paper's orientation
+(y grows upward).
+"""
+
+import numpy as np
+
+import repro
+
+
+def show(title, result, value_name=None):
+    print(f"--- {title} ---")
+    grid = result.grid(value_name)
+    # paper orientation: y up, x right
+    for row in np.flipud(grid.T):
+        print(
+            " ".join(
+                "null" if np.isnan(v) else f"{v:4.4g}".rstrip() for v in row
+            )
+        )
+    print()
+
+
+def main():
+    conn = repro.connect()
+
+    # Figure 1(a): array creation — all cells exist, DEFAULT 0.
+    conn.execute(
+        "CREATE ARRAY matrix ("
+        "x INT DIMENSION[0:1:4], y INT DIMENSION[0:1:4], v INT DEFAULT 0)"
+    )
+    show("Figure 1(a): CREATE ARRAY", conn.execute("SELECT [x],[y],v FROM matrix"))
+
+    # Figure 1(b): guarded update with dimensions as bound variables.
+    conn.execute(
+        "UPDATE matrix SET v = CASE WHEN x > y THEN x + y "
+        "WHEN x < y THEN x - y ELSE 0 END"
+    )
+    show("Figure 1(b): guarded UPDATE", conn.execute("SELECT [x],[y],v FROM matrix"))
+
+    # Figure 1(c): INSERT overwrites, DELETE punches holes.
+    conn.execute("INSERT INTO matrix SELECT [x], [y], x * y FROM matrix WHERE x = y")
+    conn.execute("DELETE FROM matrix WHERE x > y")
+    show("Figure 1(c): INSERT + DELETE", conn.execute("SELECT [x],[y],v FROM matrix"))
+
+    # Figure 1(d)/(e): structural grouping with 2×2 tiles.
+    result = conn.execute(
+        "SELECT [x], [y], AVG(v) FROM matrix "
+        "GROUP BY matrix[x:x+2][y:y+2] "
+        "HAVING x MOD 2 = 1 AND y MOD 2 = 1"
+    )
+    show("Figure 1(e): 2x2 tiling, AVG, anchor filter", result)
+
+    # Figure 1(f): dimension expansion.
+    conn.execute("ALTER ARRAY matrix ALTER DIMENSION x SET RANGE [-1:1:5]")
+    conn.execute("ALTER ARRAY matrix ALTER DIMENSION y SET RANGE [-1:1:5]")
+    show("Figure 1(f): ALTER DIMENSION", conn.execute("SELECT [x],[y],v FROM matrix"))
+
+    # A peek under the hood: the MAL plan of the tiling query (Figure 2).
+    print("--- MAL plan of the tiling query ---")
+    print(
+        conn.explain(
+            "SELECT [x], [y], AVG(v) FROM matrix GROUP BY matrix[x:x+2][y:y+2]"
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""repro — SciQL: array data processing inside an RDBMS (SIGMOD 2013).
+
+A full reproduction of the SciQL proof-of-concept: a MonetDB-like
+column kernel (BATs), the MAL layer, an SQL/SciQL front-end with
+arrays as first-class citizens, structural grouping, and the demo
+applications (Conway's Game of Life, in-database image processing).
+
+Quickstart::
+
+    import repro
+    conn = repro.connect()
+    conn.execute("CREATE ARRAY m (x INT DIMENSION[0:1:4], "
+                 "y INT DIMENSION[0:1:4], v INT DEFAULT 0)")
+    r = conn.execute("SELECT [x], [y], AVG(v) FROM m "
+                     "GROUP BY m[x:x+2][y:y+2]")
+    print(r.grid())
+"""
+
+from repro.engine import Connection, Result, connect
+from repro.errors import SciQLError
+
+__version__ = "1.0.0"
+__all__ = ["Connection", "Result", "SciQLError", "connect", "__version__"]

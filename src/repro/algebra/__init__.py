@@ -1,0 +1,6 @@
+"""Relational algebra layer: plans, compiler, MAL generation."""
+
+from repro.algebra.compiler import plan_select, plan_statement
+from repro.algebra.malgen import MALGenerator
+
+__all__ = ["MALGenerator", "plan_select", "plan_statement"]

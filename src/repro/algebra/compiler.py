@@ -1,0 +1,682 @@
+"""AST → relational algebra compilation (with name binding).
+
+This is the back half of the "SQL/SciQL Compiler" of Figure 2: bound
+syntax trees become :mod:`repro.algebra.nodes` plans.  SciQL-specific
+rules implemented here:
+
+* CREATE ARRAY splits elements into dimensions (materialised ranges)
+  and cell attributes;
+* a structural GROUP BY requires the FROM clause to be exactly the
+  tiled array, and its bracket groups must reference the array's
+  dimensions in declaration order with constant offsets;
+* dimension-qualified projection items (``[x]``) switch the result to
+  an array shape;
+* INSERT/UPDATE/DELETE against arrays keep cell semantics (holes,
+  overwrite-in-place) — lowered later by malgen.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Optional
+
+from repro.errors import SemanticError
+from repro.gdk.atoms import Atom, atom_for_sql_type
+from repro.catalog import Array, Catalog, Table
+from repro.core.tiling import TileSpec
+from repro.semantic.binder import (
+    BoundCellRef,
+    BoundColumn,
+    Scope,
+    SourceInfo,
+    source_from_catalog,
+)
+from repro.semantic.types import (
+    AGGREGATE_FUNCTIONS,
+    contains_aggregate,
+    infer_atom,
+    is_aggregate_call,
+)
+from repro.sql import ast_nodes as ast
+from repro.algebra import nodes
+
+_INTEGRAL_ATOMS = (Atom.INT, Atom.LNG)
+
+
+# ----------------------------------------------------------------------
+# constant folding (DDL ranges, defaults, VALUES rows)
+# ----------------------------------------------------------------------
+def fold_constant(expression: Any) -> Any:
+    """Evaluate a constant expression at compile time.
+
+    Raises :class:`SemanticError` when the expression references
+    columns or functions — DDL ranges and VALUES rows must be literal.
+    """
+    if isinstance(expression, ast.Literal):
+        return expression.value
+    if isinstance(expression, ast.UnaryOp) and expression.op == "-":
+        value = fold_constant(expression.operand)
+        if value is None:
+            return None
+        return -value
+    if isinstance(expression, ast.BinaryOp):
+        left = fold_constant(expression.left)
+        right = fold_constant(expression.right)
+        if left is None or right is None:
+            return None
+        op = expression.op
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            if right == 0:
+                raise SemanticError("division by zero in constant expression")
+            if isinstance(left, int) and isinstance(right, int):
+                quotient = abs(left) // abs(right)
+                return -quotient if (left < 0) != (right < 0) else quotient
+            return left / right
+        if op == "%":
+            if right == 0:
+                raise SemanticError("modulo by zero in constant expression")
+            return left % right
+        if op == "||":
+            return str(left) + str(right)
+    if isinstance(expression, ast.CastExpression):
+        from repro.gdk.atoms import coerce_scalar
+
+        value = fold_constant(expression.operand)
+        return coerce_scalar(value, atom_for_sql_type(expression.type_name))
+    raise SemanticError("expected a constant expression")
+
+
+# ----------------------------------------------------------------------
+# expression binding
+# ----------------------------------------------------------------------
+class Binder:
+    """Rewrites name references inside expressions for one scope."""
+
+    def __init__(self, scope: Scope, catalog: Catalog):
+        self.scope = scope
+        self.catalog = catalog
+
+    def bind(self, expression: Any) -> Any:
+        if isinstance(expression, (ast.Literal, BoundColumn, BoundCellRef)):
+            return expression
+        if isinstance(expression, ast.ColumnRef):
+            return self.scope.resolve(expression.name, expression.qualifier)
+        if isinstance(expression, ast.Star):
+            raise SemanticError("* is only allowed as a projection item")
+        if isinstance(expression, ast.CellRef):
+            return self._bind_cell_ref(expression)
+        if isinstance(expression, ast.BinaryOp):
+            return ast.BinaryOp(
+                expression.op, self.bind(expression.left), self.bind(expression.right)
+            )
+        if isinstance(expression, ast.UnaryOp):
+            return ast.UnaryOp(expression.op, self.bind(expression.operand))
+        if isinstance(expression, ast.FunctionCall):
+            return ast.FunctionCall(
+                expression.name,
+                tuple(self.bind(a) for a in expression.args),
+                expression.star,
+                expression.distinct,
+            )
+        if isinstance(expression, ast.CaseExpression):
+            return ast.CaseExpression(
+                tuple(
+                    (self.bind(c), self.bind(v)) for c, v in expression.whens
+                ),
+                None
+                if expression.otherwise is None
+                else self.bind(expression.otherwise),
+            )
+        if isinstance(expression, ast.IsNull):
+            return ast.IsNull(self.bind(expression.operand), expression.negated)
+        if isinstance(expression, ast.InList):
+            return ast.InList(
+                self.bind(expression.operand),
+                tuple(self.bind(i) for i in expression.items),
+                expression.negated,
+            )
+        if isinstance(expression, ast.Between):
+            return ast.Between(
+                self.bind(expression.operand),
+                self.bind(expression.low),
+                self.bind(expression.high),
+                expression.negated,
+            )
+        if isinstance(expression, ast.CastExpression):
+            return ast.CastExpression(
+                self.bind(expression.operand), expression.type_name
+            )
+        raise SemanticError(f"cannot bind {type(expression).__name__}")
+
+    def _bind_cell_ref(self, ref: ast.CellRef) -> BoundCellRef:
+        # Resolve the array: FROM alias first, then catalog name.
+        array_name: Optional[str] = None
+        for source in self.scope.sources:
+            if source.alias == ref.array and source.kind == "array":
+                array_name = source.object_name
+                break
+        if array_name is None:
+            if ref.array in self.catalog and isinstance(
+                self.catalog.get(ref.array), Array
+            ):
+                array_name = ref.array.lower()
+            else:
+                raise SemanticError(f"cell reference to unknown array {ref.array!r}")
+        array = self.catalog.get_array(array_name)
+        if len(ref.indexes) != len(array.dimensions):
+            raise SemanticError(
+                f"array {array_name!r} has {len(array.dimensions)} dimensions, "
+                f"cell reference supplies {len(ref.indexes)}"
+            )
+        attribute = ref.attribute
+        if attribute is None:
+            if len(array.attributes) != 1:
+                raise SemanticError(
+                    f"array {array_name!r} has several attributes; "
+                    "qualify the cell reference (A[i][j].attr)"
+                )
+            attribute = array.attributes[0].name
+        atom = array.attribute_def(attribute).atom
+        return BoundCellRef(
+            array_name,
+            tuple(self.bind(i) for i in ref.indexes),
+            attribute,
+            atom,
+        )
+
+
+# ----------------------------------------------------------------------
+# statement planning
+# ----------------------------------------------------------------------
+def plan_statement(statement: ast.Statement, catalog: Catalog) -> nodes.StatementPlan:
+    """Compile one parsed statement into an executable plan."""
+    if isinstance(statement, ast.SelectStatement):
+        return plan_select(statement, catalog)
+    if isinstance(statement, ast.SetOperation):
+        return _plan_set_operation(statement, catalog)
+    if isinstance(statement, ast.CreateTable):
+        return _plan_create_table(statement)
+    if isinstance(statement, ast.CreateArray):
+        return _plan_create_array(statement)
+    if isinstance(statement, ast.DropObject):
+        return nodes.DropPlan(statement.name.lower(), statement.kind, statement.if_exists)
+    if isinstance(statement, ast.AlterArrayDimension):
+        return _plan_alter(statement, catalog)
+    if isinstance(statement, ast.InsertValues):
+        return _plan_insert_values(statement, catalog)
+    if isinstance(statement, ast.InsertSelect):
+        return _plan_insert_select(statement, catalog)
+    if isinstance(statement, ast.Update):
+        return _plan_update(statement, catalog)
+    if isinstance(statement, ast.Delete):
+        return _plan_delete(statement, catalog)
+    raise SemanticError(f"unsupported statement {type(statement).__name__}")
+
+
+def _plan_set_operation(
+    statement: ast.SetOperation, catalog: Catalog
+) -> nodes.SetOpPlan:
+    """Compile UNION/EXCEPT/INTERSECT: both sides must align in arity."""
+
+    def plan_side(side) -> nodes.QueryPlan | nodes.SetOpPlan:
+        if isinstance(side, ast.SetOperation):
+            return _plan_set_operation(side, catalog)
+        return plan_select(side, catalog)
+
+    left = plan_side(statement.left)
+    right = plan_side(statement.right)
+    if len(left.items) != len(right.items):
+        raise SemanticError(
+            f"set operation arity mismatch: {len(left.items)} vs "
+            f"{len(right.items)} columns"
+        )
+    from repro.semantic.types import common_atom
+
+    items: list[nodes.OutputItem] = []
+    for left_item, right_item in zip(left.items, right.items):
+        atom = common_atom(left_item.atom, right_item.atom)
+        items.append(
+            nodes.OutputItem(
+                left_item.name, left_item.expression, atom, left_item.is_dimension
+            )
+        )
+    return nodes.SetOpPlan(
+        statement.op, statement.all, left, right, items, left.result_kind
+    )
+
+
+# ------------------------------ DDL ------------------------------
+def _column_entry(spec: ast.ColumnSpec) -> dict:
+    atom = atom_for_sql_type(spec.type_name)
+    default = None
+    if spec.has_default:
+        default = fold_constant(spec.default)
+    return {
+        "name": spec.name,
+        "atom": atom.value,
+        "default": default,
+        "has_default": spec.has_default,
+    }
+
+
+def _plan_create_table(statement: ast.CreateTable) -> nodes.CreateTablePlan:
+    entries = [_column_entry(c) for c in statement.columns]
+    return nodes.CreateTablePlan(
+        statement.name.lower(), json.dumps(entries), statement.if_not_exists
+    )
+
+
+def _plan_create_array(statement: ast.CreateArray) -> nodes.CreateArrayPlan:
+    dimensions: list[dict] = []
+    attributes: list[dict] = []
+    for spec in statement.elements:
+        if spec.is_dimension:
+            atom = atom_for_sql_type(spec.type_name)
+            if atom not in _INTEGRAL_ATOMS:
+                raise SemanticError(
+                    f"dimension {spec.name!r} must have an integral type"
+                )
+            if spec.dimension_range is None:
+                raise SemanticError(
+                    f"dimension {spec.name!r}: unbounded dimensions must gain "
+                    "a size through coercion; CREATE ARRAY needs a range"
+                )
+            dimensions.append(
+                {
+                    "name": spec.name,
+                    "atom": atom.value,
+                    "start": int(fold_constant(spec.dimension_range.start)),
+                    "step": int(fold_constant(spec.dimension_range.step)),
+                    "stop": int(fold_constant(spec.dimension_range.stop)),
+                }
+            )
+        else:
+            attributes.append(_column_entry(spec))
+    if not dimensions:
+        raise SemanticError("CREATE ARRAY needs at least one DIMENSION element")
+    if not attributes:
+        raise SemanticError("CREATE ARRAY needs at least one cell attribute")
+    return nodes.CreateArrayPlan(
+        statement.name.lower(),
+        json.dumps(dimensions),
+        json.dumps(attributes),
+        statement.if_not_exists,
+    )
+
+
+def _plan_alter(
+    statement: ast.AlterArrayDimension, catalog: Catalog
+) -> nodes.AlterDimensionPlan:
+    array = catalog.get_array(statement.array)
+    array.dimension_def(statement.dimension)  # existence check
+    return nodes.AlterDimensionPlan(
+        array.name,
+        statement.dimension,
+        int(fold_constant(statement.range.start)),
+        int(fold_constant(statement.range.step)),
+        int(fold_constant(statement.range.stop)),
+    )
+
+
+# ------------------------------ DML ------------------------------
+def _target_kind(catalog: Catalog, name: str) -> str:
+    return "array" if isinstance(catalog.get(name), Array) else "table"
+
+
+def _plan_insert_values(
+    statement: ast.InsertValues, catalog: Catalog
+) -> nodes.InsertValuesPlan:
+    obj = catalog.get(statement.table)
+    columns = list(statement.columns) or obj.column_names()
+    for column in columns:
+        obj.column_def(column)  # existence check
+    rows: list[list[Any]] = []
+    for row in statement.rows:
+        if len(row) != len(columns):
+            raise SemanticError(
+                f"INSERT row has {len(row)} values, expected {len(columns)}"
+            )
+        rows.append([fold_constant(value) for value in row])
+    if isinstance(obj, Array):
+        provided = set(columns)
+        for dimension in obj.dimensions:
+            if dimension.name not in provided:
+                raise SemanticError(
+                    f"INSERT into array {obj.name!r} must supply dimension "
+                    f"{dimension.name!r}"
+                )
+    return nodes.InsertValuesPlan(
+        obj.name, _target_kind(catalog, statement.table), columns, rows
+    )
+
+
+def _plan_insert_select(
+    statement: ast.InsertSelect, catalog: Catalog
+) -> nodes.InsertSelectPlan:
+    obj = catalog.get(statement.table)
+    query = plan_select(statement.query, catalog)
+    columns = list(statement.columns)
+    if not columns:
+        if isinstance(obj, Array):
+            # Dimension-qualified query items name the coordinates; the
+            # remaining items map to attributes in declaration order.
+            dim_count = sum(1 for item in query.items if item.is_dimension)
+            if dim_count and dim_count != len(obj.dimensions):
+                raise SemanticError(
+                    f"query yields {dim_count} dimension columns, array "
+                    f"{obj.name!r} has {len(obj.dimensions)}"
+                )
+            value_count = len(query.items) - (dim_count or len(obj.dimensions))
+            columns = [d.name for d in obj.dimensions]
+            columns += [a.name for a in obj.attributes[:value_count]]
+        else:
+            columns = obj.column_names()[: len(query.items)]
+    if len(columns) != len(query.items):
+        raise SemanticError(
+            f"INSERT column list has {len(columns)} names, query yields "
+            f"{len(query.items)}"
+        )
+    for column in columns:
+        obj.column_def(column)
+    return nodes.InsertSelectPlan(
+        obj.name, _target_kind(catalog, statement.table), columns, query
+    )
+
+
+def _plan_update(statement: ast.Update, catalog: Catalog) -> nodes.UpdatePlan:
+    obj = catalog.get(statement.table)
+    source = source_from_catalog(catalog, statement.table, None)
+    scope = Scope([source])
+    binder = Binder(scope, catalog)
+    assignments: list[tuple[str, Any]] = []
+    for column, expression in statement.assignments:
+        if isinstance(obj, Array) and obj.is_dimension(column):
+            raise SemanticError(
+                f"cannot UPDATE dimension {column!r}; use ALTER ARRAY"
+            )
+        obj.column_def(column)
+        assignments.append((column, binder.bind(expression)))
+    where = binder.bind(statement.where) if statement.where is not None else None
+    return nodes.UpdatePlan(
+        obj.name, _target_kind(catalog, statement.table), assignments, where
+    )
+
+
+def _plan_delete(statement: ast.Delete, catalog: Catalog) -> nodes.DeletePlan:
+    obj = catalog.get(statement.table)
+    source = source_from_catalog(catalog, statement.table, None)
+    binder = Binder(Scope([source]), catalog)
+    where = binder.bind(statement.where) if statement.where is not None else None
+    return nodes.DeletePlan(obj.name, _target_kind(catalog, statement.table), where)
+
+
+# ----------------------------- SELECT ----------------------------
+def _default_item_name(expression: Any, index: int) -> str:
+    if isinstance(expression, ast.ColumnRef):
+        return expression.name
+    if isinstance(expression, ast.CellRef):
+        return expression.attribute or expression.array
+    if isinstance(expression, ast.FunctionCall):
+        return expression.name
+    return f"col_{index}"
+
+
+def _build_source(
+    table_source: ast.TableSource, catalog: Catalog, sources: list[SourceInfo]
+) -> nodes.PlanNode:
+    if isinstance(table_source, ast.NamedSource):
+        info = source_from_catalog(catalog, table_source.name, table_source.alias)
+        index = len(sources)
+        sources.append(info)
+        return nodes.Scan(info, index)
+    if isinstance(table_source, ast.SubquerySource):
+        if isinstance(table_source.query, ast.SetOperation):
+            plan = _plan_set_operation(table_source.query, catalog)
+        else:
+            plan = plan_select(table_source.query, catalog)
+        columns = [(item.name, item.atom or Atom.INT) for item in plan.items]
+        info = SourceInfo(table_source.alias, "", "derived", columns, [])
+        index = len(sources)
+        sources.append(info)
+        return nodes.DerivedScan(plan, info, index)
+    if isinstance(table_source, ast.JoinSource):
+        left = _build_source(table_source.left, catalog, sources)
+        right = _build_source(table_source.right, catalog, sources)
+        condition = None
+        if table_source.condition is not None:
+            binder = Binder(Scope(list(sources)), catalog)
+            condition = binder.bind(table_source.condition)
+        return nodes.Join(left, right, table_source.kind, condition)
+    raise SemanticError(f"unsupported FROM element {type(table_source).__name__}")
+
+
+def _anchor_offset(expression: Any) -> tuple[str, int]:
+    """Extract (dimension name, integer offset) from a tile bound."""
+    if isinstance(expression, ast.ColumnRef):
+        return expression.name, 0
+    if isinstance(expression, ast.BinaryOp) and expression.op in ("+", "-"):
+        if isinstance(expression.left, ast.ColumnRef):
+            offset = fold_constant(expression.right)
+            if not isinstance(offset, int):
+                raise SemanticError("tile offsets must be integer constants")
+            sign = 1 if expression.op == "+" else -1
+            return expression.left.name, sign * offset
+    raise SemanticError(
+        "tile bounds must be of the form <dimension> or <dimension> ± <int>"
+    )
+
+
+def _tile_spec(
+    group_by: ast.TileGroupBy, array: Array
+) -> TileSpec:
+    if len(group_by.dimensions) != len(array.dimensions):
+        raise SemanticError(
+            f"tile has {len(group_by.dimensions)} bracket groups, array "
+            f"{array.name!r} has {len(array.dimensions)} dimensions"
+        )
+    ranges: list[tuple[int, int]] = []
+    steps: list[int] = []
+    for tile_dim, dim_def in zip(group_by.dimensions, array.dimensions):
+        low_name, low_offset = _anchor_offset(tile_dim.low)
+        if low_name != dim_def.name:
+            raise SemanticError(
+                f"tile bracket for dimension {dim_def.name!r} references "
+                f"{low_name!r}; brackets follow declaration order"
+            )
+        if tile_dim.high is None:
+            high_offset = low_offset + dim_def.step
+        else:
+            high_name, high_offset = _anchor_offset(tile_dim.high)
+            if high_name != dim_def.name:
+                raise SemanticError(
+                    f"tile bounds must reference the same dimension "
+                    f"({low_name!r} vs {high_name!r})"
+                )
+        ranges.append((low_offset, high_offset))
+        steps.append(dim_def.step)
+    return TileSpec.from_ranges(ranges, steps)
+
+
+def _validate_grouped_expression(expression: Any, keys: list[Any]) -> None:
+    """Check that a grouped output only uses keys, constants, aggregates."""
+    if any(expression == key for key in keys):
+        return
+    if isinstance(expression, ast.Literal):
+        return
+    if is_aggregate_call(expression):
+        return
+    if isinstance(expression, BoundColumn):
+        raise SemanticError(
+            f"column {expression.column!r} must appear in GROUP BY or inside "
+            "an aggregate"
+        )
+    if isinstance(expression, ast.BinaryOp):
+        _validate_grouped_expression(expression.left, keys)
+        _validate_grouped_expression(expression.right, keys)
+        return
+    if isinstance(expression, ast.UnaryOp):
+        _validate_grouped_expression(expression.operand, keys)
+        return
+    if isinstance(expression, ast.CaseExpression):
+        for condition, value in expression.whens:
+            _validate_grouped_expression(condition, keys)
+            _validate_grouped_expression(value, keys)
+        if expression.otherwise is not None:
+            _validate_grouped_expression(expression.otherwise, keys)
+        return
+    if isinstance(expression, (ast.IsNull,)):
+        _validate_grouped_expression(expression.operand, keys)
+        return
+    if isinstance(expression, ast.InList):
+        _validate_grouped_expression(expression.operand, keys)
+        for item in expression.items:
+            _validate_grouped_expression(item, keys)
+        return
+    if isinstance(expression, ast.Between):
+        _validate_grouped_expression(expression.operand, keys)
+        _validate_grouped_expression(expression.low, keys)
+        _validate_grouped_expression(expression.high, keys)
+        return
+    if isinstance(expression, ast.CastExpression):
+        _validate_grouped_expression(expression.operand, keys)
+        return
+    if isinstance(expression, ast.FunctionCall):
+        for argument in expression.args:
+            _validate_grouped_expression(argument, keys)
+        return
+    if isinstance(expression, BoundCellRef):
+        raise SemanticError("cell references are not allowed in grouped output")
+    raise SemanticError(
+        f"unsupported grouped expression {type(expression).__name__}"
+    )
+
+
+def plan_select(statement: ast.SelectStatement, catalog: Catalog) -> nodes.QueryPlan:
+    """Compile a SELECT into a query plan."""
+    sources: list[SourceInfo] = []
+    node: Optional[nodes.PlanNode] = None
+    for table_source in statement.sources:
+        sub_node = _build_source(table_source, catalog, sources)
+        node = sub_node if node is None else nodes.Join(node, sub_node, "cross")
+    scope = Scope(sources)
+    binder = Binder(scope, catalog)
+
+    is_tile = isinstance(statement.group_by, ast.TileGroupBy)
+    if statement.where is not None:
+        if is_tile:
+            raise SemanticError(
+                "WHERE cannot be combined with structural GROUP BY; "
+                "filter anchors with HAVING instead"
+            )
+        if node is None:
+            raise SemanticError("WHERE without FROM")
+        node = nodes.Filter(node, binder.bind(statement.where))
+
+    # --- projection items -------------------------------------------
+    items: list[nodes.OutputItem] = []
+    for index, item in enumerate(statement.items):
+        if isinstance(item.expression, ast.Star):
+            for bound in scope.all_columns(item.expression.qualifier):
+                items.append(
+                    nodes.OutputItem(bound.column, bound, bound.atom, False)
+                )
+            continue
+        bound = binder.bind(item.expression)
+        name = item.alias or _default_item_name(item.expression, index)
+        items.append(
+            nodes.OutputItem(name, bound, infer_atom(bound), item.dimension)
+        )
+    result_kind = "array" if any(i.is_dimension for i in items) else "table"
+
+    having = (
+        binder.bind(statement.having) if statement.having is not None else None
+    )
+
+    # --- grouping ----------------------------------------------------
+    if is_tile:
+        group_by = statement.group_by
+        assert isinstance(group_by, ast.TileGroupBy)
+        if not isinstance(node, nodes.Scan) or node.source.kind != "array":
+            raise SemanticError(
+                "structural GROUP BY requires FROM to be exactly the tiled array"
+            )
+        if group_by.array not in (node.source.alias, node.source.object_name):
+            raise SemanticError(
+                f"GROUP BY tiles {group_by.array!r} which is not the FROM array"
+            )
+        array = catalog.get_array(node.source.object_name)
+        spec = _tile_spec(group_by, array)
+        projecting: nodes.PlanNode = nodes.TileProject(
+            node, array.name, spec, items, having
+        )
+    elif isinstance(statement.group_by, ast.ValueGroupBy):
+        keys = [binder.bind(e) for e in statement.group_by.expressions]
+        for item in items:
+            _validate_grouped_expression(item.expression, keys)
+        if having is not None:
+            _validate_grouped_expression(having, keys)
+        if node is None:
+            raise SemanticError("GROUP BY without FROM")
+        projecting = nodes.Aggregate(node, keys, items, having)
+    elif any(contains_aggregate(item.expression) for item in items):
+        for item in items:
+            _validate_grouped_expression(item.expression, [])
+        if node is None:
+            raise SemanticError("aggregates need a FROM clause")
+        projecting = nodes.ScalarAggregate(node, items)
+    else:
+        if having is not None:
+            raise SemanticError("HAVING requires GROUP BY")
+        projecting = nodes.Project(node, items) if node is not None else nodes.Project(
+            None, items
+        )
+
+    # --- distinct / order / limit ------------------------------------
+    root: nodes.PlanNode = projecting
+    visible_items = list(items)
+    if statement.distinct:
+        root = nodes.Distinct(root)
+
+    if statement.order_by:
+        sort_keys: list[tuple[Any, bool]] = []
+        for order in statement.order_by:
+            ref = _match_output(order.expression, visible_items)
+            if ref is None:
+                bound = binder.bind(order.expression)
+                if isinstance(projecting, nodes.Aggregate):
+                    _validate_grouped_expression(bound, projecting.keys)
+                hidden_index = len(items)
+                items.append(
+                    nodes.OutputItem(
+                        f"%sort_{hidden_index}", bound, infer_atom(bound), False
+                    )
+                )
+                ref = nodes.OutputRef(hidden_index, infer_atom(bound))
+            sort_keys.append((ref, order.descending))
+        root = nodes.Sort(root, sort_keys)
+
+    if statement.limit is not None or statement.offset is not None:
+        root = nodes.LimitNode(root, statement.limit, statement.offset)
+
+    return nodes.QueryPlan(root, visible_items, result_kind)
+
+
+def _match_output(
+    expression: Any, items: list[nodes.OutputItem]
+) -> Optional[nodes.OutputRef]:
+    """Match an ORDER BY expression against output column names/positions."""
+    if isinstance(expression, ast.Literal) and isinstance(expression.value, int):
+        position = expression.value - 1
+        if 0 <= position < len(items):
+            return nodes.OutputRef(position, items[position].atom)
+    if isinstance(expression, ast.ColumnRef) and expression.qualifier is None:
+        for index, item in enumerate(items):
+            if item.name == expression.name:
+                return nodes.OutputRef(index, item.atom)
+    return None

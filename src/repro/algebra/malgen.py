@@ -1,0 +1,1374 @@
+"""Algebra plan → MAL lowering (the "MAL Generator" of Figure 2).
+
+The generator walks a :mod:`repro.algebra.nodes` plan and emits a
+linear MAL program.  Conventions:
+
+* every relational node yields a *binding*: a set of head-aligned BAT
+  variables, one per visible column, plus a reference variable used
+  for alignment (constant broadcasting);
+* predicates become ``bit`` BATs followed by ``algebra.select`` into a
+  candidate list, then ``algebra.projection`` of every column —
+  MonetDB's classic select/project dance;
+* structural grouping lowers to ``array.tileagg`` per aggregate, i.e.
+  one shifted scan per tile cell — no join is ever built (the whole
+  point of the paper's Scenario I comparison);
+* DML lowers to ``sql.update`` / ``sql.append`` / ``sql.delete`` with
+  SciQL cell semantics preserved for arrays (DELETE punches holes,
+  INSERT overwrites cells in place).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.errors import SemanticError
+from repro.gdk.atoms import Atom
+from repro.catalog import Array, Catalog
+from repro.semantic.binder import BoundCellRef, BoundColumn
+from repro.semantic.types import infer_atom, is_aggregate_call
+from repro.sql import ast_nodes as ast
+from repro.algebra import nodes
+from repro.mal.program import Constant, MALProgram, Var, bat_type, scalar_type
+
+_BAT = "bat"
+_SCALAR = "scalar"
+
+
+@dataclass
+class EvalResult:
+    """Either an aligned BAT variable or a scalar (variable/constant)."""
+
+    kind: str  # "bat" | "scalar"
+    value: Var | Constant
+    atom: Optional[Atom]
+
+
+@dataclass
+class Binding:
+    """Aligned BAT variables for the visible columns of a plan node."""
+
+    vars: dict[tuple[int, str], str] = field(default_factory=dict)
+    atoms: dict[tuple[int, str], Atom] = field(default_factory=dict)
+    ref: Optional[str] = None  # any variable, for alignment/broadcast
+
+    def project_all(self, generator: "MALGenerator", candidates: str, safe: bool = False) -> "Binding":
+        """New binding with every column fetched through *candidates*."""
+        out = Binding(atoms=dict(self.atoms))
+        op = "projectionsafe" if safe else "projection"
+        for key, var in self.vars.items():
+            out.vars[key] = generator.program.emit1(
+                "algebra", op, [Var(candidates), Var(var)],
+                bat_type(self.atoms[key]),
+            )
+        out.ref = next(iter(out.vars.values()), None)
+        return out
+
+
+def _source_indexes(node: nodes.PlanNode) -> set[int]:
+    if isinstance(node, nodes.Scan):
+        return {node.source_index}
+    if isinstance(node, nodes.DerivedScan):
+        return {node.source_index}
+    if isinstance(node, nodes.Join):
+        return _source_indexes(node.left) | _source_indexes(node.right)
+    if isinstance(node, nodes.Filter):
+        return _source_indexes(node.child)
+    raise SemanticError(f"unexpected relational node {type(node).__name__}")
+
+
+def _expression_sources(expression: Any) -> set[int]:
+    if isinstance(expression, BoundColumn):
+        return {expression.source}
+    if isinstance(expression, BoundCellRef):
+        out: set[int] = set()
+        for index in expression.indexes:
+            out |= _expression_sources(index)
+        return out
+    if isinstance(expression, ast.BinaryOp):
+        return _expression_sources(expression.left) | _expression_sources(
+            expression.right
+        )
+    if isinstance(expression, ast.UnaryOp):
+        return _expression_sources(expression.operand)
+    if isinstance(expression, ast.FunctionCall):
+        out = set()
+        for argument in expression.args:
+            out |= _expression_sources(argument)
+        return out
+    if isinstance(expression, ast.CaseExpression):
+        out = set()
+        for condition, value in expression.whens:
+            out |= _expression_sources(condition) | _expression_sources(value)
+        if expression.otherwise is not None:
+            out |= _expression_sources(expression.otherwise)
+        return out
+    if isinstance(expression, ast.IsNull):
+        return _expression_sources(expression.operand)
+    if isinstance(expression, ast.InList):
+        out = _expression_sources(expression.operand)
+        for item in expression.items:
+            out |= _expression_sources(item)
+        return out
+    if isinstance(expression, ast.Between):
+        return (
+            _expression_sources(expression.operand)
+            | _expression_sources(expression.low)
+            | _expression_sources(expression.high)
+        )
+    if isinstance(expression, ast.CastExpression):
+        return _expression_sources(expression.operand)
+    return set()
+
+
+def _split_equi_conjuncts(
+    condition: Any, left_sources: set[int], right_sources: set[int]
+) -> tuple[list[tuple[Any, Any]], list[Any]]:
+    """Partition an ON condition into equi pairs (left, right) + residual."""
+    conjuncts: list[Any] = []
+
+    def flatten(expr: Any) -> None:
+        if isinstance(expr, ast.BinaryOp) and expr.op == "AND":
+            flatten(expr.left)
+            flatten(expr.right)
+        else:
+            conjuncts.append(expr)
+
+    flatten(condition)
+    equi: list[tuple[Any, Any]] = []
+    residual: list[Any] = []
+    for conjunct in conjuncts:
+        if isinstance(conjunct, ast.BinaryOp) and conjunct.op == "=":
+            ls = _expression_sources(conjunct.left)
+            rs = _expression_sources(conjunct.right)
+            if ls and rs:
+                if ls <= left_sources and rs <= right_sources:
+                    equi.append((conjunct.left, conjunct.right))
+                    continue
+                if ls <= right_sources and rs <= left_sources:
+                    equi.append((conjunct.right, conjunct.left))
+                    continue
+        residual.append(conjunct)
+    return equi, residual
+
+
+class MALGenerator:
+    """Lowers statement plans to MAL programs."""
+
+    def __init__(self, catalog: Catalog):
+        self.catalog = catalog
+        self.program = MALProgram()
+
+    # ------------------------------------------------------------------
+    # entry point
+    # ------------------------------------------------------------------
+    def generate(self, plan: nodes.StatementPlan) -> MALProgram:
+        self.program = MALProgram()
+        if isinstance(plan, nodes.QueryPlan):
+            self._emit_result(plan)
+        elif isinstance(plan, nodes.SetOpPlan):
+            self._emit_set_operation_result(plan)
+        elif isinstance(plan, nodes.CreateTablePlan):
+            self.program.emit(
+                "sql", "createTable",
+                [plan.name, plan.columns_json, plan.if_not_exists],
+                [scalar_type(Atom.INT)],
+            )
+        elif isinstance(plan, nodes.CreateArrayPlan):
+            self.program.emit(
+                "sql", "createArray",
+                [plan.name, plan.dimensions_json, plan.attributes_json,
+                 plan.if_not_exists],
+                [scalar_type(Atom.INT)],
+            )
+        elif isinstance(plan, nodes.DropPlan):
+            self.program.emit(
+                "sql", "dropObject", [plan.name, plan.if_exists],
+                [scalar_type(Atom.INT)],
+            )
+        elif isinstance(plan, nodes.AlterDimensionPlan):
+            self.program.emit(
+                "sql", "alterDimension",
+                [plan.array, plan.dimension, plan.start, plan.step, plan.stop],
+                [scalar_type(Atom.INT)],
+            )
+        elif isinstance(plan, nodes.InsertValuesPlan):
+            self._emit_insert_values(plan)
+        elif isinstance(plan, nodes.InsertSelectPlan):
+            self._emit_insert_select(plan)
+        elif isinstance(plan, nodes.UpdatePlan):
+            self._emit_update(plan)
+        elif isinstance(plan, nodes.DeletePlan):
+            self._emit_delete(plan)
+        else:
+            raise SemanticError(f"cannot lower plan {type(plan).__name__}")
+        self.program.validate()
+        return self.program
+
+    # ------------------------------------------------------------------
+    # SELECT
+    # ------------------------------------------------------------------
+    def _emit_result(self, plan: nodes.QueryPlan) -> None:
+        output_vars, all_items = self._emit_output(plan.root)
+        visible = output_vars[: len(plan.items)]
+        names = [item.name for item in plan.items]
+        meta = {
+            "dims": [item.name for item in plan.items if item.is_dimension],
+            "atoms": [
+                (item.atom.value if item.atom else None) for item in plan.items
+            ],
+        }
+        args: list[Any] = [
+            plan.result_kind,
+            json.dumps(names),
+            json.dumps(meta),
+        ]
+        args.extend(Var(v) for v in visible)
+        self.program.emit("sql", "resultSet", args, [scalar_type(Atom.INT)])
+        self.program.result_columns = list(zip(names, visible))
+        self.program.result_kind = plan.result_kind
+
+    def _emit_set_operation_result(self, plan: nodes.SetOpPlan) -> None:
+        output_vars = self._emit_set_operation(plan)
+        names = [item.name for item in plan.items]
+        meta = {
+            "dims": [item.name for item in plan.items if item.is_dimension],
+            "atoms": [
+                (item.atom.value if item.atom else None) for item in plan.items
+            ],
+        }
+        args: list[Any] = [plan.result_kind, json.dumps(names), json.dumps(meta)]
+        args.extend(Var(v) for v in output_vars)
+        self.program.emit("sql", "resultSet", args, [scalar_type(Atom.INT)])
+        self.program.result_columns = list(zip(names, output_vars))
+        self.program.result_kind = plan.result_kind
+
+    def _emit_query_side(self, plan) -> list[str]:
+        """Output vars of one side of a set operation (visible columns)."""
+        if isinstance(plan, nodes.SetOpPlan):
+            return self._emit_set_operation(plan)
+        output_vars, _ = self._emit_output(plan.root)
+        return output_vars[: len(plan.items)]
+
+    def _emit_set_operation(self, plan: nodes.SetOpPlan) -> list[str]:
+        left_vars = self._emit_query_side(plan.left)
+        right_vars = self._emit_query_side(plan.right)
+        # Reconcile atoms: cast both sides to the merged item atoms.
+        cast_left: list[str] = []
+        cast_right: list[str] = []
+        for item, lvar, rvar in zip(plan.items, left_vars, right_vars):
+            atom = item.atom or Atom.INT
+            cast_left.append(
+                self.program.emit1(
+                    "bat", "cast", [Var(lvar), atom.value], bat_type(atom)
+                )
+            )
+            cast_right.append(
+                self.program.emit1(
+                    "bat", "cast", [Var(rvar), atom.value], bat_type(atom)
+                )
+            )
+        if plan.op == "union":
+            merged = [
+                self.program.emit1(
+                    "bat", "append", [Var(l), Var(r)], self.program.type_of(l)
+                )
+                for l, r in zip(cast_left, cast_right)
+            ]
+            if plan.all:
+                return merged
+            return self._distinct_vars(merged)
+        # EXCEPT / INTERSECT: membership of left rows in the right set.
+        membership = self.program.emit1(
+            "algebra", "rowmembership",
+            [len(cast_left)]
+            + [Var(v) for v in cast_left]
+            + [Var(v) for v in cast_right],
+            bat_type(Atom.BIT),
+        )
+        if plan.op == "except":
+            membership = self.program.emit1(
+                "batcalc", "not", [Var(membership)], bat_type(Atom.BIT)
+            )
+        candidates = self.program.emit1(
+            "algebra", "select", [Var(membership)], bat_type(Atom.OID)
+        )
+        selected = [
+            self.program.emit1(
+                "algebra", "projection", [Var(candidates), Var(v)],
+                self.program.type_of(v),
+            )
+            for v in cast_left
+        ]
+        return self._distinct_vars(selected)
+
+    def _distinct_vars(self, variables: list[str]) -> list[str]:
+        """Duplicate elimination over aligned result columns."""
+        if not variables:
+            return variables
+        groups = extents = None
+        for variable in variables:
+            if groups is None:
+                groups, extents, _ = self.program.emit(
+                    "group", "group", [Var(variable)],
+                    [bat_type(Atom.OID), bat_type(Atom.OID), bat_type(Atom.OID)],
+                )
+            else:
+                groups, extents, _ = self.program.emit(
+                    "group", "subgroup", [Var(variable), Var(groups)],
+                    [bat_type(Atom.OID), bat_type(Atom.OID), bat_type(Atom.OID)],
+                )
+        return [
+            self.program.emit1(
+                "algebra", "projection", [Var(extents), Var(v)],
+                self.program.type_of(v),
+            )
+            for v in variables
+        ]
+
+    def _emit_output(self, node: nodes.PlanNode) -> tuple[list[str], list[nodes.OutputItem]]:
+        """Emit a projecting pipeline; returns aligned output vars + items."""
+        if isinstance(node, nodes.LimitNode):
+            child_vars, items = self._emit_output(node.child)
+            start = node.offset or 0
+            stop = start + node.limit if node.limit is not None else 2**62
+            out = [
+                self.program.emit1(
+                    "bat", "slice", [Var(v), start, stop],
+                    self.program.type_of(v),
+                )
+                for v in child_vars
+            ]
+            return out, items
+        if isinstance(node, nodes.Sort):
+            child_vars, items = self._emit_output(node.child)
+            key_vars: list[str] = []
+            flags: list[bool] = []
+            for ref, descending in node.keys:
+                if not isinstance(ref, nodes.OutputRef):
+                    raise SemanticError("sort keys must be output references")
+                key_vars.append(child_vars[ref.index])
+                flags.append(descending)
+            order = self.program.emit1(
+                "algebra", "sortmulti",
+                [json.dumps(flags)] + [Var(v) for v in key_vars],
+                bat_type(Atom.OID),
+            )
+            out = [
+                self.program.emit1(
+                    "algebra", "projection", [Var(order), Var(v)],
+                    self.program.type_of(v),
+                )
+                for v in child_vars
+            ]
+            return out, items
+        if isinstance(node, nodes.Distinct):
+            child_vars, items = self._emit_output(node.child)
+            if not child_vars:
+                return child_vars, items
+            groups = None
+            extents = None
+            for var in child_vars:
+                if groups is None:
+                    groups, extents, _ = self.program.emit(
+                        "group", "group", [Var(var)],
+                        [bat_type(Atom.OID), bat_type(Atom.OID), bat_type(Atom.OID)],
+                    )
+                else:
+                    groups, extents, _ = self.program.emit(
+                        "group", "subgroup", [Var(var), Var(groups)],
+                        [bat_type(Atom.OID), bat_type(Atom.OID), bat_type(Atom.OID)],
+                    )
+            out = [
+                self.program.emit1(
+                    "algebra", "projection", [Var(extents), Var(v)],
+                    self.program.type_of(v),
+                )
+                for v in child_vars
+            ]
+            return out, items
+        if isinstance(node, nodes.Project):
+            return self._emit_project(node), node.items
+        if isinstance(node, nodes.Aggregate):
+            return self._emit_aggregate(node), node.items
+        if isinstance(node, nodes.ScalarAggregate):
+            return self._emit_scalar_aggregate(node), node.items
+        if isinstance(node, nodes.TileProject):
+            return self._emit_tile(node), node.items
+        raise SemanticError(f"unexpected output node {type(node).__name__}")
+
+    # ------------------------------------------------------------------
+    # relational sub-tree
+    # ------------------------------------------------------------------
+    def _emit_relational(self, node: nodes.PlanNode) -> Binding:
+        if isinstance(node, nodes.Scan):
+            binding = Binding()
+            for column, atom in node.source.columns:
+                var = self.program.emit1(
+                    "sql", "bind", [node.source.object_name, column],
+                    bat_type(atom),
+                    comment=f"{node.source.alias}.{column}",
+                )
+                binding.vars[(node.source_index, column)] = var
+                binding.atoms[(node.source_index, column)] = atom
+            binding.ref = next(iter(binding.vars.values()), None)
+            return binding
+        if isinstance(node, nodes.DerivedScan):
+            output_vars = self._emit_query_side(node.plan)
+            binding = Binding()
+            for (column, atom), var in zip(node.source.columns, output_vars):
+                binding.vars[(node.source_index, column)] = var
+                binding.atoms[(node.source_index, column)] = atom
+            binding.ref = next(iter(binding.vars.values()), None)
+            return binding
+        if isinstance(node, nodes.Filter):
+            binding = self._emit_relational(node.child)
+            predicate = self._force_bat(
+                self._eval(node.predicate, binding), binding
+            )
+            candidates = self.program.emit1(
+                "algebra", "select", [Var(predicate)], bat_type(Atom.OID)
+            )
+            return binding.project_all(self, candidates)
+        if isinstance(node, nodes.Join):
+            return self._emit_join(node)
+        raise SemanticError(f"unexpected relational node {type(node).__name__}")
+
+    def _emit_join(self, node: nodes.Join) -> Binding:
+        left = self._emit_relational(node.left)
+        right = self._emit_relational(node.right)
+        left_sources = _source_indexes(node.left)
+        right_sources = _source_indexes(node.right)
+
+        def combine(loids: str, roids: str, safe_right: bool = False) -> Binding:
+            out = Binding(atoms={**left.atoms, **right.atoms})
+            for key, var in left.vars.items():
+                out.vars[key] = self.program.emit1(
+                    "algebra", "projection", [Var(loids), Var(var)],
+                    bat_type(left.atoms[key]),
+                )
+            op = "projectionsafe" if safe_right else "projection"
+            for key, var in right.vars.items():
+                out.vars[key] = self.program.emit1(
+                    "algebra", op, [Var(roids), Var(var)],
+                    bat_type(right.atoms[key]),
+                )
+            out.ref = next(iter(out.vars.values()), None)
+            return out
+
+        if node.kind == "cross" or node.condition is None:
+            if node.kind == "left":
+                raise SemanticError("LEFT JOIN requires an ON condition")
+            lcount = self.program.emit1(
+                "bat", "getcount", [Var(left.ref)], scalar_type(Atom.LNG)
+            )
+            rcount = self.program.emit1(
+                "bat", "getcount", [Var(right.ref)], scalar_type(Atom.LNG)
+            )
+            loids, roids = self.program.emit(
+                "algebra", "crossproduct", [Var(lcount), Var(rcount)],
+                [bat_type(Atom.OID), bat_type(Atom.OID)],
+            )
+            return combine(loids, roids)
+
+        equi, residual = _split_equi_conjuncts(
+            node.condition, left_sources, right_sources
+        )
+        if equi:
+            left_key, right_key = equi[0]
+            key_left = self._force_bat(self._eval(left_key, left), left)
+            key_right = self._force_bat(self._eval(right_key, right), right)
+            if node.kind == "left":
+                if equi[1:] or residual:
+                    raise SemanticError(
+                        "LEFT JOIN supports a single equality condition"
+                    )
+                loids, roids = self.program.emit(
+                    "algebra", "leftjoin", [Var(key_left), Var(key_right)],
+                    [bat_type(Atom.OID), bat_type(Atom.OID)],
+                )
+                return combine(loids, roids, safe_right=True)
+            loids, roids = self.program.emit(
+                "algebra", "join", [Var(key_left), Var(key_right)],
+                [bat_type(Atom.OID), bat_type(Atom.OID)],
+            )
+            binding = combine(loids, roids)
+            leftover = equi[1:]
+            extra = [ast.BinaryOp("=", a, b) for a, b in leftover] + residual
+        else:
+            if node.kind == "left":
+                raise SemanticError("LEFT JOIN requires an equality condition")
+            lcount = self.program.emit1(
+                "bat", "getcount", [Var(left.ref)], scalar_type(Atom.LNG)
+            )
+            rcount = self.program.emit1(
+                "bat", "getcount", [Var(right.ref)], scalar_type(Atom.LNG)
+            )
+            loids, roids = self.program.emit(
+                "algebra", "crossproduct", [Var(lcount), Var(rcount)],
+                [bat_type(Atom.OID), bat_type(Atom.OID)],
+            )
+            binding = combine(loids, roids)
+            extra = [node.condition]
+        for conjunct in extra:
+            predicate = self._force_bat(self._eval(conjunct, binding), binding)
+            candidates = self.program.emit1(
+                "algebra", "select", [Var(predicate)], bat_type(Atom.OID)
+            )
+            binding = binding.project_all(self, candidates)
+        return binding
+
+    # ------------------------------------------------------------------
+    # projecting nodes
+    # ------------------------------------------------------------------
+    def _emit_project(self, node: nodes.Project) -> list[str]:
+        if node.child is None:
+            # FROM-less SELECT: every item must be scalar; one result row.
+            out: list[str] = []
+            for item in node.items:
+                result = self._eval(item.expression, None)
+                if result.kind != _SCALAR:
+                    raise SemanticError("SELECT without FROM must be constant")
+                out.append(
+                    self.program.emit1(
+                        "bat", "pack", [result.value],
+                        bat_type(result.atom or Atom.INT),
+                    )
+                )
+            return out
+        binding = self._emit_relational(node.child)
+        return [
+            self._force_bat(self._eval(item.expression, binding), binding, item.atom)
+            for item in node.items
+        ]
+
+    def _emit_aggregate(self, node: nodes.Aggregate) -> list[str]:
+        binding = self._emit_relational(node.child)
+        key_vars: list[str] = []
+        for key in node.keys:
+            key_vars.append(
+                self._force_bat(self._eval(key, binding), binding)
+            )
+        groups = extents = None
+        for key_var in key_vars:
+            if groups is None:
+                groups, extents, _ = self.program.emit(
+                    "group", "group", [Var(key_var)],
+                    [bat_type(Atom.OID), bat_type(Atom.OID), bat_type(Atom.OID)],
+                )
+            else:
+                groups, extents, _ = self.program.emit(
+                    "group", "subgroup", [Var(key_var), Var(groups)],
+                    [bat_type(Atom.OID), bat_type(Atom.OID), bat_type(Atom.OID)],
+                )
+        ngroups = self.program.emit1(
+            "bat", "getcount", [Var(extents)], scalar_type(Atom.LNG)
+        )
+        grouped = _GroupedContext(
+            self, binding, node.keys, key_vars, groups, extents, ngroups
+        )
+        output = [
+            grouped.force_bat(grouped.eval(item.expression), item.atom)
+            for item in node.items
+        ]
+        if node.having is not None:
+            predicate = grouped.force_bat(grouped.eval(node.having))
+            candidates = self.program.emit1(
+                "algebra", "select", [Var(predicate)], bat_type(Atom.OID)
+            )
+            output = [
+                self.program.emit1(
+                    "algebra", "projection", [Var(candidates), Var(v)],
+                    self.program.type_of(v),
+                )
+                for v in output
+            ]
+        return output
+
+    def _emit_scalar_aggregate(self, node: nodes.ScalarAggregate) -> list[str]:
+        binding = self._emit_relational(node.child)
+        out: list[str] = []
+        for item in node.items:
+            result = self._eval_scalar_aggregate(item.expression, binding)
+            out.append(
+                self.program.emit1(
+                    "bat", "pack", [result.value],
+                    bat_type(result.atom or item.atom or Atom.INT),
+                )
+            )
+        return out
+
+    def _eval_scalar_aggregate(self, expression: Any, binding: Binding) -> EvalResult:
+        if is_aggregate_call(expression):
+            name = expression.name
+            if expression.star:
+                count = self.program.emit1(
+                    "bat", "getcount", [Var(binding.ref)], scalar_type(Atom.LNG)
+                )
+                return EvalResult(_SCALAR, Var(count), Atom.LNG)
+            value = self._force_bat(
+                self._eval(expression.args[0], binding), binding
+            )
+            atom = infer_atom(expression)
+            if expression.distinct:
+                if name != "count":
+                    raise SemanticError(
+                        f"DISTINCT is only supported for COUNT, not {name.upper()}"
+                    )
+                var = self.program.emit1(
+                    "aggr", "countdistinct", [Var(value)], scalar_type(Atom.LNG)
+                )
+                return EvalResult(_SCALAR, Var(var), Atom.LNG)
+            var = self.program.emit1(
+                "aggr", name, [Var(value)], scalar_type(atom or Atom.DBL)
+            )
+            return EvalResult(_SCALAR, Var(var), atom)
+        if isinstance(expression, ast.Literal):
+            return EvalResult(
+                _SCALAR, Constant(expression.value), infer_atom(expression)
+            )
+        if isinstance(expression, ast.BinaryOp):
+            left = self._eval_scalar_aggregate(expression.left, binding)
+            right = self._eval_scalar_aggregate(expression.right, binding)
+            return self._scalar_binary(expression.op, left, right, expression)
+        if isinstance(expression, ast.UnaryOp):
+            operand = self._eval_scalar_aggregate(expression.operand, binding)
+            op_name = "not" if expression.op == "NOT" else "negate"
+            var = self.program.emit1(
+                "calc", op_name, [operand.value],
+                scalar_type(operand.atom or Atom.BIT),
+            )
+            return EvalResult(_SCALAR, Var(var), operand.atom)
+        if isinstance(expression, ast.CastExpression):
+            operand = self._eval_scalar_aggregate(expression.operand, binding)
+            atom = infer_atom(expression)
+            var = self.program.emit1(
+                "calc", "cast", [operand.value, atom.value], scalar_type(atom)
+            )
+            return EvalResult(_SCALAR, Var(var), atom)
+        raise SemanticError(
+            "scalar aggregate output may only combine aggregates and constants"
+        )
+
+    def _emit_tile(self, node: nodes.TileProject) -> list[str]:
+        binding = self._emit_relational(node.child)
+        array = self.catalog.get_array(node.array_name)
+        shape_json = json.dumps(list(array.shape()))
+        offsets_json = json.dumps([list(o) for o in node.spec.offsets])
+        tile = _TileContext(self, binding, shape_json, offsets_json)
+        output = [
+            tile.force_bat(tile.eval(item.expression), item.atom)
+            for item in node.items
+        ]
+        if node.having is not None:
+            predicate = tile.force_bat(tile.eval(node.having))
+            is_array_result = any(item.is_dimension for item in node.items)
+            if is_array_result:
+                # Array-shaped result: non-qualifying anchors stay in the
+                # array but their aggregate values become NULL (Fig 1(e)).
+                masked: list[str] = []
+                for item, var in zip(node.items, output):
+                    if item.is_dimension:
+                        masked.append(var)
+                    else:
+                        masked.append(
+                            self.program.emit1(
+                                "batcalc", "ifthenelse",
+                                [Var(predicate), Var(var), Constant(None)],
+                                self.program.type_of(var),
+                            )
+                        )
+                output = masked
+            else:
+                candidates = self.program.emit1(
+                    "algebra", "select", [Var(predicate)], bat_type(Atom.OID)
+                )
+                output = [
+                    self.program.emit1(
+                        "algebra", "projection", [Var(candidates), Var(v)],
+                        self.program.type_of(v),
+                    )
+                    for v in output
+                ]
+        return output
+
+    # ------------------------------------------------------------------
+    # row-mode expression evaluation
+    # ------------------------------------------------------------------
+    def _force_bat(
+        self,
+        result: EvalResult,
+        binding: Optional[Binding],
+        atom: Optional[Atom] = None,
+    ) -> str:
+        """Ensure an evaluation result is an aligned BAT variable."""
+        if result.kind == _BAT:
+            assert isinstance(result.value, Var)
+            return result.value.name
+        if binding is None or binding.ref is None:
+            raise SemanticError("cannot broadcast a constant without a FROM row set")
+        target_atom = result.atom or atom or Atom.INT
+        return self.program.emit1(
+            "bat", "project_const",
+            [Var(binding.ref), result.value, target_atom.value],
+            bat_type(target_atom),
+        )
+
+    def _eval(self, expression: Any, binding: Optional[Binding]) -> EvalResult:
+        """Evaluate an expression over a row binding (no aggregates)."""
+        if isinstance(expression, ast.Literal):
+            return EvalResult(
+                _SCALAR, Constant(expression.value), infer_atom(expression)
+            )
+        if isinstance(expression, BoundColumn):
+            if binding is None:
+                raise SemanticError("column reference without a FROM clause")
+            var = binding.vars[(expression.source, expression.column)]
+            return EvalResult(_BAT, Var(var), expression.atom)
+        if isinstance(expression, BoundCellRef):
+            return self._eval_cell_ref(expression, binding)
+        if isinstance(expression, ast.BinaryOp):
+            left = self._eval(expression.left, binding)
+            right = self._eval(expression.right, binding)
+            return self._binary(expression.op, left, right, expression, binding)
+        if isinstance(expression, ast.UnaryOp):
+            operand = self._eval(expression.operand, binding)
+            return self._unary(expression.op, operand, binding)
+        if isinstance(expression, ast.FunctionCall):
+            return self._function(expression, binding)
+        if isinstance(expression, ast.CaseExpression):
+            return self._case(expression, binding, lambda e: self._eval(e, binding))
+        if isinstance(expression, ast.IsNull):
+            operand = self._eval(expression.operand, binding)
+            forced = self._force_bat(operand, binding)
+            var = self.program.emit1(
+                "batcalc", "isnil", [Var(forced)], bat_type(Atom.BIT)
+            )
+            result = EvalResult(_BAT, Var(var), Atom.BIT)
+            if expression.negated:
+                return self._unary("NOT", result, binding)
+            return result
+        if isinstance(expression, ast.InList):
+            return self._in_list(expression, binding, lambda e: self._eval(e, binding))
+        if isinstance(expression, ast.Between):
+            return self._between(expression, binding, lambda e: self._eval(e, binding))
+        if isinstance(expression, ast.CastExpression):
+            operand = self._eval(expression.operand, binding)
+            atom = infer_atom(expression)
+            if operand.kind == _SCALAR:
+                var = self.program.emit1(
+                    "calc", "cast", [operand.value, atom.value], scalar_type(atom)
+                )
+                return EvalResult(_SCALAR, Var(var), atom)
+            var = self.program.emit1(
+                "batcalc", "cast", [operand.value, atom.value], bat_type(atom)
+            )
+            return EvalResult(_BAT, Var(var), atom)
+        if is_aggregate_call(expression):
+            raise SemanticError("aggregate used outside GROUP BY context")
+        raise SemanticError(f"cannot evaluate {type(expression).__name__}")
+
+    _OP_NAMES = {
+        "+": "add", "-": "sub", "*": "mul", "/": "div", "%": "mod",
+        "=": "eq", "<>": "ne", "!=": "ne", "<": "lt", "<=": "le",
+        ">": "gt", ">=": "ge", "AND": "and", "OR": "or", "||": "concat",
+    }
+
+    def _binary(
+        self,
+        op: str,
+        left: EvalResult,
+        right: EvalResult,
+        expression: Any,
+        binding: Optional[Binding],
+    ) -> EvalResult:
+        name = self._OP_NAMES.get(op)
+        if name is None:
+            raise SemanticError(f"unsupported operator {op!r}")
+        atom = infer_atom(expression)
+        if left.kind == _SCALAR and right.kind == _SCALAR:
+            var = self.program.emit1(
+                "calc", name, [left.value, right.value],
+                scalar_type(atom or Atom.INT),
+            )
+            return EvalResult(_SCALAR, Var(var), atom)
+        var = self.program.emit1(
+            "batcalc", name, [left.value, right.value],
+            bat_type(atom or Atom.INT),
+        )
+        return EvalResult(_BAT, Var(var), atom)
+
+    def _scalar_binary(
+        self, op: str, left: EvalResult, right: EvalResult, expression: Any
+    ) -> EvalResult:
+        name = self._OP_NAMES.get(op)
+        if name is None:
+            raise SemanticError(f"unsupported operator {op!r}")
+        atom = infer_atom(expression)
+        var = self.program.emit1(
+            "calc", name, [left.value, right.value], scalar_type(atom or Atom.INT)
+        )
+        return EvalResult(_SCALAR, Var(var), atom)
+
+    def _unary(
+        self, op: str, operand: EvalResult, binding: Optional[Binding]
+    ) -> EvalResult:
+        name = "not" if op == "NOT" else "negate"
+        module = "calc" if operand.kind == _SCALAR else "batcalc"
+        result_type = (
+            scalar_type(operand.atom or Atom.BIT)
+            if operand.kind == _SCALAR
+            else bat_type(operand.atom or Atom.BIT)
+        )
+        var = self.program.emit1(module, name, [operand.value], result_type)
+        return EvalResult(operand.kind, Var(var), operand.atom)
+
+    def _function(
+        self, expression: ast.FunctionCall, binding: Optional[Binding]
+    ) -> EvalResult:
+        if not expression.args:
+            raise SemanticError(f"function {expression.name!r} needs arguments")
+        operand = self._eval(expression.args[0], binding)
+        return self._function_on(expression, operand)
+
+    def _function_on(
+        self, expression: ast.FunctionCall, operand: Optional[EvalResult]
+    ) -> EvalResult:
+        """Apply a non-aggregate function to an already evaluated operand."""
+        if operand is None:
+            raise SemanticError(f"function {expression.name!r} needs arguments")
+        name = expression.name
+        atom = infer_atom(expression)
+        module = "calc" if operand.kind == _SCALAR else "batcalc"
+        result_type = (
+            scalar_type(atom) if operand.kind == _SCALAR else bat_type(atom)
+        )
+        if name == "abs":
+            var = self.program.emit1(module, "abs", [operand.value], result_type)
+            return EvalResult(operand.kind, Var(var), atom)
+        from repro.semantic.types import (
+            MATH_FUNCTIONS,
+            ROUNDING_FUNCTIONS,
+            STRING_FUNCTIONS,
+        )
+
+        if name in MATH_FUNCTIONS or name in ROUNDING_FUNCTIONS:
+            var = self.program.emit1(
+                module, "math", [Constant(name), operand.value], result_type
+            )
+            return EvalResult(operand.kind, Var(var), atom)
+        if name in STRING_FUNCTIONS:
+            return self._string_function(expression, operand, module, result_type)
+        raise SemanticError(f"unknown function {name!r}")
+
+    def _string_function(
+        self,
+        expression: ast.FunctionCall,
+        operand: EvalResult,
+        module: str,
+        result_type,
+    ) -> EvalResult:
+        """Lower lower/upper/trim/length/substring/like applications."""
+        from repro.algebra.compiler import fold_constant
+
+        name = expression.name
+        atom = infer_atom(expression)
+        if name in ("lower", "upper", "trim"):
+            var = self.program.emit1(module, name, [operand.value], result_type)
+            return EvalResult(operand.kind, Var(var), atom)
+        if name in ("length", "char_length"):
+            var = self.program.emit1(module, "length", [operand.value], result_type)
+            return EvalResult(operand.kind, Var(var), atom)
+        if name in ("substring", "substr"):
+            if len(expression.args) not in (2, 3):
+                raise SemanticError("SUBSTRING needs (string, start[, length])")
+            extra = [Constant(int(fold_constant(a))) for a in expression.args[1:]]
+            var = self.program.emit1(
+                module, "substring", [operand.value] + extra, result_type
+            )
+            return EvalResult(operand.kind, Var(var), atom)
+        if name == "like":
+            if len(expression.args) != 2:
+                raise SemanticError("LIKE needs (string, pattern)")
+            pattern = fold_constant(expression.args[1])
+            var = self.program.emit1(
+                module, "like", [operand.value, Constant(pattern)], result_type
+            )
+            return EvalResult(operand.kind, Var(var), atom)
+        raise SemanticError(f"unknown string function {name!r}")
+
+    def _case(self, expression: ast.CaseExpression, binding, evaluator) -> EvalResult:
+        pieces: list[tuple[EvalResult, EvalResult]] = [
+            (evaluator(condition), evaluator(value))
+            for condition, value in expression.whens
+        ]
+        otherwise = (
+            evaluator(expression.otherwise)
+            if expression.otherwise is not None
+            else EvalResult(_SCALAR, Constant(None), None)
+        )
+        any_bat = otherwise.kind == _BAT or any(
+            c.kind == _BAT or v.kind == _BAT for c, v in pieces
+        )
+        atom = infer_atom(expression)
+        accumulator = otherwise
+        for condition, value in reversed(pieces):
+            if any_bat:
+                cond_var = self._force_bat(condition, binding, Atom.BIT)
+                var = self.program.emit1(
+                    "batcalc", "ifthenelse",
+                    [Var(cond_var), value.value, accumulator.value],
+                    bat_type(atom or value.atom or Atom.INT),
+                )
+                accumulator = EvalResult(_BAT, Var(var), atom or value.atom)
+            else:
+                var = self.program.emit1(
+                    "calc", "ifthenelse",
+                    [condition.value, value.value, accumulator.value],
+                    scalar_type(atom or value.atom or Atom.INT),
+                )
+                accumulator = EvalResult(_SCALAR, Var(var), atom or value.atom)
+        return accumulator
+
+    def _in_list(self, expression: ast.InList, binding, evaluator) -> EvalResult:
+        operand = evaluator(expression.operand)
+        result: Optional[EvalResult] = None
+        for item in expression.items:
+            item_result = evaluator(item)
+            comparison = self._binary(
+                "=", operand, item_result,
+                ast.BinaryOp("=", expression.operand, item), binding,
+            )
+            if result is None:
+                result = comparison
+            else:
+                result = self._binary(
+                    "OR", result, comparison,
+                    ast.BinaryOp("OR", ast.Literal(True), ast.Literal(True)),
+                    binding,
+                )
+        assert result is not None
+        if expression.negated:
+            return self._unary("NOT", result, binding)
+        return result
+
+    def _between(self, expression: ast.Between, binding, evaluator) -> EvalResult:
+        operand = evaluator(expression.operand)
+        low = evaluator(expression.low)
+        high = evaluator(expression.high)
+        ge = self._binary(
+            ">=", operand, low,
+            ast.BinaryOp(">=", expression.operand, expression.low), binding,
+        )
+        le = self._binary(
+            "<=", operand, high,
+            ast.BinaryOp("<=", expression.operand, expression.high), binding,
+        )
+        result = self._binary(
+            "AND", ge, le,
+            ast.BinaryOp("AND", ast.Literal(True), ast.Literal(True)), binding,
+        )
+        if expression.negated:
+            return self._unary("NOT", result, binding)
+        return result
+
+    def _eval_cell_ref(
+        self, expression: BoundCellRef, binding: Optional[Binding]
+    ) -> EvalResult:
+        if binding is None:
+            raise SemanticError("cell reference without a FROM clause")
+        array = self.catalog.get_array(expression.array)
+        shape_json = json.dumps(list(array.shape()))
+        dims_json = json.dumps(
+            [[d.start, d.step, d.stop] for d in array.dimensions]
+        )
+        coordinate_vars: list[str] = []
+        for index_expression in expression.indexes:
+            coordinate_vars.append(
+                self._force_bat(self._eval(index_expression, binding), binding, Atom.LNG)
+            )
+        oids = self.program.emit1(
+            "array", "cellindex",
+            [shape_json, dims_json] + [Var(v) for v in coordinate_vars],
+            bat_type(Atom.OID),
+        )
+        attribute = self.program.emit1(
+            "sql", "bind", [expression.array, expression.attribute],
+            bat_type(expression.atom),
+        )
+        var = self.program.emit1(
+            "algebra", "projectionsafe", [Var(oids), Var(attribute)],
+            bat_type(expression.atom),
+        )
+        return EvalResult(_BAT, Var(var), expression.atom)
+
+    # ------------------------------------------------------------------
+    # DML
+    # ------------------------------------------------------------------
+    def _pack_column(self, values: list[Any], atom: Atom) -> str:
+        packed = self.program.emit1(
+            "bat", "pack", [Constant(v) for v in values], bat_type(None)
+        )
+        return self.program.emit1(
+            "bat", "cast", [Var(packed), atom.value], bat_type(atom)
+        )
+
+    def _emit_insert_values(self, plan: nodes.InsertValuesPlan) -> None:
+        obj = self.catalog.get(plan.target)
+        per_column: dict[str, list[Any]] = {c: [] for c in plan.columns}
+        for row in plan.rows:
+            for column, value in zip(plan.columns, row):
+                per_column[column].append(value)
+        if plan.target_kind == "table":
+            bats = [
+                Var(self._pack_column(per_column[c], obj.column_def(c).atom))
+                for c in plan.columns
+            ]
+            count = self.program.emit1(
+                "sql", "append",
+                [plan.target, json.dumps(plan.columns)] + bats,
+                scalar_type(Atom.INT),
+            )
+            self.program.emit("sql", "affected", [Var(count)], [scalar_type(Atom.INT)])
+            return
+        array = self.catalog.get_array(plan.target)
+        oids = self._cell_oids_from_columns(array, plan.columns, per_column)
+        affected = None
+        for column in plan.columns:
+            if array.is_dimension(column):
+                continue
+            values = self._pack_column(
+                per_column[column], array.attribute_def(column).atom
+            )
+            affected = self.program.emit1(
+                "sql", "update", [plan.target, column, Var(oids), Var(values)],
+                scalar_type(Atom.INT),
+            )
+        if affected is not None:
+            self.program.emit(
+                "sql", "affected", [Var(affected)], [scalar_type(Atom.INT)]
+            )
+
+    def _cell_oids_from_columns(
+        self, array: Array, columns: list[str], per_column: dict[str, list[Any]]
+    ) -> str:
+        shape_json = json.dumps(list(array.shape()))
+        dims_json = json.dumps([[d.start, d.step, d.stop] for d in array.dimensions])
+        coordinate_vars = []
+        for dimension in array.dimensions:
+            coordinate_vars.append(
+                Var(self._pack_column(per_column[dimension.name], Atom.LNG))
+            )
+        return self.program.emit1(
+            "array", "cellindex", [shape_json, dims_json] + coordinate_vars,
+            bat_type(Atom.OID),
+        )
+
+    def _emit_insert_select(self, plan: nodes.InsertSelectPlan) -> None:
+        obj = self.catalog.get(plan.target)
+        output_vars, _ = self._emit_output(plan.query.root)
+        output_vars = output_vars[: len(plan.query.items)]
+        column_vars = dict(zip(plan.columns, output_vars))
+        if plan.target_kind == "table":
+            bats = []
+            for column in plan.columns:
+                atom = obj.column_def(column).atom
+                bats.append(
+                    Var(
+                        self.program.emit1(
+                            "bat", "cast", [Var(column_vars[column]), atom.value],
+                            bat_type(atom),
+                        )
+                    )
+                )
+            count = self.program.emit1(
+                "sql", "append", [plan.target, json.dumps(plan.columns)] + bats,
+                scalar_type(Atom.INT),
+            )
+            self.program.emit("sql", "affected", [Var(count)], [scalar_type(Atom.INT)])
+            return
+        array = self.catalog.get_array(plan.target)
+        shape_json = json.dumps(list(array.shape()))
+        dims_json = json.dumps([[d.start, d.step, d.stop] for d in array.dimensions])
+        coordinate_vars = []
+        for dimension in array.dimensions:
+            if dimension.name not in column_vars:
+                raise SemanticError(
+                    f"INSERT into array {array.name!r} must supply dimension "
+                    f"{dimension.name!r}"
+                )
+            coordinate_vars.append(Var(column_vars[dimension.name]))
+        oids = self.program.emit1(
+            "array", "cellindex", [shape_json, dims_json] + coordinate_vars,
+            bat_type(Atom.OID),
+        )
+        affected = None
+        for column in plan.columns:
+            if array.is_dimension(column):
+                continue
+            atom = array.attribute_def(column).atom
+            values = self.program.emit1(
+                "bat", "cast", [Var(column_vars[column]), atom.value], bat_type(atom)
+            )
+            affected = self.program.emit1(
+                "sql", "update", [plan.target, column, Var(oids), Var(values)],
+                scalar_type(Atom.INT),
+            )
+        if affected is not None:
+            self.program.emit(
+                "sql", "affected", [Var(affected)], [scalar_type(Atom.INT)]
+            )
+
+    def _target_binding(self, plan) -> Binding:
+        from repro.semantic.binder import source_from_catalog
+
+        info = source_from_catalog(self.catalog, plan.target, None)
+        scan = nodes.Scan(info, 0)
+        return self._emit_relational(scan)
+
+    def _candidates(self, where: Any, binding: Binding) -> str:
+        if where is None:
+            return self.program.emit1(
+                "bat", "mirror", [Var(binding.ref)], bat_type(Atom.OID)
+            )
+        predicate = self._force_bat(self._eval(where, binding), binding)
+        return self.program.emit1(
+            "algebra", "select", [Var(predicate)], bat_type(Atom.OID)
+        )
+
+    def _emit_update(self, plan: nodes.UpdatePlan) -> None:
+        obj = self.catalog.get(plan.target)
+        binding = self._target_binding(plan)
+        candidates = self._candidates(plan.where, binding)
+        affected = None
+        for column, expression in plan.assignments:
+            atom = obj.column_def(column).atom
+            full = self._force_bat(self._eval(expression, binding), binding, atom)
+            cast = self.program.emit1(
+                "bat", "cast", [Var(full), atom.value], bat_type(atom)
+            )
+            selected = self.program.emit1(
+                "algebra", "projection", [Var(candidates), Var(cast)], bat_type(atom)
+            )
+            affected = self.program.emit1(
+                "sql", "update",
+                [plan.target, column, Var(candidates), Var(selected)],
+                scalar_type(Atom.INT),
+            )
+        if affected is not None:
+            self.program.emit(
+                "sql", "affected", [Var(affected)], [scalar_type(Atom.INT)]
+            )
+
+    def _emit_delete(self, plan: nodes.DeletePlan) -> None:
+        binding = self._target_binding(plan)
+        candidates = self._candidates(plan.where, binding)
+        count = self.program.emit1(
+            "sql", "delete", [plan.target, Var(candidates)], scalar_type(Atom.INT)
+        )
+        self.program.emit("sql", "affected", [Var(count)], [scalar_type(Atom.INT)])
+
+
+# ----------------------------------------------------------------------
+# grouped / tiled evaluation contexts
+# ----------------------------------------------------------------------
+class _GroupedContext:
+    """Evaluates output expressions of a value-based GROUP BY."""
+
+    def __init__(
+        self,
+        generator: MALGenerator,
+        binding: Binding,
+        keys: list[Any],
+        key_vars: list[str],
+        groups: str,
+        extents: str,
+        ngroups: str,
+    ):
+        self.generator = generator
+        self.binding = binding
+        self.keys = keys
+        self.key_vars = key_vars
+        self.groups = groups
+        self.extents = extents
+        self.ngroups = ngroups
+        self._group_ref: Optional[str] = None
+
+    def group_ref(self) -> str:
+        if self._group_ref is None:
+            self._group_ref = self.extents
+        return self._group_ref
+
+    def force_bat(self, result: EvalResult, atom: Optional[Atom] = None) -> str:
+        if result.kind == _BAT:
+            assert isinstance(result.value, Var)
+            return result.value.name
+        target_atom = result.atom or atom or Atom.INT
+        return self.generator.program.emit1(
+            "bat", "project_const",
+            [Var(self.group_ref()), result.value, target_atom.value],
+            bat_type(target_atom),
+        )
+
+    def eval(self, expression: Any) -> EvalResult:
+        program = self.generator.program
+        for key, key_var in zip(self.keys, self.key_vars):
+            if expression == key:
+                var = program.emit1(
+                    "algebra", "projection", [Var(self.extents), Var(key_var)],
+                    program.type_of(key_var),
+                )
+                return EvalResult(_BAT, Var(var), infer_atom(expression))
+        if is_aggregate_call(expression):
+            name = expression.name
+            if expression.star:
+                var = program.emit1(
+                    "aggr", "subcountstar", [Var(self.groups), Var(self.ngroups)],
+                    bat_type(Atom.LNG),
+                )
+                return EvalResult(_BAT, Var(var), Atom.LNG)
+            value = self.generator._force_bat(
+                self.generator._eval(expression.args[0], self.binding), self.binding
+            )
+            atom = infer_atom(expression)
+            if expression.distinct:
+                if name != "count":
+                    raise SemanticError(
+                        f"DISTINCT is only supported for COUNT, not {name.upper()}"
+                    )
+                var = program.emit1(
+                    "aggr", "subcountdistinct",
+                    [Var(value), Var(self.groups), Var(self.ngroups)],
+                    bat_type(Atom.LNG),
+                )
+                return EvalResult(_BAT, Var(var), Atom.LNG)
+            var = program.emit1(
+                "aggr", f"sub{name}",
+                [Var(value), Var(self.groups), Var(self.ngroups)],
+                bat_type(atom or Atom.DBL),
+            )
+            return EvalResult(_BAT, Var(var), atom)
+        if isinstance(expression, ast.Literal):
+            return EvalResult(
+                _SCALAR, Constant(expression.value), infer_atom(expression)
+            )
+        if isinstance(expression, ast.BinaryOp):
+            left = self.eval(expression.left)
+            right = self.eval(expression.right)
+            return self.generator._binary(
+                expression.op, left, right, expression, None
+            )
+        if isinstance(expression, ast.UnaryOp):
+            return self.generator._unary(
+                expression.op, self.eval(expression.operand), None
+            )
+        if isinstance(expression, ast.CaseExpression):
+            return self.generator._case(expression, _FakeBinding(self), self.eval)
+        if isinstance(expression, ast.IsNull):
+            operand = self.force_bat(self.eval(expression.operand))
+            var = self.generator.program.emit1(
+                "batcalc", "isnil", [Var(operand)], bat_type(Atom.BIT)
+            )
+            result = EvalResult(_BAT, Var(var), Atom.BIT)
+            if expression.negated:
+                return self.generator._unary("NOT", result, None)
+            return result
+        if isinstance(expression, ast.InList):
+            return self.generator._in_list(expression, _FakeBinding(self), self.eval)
+        if isinstance(expression, ast.Between):
+            return self.generator._between(expression, _FakeBinding(self), self.eval)
+        if isinstance(expression, ast.CastExpression):
+            operand = self.eval(expression.operand)
+            atom = infer_atom(expression)
+            module = "calc" if operand.kind == _SCALAR else "batcalc"
+            mal_type = scalar_type(atom) if operand.kind == _SCALAR else bat_type(atom)
+            var = self.generator.program.emit1(
+                module, "cast", [operand.value, atom.value], mal_type
+            )
+            return EvalResult(operand.kind, Var(var), atom)
+        if isinstance(expression, ast.FunctionCall):
+            inner = self.eval(expression.args[0]) if expression.args else None
+            return self.generator._function_on(expression, inner)
+        raise SemanticError(
+            f"unsupported grouped expression {type(expression).__name__}"
+        )
+
+
+class _FakeBinding:
+    """Adapter letting grouped/tiled contexts reuse _case/_in_list/_between."""
+
+    def __init__(self, context):
+        self._context = context
+
+    @property
+    def ref(self):
+        return self._context.group_ref()
+
+
+class _TileContext:
+    """Evaluates output expressions of a structural GROUP BY (tiling).
+
+    Everything stays cell-aligned: non-aggregate references are the
+    anchor cell's own values; aggregates fold the anchor's tile via
+    ``array.tileagg``.
+    """
+
+    def __init__(
+        self,
+        generator: MALGenerator,
+        binding: Binding,
+        shape_json: str,
+        offsets_json: str,
+    ):
+        self.generator = generator
+        self.binding = binding
+        self.shape_json = shape_json
+        self.offsets_json = offsets_json
+
+    def group_ref(self) -> str:
+        return self.binding.ref
+
+    def force_bat(self, result: EvalResult, atom: Optional[Atom] = None) -> str:
+        return self.generator._force_bat(result, self.binding, atom)
+
+    def eval(self, expression: Any) -> EvalResult:
+        program = self.generator.program
+        if is_aggregate_call(expression):
+            name = expression.name
+            if expression.star:
+                var = program.emit1(
+                    "array", "tileagg",
+                    [Var(self.binding.ref), "count_star", self.shape_json,
+                     self.offsets_json],
+                    bat_type(Atom.LNG),
+                )
+                return EvalResult(_BAT, Var(var), Atom.LNG)
+            value = self.generator._force_bat(
+                self.generator._eval(expression.args[0], self.binding), self.binding
+            )
+            atom = infer_atom(expression)
+            var = program.emit1(
+                "array", "tileagg",
+                [Var(value), name, self.shape_json, self.offsets_json],
+                bat_type(atom or Atom.DBL),
+            )
+            return EvalResult(_BAT, Var(var), atom)
+        if isinstance(expression, ast.BinaryOp):
+            left = self.eval(expression.left)
+            right = self.eval(expression.right)
+            return self.generator._binary(
+                expression.op, left, right, expression, self.binding
+            )
+        if isinstance(expression, ast.UnaryOp):
+            return self.generator._unary(
+                expression.op, self.eval(expression.operand), self.binding
+            )
+        if isinstance(expression, ast.CaseExpression):
+            return self.generator._case(expression, self.binding, self.eval)
+        if isinstance(expression, ast.InList):
+            return self.generator._in_list(expression, self.binding, self.eval)
+        if isinstance(expression, ast.Between):
+            return self.generator._between(expression, self.binding, self.eval)
+        # Bare columns, literals, cell refs, IS NULL, casts: plain row mode.
+        return self.generator._eval(expression, self.binding)

@@ -1,0 +1,2 @@
+"""Demo applications: Game of Life (Scenario I), image processing
+(Scenario II), synthetic rasters, and the BLOB baseline."""

@@ -1,0 +1,113 @@
+"""The BLOB baseline — the status quo the paper argues against.
+
+"Instead of storing arrays as BLOBs in RDBMSs, and suffering from the
+limitations and inefficiencies of BLOBs, users can now store arrays
+directly in an RDBMS" (paper, Section 4).  To make that claim
+measurable we implement the BLOB workflow: the image lives in a table
+as one opaque value; every operation must
+
+1. SELECT the blob out of the database,
+2. decode it into an application-side array,
+3. compute outside the database (numpy stands in for the user code),
+4. re-encode and UPDATE the blob back.
+
+A region selection (the AreasOfInterest use case) still ships the
+*entire* image out — a BLOB cannot be sliced server-side — which is
+exactly the asymmetry benchmark E10 quantifies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SciQLError
+from repro.engine import Connection
+from repro.apps import imaging
+
+MAX_INTENSITY = 255
+
+
+def _encode(image: np.ndarray) -> str:
+    """Serialise an image to a latin-1 string (1 char per byte)."""
+    if image.min() < 0 or image.max() > MAX_INTENSITY:
+        raise SciQLError("BLOB encoding needs 8-bit intensities")
+    return image.astype(np.uint8).tobytes().decode("latin-1")
+
+
+def _decode(blob: str, width: int, height: int) -> np.ndarray:
+    data = np.frombuffer(blob.encode("latin-1"), dtype=np.uint8)
+    return data.reshape(width, height).astype(np.int64)
+
+
+class BlobImageStore:
+    """Images stored as opaque blobs in a relational table."""
+
+    def __init__(self, connection: Connection, table: str = "blobs"):
+        self.connection = connection
+        self.table = table
+        connection.execute(
+            f"CREATE TABLE {table} "
+            f"(name VARCHAR(64), width INT, height INT, data VARCHAR(1))"
+        )
+
+    # ------------------------------------------------------------------
+    def store(self, name: str, image: np.ndarray) -> None:
+        """Insert an image as one blob row."""
+        width, height = image.shape
+        blob = _encode(image).replace("'", "''")
+        self.connection.execute(
+            f"INSERT INTO {self.table} VALUES "
+            f"('{name}', {width}, {height}, '{blob}')"
+        )
+
+    def fetch(self, name: str) -> np.ndarray:
+        """Ship the whole blob out of the database and decode it."""
+        result = self.connection.execute(
+            f"SELECT width, height, data FROM {self.table} "
+            f"WHERE name = '{name}'"
+        )
+        rows = result.rows()
+        if not rows:
+            raise SciQLError(f"no blob named {name!r}")
+        width, height, blob = rows[0]
+        return _decode(blob, width, height)
+
+    def update(self, name: str, image: np.ndarray) -> None:
+        """Re-encode and write the blob back."""
+        blob = _encode(image).replace("'", "''")
+        self.connection.execute(
+            f"UPDATE {self.table} SET data = '{blob}' WHERE name = '{name}'"
+        )
+
+    # ------------------------------------------------------------------
+    # the BLOB workflow for each Scenario II operation
+    # ------------------------------------------------------------------
+    def invert(self, name: str) -> np.ndarray:
+        image = self.fetch(name)
+        result = imaging.reference_invert(image)
+        self.update(name, result)
+        return result
+
+    def edge_detect(self, name: str) -> np.ndarray:
+        image = self.fetch(name)
+        return imaging.reference_edge_detect(image)
+
+    def smooth(self, name: str) -> np.ndarray:
+        image = self.fetch(name)
+        return np.round(imaging.reference_smooth(image)).astype(np.int64)
+
+    def brighten(self, name: str, amount: int = 50) -> np.ndarray:
+        image = self.fetch(name)
+        result = imaging.reference_brighten(image, amount)
+        self.update(name, result)
+        return result
+
+    def histogram(self, name: str, buckets: int = 16) -> list[tuple[int, int]]:
+        image = self.fetch(name)
+        return imaging.reference_histogram(image, buckets)
+
+    def zoom(self, name: str, x0: int, y0: int, x1: int, y1: int) -> np.ndarray:
+        # A BLOB cannot be sliced inside the database: the full image
+        # crosses the boundary no matter how small the region is.
+        image = self.fetch(name)
+        return image[x0:x1, y0:y1]

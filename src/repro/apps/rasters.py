@@ -1,0 +1,159 @@
+"""Synthetic rasters and portable grey-map I/O.
+
+The paper's Scenario II uses two GeoTIFF images from the TELEIOS
+project: "a normal grey-scale image of a classic building and a remote
+sensing image of the earth".  Neither the images nor a GeoTIFF parser
+is available offline, so this module synthesises stand-ins with the
+statistical features the demo queries exercise:
+
+* :func:`building_image` — strong vertical/horizontal edges (walls,
+  windows, a roof line) so EdgeDetection produces structure;
+* :func:`remote_sensing_image` — smooth terrain with a low-intensity
+  "water" region (a river) so the water filter and the intensity
+  histogram behave like the demo's;
+* :func:`read_pgm` / :func:`write_pgm` — portable grey-map files (P2
+  ASCII and P5 binary) as the no-dependency exchange format standing
+  in for the GeoTIFF Data Vault's file side.
+
+Images are (width, height) uint8-ranged int arrays indexed ``[x, y]``
+with y growing upward, matching the SciQL array convention used
+throughout.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import SciQLError
+
+MAX_INTENSITY = 255
+
+
+def building_image(size: int = 64, seed: int = 7) -> np.ndarray:
+    """A grey-scale "classic building": facade, windows, roof, sky."""
+    if size < 16:
+        raise SciQLError("building image needs size >= 16")
+    rng = np.random.default_rng(seed)
+    x = np.arange(size)[:, None]
+    y = np.arange(size)[None, :]
+    # Sky gradient (brighter towards the top).
+    image = np.broadcast_to(140.0 + 80.0 * (y / size), (size, size)).copy()
+    # Facade: a large rectangle of mid grey.
+    left, right = size // 8, size - size // 8
+    ground, roof = 0, int(size * 0.7)
+    facade = (x >= left) & (x < right) & (y >= ground) & (y < roof)
+    image[facade] = 100.0
+    # Roof line: a bright band.
+    roof_band = (x >= left) & (x < right) & (y >= roof) & (y < roof + 2)
+    image[roof_band] = 230.0
+    # Windows: dark rectangles on a regular grid.
+    window_w = max(2, size // 16)
+    gap = max(4, size // 8)
+    for wx in range(left + gap // 2, right - window_w, gap):
+        for wy in range(ground + gap // 2, roof - window_w, gap):
+            image[wx : wx + window_w, wy : wy + window_w] = 30.0
+    # Film grain.
+    image += rng.normal(0.0, 3.0, size=(size, size))
+    return np.clip(np.round(image), 0, MAX_INTENSITY).astype(np.int64)
+
+
+def remote_sensing_image(size: int = 64, seed: int = 11) -> np.ndarray:
+    """A remote-sensing-like terrain tile with a dark river."""
+    if size < 16:
+        raise SciQLError("remote sensing image needs size >= 16")
+    rng = np.random.default_rng(seed)
+    # Smooth terrain: low-frequency random field (sum of smoothed noise).
+    field = rng.normal(0.0, 1.0, size=(size, size))
+    for _ in range(8):
+        field = (
+            field
+            + np.roll(field, 1, axis=0)
+            + np.roll(field, -1, axis=0)
+            + np.roll(field, 1, axis=1)
+            + np.roll(field, -1, axis=1)
+        ) / 5.0
+    field = (field - field.min()) / max(float(np.ptp(field)), 1e-9)
+    image = 90.0 + 140.0 * field
+    # A meandering river: low intensity (water absorbs near-infrared).
+    xs = np.arange(size)
+    river_centre = (
+        size / 2 + (size / 5) * np.sin(2 * np.pi * xs / size * 1.7)
+    ).astype(np.int64)
+    half_width = max(1, size // 24)
+    for x in range(size):
+        lo = max(0, river_centre[x] - half_width)
+        hi = min(size, river_centre[x] + half_width + 1)
+        image[x, lo:hi] = rng.uniform(8, 35, hi - lo)
+    return np.clip(np.round(image), 0, MAX_INTENSITY).astype(np.int64)
+
+
+def checkerboard(size: int = 16, tile: int = 2) -> np.ndarray:
+    """A small test pattern with known statistics."""
+    x = np.arange(size)[:, None] // tile
+    y = np.arange(size)[None, :] // tile
+    return np.where((x + y) % 2 == 0, MAX_INTENSITY, 0).astype(np.int64)
+
+
+# ----------------------------------------------------------------------
+# portable grey-map (PGM) I/O — the file-exchange stand-in for GeoTIFF
+# ----------------------------------------------------------------------
+def write_pgm(path: str | Path, image: np.ndarray, binary: bool = True) -> None:
+    """Write an image as P5 (binary) or P2 (ASCII) PGM.
+
+    The file stores rows top-to-bottom, so the (x, y)-indexed image is
+    transposed and flipped on the way out (and back in).
+    """
+    path = Path(path)
+    if image.ndim != 2:
+        raise SciQLError("PGM images must be 2-D")
+    raster = np.flipud(image.T).astype(np.int64)
+    if raster.min() < 0 or raster.max() > MAX_INTENSITY:
+        raise SciQLError("PGM intensities must lie in [0, 255]")
+    height, width = raster.shape
+    if binary:
+        header = f"P5\n{width} {height}\n{MAX_INTENSITY}\n".encode("ascii")
+        path.write_bytes(header + raster.astype(np.uint8).tobytes())
+    else:
+        lines = [f"P2", f"{width} {height}", str(MAX_INTENSITY)]
+        for row in raster:
+            lines.append(" ".join(str(int(v)) for v in row))
+        path.write_text("\n".join(lines) + "\n")
+
+
+def read_pgm(path: str | Path) -> np.ndarray:
+    """Read a P2/P5 PGM file back into (x, y) orientation."""
+    path = Path(path)
+    data = path.read_bytes()
+    if data[:2] not in (b"P2", b"P5"):
+        raise SciQLError(f"{path} is not a PGM file")
+    binary = data[:2] == b"P5"
+    # Parse header tokens, skipping comments.
+    tokens: list[bytes] = []
+    position = 2
+    while len(tokens) < 3:
+        while position < len(data) and data[position : position + 1].isspace():
+            position += 1
+        if data[position : position + 1] == b"#":
+            while position < len(data) and data[position : position + 1] != b"\n":
+                position += 1
+            continue
+        start = position
+        while position < len(data) and not data[position : position + 1].isspace():
+            position += 1
+        tokens.append(data[start:position])
+    width, height, max_value = (int(t) for t in tokens)
+    if max_value != MAX_INTENSITY:
+        raise SciQLError("only 8-bit PGM files are supported")
+    position += 1  # single whitespace after maxval
+    if binary:
+        raster = np.frombuffer(
+            data, dtype=np.uint8, count=width * height, offset=position
+        ).reshape(height, width)
+    else:
+        body = data[position:].split()
+        raster = np.array([int(v) for v in body], dtype=np.int64).reshape(
+            height, width
+        )
+    return np.flipud(raster).T.astype(np.int64)

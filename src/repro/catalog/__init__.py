@@ -1,0 +1,6 @@
+"""Catalog of persistent database objects (tables and SciQL arrays)."""
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.objects import Array, ColumnDef, DimensionDef, Table
+
+__all__ = ["Catalog", "Table", "Array", "ColumnDef", "DimensionDef"]

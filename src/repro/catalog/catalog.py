@@ -1,0 +1,195 @@
+"""The SQL/SciQL catalog: named tables and arrays plus persistence.
+
+MonetDB's SQL catalog was "modified for SciQL support" (Figure 2): the
+same namespace holds both kinds of objects, so a query can join a table
+with an array (the AreasOfInterest demo does exactly that).
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+from pathlib import Path
+from typing import Iterator
+
+from repro.errors import CatalogError, PersistenceError
+from repro.gdk.atoms import Atom
+from repro.gdk.persist import load_bat, save_bat
+from repro.catalog.objects import Array, ColumnDef, DimensionDef, Table
+
+SchemaObject = Table | Array
+
+_CATALOG_FILE = "catalog.json"
+
+
+class Catalog:
+    """A flat namespace of tables and arrays (schema ``sys``)."""
+
+    def __init__(self) -> None:
+        self._objects: dict[str, SchemaObject] = {}
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._objects
+
+    def __iter__(self) -> Iterator[SchemaObject]:
+        return iter(self._objects.values())
+
+    def names(self) -> list[str]:
+        """All object names, sorted."""
+        return sorted(self._objects)
+
+    def get(self, name: str) -> SchemaObject:
+        """Look up a table or array by (case-insensitive) name."""
+        try:
+            return self._objects[name.lower()]
+        except KeyError:
+            raise CatalogError(f"no such table or array: {name!r}") from None
+
+    def get_table(self, name: str) -> Table:
+        """Look up, requiring a table."""
+        obj = self.get(name)
+        if not isinstance(obj, Table):
+            raise CatalogError(f"{name!r} is an array, not a table")
+        return obj
+
+    def get_array(self, name: str) -> Array:
+        """Look up, requiring an array."""
+        obj = self.get(name)
+        if not isinstance(obj, Array):
+            raise CatalogError(f"{name!r} is a table, not an array")
+        return obj
+
+    # ------------------------------------------------------------------
+    # DDL
+    # ------------------------------------------------------------------
+    def create_table(self, name: str, columns: list[ColumnDef]) -> Table:
+        """CREATE TABLE."""
+        key = name.lower()
+        if key in self._objects:
+            raise CatalogError(f"name already in use: {name!r}")
+        table = Table(key, columns)
+        self._objects[key] = table
+        return table
+
+    def create_array(
+        self,
+        name: str,
+        dimensions: list[DimensionDef],
+        attributes: list[ColumnDef],
+    ) -> Array:
+        """CREATE ARRAY — materialises all cells immediately (Section 3)."""
+        key = name.lower()
+        if key in self._objects:
+            raise CatalogError(f"name already in use: {name!r}")
+        array = Array(key, dimensions, attributes)
+        self._objects[key] = array
+        return array
+
+    def drop(self, name: str, if_exists: bool = False) -> None:
+        """DROP TABLE / DROP ARRAY."""
+        key = name.lower()
+        if key not in self._objects:
+            if if_exists:
+                return
+            raise CatalogError(f"no such table or array: {name!r}")
+        del self._objects[key]
+
+    def register(self, obj: SchemaObject) -> None:
+        """Install an externally built object (used by coercions)."""
+        key = obj.name.lower()
+        if key in self._objects:
+            raise CatalogError(f"name already in use: {obj.name!r}")
+        self._objects[key] = obj
+
+    # ------------------------------------------------------------------
+    # persistence (the database "farm")
+    # ------------------------------------------------------------------
+    def save(self, directory: Path) -> None:
+        """Write the whole database under *directory*."""
+        directory = Path(directory)
+        if directory.exists():
+            shutil.rmtree(directory)
+        directory.mkdir(parents=True)
+        manifest: dict = {"objects": []}
+        for name, obj in sorted(self._objects.items()):
+            entry: dict = {"name": name, "kind": obj.kind}
+            if isinstance(obj, Table):
+                entry["columns"] = [
+                    {
+                        "name": c.name,
+                        "atom": c.atom.value,
+                        "default": c.default,
+                        "has_default": c.has_default,
+                    }
+                    for c in obj.columns
+                ]
+            else:
+                entry["dimensions"] = [
+                    {
+                        "name": d.name,
+                        "atom": d.atom.value,
+                        "start": d.start,
+                        "step": d.step,
+                        "stop": d.stop,
+                    }
+                    for d in obj.dimensions
+                ]
+                entry["attributes"] = [
+                    {
+                        "name": a.name,
+                        "atom": a.atom.value,
+                        "default": a.default,
+                        "has_default": a.has_default,
+                    }
+                    for a in obj.attributes
+                ]
+            manifest["objects"].append(entry)
+            subdir = directory / name
+            for column, bat in obj.bats.items():
+                save_bat(bat, subdir, column)
+        (directory / _CATALOG_FILE).write_text(json.dumps(manifest, indent=1))
+
+    @classmethod
+    def load(cls, directory: Path) -> "Catalog":
+        """Read a database previously written by :meth:`save`."""
+        directory = Path(directory)
+        manifest_path = directory / _CATALOG_FILE
+        if not manifest_path.exists():
+            raise PersistenceError(f"no catalog manifest in {directory}")
+        manifest = json.loads(manifest_path.read_text())
+        catalog = cls()
+        for entry in manifest["objects"]:
+            name = entry["name"]
+            subdir = directory / name
+            if entry["kind"] == "table":
+                columns = [
+                    ColumnDef(
+                        c["name"], Atom(c["atom"]), c["default"], c["has_default"]
+                    )
+                    for c in entry["columns"]
+                ]
+                table = Table(name, columns)
+                for column in table.column_names():
+                    table.bats[column] = load_bat(subdir, column)
+                catalog._objects[name] = table
+            else:
+                dimensions = [
+                    DimensionDef(
+                        d["name"], Atom(d["atom"]), d["start"], d["step"], d["stop"]
+                    )
+                    for d in entry["dimensions"]
+                ]
+                attributes = [
+                    ColumnDef(
+                        a["name"], Atom(a["atom"]), a["default"], a["has_default"]
+                    )
+                    for a in entry["attributes"]
+                ]
+                array = Array(name, dimensions, attributes)
+                for column in array.column_names():
+                    array.bats[column] = load_bat(subdir, column)
+                catalog._objects[name] = array
+        return catalog

@@ -1,0 +1,378 @@
+"""Catalog object descriptors: columns, dimensions, tables, arrays.
+
+A SciQL array differs from a table in one semantic point the whole
+paper builds on: *all cells covered by the dimensions always exist
+conceptually* (Section 1).  The catalog therefore materialises every
+array at creation time — one BAT per dimension plus one per cell
+attribute, exactly as Figure 3 shows — whereas tables start empty.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.errors import CatalogError, DimensionError
+from repro.gdk.atoms import Atom
+from repro.gdk.bat import BAT
+from repro.gdk.column import Column
+
+
+@dataclass
+class ColumnDef:
+    """A non-dimensional attribute: name, atom type, optional DEFAULT.
+
+    Omitting the default implies NULL (paper, Section 2).
+    """
+
+    name: str
+    atom: Atom
+    default: Any = None
+    has_default: bool = False
+
+
+@dataclass
+class DimensionDef:
+    """A named dimension with range constraint ``[start:step:stop)``.
+
+    The interval is right-open; a dimension is *fixed* when all three
+    range expressions are literal (we keep only fixed and derived-fixed
+    dimensions materialised; see :mod:`repro.core.coercion` for how
+    unbounded dimensions obtain an actual size).
+    """
+
+    name: str
+    atom: Atom
+    start: int
+    step: int
+    stop: int
+
+    def __post_init__(self) -> None:
+        if self.step <= 0:
+            raise DimensionError(
+                f"dimension {self.name}: step must be positive, got {self.step}"
+            )
+        if self.stop < self.start:
+            raise DimensionError(
+                f"dimension {self.name}: empty range [{self.start}:{self.step}:{self.stop}]"
+            )
+
+    @property
+    def size(self) -> int:
+        """Number of valid dimension values."""
+        return max(0, math.ceil((self.stop - self.start) / self.step))
+
+    def values(self) -> np.ndarray:
+        """All valid dimension values, ascending."""
+        return np.arange(self.start, self.stop, self.step, dtype=np.int64)
+
+    def contains(self, value: int) -> bool:
+        """True when *value* is a valid value of this dimension."""
+        if value < self.start or value >= self.stop:
+            return False
+        return (value - self.start) % self.step == 0
+
+    def rank_of(self, value: np.ndarray) -> np.ndarray:
+        """Position of dimension values within the range (vectorised).
+
+        Out-of-domain values map to ``-1``.
+        """
+        value = np.asarray(value, dtype=np.int64)
+        offset = value - self.start
+        rank = offset // self.step
+        valid = (value >= self.start) & (value < self.stop) & (offset % self.step == 0)
+        return np.where(valid, rank, -1)
+
+    def spec(self) -> str:
+        """Render the range constraint as SciQL surface syntax."""
+        return f"[{self.start}:{self.step}:{self.stop}]"
+
+
+class Table:
+    """A relational table: a bag of tuples stored column-wise in BATs."""
+
+    kind = "table"
+
+    def __init__(self, name: str, columns: list[ColumnDef]):
+        if not columns:
+            raise CatalogError(f"table {name}: needs at least one column")
+        names = [c.name for c in columns]
+        if len(set(names)) != len(names):
+            raise CatalogError(f"table {name}: duplicate column names")
+        self.name = name
+        self.columns = columns
+        self.bats: dict[str, BAT] = {
+            c.name: BAT.empty(c.atom) for c in columns
+        }
+
+    @property
+    def count(self) -> int:
+        """Number of tuples."""
+        first = next(iter(self.bats.values()))
+        return len(first)
+
+    def column_names(self) -> list[str]:
+        return [c.name for c in self.columns]
+
+    def column_def(self, name: str) -> ColumnDef:
+        for column in self.columns:
+            if column.name == name:
+                return column
+        raise CatalogError(f"table {self.name}: no column {name!r}")
+
+    def bind(self, column: str) -> BAT:
+        """The storage BAT of one column (MAL's ``sql.bind``)."""
+        try:
+            return self.bats[column]
+        except KeyError:
+            raise CatalogError(f"table {self.name}: no column {column!r}") from None
+
+    def append_rows(self, columns: dict[str, Column]) -> int:
+        """Bulk-append aligned columns; missing attributes get defaults."""
+        lengths = {len(c) for c in columns.values()}
+        if len(lengths) != 1:
+            raise CatalogError("append: misaligned input columns")
+        n = lengths.pop()
+        for cdef in self.columns:
+            if cdef.name in columns:
+                incoming = columns[cdef.name]
+                if incoming.atom is not cdef.atom:
+                    incoming = incoming.cast(cdef.atom)
+            elif cdef.has_default and cdef.default is not None:
+                incoming = Column.constant(cdef.atom, cdef.default, n)
+            else:
+                incoming = Column.nulls(cdef.atom, n)
+            self.bats[cdef.name] = self.bats[cdef.name].append(BAT(incoming))
+        return n
+
+    def replace_values(self, column: str, oids: np.ndarray, values: Column) -> None:
+        """Point-update one column at the given row oids."""
+        cdef = self.column_def(column)
+        if values.atom is not cdef.atom:
+            values = values.cast(cdef.atom)
+        self.bats[column] = self.bats[column].replace(oids, values)
+
+    def delete_rows(self, oids: np.ndarray) -> int:
+        """Physically remove rows (tables are bags; arrays never do this)."""
+        keep = np.setdiff1d(
+            np.arange(self.count, dtype=np.int64), np.asarray(oids, dtype=np.int64)
+        )
+        for name, bat in self.bats.items():
+            self.bats[name] = BAT(bat.tail.take(keep), 0)
+        return self.count
+
+    def clear(self) -> None:
+        """Remove all tuples."""
+        for cdef in self.columns:
+            self.bats[cdef.name] = BAT.empty(cdef.atom)
+
+
+class Array:
+    """A SciQL array: dimensions + cell attributes, fully materialised.
+
+    Cells are stored in *dimension-major* order: the first declared
+    dimension varies slowest (this matches the ``array.series``
+    repetition factors of the paper's Figure 3).
+    """
+
+    kind = "array"
+
+    def __init__(
+        self,
+        name: str,
+        dimensions: list[DimensionDef],
+        attributes: list[ColumnDef],
+    ):
+        if not dimensions:
+            raise CatalogError(f"array {name}: needs at least one dimension")
+        if not attributes:
+            raise CatalogError(f"array {name}: needs at least one cell attribute")
+        names = [d.name for d in dimensions] + [a.name for a in attributes]
+        if len(set(names)) != len(names):
+            raise CatalogError(f"array {name}: duplicate column/dimension names")
+        self.name = name
+        self.dimensions = dimensions
+        self.attributes = attributes
+        self.bats: dict[str, BAT] = {}
+        self.materialise()
+
+    # ------------------------------------------------------------------
+    # materialisation (paper Section 3, Figure 3)
+    # ------------------------------------------------------------------
+    @property
+    def cell_count(self) -> int:
+        """Total number of cells (product of dimension sizes)."""
+        count = 1
+        for dimension in self.dimensions:
+            count *= dimension.size
+        return count
+
+    def shape(self) -> tuple[int, ...]:
+        """Dimension sizes in declaration order."""
+        return tuple(d.size for d in self.dimensions)
+
+    def series_parameters(self, index: int) -> tuple[int, int]:
+        """The (N, M) repetition factors of ``array.series`` for dimension i.
+
+        N is the number of consecutive repetitions of each value, M the
+        number of repetitions of the whole sequence — "determined by the
+        position of a dimension in the array definition and the sizes of
+        other dimensions" (Section 3).
+        """
+        sizes = self.shape()
+        inner = 1
+        for size in sizes[index + 1:]:
+            inner *= size
+        outer = 1
+        for size in sizes[:index]:
+            outer *= size
+        return inner, outer
+
+    def materialise(self) -> None:
+        """(Re)create all BATs: series per dimension, filler per attribute."""
+        from repro.mal.modules.array_mod import filler_column, series_column
+
+        count = self.cell_count
+        for index, dimension in enumerate(self.dimensions):
+            inner, outer = self.series_parameters(index)
+            column = series_column(
+                dimension.start, dimension.step, dimension.stop, inner, outer
+            )
+            self.bats[dimension.name] = BAT(column.cast(dimension.atom))
+        for attribute in self.attributes:
+            default = attribute.default if attribute.has_default else None
+            self.bats[attribute.name] = BAT(
+                filler_column(count, default, attribute.atom)
+            )
+
+    # ------------------------------------------------------------------
+    # schema access
+    # ------------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        return self.cell_count
+
+    def column_names(self) -> list[str]:
+        return [d.name for d in self.dimensions] + [a.name for a in self.attributes]
+
+    def dimension_names(self) -> list[str]:
+        return [d.name for d in self.dimensions]
+
+    def is_dimension(self, name: str) -> bool:
+        return any(d.name == name for d in self.dimensions)
+
+    def dimension_def(self, name: str) -> DimensionDef:
+        for dimension in self.dimensions:
+            if dimension.name == name:
+                return dimension
+        raise CatalogError(f"array {self.name}: no dimension {name!r}")
+
+    def dimension_index(self, name: str) -> int:
+        for index, dimension in enumerate(self.dimensions):
+            if dimension.name == name:
+                return index
+        raise CatalogError(f"array {self.name}: no dimension {name!r}")
+
+    def attribute_def(self, name: str) -> ColumnDef:
+        for attribute in self.attributes:
+            if attribute.name == name:
+                return attribute
+        raise CatalogError(f"array {self.name}: no attribute {name!r}")
+
+    def column_def(self, name: str) -> ColumnDef:
+        """Uniform view: dimensions appear as not-null INT columns."""
+        for dimension in self.dimensions:
+            if dimension.name == name:
+                return ColumnDef(dimension.name, dimension.atom)
+        return self.attribute_def(name)
+
+    def bind(self, column: str) -> BAT:
+        try:
+            return self.bats[column]
+        except KeyError:
+            raise CatalogError(f"array {self.name}: no column {column!r}") from None
+
+    # ------------------------------------------------------------------
+    # cell addressing
+    # ------------------------------------------------------------------
+    def cell_oids(self, coordinates: list[np.ndarray]) -> np.ndarray:
+        """Linear cell oids for per-dimension coordinate arrays.
+
+        Coordinates outside the dimension domains yield ``-1``.
+        """
+        if len(coordinates) != len(self.dimensions):
+            raise DimensionError(
+                f"array {self.name}: expected {len(self.dimensions)} coordinates"
+            )
+        sizes = self.shape()
+        oids = np.zeros(len(coordinates[0]) if coordinates else 0, dtype=np.int64)
+        valid = np.ones_like(oids, dtype=np.bool_)
+        stride = 1
+        for size in sizes:
+            stride *= size
+        for dimension, size, coordinate in zip(self.dimensions, sizes, coordinates):
+            stride //= size
+            rank = dimension.rank_of(np.asarray(coordinate, dtype=np.int64))
+            valid &= rank >= 0
+            oids += np.where(rank >= 0, rank, 0) * stride
+        return np.where(valid, oids, -1)
+
+    def grid(self, attribute: str) -> np.ndarray:
+        """Cell values of one attribute as an ndarray of ``shape()``.
+
+        NULL cells (holes) surface as ``numpy.nan`` for numeric atoms.
+        """
+        column = self.bind(attribute).tail
+        return column.to_numpy().reshape(self.shape())
+
+    # ------------------------------------------------------------------
+    # mutation: SciQL semantics (Section 2)
+    # ------------------------------------------------------------------
+    def replace_values(self, attribute: str, oids: np.ndarray, values: Column) -> None:
+        """Point-update cells; INSERT/UPDATE/DELETE all reduce to this."""
+        adef = self.attribute_def(attribute)
+        if values.atom is not adef.atom:
+            values = values.cast(adef.atom)
+        self.bats[attribute] = self.bats[attribute].replace(oids, values)
+
+    def delete_cells(self, oids: np.ndarray) -> None:
+        """DELETE "creates holes by assigning NULL" to every attribute."""
+        for attribute in self.attributes:
+            nulls = Column.nulls(attribute.atom, len(oids))
+            self.bats[attribute.name] = self.bats[attribute.name].replace(oids, nulls)
+
+    def alter_dimension(self, name: str, start: int, step: int, stop: int) -> None:
+        """ALTER ARRAY ... ALTER DIMENSION ... SET RANGE (Figure 1(f)).
+
+        The array is re-materialised on the new shape; cells that exist
+        in both shapes keep their values, new cells take the attribute
+        default (or NULL without one).
+        """
+        index = self.dimension_index(name)
+        old_dimensions = list(self.dimensions)
+        old_values = {
+            a.name: self.bats[a.name].tail.copy() for a in self.attributes
+        }
+        old_dim_columns = [self.bats[d.name].tail.values.copy() for d in self.dimensions]
+
+        new_dimension = DimensionDef(name, self.dimensions[index].atom, start, step, stop)
+        self.dimensions = (
+            old_dimensions[:index] + [new_dimension] + old_dimensions[index + 1:]
+        )
+        self.materialise()
+
+        # Remap surviving cells: their coordinates must be valid in the
+        # new shape.
+        coordinates = [np.asarray(values, dtype=np.int64) for values in old_dim_columns]
+        new_oids = self.cell_oids(coordinates)
+        surviving = new_oids >= 0
+        targets = new_oids[surviving]
+        for attribute in self.attributes:
+            source = old_values[attribute.name]
+            keep_positions = np.flatnonzero(surviving)
+            self.bats[attribute.name] = self.bats[attribute.name].replace(
+                targets, source.take(keep_positions)
+            )

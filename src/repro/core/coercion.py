@@ -1,0 +1,157 @@
+"""Array ↔ table coercions (paper Section 2).
+
+"Any array is turned into a corresponding table by selecting its
+attributes; the dimensions form a compound primary key" — that
+direction is trivial in our storage model (arrays already are column
+sets).  The interesting direction is table → array: a SELECT whose
+projection carries dimension qualifiers ``[x]`` produces "an unbounded
+array with actual size derived from the dimension column expressions".
+
+This module derives those actual sizes: given the values of a
+coordinate column, it infers the tightest ``[start:step:stop)`` range
+(step = gcd of the gaps between distinct values), and scatters row
+values into the dense cell grid; absent cells become NULL holes (or a
+caller-provided default, inherited "from the default values in the
+original table").
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import CoercionError
+from repro.gdk.atoms import Atom
+from repro.gdk.column import Column
+from repro.catalog.objects import DimensionDef
+
+
+def infer_dimension_range(values: Sequence[int], name: str = "dim") -> DimensionDef:
+    """Tightest fixed range covering the distinct coordinate values.
+
+    The step is the greatest common divisor of the gaps between the
+    sorted distinct values (1 for a single value), so every observed
+    value is a valid dimension value.
+    """
+    if len(values) == 0:
+        raise CoercionError(f"cannot infer dimension {name!r} from no values")
+    distinct = np.unique(np.asarray(values, dtype=np.int64))
+    start = int(distinct[0])
+    if len(distinct) == 1:
+        return DimensionDef(name, Atom.INT, start, 1, start + 1)
+    gaps = np.diff(distinct)
+    step = 0
+    for gap in gaps.tolist():
+        step = math.gcd(step, int(gap))
+    step = max(step, 1)
+    stop = int(distinct[-1]) + step
+    return DimensionDef(name, Atom.INT, start, step, stop)
+
+
+def rows_to_cells(
+    coordinates: list[Column],
+    dimensions: list[DimensionDef],
+) -> np.ndarray:
+    """Linear cell positions of each row; ``-1`` for out-of-domain rows."""
+    if len(coordinates) != len(dimensions):
+        raise CoercionError("coordinate column count differs from dimensions")
+    n = len(coordinates[0]) if coordinates else 0
+    positions = np.zeros(n, dtype=np.int64)
+    valid = np.ones(n, dtype=np.bool_)
+    stride = 1
+    for dimension in dimensions:
+        stride *= dimension.size
+    for coordinate, dimension in zip(coordinates, dimensions):
+        stride //= dimension.size
+        rank = dimension.rank_of(coordinate.values.astype(np.int64))
+        rank = np.where(coordinate.validity(), rank, -1)
+        valid &= rank >= 0
+        positions += np.where(rank >= 0, rank, 0) * stride
+    return np.where(valid, positions, -1)
+
+
+def table_to_array_columns(
+    coordinates: list[Column],
+    values: list[Column],
+    dimensions: Optional[list[DimensionDef]] = None,
+    defaults: Optional[list[Any]] = None,
+    dimension_names: Optional[list[str]] = None,
+    skip_all_null_rows: bool = False,
+) -> tuple[list[DimensionDef], list[Column]]:
+    """Coerce row-wise columns into dense cell-aligned attribute columns.
+
+    Returns the (inferred or given) dimensions plus one dense column
+    per value column.  Cells not covered by any row take the matching
+    default (NULL when defaults are omitted).  When several rows map to
+    the same cell the last one wins, matching the overwrite semantics
+    of SciQL INSERT.  With ``skip_all_null_rows`` rows whose every value
+    is NULL do not participate in the scatter — a cell they alone cover
+    stays a hole either way, but they can no longer clobber a real
+    value that shares the cell (e.g. HAVING-masked anchors after a
+    dimension-scaling projection like ``[x/2]``).
+    """
+    if dimensions is None:
+        names = dimension_names or [f"dim_{i}" for i in range(len(coordinates))]
+        dimensions = [
+            infer_dimension_range(c.values.astype(np.int64), name)
+            for c, name in zip(coordinates, names)
+        ]
+    cell_count = 1
+    for dimension in dimensions:
+        cell_count *= dimension.size
+    positions = rows_to_cells(coordinates, dimensions)
+    keep = positions >= 0
+    if skip_all_null_rows and values:
+        all_null = values[0].effective_mask().copy()
+        for value_column in values[1:]:
+            all_null &= value_column.effective_mask()
+        keep &= ~all_null
+    targets = positions[keep]
+    source_rows = np.flatnonzero(keep)
+    dense: list[Column] = []
+    for index, value_column in enumerate(values):
+        default = defaults[index] if defaults else None
+        if default is None:
+            base = Column.nulls(value_column.atom, cell_count)
+        else:
+            base = Column.constant(value_column.atom, default, cell_count)
+        dense.append(base.replace(targets, value_column.take(source_rows)))
+    return dimensions, dense
+
+
+def cells_to_rows(
+    dimensions: list[DimensionDef],
+    attributes: list[Column],
+    drop_holes: bool = False,
+) -> tuple[list[Column], list[Column]]:
+    """Array → table: dimension value columns + attribute columns.
+
+    With ``drop_holes`` rows whose every attribute is NULL (holes) are
+    omitted — handy for sparse exports; the default keeps all cells,
+    which is the paper's semantics for ``SELECT x, y, v FROM array``.
+    """
+    shape = tuple(d.size for d in dimensions)
+    cell_count = int(np.prod(shape)) if shape else 0
+    for attribute in attributes:
+        if len(attribute) != cell_count:
+            raise CoercionError("attribute column not cell-aligned")
+    coordinate_columns: list[Column] = []
+    inner = cell_count
+    outer = 1
+    for dimension in dimensions:
+        inner //= dimension.size
+        values = np.tile(np.repeat(dimension.values(), inner), outer)
+        coordinate_columns.append(Column(Atom.LNG, values))
+        outer *= dimension.size
+    if not drop_holes:
+        return coordinate_columns, [a.copy() for a in attributes]
+    hole = np.ones(cell_count, dtype=np.bool_)
+    for attribute in attributes:
+        hole &= attribute.effective_mask()
+    keep = np.flatnonzero(~hole)
+    return (
+        [c.take(keep) for c in coordinate_columns],
+        [a.take(keep) for a in attributes],
+    )

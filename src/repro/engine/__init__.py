@@ -1,0 +1,6 @@
+"""Execution engine: connections and results."""
+
+from repro.engine.connection import Connection, connect
+from repro.engine.result import Result
+
+__all__ = ["Connection", "Result", "connect"]

@@ -1,0 +1,131 @@
+"""The public entry point: connections executing SQL/SciQL statements.
+
+A connection drives the full Figure 2 pipeline for every statement:
+
+    parse → bind/compile → MAL generation → MAL optimization →
+    MAL interpretation → result
+
+``Connection.explain`` exposes the optimized MAL program text, and the
+optimizer pipeline can be switched off (``optimize=False``) for the
+ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional
+
+from repro.errors import SciQLError
+from repro.catalog import Catalog
+from repro.algebra.compiler import plan_statement
+from repro.algebra.malgen import MALGenerator
+from repro.mal.interpreter import ExecutionStats, Interpreter
+from repro.mal.optimizer import DEFAULT_PIPELINE, optimize
+from repro.mal.program import MALProgram
+from repro.sql.parser import parse, parse_script
+from repro.engine.result import Result
+
+
+class Connection:
+    """A single-user session against an in-memory (or loaded) database."""
+
+    def __init__(self, catalog: Optional[Catalog] = None, optimize: bool = True):
+        self.catalog = catalog if catalog is not None else Catalog()
+        self.interpreter = Interpreter(self.catalog)
+        self.optimize_programs = optimize
+        self.pipeline = DEFAULT_PIPELINE
+        #: statistics of the last executed statement (instruction counts).
+        self.last_stats: Optional[ExecutionStats] = None
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def _compile_statement(self, statement) -> MALProgram:
+        plan = plan_statement(statement, self.catalog)
+        program = MALGenerator(self.catalog).generate(plan)
+        if self.optimize_programs:
+            program = optimize(program, self.pipeline)
+        return program
+
+    def compile(self, sql: str) -> MALProgram:
+        """Compile one statement down to (optimized) MAL."""
+        from repro.sql.ast_nodes import Explain
+
+        statement = parse(sql)
+        if isinstance(statement, Explain):
+            statement = statement.statement
+        return self._compile_statement(statement)
+
+    def execute(self, sql: str, collect_stats: bool = False) -> Result:
+        """Execute one statement and return its result.
+
+        ``EXPLAIN <statement>`` returns the optimized MAL program text
+        as a one-column result instead of executing the statement.
+        """
+        from repro.gdk.atoms import Atom
+        from repro.gdk.column import Column
+        from repro.sql.ast_nodes import Explain
+
+        statement = parse(sql)
+        if isinstance(statement, Explain):
+            program = self._compile_statement(statement.statement)
+            lines = program.to_text().splitlines()
+            return Result(
+                "table",
+                ["mal"],
+                [Column.from_pylist(Atom.STR, lines)],
+                {"dims": []},
+            )
+        program = self._compile_statement(statement)
+        context, stats = self.interpreter.run(program, collect_stats)
+        self.last_stats = stats if collect_stats else None
+        if context.result is not None:
+            return Result.from_internal(context.result, context.affected)
+        return Result(affected=context.affected)
+
+    def execute_script(self, sql: str) -> list[Result]:
+        """Execute a ``;``-separated script; returns one result each."""
+        results: list[Result] = []
+        for statement in parse_script(sql):
+            plan = plan_statement(statement, self.catalog)
+            program = MALGenerator(self.catalog).generate(plan)
+            if self.optimize_programs:
+                program = optimize(program, self.pipeline)
+            context, _ = self.interpreter.run(program)
+            if context.result is not None:
+                results.append(Result.from_internal(context.result, context.affected))
+            else:
+                results.append(Result(affected=context.affected))
+        return results
+
+    def explain(self, sql: str) -> str:
+        """The optimized MAL program of a statement as MAL surface text."""
+        return self.compile(sql).to_text()
+
+    def explain_unoptimized(self, sql: str) -> str:
+        """The MAL program before the optimizer pipeline runs."""
+        statement = parse(sql)
+        plan = plan_statement(statement, self.catalog)
+        return MALGenerator(self.catalog).generate(plan).to_text()
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def save(self, directory: str | Path) -> None:
+        """Persist the whole database under *directory* (the "farm")."""
+        self.catalog.save(Path(directory))
+
+    @classmethod
+    def open(cls, directory: str | Path, optimize: bool = True) -> "Connection":
+        """Open a database previously written by :meth:`save`."""
+        return cls(Catalog.load(Path(directory)), optimize)
+
+
+def connect(path: Optional[str | Path] = None, optimize: bool = True) -> Connection:
+    """Create a connection: in-memory by default, or load a saved farm."""
+    if path is None:
+        return Connection(optimize=optimize)
+    path = Path(path)
+    if path.exists():
+        return Connection.open(path, optimize)
+    raise SciQLError(f"no database at {path}; use connect() and save()")

@@ -1,0 +1,63 @@
+"""Exception hierarchy for the SciQL reproduction.
+
+Every error raised by the library derives from :class:`SciQLError`, so
+client code can catch one base class.  The sub-classes mirror the stages
+of the MonetDB/SciQL pipeline: lexing/parsing, semantic analysis,
+catalog manipulation, MAL interpretation and kernel (GDK) execution.
+"""
+
+from __future__ import annotations
+
+
+class SciQLError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class LexerError(SciQLError):
+    """Raised when the tokenizer meets an unrecognisable character sequence."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+class ParseError(SciQLError):
+    """Raised when the token stream does not match the SQL/SciQL grammar."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+class SemanticError(SciQLError):
+    """Raised during name binding and type checking of a parsed statement."""
+
+
+class CatalogError(SciQLError):
+    """Raised on catalog violations: duplicate names, missing objects, ..."""
+
+
+class TypeError_(SciQLError):
+    """Raised when expression operands cannot be reconciled to one type."""
+
+
+class MALError(SciQLError):
+    """Raised by the MAL interpreter: unknown operation, arity mismatch."""
+
+
+class GDKError(SciQLError):
+    """Raised by the column kernel on malformed operator input."""
+
+
+class DimensionError(SciQLError):
+    """Raised for invalid dimension ranges or out-of-domain cell access."""
+
+
+class CoercionError(SciQLError):
+    """Raised when a table cannot be coerced into an array (or vice versa)."""
+
+
+class PersistenceError(SciQLError):
+    """Raised when loading or saving a database farm directory fails."""

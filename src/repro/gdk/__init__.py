@@ -1,0 +1,13 @@
+"""GDK — the column-at-a-time kernel underneath everything.
+
+This package reproduces the storage and operator layer of MonetDB that
+the paper builds on: BATs ("Binary Association Tables", Boncz 2002)
+with void heads and typed tails, candidate lists, and bulk operators
+(select / join / group / aggregate / sort / calc).
+"""
+
+from repro.gdk.atoms import Atom, atom_for_sql_type
+from repro.gdk.bat import BAT, assert_aligned
+from repro.gdk.column import Column
+
+__all__ = ["Atom", "BAT", "Column", "atom_for_sql_type", "assert_aligned"]

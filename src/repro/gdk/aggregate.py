@@ -1,0 +1,317 @@
+"""Grouped and scalar aggregation kernels (MAL module ``aggr``).
+
+Aggregates ignore NULL inputs — the paper relies on this for tiling:
+"Holes and cells outside the array dimension ranges are ignored by the
+aggregation functions" (Section 2).  A group whose every input is NULL
+aggregates to NULL (COUNT is the exception and yields 0).
+
+Rows whose group id is negative belong to no group (tiling uses this
+for cells outside every tile) and are skipped entirely.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.errors import GDKError
+from repro.gdk.atoms import Atom, common_numeric, is_numeric
+from repro.gdk.column import Column
+from repro.gdk.group import Grouping
+
+#: aggregate name -> result atom policy ("same", "dbl", "lng").
+AGGREGATES = {
+    "sum": "widen",
+    "prod": "widen",
+    "avg": "dbl",
+    "min": "same",
+    "max": "same",
+    "count": "lng",
+}
+
+
+def _prepare(column: Column, grouping: Grouping) -> tuple[np.ndarray, np.ndarray, int]:
+    """Valid (non-null, grouped) positions, their group ids, ngroups."""
+    if len(column) != len(grouping.groups):
+        raise GDKError("aggregate input not aligned with grouping")
+    ids = grouping.groups.values
+    valid = ids >= 0
+    valid &= column.validity()
+    positions = np.flatnonzero(valid)
+    return positions, ids[positions], grouping.ngroups
+
+
+def _numeric_result_atom(name: str, atom: Atom) -> Atom:
+    policy = AGGREGATES[name]
+    if policy == "dbl":
+        return Atom.DBL
+    if policy == "lng":
+        return Atom.LNG
+    if policy == "widen":
+        if atom is Atom.DBL:
+            return Atom.DBL
+        return common_numeric(atom, Atom.LNG)
+    return atom
+
+
+def grouped_count(column: Column, grouping: Grouping) -> Column:
+    """Per-group count of non-NULL entries."""
+    positions, ids, ngroups = _prepare(column, grouping)
+    counts = np.bincount(ids, minlength=ngroups).astype(np.int64)
+    return Column(Atom.LNG, counts)
+
+
+def grouped_count_star(grouping: Grouping) -> Column:
+    """Per-group row count (COUNT(*)): NULLs included."""
+    ids = grouping.groups.values
+    counts = np.bincount(ids[ids >= 0], minlength=grouping.ngroups).astype(np.int64)
+    return Column(Atom.LNG, counts)
+
+
+def grouped_sum(column: Column, grouping: Grouping) -> Column:
+    """Per-group sum; empty groups yield NULL."""
+    if not is_numeric(column.atom):
+        raise GDKError(f"sum over non-numeric column {column.atom}")
+    positions, ids, ngroups = _prepare(column, grouping)
+    values = column.values[positions]
+    if column.atom is Atom.DBL:
+        sums = np.bincount(ids, weights=values, minlength=ngroups)
+    else:
+        sums = np.bincount(ids, weights=values.astype(np.float64), minlength=ngroups)
+        sums = np.round(sums)
+    counts = np.bincount(ids, minlength=ngroups)
+    out_atom = _numeric_result_atom("sum", column.atom)
+    out = Column(out_atom, sums.astype(np.float64) if out_atom is Atom.DBL else sums.astype(np.int64),
+                 mask=(counts == 0))
+    return out
+
+
+def grouped_prod(column: Column, grouping: Grouping) -> Column:
+    """Per-group product; empty groups yield NULL."""
+    if not is_numeric(column.atom):
+        raise GDKError(f"prod over non-numeric column {column.atom}")
+    positions, ids, ngroups = _prepare(column, grouping)
+    values = column.values[positions].astype(np.float64)
+    prods = np.ones(ngroups, dtype=np.float64)
+    np.multiply.at(prods, ids, values)
+    counts = np.bincount(ids, minlength=ngroups)
+    out_atom = _numeric_result_atom("prod", column.atom)
+    data = prods if out_atom is Atom.DBL else np.round(prods).astype(np.int64)
+    return Column(out_atom, data, mask=(counts == 0))
+
+
+def grouped_avg(column: Column, grouping: Grouping) -> Column:
+    """Per-group arithmetic mean as double; empty groups yield NULL."""
+    if not is_numeric(column.atom):
+        raise GDKError(f"avg over non-numeric column {column.atom}")
+    positions, ids, ngroups = _prepare(column, grouping)
+    values = column.values[positions].astype(np.float64)
+    sums = np.bincount(ids, weights=values, minlength=ngroups)
+    counts = np.bincount(ids, minlength=ngroups)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        means = sums / counts
+    return Column(Atom.DBL, np.where(counts > 0, means, 0.0), mask=(counts == 0))
+
+
+def _grouped_extremum(column: Column, grouping: Grouping, largest: bool) -> Column:
+    positions, ids, ngroups = _prepare(column, grouping)
+    counts = np.bincount(ids, minlength=ngroups)
+    if column.atom is Atom.STR:
+        best: list[Any] = [None] * ngroups
+        values = column.values[positions]
+        for gid, value in zip(ids.tolist(), values.tolist()):
+            if best[gid] is None or (value > best[gid]) == largest and value != best[gid]:
+                best[gid] = value
+        out = np.array(["" if b is None else b for b in best], dtype=object)
+        return Column(Atom.STR, out, mask=(counts == 0))
+    values = column.values[positions]
+    fill: Any
+    if column.atom is Atom.DBL:
+        fill = -np.inf if largest else np.inf
+        acc = np.full(ngroups, fill, dtype=np.float64)
+    else:
+        info = np.iinfo(column.values.dtype)
+        fill = info.min if largest else info.max
+        acc = np.full(ngroups, fill, dtype=column.values.dtype)
+    if largest:
+        np.maximum.at(acc, ids, values)
+    else:
+        np.minimum.at(acc, ids, values)
+    acc = np.where(counts > 0, acc, 0)
+    return Column(column.atom, acc.astype(column.values.dtype), mask=(counts == 0))
+
+
+def grouped_min(column: Column, grouping: Grouping) -> Column:
+    """Per-group minimum; empty groups yield NULL."""
+    return _grouped_extremum(column, grouping, largest=False)
+
+
+def grouped_max(column: Column, grouping: Grouping) -> Column:
+    """Per-group maximum; empty groups yield NULL."""
+    return _grouped_extremum(column, grouping, largest=True)
+
+
+GROUPED_DISPATCH = {
+    "sum": grouped_sum,
+    "prod": grouped_prod,
+    "avg": grouped_avg,
+    "min": grouped_min,
+    "max": grouped_max,
+    "count": grouped_count,
+}
+
+
+def grouped(name: str, column: Column, grouping: Grouping) -> Column:
+    """Dispatch a grouped aggregate by name."""
+    try:
+        fn = GROUPED_DISPATCH[name.lower()]
+    except KeyError:
+        raise GDKError(f"unknown aggregate {name!r}") from None
+    return fn(column, grouping)
+
+
+# ----------------------------------------------------------------------
+# scalar (whole-column) aggregates
+# ----------------------------------------------------------------------
+def scalar_count(column: Column) -> int:
+    """COUNT of non-NULL entries."""
+    return len(column) - column.null_count()
+
+
+def scalar_sum(column: Column) -> Any:
+    """SUM over the column; NULL when no non-NULL entry exists."""
+    valid = column.validity()
+    if not valid.any():
+        return None
+    values = column.values[valid]
+    total = values.astype(np.float64).sum()
+    if column.atom is Atom.DBL:
+        return float(total)
+    return int(round(total))
+
+
+def scalar_avg(column: Column) -> Any:
+    """AVG over the column; NULL when no non-NULL entry exists."""
+    valid = column.validity()
+    if not valid.any():
+        return None
+    return float(column.values[valid].astype(np.float64).mean())
+
+
+def scalar_min(column: Column) -> Any:
+    """MIN over the column; NULL when no non-NULL entry exists."""
+    valid = column.validity()
+    if not valid.any():
+        return None
+    values = column.values[valid]
+    if column.atom is Atom.STR:
+        return min(values.tolist())
+    out = values.min()
+    return float(out) if column.atom is Atom.DBL else int(out)
+
+
+def scalar_max(column: Column) -> Any:
+    """MAX over the column; NULL when no non-NULL entry exists."""
+    valid = column.validity()
+    if not valid.any():
+        return None
+    values = column.values[valid]
+    if column.atom is Atom.STR:
+        return max(values.tolist())
+    out = values.max()
+    return float(out) if column.atom is Atom.DBL else int(out)
+
+
+SCALAR_DISPATCH = {
+    "count": scalar_count,
+    "sum": scalar_sum,
+    "avg": scalar_avg,
+    "min": scalar_min,
+    "max": scalar_max,
+}
+
+
+def scalar(name: str, column: Column) -> Any:
+    """Dispatch a whole-column aggregate by name."""
+    try:
+        fn = SCALAR_DISPATCH[name.lower()]
+    except KeyError:
+        raise GDKError(f"unknown aggregate {name!r}") from None
+    return fn(column)
+
+
+def grouped_count_distinct(column: Column, grouping: Grouping) -> Column:
+    """Per-group count of distinct non-NULL values (COUNT(DISTINCT x))."""
+    positions, ids, ngroups = _prepare(column, grouping)
+    seen: list[set] = [set() for _ in range(ngroups)]
+    values = column.values[positions]
+    for gid, value in zip(ids.tolist(), values.tolist()):
+        seen[gid].add(value)
+    counts = np.array([len(s) for s in seen], dtype=np.int64)
+    return Column(Atom.LNG, counts)
+
+
+def scalar_count_distinct(column: Column) -> int:
+    """COUNT(DISTINCT x) over a whole column."""
+    valid = column.validity()
+    return len({v for v in column.values[valid].tolist()})
+
+
+def grouped_stddev(column: Column, grouping: Grouping) -> Column:
+    """Per-group sample standard deviation; NULL for groups with < 2 values."""
+    if not is_numeric(column.atom):
+        raise GDKError(f"stddev over non-numeric column {column.atom}")
+    positions, ids, ngroups = _prepare(column, grouping)
+    values = column.values[positions].astype(np.float64)
+    counts = np.bincount(ids, minlength=ngroups)
+    sums = np.bincount(ids, weights=values, minlength=ngroups)
+    squares = np.bincount(ids, weights=values * values, minlength=ngroups)
+    safe_counts = np.where(counts > 1, counts, 2)
+    with np.errstate(invalid="ignore"):
+        variance = (squares - sums * sums / safe_counts) / (safe_counts - 1)
+    variance = np.clip(variance, 0.0, None)
+    return Column(Atom.DBL, np.sqrt(variance), mask=(counts < 2))
+
+
+def grouped_median(column: Column, grouping: Grouping) -> Column:
+    """Per-group median of non-NULL values; empty groups yield NULL."""
+    if not is_numeric(column.atom):
+        raise GDKError(f"median over non-numeric column {column.atom}")
+    positions, ids, ngroups = _prepare(column, grouping)
+    values = column.values[positions].astype(np.float64)
+    buckets: list[list[float]] = [[] for _ in range(ngroups)]
+    for gid, value in zip(ids.tolist(), values.tolist()):
+        buckets[gid].append(value)
+    out = np.zeros(ngroups, dtype=np.float64)
+    mask = np.zeros(ngroups, dtype=np.bool_)
+    for gid, bucket in enumerate(buckets):
+        if bucket:
+            out[gid] = float(np.median(bucket))
+        else:
+            mask[gid] = True
+    return Column(Atom.DBL, out, mask)
+
+
+def scalar_stddev(column: Column) -> Any:
+    """Sample standard deviation; NULL with fewer than two values."""
+    valid = column.validity()
+    values = column.values[valid].astype(np.float64)
+    if len(values) < 2:
+        return None
+    return float(np.std(values, ddof=1))
+
+
+def scalar_median(column: Column) -> Any:
+    """Median of non-NULL values; NULL when none exist."""
+    valid = column.validity()
+    values = column.values[valid].astype(np.float64)
+    if not len(values):
+        return None
+    return float(np.median(values))
+
+
+GROUPED_DISPATCH["stddev"] = grouped_stddev
+GROUPED_DISPATCH["median"] = grouped_median
+SCALAR_DISPATCH["stddev"] = scalar_stddev
+SCALAR_DISPATCH["median"] = scalar_median

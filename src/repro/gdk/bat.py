@@ -1,0 +1,150 @@
+"""Binary Association Tables (BATs).
+
+A BAT is MonetDB's only bulk data structure: a two-column table
+``<head, tail>``.  Since the paper's era, heads are always *void*
+(virtual oids): a dense sequence ``hseqbase, hseqbase+1, ...`` that is
+never materialised.  The tail is a :class:`~repro.gdk.column.Column`.
+
+Relational tables and SciQL arrays are both stored as collections of
+BATs sharing the same void head — one BAT per column, per dimension and
+per cell attribute (paper, Section 3 and Figure 3).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.errors import GDKError
+from repro.gdk.atoms import Atom
+from repro.gdk.column import Column
+
+
+class BAT:
+    """A void-headed Binary Association Table."""
+
+    __slots__ = ("tail", "hseqbase")
+
+    def __init__(self, tail: Column, hseqbase: int = 0):
+        if hseqbase < 0:
+            raise GDKError("hseqbase must be non-negative")
+        self.tail = tail
+        self.hseqbase = hseqbase
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_pylist(cls, atom: Atom, items: Sequence[Any], hseqbase: int = 0) -> "BAT":
+        """BAT whose tail holds *items* (``None`` becomes NULL)."""
+        return cls(Column.from_pylist(atom, items), hseqbase)
+
+    @classmethod
+    def empty(cls, atom: Atom, hseqbase: int = 0) -> "BAT":
+        """Zero-length BAT of the given tail atom."""
+        return cls(Column.empty(atom), hseqbase)
+
+    @classmethod
+    def dense(cls, first: int, count: int, hseqbase: int = 0) -> "BAT":
+        """BAT of consecutive oids ``first .. first+count`` (a candidate list)."""
+        values = np.arange(first, first + count, dtype=np.int64)
+        return cls(Column(Atom.OID, values), hseqbase)
+
+    @classmethod
+    def from_oids(cls, oids: np.ndarray, hseqbase: int = 0) -> "BAT":
+        """BAT of explicit oids (tail atom ``oid``)."""
+        return cls(Column(Atom.OID, np.asarray(oids, dtype=np.int64)), hseqbase)
+
+    # ------------------------------------------------------------------
+    # protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.tail)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BAT(h=void:{self.hseqbase}, t={self.tail!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BAT):
+            return NotImplemented
+        return self.hseqbase == other.hseqbase and self.tail == other.tail
+
+    def __hash__(self) -> int:
+        raise TypeError("BAT objects are unhashable")
+
+    @property
+    def atom(self) -> Atom:
+        """Tail atom type."""
+        return self.tail.atom
+
+    def head_oids(self) -> np.ndarray:
+        """Materialise the (virtual) head as an int64 array."""
+        return np.arange(self.hseqbase, self.hseqbase + len(self), dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # element access
+    # ------------------------------------------------------------------
+    def find(self, oid: int) -> Any:
+        """Tail value associated with head *oid* (BUNfind)."""
+        pos = oid - self.hseqbase
+        if pos < 0 or pos >= len(self):
+            raise GDKError(f"oid {oid} outside head range")
+        return self.tail.get(pos)
+
+    def tail_pylist(self) -> list[Any]:
+        """The tail as Python scalars."""
+        return self.tail.to_pylist()
+
+    def buns(self) -> list[tuple[int, Any]]:
+        """All (head, tail) pairs — Binary UNits in MonetDB speech."""
+        return list(zip(self.head_oids().tolist(), self.tail.to_pylist()))
+
+    # ------------------------------------------------------------------
+    # structural operations (these return fresh BATs)
+    # ------------------------------------------------------------------
+    def mirror(self) -> "BAT":
+        """``<head, head>`` view: tail becomes the oid sequence."""
+        return BAT.dense(self.hseqbase, len(self), hseqbase=self.hseqbase)
+
+    def slice(self, start: int, stop: int) -> "BAT":
+        """BUNs with head in ``[hseqbase+start, hseqbase+stop)``."""
+        start = max(0, start)
+        stop = min(len(self), max(start, stop))
+        return BAT(self.tail.slice(start, stop), self.hseqbase + start)
+
+    def append(self, other: "BAT") -> "BAT":
+        """Concatenate the tails (head stays dense from ``self.hseqbase``)."""
+        return BAT(self.tail.concat(other.tail), self.hseqbase)
+
+    def replace(self, oids: np.ndarray, values: Column) -> "BAT":
+        """New BAT with tail entries at *oids* replaced (BATreplace)."""
+        positions = np.asarray(oids, dtype=np.int64) - self.hseqbase
+        return BAT(self.tail.replace(positions, values), self.hseqbase)
+
+    def project(self, candidates: "BAT") -> "BAT":
+        """Fetch tail values for each oid in *candidates* (leftfetchjoin).
+
+        The result head is dense starting at 0, as in MonetDB's
+        ``algebra.projection``.
+        """
+        if candidates.atom is not Atom.OID:
+            raise GDKError("projection candidates must have oid tail")
+        positions = candidates.tail.values - self.hseqbase
+        return BAT(self.tail.take(positions), 0)
+
+    def copy(self) -> "BAT":
+        """Deep copy."""
+        return BAT(self.tail.copy(), self.hseqbase)
+
+
+def assert_aligned(*bats: BAT) -> int:
+    """Check that BATs are head-aligned (same seqbase and length)."""
+    if not bats:
+        return 0
+    base = bats[0].hseqbase
+    length = len(bats[0])
+    for bat in bats[1:]:
+        if bat.hseqbase != base or len(bat) != length:
+            raise GDKError("BATs are not head-aligned")
+    return length

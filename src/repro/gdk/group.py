@@ -1,0 +1,130 @@
+"""Grouping operators.
+
+``group.group`` / ``group.subgroup`` derive, for a (sequence of)
+column(s), a dense *group-id* column plus the group *extents* (one
+representative oid per group) — the kernel building blocks of SQL's
+GROUP BY.  NULL is a group of its own, as in SQL grouping semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import GDKError
+from repro.gdk.atoms import Atom
+from repro.gdk.bat import BAT
+from repro.gdk.column import Column
+
+
+@dataclass(frozen=True)
+class Grouping:
+    """Result of a grouping step.
+
+    Attributes:
+        groups: oid column aligned with the input; entry i is the group
+            id (0-based, dense) of row i.
+        extents: one representative row position per group, in order of
+            first appearance.
+        histogram: per-group row counts.
+    """
+
+    groups: Column
+    extents: np.ndarray
+    histogram: np.ndarray
+
+    @property
+    def ngroups(self) -> int:
+        return len(self.extents)
+
+
+def group(column: Column) -> Grouping:
+    """Group rows by one column's values (NULLs form their own group)."""
+    ids = np.empty(len(column), dtype=np.int64)
+    extents: list[int] = []
+    counts: list[int] = []
+    seen: dict = {}
+    mask = column.mask
+    values = column.values
+    null_key = object()
+    for pos in range(len(column)):
+        key = null_key if (mask is not None and mask[pos]) else values[pos]
+        gid = seen.get(key)
+        if gid is None:
+            gid = len(extents)
+            seen[key] = gid
+            extents.append(pos)
+            counts.append(0)
+        ids[pos] = gid
+        counts[gid] += 1
+    return Grouping(
+        Column(Atom.OID, ids),
+        np.asarray(extents, dtype=np.int64),
+        np.asarray(counts, dtype=np.int64),
+    )
+
+
+def subgroup(column: Column, previous: Grouping) -> Grouping:
+    """Refine an existing grouping by an extra column (group.subgroup)."""
+    if len(column) != len(previous.groups):
+        raise GDKError("subgroup: column not aligned with previous grouping")
+    ids = np.empty(len(column), dtype=np.int64)
+    extents: list[int] = []
+    counts: list[int] = []
+    seen: dict = {}
+    mask = column.mask
+    values = column.values
+    prev_ids = previous.groups.values
+    null_key = object()
+    for pos in range(len(column)):
+        sub = null_key if (mask is not None and mask[pos]) else values[pos]
+        key = (int(prev_ids[pos]), sub)
+        gid = seen.get(key)
+        if gid is None:
+            gid = len(extents)
+            seen[key] = gid
+            extents.append(pos)
+            counts.append(0)
+        ids[pos] = gid
+        counts[gid] += 1
+    return Grouping(
+        Column(Atom.OID, ids),
+        np.asarray(extents, dtype=np.int64),
+        np.asarray(counts, dtype=np.int64),
+    )
+
+
+def group_by_columns(columns: list[Column]) -> Grouping:
+    """Group by a compound key (chained group/subgroup, as MAL emits)."""
+    if not columns:
+        raise GDKError("group_by_columns needs at least one column")
+    result = group(columns[0])
+    for column in columns[1:]:
+        result = subgroup(column, result)
+    return result
+
+
+def explicit_grouping(group_ids: np.ndarray, ngroups: int) -> Grouping:
+    """Wrap externally computed group ids (used by array tiling).
+
+    Group ids must lie in ``[0, ngroups)``; rows with id ``-1`` belong to
+    no group and are dropped from the histogram (their id is remapped to
+    an unused trailing group so aggregate kernels can ignore them).
+    """
+    group_ids = np.asarray(group_ids, dtype=np.int64)
+    if len(group_ids) and group_ids.max() >= ngroups:
+        raise GDKError("group id out of range")
+    histogram = np.bincount(group_ids[group_ids >= 0], minlength=ngroups)
+    extents = np.full(ngroups, -1, dtype=np.int64)
+    seen_order: list[int] = []
+    for pos, gid in enumerate(group_ids.tolist()):
+        if gid >= 0 and extents[gid] < 0:
+            extents[gid] = pos
+            seen_order.append(gid)
+    return Grouping(Column(Atom.OID, group_ids), extents, histogram)
+
+
+def groups_bat(grouping: Grouping, hseqbase: int = 0) -> BAT:
+    """The group-id column as a BAT aligned with the grouped input."""
+    return BAT(grouping.groups, hseqbase)

@@ -1,0 +1,232 @@
+"""Join operators of the kernel.
+
+MonetDB joins return *two aligned oid BATs* ``(l, r)`` such that
+``left[l[i]] == right[r[i]]`` for every i.  Downstream projections then
+fetch whatever payload columns are needed.  We reproduce that contract
+with hash-based implementations on numpy arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GDKError
+from repro.gdk.atoms import Atom
+from repro.gdk.bat import BAT
+from repro.gdk.column import Column
+from repro.gdk.select import THETA_OPS
+
+
+def _hash_index(values: np.ndarray, mask: np.ndarray | None) -> dict:
+    """value -> list of positions, skipping NULLs."""
+    index: dict = {}
+    if mask is None:
+        for pos, value in enumerate(values.tolist()):
+            index.setdefault(value, []).append(pos)
+    else:
+        for pos, (value, is_null) in enumerate(zip(values.tolist(), mask.tolist())):
+            if not is_null:
+                index.setdefault(value, []).append(pos)
+    return index
+
+
+def join(left: BAT, right: BAT, nil_matches: bool = False) -> tuple[BAT, BAT]:
+    """Inner equi-join on tails; returns aligned (left-oids, right-oids).
+
+    NULL never matches NULL unless *nil_matches* is set (MonetDB's
+    semantics for joins used in grouping internals).
+    """
+    if left.atom is not right.atom:
+        if left.atom in (Atom.INT, Atom.LNG) and right.atom in (Atom.INT, Atom.LNG):
+            pass  # integer widths compare fine through numpy
+        else:
+            raise GDKError(f"join of {left.atom} and {right.atom}")
+    lmask = left.tail.mask
+    rmask = right.tail.mask
+    if nil_matches:
+        # Treat NULL as an ordinary value by folding it into a sentinel key.
+        index: dict = {}
+        for pos, value in enumerate(left.tail.to_pylist()):
+            index.setdefault(value, []).append(pos)
+        louts: list[int] = []
+        routs: list[int] = []
+        for rpos, value in enumerate(right.tail.to_pylist()):
+            for lpos in index.get(value, ()):
+                louts.append(lpos)
+                routs.append(rpos)
+    else:
+        index = _hash_index(left.tail.values, lmask)
+        louts = []
+        routs = []
+        rvalues = right.tail.values.tolist()
+        rnull = rmask.tolist() if rmask is not None else None
+        for rpos, value in enumerate(rvalues):
+            if rnull is not None and rnull[rpos]:
+                continue
+            for lpos in index.get(value, ()):
+                louts.append(lpos)
+                routs.append(rpos)
+    loids = np.asarray(louts, dtype=np.int64) + left.hseqbase
+    roids = np.asarray(routs, dtype=np.int64) + right.hseqbase
+    order = np.lexsort((roids, loids))
+    return BAT.from_oids(loids[order]), BAT.from_oids(roids[order])
+
+
+def leftjoin(left: BAT, right: BAT) -> tuple[BAT, BAT]:
+    """Left outer join: unmatched left BUNs appear with right-oid ``-1``.
+
+    The caller turns ``-1`` into NULL via
+    :meth:`repro.gdk.column.Column.take_with_invalid`.
+    """
+    index = _hash_index(right.tail.values, right.tail.mask)
+    louts: list[int] = []
+    routs: list[int] = []
+    lmask = left.tail.mask
+    for lpos, value in enumerate(left.tail.values.tolist()):
+        if lmask is not None and lmask[lpos]:
+            louts.append(lpos)
+            routs.append(-1)
+            continue
+        matches = index.get(value)
+        if matches:
+            for rpos in matches:
+                louts.append(lpos)
+                routs.append(rpos)
+        else:
+            louts.append(lpos)
+            routs.append(-1)
+    loids = np.asarray(louts, dtype=np.int64) + left.hseqbase
+    roids = np.asarray(routs, dtype=np.int64)
+    roids = np.where(roids >= 0, roids + right.hseqbase, -1)
+    return BAT.from_oids(loids), BAT.from_oids(roids)
+
+
+def thetajoin(left: BAT, right: BAT, op: str) -> tuple[BAT, BAT]:
+    """Join on an arbitrary comparison ``left.tail <op> right.tail``.
+
+    Quadratic nested-loop evaluated with numpy broadcasting; used for the
+    rare non-equi join predicates in the demo queries.
+    """
+    if op not in THETA_OPS:
+        raise GDKError(f"unknown theta operator {op!r}")
+    lvalues = left.tail.values
+    rvalues = right.tail.values
+    if op == "==":
+        grid = lvalues[:, None] == rvalues[None, :]
+    elif op == "!=":
+        grid = lvalues[:, None] != rvalues[None, :]
+    elif op == "<":
+        grid = lvalues[:, None] < rvalues[None, :]
+    elif op == "<=":
+        grid = lvalues[:, None] <= rvalues[None, :]
+    elif op == ">":
+        grid = lvalues[:, None] > rvalues[None, :]
+    else:
+        grid = lvalues[:, None] >= rvalues[None, :]
+    grid = np.asarray(grid, dtype=np.bool_)
+    if left.tail.mask is not None:
+        grid &= ~left.tail.mask[:, None]
+    if right.tail.mask is not None:
+        grid &= ~right.tail.mask[None, :]
+    lpos, rpos = np.nonzero(grid)
+    return (
+        BAT.from_oids(lpos.astype(np.int64) + left.hseqbase),
+        BAT.from_oids(rpos.astype(np.int64) + right.hseqbase),
+    )
+
+
+def crossproduct(left_count: int, right_count: int,
+                 left_base: int = 0, right_base: int = 0) -> tuple[BAT, BAT]:
+    """Cartesian product of two dense heads as aligned oid BATs."""
+    if left_count < 0 or right_count < 0:
+        raise GDKError("negative cross product cardinality")
+    loids = np.repeat(np.arange(left_count, dtype=np.int64), right_count) + left_base
+    roids = np.tile(np.arange(right_count, dtype=np.int64), left_count) + right_base
+    return BAT.from_oids(loids), BAT.from_oids(roids)
+
+
+def semijoin(left: BAT, right: BAT) -> BAT:
+    """Left oids having at least one equi-match in *right*."""
+    index = set()
+    rmask = right.tail.mask
+    for pos, value in enumerate(right.tail.values.tolist()):
+        if rmask is None or not rmask[pos]:
+            index.add(value)
+    keep = []
+    lmask = left.tail.mask
+    for pos, value in enumerate(left.tail.values.tolist()):
+        if lmask is not None and lmask[pos]:
+            continue
+        if value in index:
+            keep.append(pos)
+    return BAT.from_oids(np.asarray(keep, dtype=np.int64) + left.hseqbase)
+
+
+def antijoin(left: BAT, right: BAT) -> BAT:
+    """Left oids with no equi-match in *right* (NULL left tails excluded)."""
+    matched = semijoin(left, right)
+    all_oids = np.arange(left.hseqbase, left.hseqbase + len(left), dtype=np.int64)
+    if left.tail.mask is not None:
+        all_oids = all_oids[~left.tail.mask]
+    out = np.setdiff1d(all_oids, matched.tail.values)
+    return BAT.from_oids(out)
+
+
+def multi_column_join(
+    left_cols: list[Column], right_cols: list[Column]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Equi-join on a compound key of several aligned columns.
+
+    Returns positions (not oids); the compound key matches when every
+    component matches and none is NULL.
+    """
+    if len(left_cols) != len(right_cols) or not left_cols:
+        raise GDKError("multi_column_join needs matching non-empty key lists")
+    lvalid = np.ones(len(left_cols[0]), dtype=np.bool_)
+    for col in left_cols:
+        lvalid &= col.validity()
+    rvalid = np.ones(len(right_cols[0]), dtype=np.bool_)
+    for col in right_cols:
+        rvalid &= col.validity()
+    index: dict = {}
+    for pos in np.flatnonzero(lvalid):
+        key = tuple(col.values[pos] for col in left_cols)
+        index.setdefault(key, []).append(int(pos))
+    lpos_out: list[int] = []
+    rpos_out: list[int] = []
+    for pos in np.flatnonzero(rvalid):
+        key = tuple(col.values[pos] for col in right_cols)
+        for lpos in index.get(key, ()):
+            lpos_out.append(lpos)
+            rpos_out.append(int(pos))
+    return np.asarray(lpos_out, dtype=np.int64), np.asarray(rpos_out, dtype=np.int64)
+
+
+def rows_membership(
+    left_cols: list[Column], right_cols: list[Column]
+) -> np.ndarray:
+    """Per-left-row membership test against the right row set.
+
+    Used by EXCEPT/INTERSECT: rows compare as tuples and — per SQL set
+    operation semantics — NULLs compare equal to NULLs.
+    """
+    if len(left_cols) != len(right_cols) or not left_cols:
+        raise GDKError("rows_membership needs matching non-empty column lists")
+    nright = len(right_cols[0]) if right_cols else 0
+    right_keys = set()
+    for pos in range(nright):
+        right_keys.add(
+            tuple(
+                None if col.mask is not None and col.mask[pos] else col.values[pos]
+                for col in right_cols
+            )
+        )
+    nleft = len(left_cols[0])
+    out = np.zeros(nleft, dtype=np.bool_)
+    for pos in range(nleft):
+        key = tuple(
+            None if col.mask is not None and col.mask[pos] else col.values[pos]
+            for col in left_cols
+        )
+        out[pos] = key in right_keys
+    return out

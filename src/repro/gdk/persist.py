@@ -1,0 +1,97 @@
+"""BAT persistence — the "farm" directory.
+
+MonetDB stores each BAT as memory-mapped files inside a *farm*
+directory.  We reproduce the idea with one ``.npy`` file per column
+payload (plus one for the null mask when present) and a JSON descriptor
+per BAT.  The catalog layer composes these into whole-database
+snapshots (see :mod:`repro.catalog`).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import PersistenceError
+from repro.gdk.atoms import Atom
+from repro.gdk.bat import BAT
+from repro.gdk.column import Column
+
+_DESCRIPTOR_SUFFIX = ".bat.json"
+
+
+def save_bat(bat: BAT, directory: Path, name: str) -> None:
+    """Write one BAT under *directory* as ``name.values.npy`` (+ mask, meta)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    values_path = directory / f"{name}.values.npy"
+    if bat.atom is Atom.STR:
+        # Object arrays do not round-trip via np.save without pickle;
+        # store strings as JSON alongside an index-preserving layout.
+        payload = {"strings": bat.tail.values.tolist()}
+        (directory / f"{name}.values.json").write_text(json.dumps(payload))
+        has_values_npy = False
+    else:
+        np.save(values_path, bat.tail.values, allow_pickle=False)
+        has_values_npy = True
+    mask_file = None
+    if bat.tail.mask is not None:
+        mask_file = f"{name}.mask.npy"
+        np.save(directory / mask_file, bat.tail.mask, allow_pickle=False)
+    descriptor = {
+        "atom": bat.atom.value,
+        "hseqbase": bat.hseqbase,
+        "count": len(bat),
+        "values": f"{name}.values.npy" if has_values_npy else f"{name}.values.json",
+        "mask": mask_file,
+    }
+    (directory / f"{name}{_DESCRIPTOR_SUFFIX}").write_text(json.dumps(descriptor, indent=1))
+
+
+def load_bat(directory: Path, name: str) -> BAT:
+    """Read a BAT previously written by :func:`save_bat`."""
+    directory = Path(directory)
+    descriptor_path = directory / f"{name}{_DESCRIPTOR_SUFFIX}"
+    if not descriptor_path.exists():
+        raise PersistenceError(f"no BAT descriptor {descriptor_path}")
+    try:
+        descriptor = json.loads(descriptor_path.read_text())
+        atom = Atom(descriptor["atom"])
+        values_name = descriptor["values"]
+        if values_name.endswith(".json"):
+            payload = json.loads((directory / values_name).read_text())
+            values = np.array(payload["strings"], dtype=object)
+        else:
+            values = np.load(directory / values_name, allow_pickle=False)
+        mask = None
+        if descriptor.get("mask"):
+            mask = np.load(directory / descriptor["mask"], allow_pickle=False)
+        column = Column(atom, values, mask)
+        if len(column) != descriptor["count"]:
+            raise PersistenceError(f"BAT {name}: count mismatch on load")
+        return BAT(column, descriptor["hseqbase"])
+    except (OSError, ValueError, KeyError) as exc:
+        raise PersistenceError(f"cannot load BAT {name}: {exc}") from exc
+
+
+def list_bats(directory: Path) -> list[str]:
+    """Names of all BATs stored under *directory*."""
+    directory = Path(directory)
+    if not directory.exists():
+        return []
+    names = []
+    for path in sorted(directory.glob(f"*{_DESCRIPTOR_SUFFIX}")):
+        names.append(path.name[: -len(_DESCRIPTOR_SUFFIX)])
+    return names
+
+
+def delete_bat(directory: Path, name: str) -> None:
+    """Remove a BAT's files; missing files are ignored."""
+    directory = Path(directory)
+    for suffix in (f"{name}{_DESCRIPTOR_SUFFIX}", f"{name}.values.npy",
+                   f"{name}.values.json", f"{name}.mask.npy"):
+        path = directory / suffix
+        if path.exists():
+            path.unlink()

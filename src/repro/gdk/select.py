@@ -1,0 +1,177 @@
+"""Selection operators of the kernel.
+
+All selections produce *candidate lists*: BATs with oid tails holding
+the head-oids of qualifying BUNs in ascending order — exactly how
+MonetDB's ``algebra.select`` family communicates sub-sets between
+operators without copying payloads.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.errors import GDKError
+from repro.gdk.atoms import Atom, coerce_scalar
+from repro.gdk.bat import BAT
+from repro.gdk.column import Column
+
+#: comparison operators accepted by :func:`thetaselect`.
+THETA_OPS = ("==", "!=", "<", "<=", ">", ">=")
+
+
+def _candidate_positions(b: BAT, candidates: BAT | None) -> np.ndarray:
+    """Positions (0-based into *b*) restricted by an optional candidate list."""
+    if candidates is None:
+        return np.arange(len(b), dtype=np.int64)
+    if candidates.atom is not Atom.OID:
+        raise GDKError("candidate list must have oid tail")
+    positions = candidates.tail.values - b.hseqbase
+    if len(positions) and (positions.min() < 0 or positions.max() >= len(b)):
+        raise GDKError("candidate oid outside BAT head range")
+    return positions
+
+
+def _result(b: BAT, positions: np.ndarray, keep: np.ndarray) -> BAT:
+    oids = positions[keep] + b.hseqbase
+    return BAT.from_oids(np.sort(oids))
+
+
+def select_true(b: BAT, candidates: BAT | None = None) -> BAT:
+    """Oids where a bit column is TRUE (NULL counts as not-true)."""
+    if b.atom is not Atom.BIT:
+        raise GDKError("select_true needs a bit BAT")
+    positions = _candidate_positions(b, candidates)
+    values = b.tail.values[positions]
+    keep = values.astype(np.bool_)
+    if b.tail.mask is not None:
+        keep &= ~b.tail.mask[positions]
+    return _result(b, positions, keep)
+
+
+def thetaselect(b: BAT, value: Any, op: str, candidates: BAT | None = None) -> BAT:
+    """Oids whose tail satisfies ``tail <op> value``.
+
+    NULL tails never qualify; a NULL *value* yields the empty candidate
+    list (SQL three-valued logic collapses to false under selection).
+    """
+    if op not in THETA_OPS:
+        raise GDKError(f"unknown theta operator {op!r}")
+    positions = _candidate_positions(b, candidates)
+    if value is None:
+        return BAT.empty(Atom.OID)
+    coerced = coerce_scalar(value, b.atom)
+    values = b.tail.values[positions]
+    if op == "==":
+        keep = values == coerced
+    elif op == "!=":
+        keep = values != coerced
+    elif op == "<":
+        keep = values < coerced
+    elif op == "<=":
+        keep = values <= coerced
+    elif op == ">":
+        keep = values > coerced
+    else:
+        keep = values >= coerced
+    keep = np.asarray(keep, dtype=np.bool_)
+    if b.tail.mask is not None:
+        keep &= ~b.tail.mask[positions]
+    return _result(b, positions, keep)
+
+
+def rangeselect(
+    b: BAT,
+    low: Any,
+    high: Any,
+    low_inclusive: bool = True,
+    high_inclusive: bool = True,
+    anti: bool = False,
+    candidates: BAT | None = None,
+) -> BAT:
+    """Oids with tail in the (optionally open) interval [low, high].
+
+    ``None`` bounds are unbounded.  With ``anti=True`` the complement is
+    returned (still excluding NULL tails).
+    """
+    positions = _candidate_positions(b, candidates)
+    values = b.tail.values[positions]
+    keep = np.ones(len(positions), dtype=np.bool_)
+    if low is not None:
+        lo = coerce_scalar(low, b.atom)
+        keep &= (values >= lo) if low_inclusive else (values > lo)
+    if high is not None:
+        hi = coerce_scalar(high, b.atom)
+        keep &= (values <= hi) if high_inclusive else (values < hi)
+    if anti:
+        keep = ~keep
+    if b.tail.mask is not None:
+        keep &= ~b.tail.mask[positions]
+    return _result(b, positions, keep)
+
+
+def isnull_select(b: BAT, want_null: bool = True, candidates: BAT | None = None) -> BAT:
+    """Oids whose tail is NULL (or NOT NULL with ``want_null=False``)."""
+    positions = _candidate_positions(b, candidates)
+    mask = b.tail.effective_mask()[positions]
+    keep = mask if want_null else ~mask
+    return _result(b, positions, keep)
+
+
+def in_select(b: BAT, values: list[Any], candidates: BAT | None = None) -> BAT:
+    """Oids whose tail equals any of *values* (NULL members ignored)."""
+    positions = _candidate_positions(b, candidates)
+    concrete = [coerce_scalar(v, b.atom) for v in values if v is not None]
+    if not concrete:
+        return BAT.empty(Atom.OID)
+    tail = b.tail.values[positions]
+    if b.atom is Atom.STR:
+        keep = np.isin(tail.astype(object), np.array(concrete, dtype=object))
+    else:
+        keep = np.isin(tail, np.array(concrete))
+    keep = np.asarray(keep, dtype=np.bool_)
+    if b.tail.mask is not None:
+        keep &= ~b.tail.mask[positions]
+    return _result(b, positions, keep)
+
+
+def intersect_candidates(a: BAT, b: BAT) -> BAT:
+    """Intersection of two sorted candidate lists."""
+    if a.atom is not Atom.OID or b.atom is not Atom.OID:
+        raise GDKError("candidate intersection needs oid tails")
+    common = np.intersect1d(a.tail.values, b.tail.values)
+    return BAT.from_oids(common)
+
+
+def union_candidates(a: BAT, b: BAT) -> BAT:
+    """Union of two sorted candidate lists."""
+    if a.atom is not Atom.OID or b.atom is not Atom.OID:
+        raise GDKError("candidate union needs oid tails")
+    merged = np.union1d(a.tail.values, b.tail.values)
+    return BAT.from_oids(merged)
+
+
+def difference_candidates(a: BAT, b: BAT) -> BAT:
+    """Candidates of *a* not present in *b*."""
+    if a.atom is not Atom.OID or b.atom is not Atom.OID:
+        raise GDKError("candidate difference needs oid tails")
+    out = np.setdiff1d(a.tail.values, b.tail.values)
+    return BAT.from_oids(out)
+
+
+def firstn(candidates: BAT, n: int) -> BAT:
+    """First *n* oids of a candidate list (LIMIT support)."""
+    if n < 0:
+        raise GDKError("firstn needs n >= 0")
+    return BAT.from_oids(candidates.tail.values[:n])
+
+
+def boolean_column_from_candidates(length: int, hseqbase: int, candidates: BAT) -> Column:
+    """Densify a candidate list back into a bit column of *length*."""
+    out = np.zeros(length, dtype=np.bool_)
+    positions = candidates.tail.values - hseqbase
+    if len(positions) and (positions.min() < 0 or positions.max() >= length):
+        raise GDKError("candidate oid outside target range")
+    out[positions] = True
+    return Column(Atom.BIT, out)

@@ -1,0 +1,80 @@
+"""Sorting kernels (MAL module ``algebra.sort`` / ``algebra.firstn``).
+
+Sorts return the permutation (*order*) as an oid column so aligned
+payload columns can be re-ordered by projection, matching MonetDB's
+``algebra.sort`` returning (sorted, order, groups).
+
+NULLs sort first on ascending order (MonetDB's NULLs-are-smallest
+convention), last on descending order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GDKError
+from repro.gdk.atoms import Atom
+from repro.gdk.column import Column
+
+
+def sort_order(column: Column, descending: bool = False) -> np.ndarray:
+    """Stable permutation that sorts *column* (NULLs first when ascending)."""
+    n = len(column)
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    mask = column.effective_mask()
+    if column.atom is Atom.STR:
+        keys = column.values.astype(object)
+        decorated = sorted(
+            range(n),
+            key=lambda i: (0 if mask[i] else 1, "" if mask[i] else keys[i]),
+        )
+        order = np.asarray(decorated, dtype=np.int64)
+        if descending:
+            # Stable descending: sort by key descending, NULLs last.
+            decorated = sorted(
+                range(n),
+                key=lambda i: (1 if mask[i] else 0,),
+            )
+            non_null = [i for i in range(n) if not mask[i]]
+            non_null.sort(key=lambda i: keys[i], reverse=True)
+            nulls = [i for i in range(n) if mask[i]]
+            order = np.asarray(non_null + nulls, dtype=np.int64)
+        return order
+    values = column.values
+    if descending:
+        if column.atom is Atom.DBL:
+            sort_keys = np.where(mask, -np.inf, values.astype(np.float64))
+        else:
+            sort_keys = values.astype(np.float64)
+            sort_keys = np.where(mask, -np.inf, sort_keys)
+        order = np.argsort(-sort_keys, kind="stable")
+    else:
+        if column.atom is Atom.DBL:
+            sort_keys = np.where(mask, -np.inf, values.astype(np.float64))
+        else:
+            sort_keys = values.astype(np.float64)
+            sort_keys = np.where(mask, -np.inf, sort_keys)
+        order = np.argsort(sort_keys, kind="stable")
+    return order.astype(np.int64)
+
+
+def sort_order_multi(columns: list[Column], descending: list[bool]) -> np.ndarray:
+    """Permutation sorting by several keys (first key is most significant)."""
+    if len(columns) != len(descending) or not columns:
+        raise GDKError("sort_order_multi needs matching non-empty key lists")
+    n = len(columns[0])
+    order = np.arange(n, dtype=np.int64)
+    # Apply keys from least to most significant; stable sorts compose.
+    for column, desc in reversed(list(zip(columns, descending))):
+        if len(column) != n:
+            raise GDKError("sort keys are not aligned")
+        sub = sort_order(column.take(order), descending=desc)
+        order = order[sub]
+    return order
+
+
+def is_sorted(column: Column) -> bool:
+    """True when the column is ascending (NULLs first)."""
+    order = sort_order(column)
+    return bool(np.all(order == np.arange(len(column))))

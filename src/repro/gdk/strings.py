@@ -1,0 +1,105 @@
+"""String kernels (MAL module ``batstr`` territory).
+
+Bulk string operations with NULL propagation: case mapping, length,
+substring, trim, and SQL LIKE matching (``%`` any sequence, ``_`` any
+single character, with ``\\`` escaping).
+"""
+
+from __future__ import annotations
+
+import re
+from functools import lru_cache
+
+import numpy as np
+
+from repro.errors import GDKError
+from repro.gdk.atoms import Atom
+from repro.gdk.column import Column
+
+
+def _require_str(column: Column, operation: str) -> None:
+    if column.atom is not Atom.STR:
+        raise GDKError(f"{operation} needs a string column, got {column.atom}")
+
+
+def lower(column: Column) -> Column:
+    """Lower-case every entry."""
+    _require_str(column, "lower")
+    values = np.array([s.lower() for s in column.values], dtype=object)
+    return Column(Atom.STR, values, column.mask)
+
+
+def upper(column: Column) -> Column:
+    """Upper-case every entry."""
+    _require_str(column, "upper")
+    values = np.array([s.upper() for s in column.values], dtype=object)
+    return Column(Atom.STR, values, column.mask)
+
+
+def length(column: Column) -> Column:
+    """Character length of every entry."""
+    _require_str(column, "length")
+    values = np.array([len(s) for s in column.values], dtype=np.int32)
+    return Column(Atom.INT, values, column.mask)
+
+
+def trim(column: Column) -> Column:
+    """Strip leading/trailing whitespace."""
+    _require_str(column, "trim")
+    values = np.array([s.strip() for s in column.values], dtype=object)
+    return Column(Atom.STR, values, column.mask)
+
+
+def substring(column: Column, start: int, count: int | None = None) -> Column:
+    """SQL SUBSTRING: 1-based *start*, optional length."""
+    _require_str(column, "substring")
+    begin = max(0, start - 1)
+    if count is None:
+        values = np.array([s[begin:] for s in column.values], dtype=object)
+    else:
+        if count < 0:
+            raise GDKError("substring length must be non-negative")
+        values = np.array(
+            [s[begin : begin + count] for s in column.values], dtype=object
+        )
+    return Column(Atom.STR, values, column.mask)
+
+
+@lru_cache(maxsize=256)
+def _like_regex(pattern: str) -> re.Pattern:
+    """Translate a SQL LIKE pattern into an anchored regex."""
+    out: list[str] = []
+    index = 0
+    while index < len(pattern):
+        ch = pattern[index]
+        if ch == "\\" and index + 1 < len(pattern):
+            out.append(re.escape(pattern[index + 1]))
+            index += 2
+            continue
+        if ch == "%":
+            out.append(".*")
+        elif ch == "_":
+            out.append(".")
+        else:
+            out.append(re.escape(ch))
+        index += 1
+    return re.compile("^" + "".join(out) + "$", re.DOTALL)
+
+
+def like(column: Column, pattern: str | None) -> Column:
+    """SQL LIKE as a bit column (NULL input or pattern stays NULL)."""
+    _require_str(column, "like")
+    if pattern is None:
+        return Column.nulls(Atom.BIT, len(column))
+    regex = _like_regex(pattern)
+    values = np.array(
+        [bool(regex.match(s)) for s in column.values], dtype=np.bool_
+    )
+    return Column(Atom.BIT, values, column.mask)
+
+
+def scalar_like(value: str | None, pattern: str | None) -> bool | None:
+    """LIKE on scalars (constant folding target)."""
+    if value is None or pattern is None:
+        return None
+    return bool(_like_regex(pattern).match(value))

@@ -1,0 +1,5 @@
+"""Data exchange facilities (CSV import/export — the COPY INTO role)."""
+
+from repro.io.csv_io import export_csv, import_array_csv, import_csv
+
+__all__ = ["export_csv", "import_array_csv", "import_csv"]

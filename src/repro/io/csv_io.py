@@ -1,0 +1,211 @@
+"""CSV exchange — the ``COPY INTO`` facility.
+
+Section 1 of the paper notes that library interaction with databases
+"is often confined to a simplified data import/export facility"; this
+module provides that facility so external tools (R, spreadsheets,
+LINPACK-style pipelines) can exchange data with the engine:
+
+* :func:`export_csv` — any query result (or whole table/array) to CSV;
+* :func:`import_csv` — bulk-load a CSV into an existing table, or
+  create the table first with inferred column types;
+* :func:`import_array_csv` — load ``(coordinates..., values...)`` rows
+  into an existing array through the coercion path (cells listed in
+  the file are overwritten; others keep their current value).
+
+NULLs are represented by empty fields; quoting follows RFC 4180 via the
+standard library's csv module.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Any, Optional, Sequence
+
+from repro.errors import SciQLError
+from repro.gdk.atoms import Atom
+from repro.engine import Connection
+from repro.engine.result import Result
+
+
+def _format_value(value: Any) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    return str(value)
+
+
+def export_csv(
+    connection: Connection,
+    source: str,
+    path: str | Path,
+    header: bool = True,
+    delimiter: str = ",",
+) -> int:
+    """Write a query result (or a whole table/array) to a CSV file.
+
+    *source* is either an object name or a full SELECT statement.
+    Returns the number of data rows written.
+    """
+    if not source.lstrip().upper().startswith(("SELECT", "EXPLAIN")):
+        source = f"SELECT * FROM {source}"
+    result = connection.execute(source)
+    if not result.is_query:
+        raise SciQLError("export_csv needs a query result")
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle, delimiter=delimiter)
+        if header:
+            writer.writerow(result.names)
+        for row in result.rows():
+            writer.writerow([_format_value(v) for v in row])
+    return result.row_count
+
+
+def _parse_typed(text: str, atom: Atom) -> Any:
+    if text == "":
+        return None
+    if atom in (Atom.INT, Atom.LNG):
+        return int(text)
+    if atom is Atom.DBL:
+        return float(text)
+    if atom is Atom.BIT:
+        return text.strip().lower() in ("true", "t", "1")
+    return text
+
+
+def _infer_column_type(samples: list[str]) -> str:
+    """The narrowest SQL type accepting every non-empty sample."""
+    non_empty = [s for s in samples if s != ""]
+    if not non_empty:
+        return "VARCHAR(255)"
+
+    def all_parse(parser) -> bool:
+        for sample in non_empty:
+            try:
+                parser(sample)
+            except ValueError:
+                return False
+        return True
+
+    if all(s.strip().lower() in ("true", "false", "t", "f") for s in non_empty):
+        return "BOOLEAN"
+    if all_parse(int):
+        magnitude = max(abs(int(s)) for s in non_empty)
+        return "BIGINT" if magnitude >= 2**31 else "INT"
+    if all_parse(float):
+        return "DOUBLE"
+    return "VARCHAR(255)"
+
+
+def import_csv(
+    connection: Connection,
+    table: str,
+    path: str | Path,
+    header: bool = True,
+    delimiter: str = ",",
+    create: bool = False,
+    batch_rows: int = 10_000,
+) -> int:
+    """Bulk-load a CSV file into a table.
+
+    With ``create=True`` the table is created first: column names come
+    from the header (or ``col_0..``), types are inferred from the data.
+    Loading bypasses per-row SQL statements: rows are appended through
+    the bulk path in batches.  Returns the number of rows loaded.
+    """
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle, delimiter=delimiter)
+        rows = list(reader)
+    if not rows:
+        return 0
+    if header:
+        names = [n.strip().lower() for n in rows[0]]
+        data = rows[1:]
+    else:
+        names = [f"col_{i}" for i in range(len(rows[0]))]
+        data = rows
+
+    if create:
+        if table.lower() in connection.catalog:
+            raise SciQLError(f"table {table!r} already exists")
+        specs = []
+        for index, name in enumerate(names):
+            samples = [row[index] for row in data[:200] if index < len(row)]
+            specs.append(f"{name} {_infer_column_type(samples)}")
+        connection.execute(f"CREATE TABLE {table} ({', '.join(specs)})")
+
+    target = connection.catalog.get_table(table)
+    atoms = []
+    for name in names:
+        atoms.append(target.column_def(name).atom)
+
+    from repro.gdk.column import Column
+
+    loaded = 0
+    for start in range(0, len(data), batch_rows):
+        batch = data[start : start + batch_rows]
+        columns: dict[str, Column] = {}
+        for index, (name, atom) in enumerate(zip(names, atoms)):
+            items = [
+                _parse_typed(row[index] if index < len(row) else "", atom)
+                for row in batch
+            ]
+            columns[name] = Column.from_pylist(atom, items)
+        loaded += target.append_rows(columns)
+    return loaded
+
+
+def import_array_csv(
+    connection: Connection,
+    array: str,
+    path: str | Path,
+    header: bool = True,
+    delimiter: str = ",",
+) -> int:
+    """Load ``(coordinates..., attributes...)`` rows into an array.
+
+    Columns must follow the array's declaration order (dimensions
+    first).  Cells named in the file are overwritten (SciQL INSERT
+    semantics); all other cells are untouched.  Returns the number of
+    cells written.
+    """
+    import numpy as np
+
+    from repro.gdk.column import Column
+
+    target = connection.catalog.get_array(array)
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle, delimiter=delimiter)
+        rows = list(reader)
+    if header:
+        rows = rows[1:]
+    if not rows:
+        return 0
+    ndims = len(target.dimensions)
+    expected = ndims + len(target.attributes)
+    if any(len(row) != expected for row in rows):
+        raise SciQLError(
+            f"array CSV needs {expected} columns "
+            f"({ndims} coordinates + {len(target.attributes)} attributes)"
+        )
+    coordinates = [
+        np.array([int(row[i]) for row in rows], dtype=np.int64)
+        for i in range(ndims)
+    ]
+    oids = target.cell_oids(coordinates)
+    valid = oids >= 0
+    written = int(valid.sum())
+    for offset, attribute in enumerate(target.attributes):
+        items = [
+            _parse_typed(row[ndims + offset], attribute.atom)
+            for row, ok in zip(rows, valid.tolist())
+            if ok
+        ]
+        target.replace_values(
+            attribute.name, oids[valid], Column.from_pylist(attribute.atom, items)
+        )
+    return written

@@ -1,0 +1,27 @@
+"""MAL — the MonetDB Assembly Language layer (IR, interpreter, optimizers)."""
+
+from repro.mal.interpreter import ExecutionContext, ExecutionStats, Interpreter
+from repro.mal.program import (
+    ANY,
+    Constant,
+    Instruction,
+    MALProgram,
+    MALType,
+    Var,
+    bat_type,
+    scalar_type,
+)
+
+__all__ = [
+    "ANY",
+    "Constant",
+    "ExecutionContext",
+    "ExecutionStats",
+    "Instruction",
+    "Interpreter",
+    "MALProgram",
+    "MALType",
+    "Var",
+    "bat_type",
+    "scalar_type",
+]

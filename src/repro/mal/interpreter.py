@@ -1,0 +1,101 @@
+"""The MAL interpreter.
+
+Executes a :class:`~repro.mal.program.MALProgram` instruction by
+instruction against the module registry, exactly like MonetDB's MAL
+interpreter walks the compiled plan (paper, Figure 2).  The execution
+context carries the catalog (for ``sql.*`` side effects) and collects
+the statement result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import MALError
+from repro.catalog import Catalog
+from repro.mal.modules import REGISTRY, load_all
+from repro.mal.program import Constant, Instruction, MALProgram, Var
+
+
+@dataclass
+class ExecutionContext:
+    """Mutable state shared by every instruction of one execution."""
+
+    catalog: Catalog
+    result: Any = None
+    affected: int = 0
+    variables: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class ExecutionStats:
+    """Profiling counters for one program run (used by benchmarks)."""
+
+    instructions_executed: int = 0
+    per_operation: dict[str, int] = field(default_factory=dict)
+
+
+class Interpreter:
+    """Dispatching interpreter over the MAL module registry."""
+
+    def __init__(self, catalog: Catalog):
+        load_all()
+        self.catalog = catalog
+
+    def run(
+        self, program: MALProgram, collect_stats: bool = False
+    ) -> tuple[ExecutionContext, ExecutionStats]:
+        """Execute *program*; returns the final context and statistics."""
+        context = ExecutionContext(self.catalog)
+        stats = ExecutionStats()
+        env: dict[str, Any] = {}
+        for instruction in program.instructions:
+            if instruction.module == "language" and instruction.function == "free":
+                # Garbage-collection pseudo-op inserted by the optimizer.
+                for arg in instruction.args:
+                    if isinstance(arg, Constant):
+                        env.pop(arg.value, None)
+                continue
+            self._execute(instruction, env, context)
+            if collect_stats:
+                stats.instructions_executed += 1
+                key = f"{instruction.module}.{instruction.function}"
+                stats.per_operation[key] = stats.per_operation.get(key, 0) + 1
+        return context, stats
+
+    def _execute(
+        self, instruction: Instruction, env: dict[str, Any], context: ExecutionContext
+    ) -> None:
+        implementation = REGISTRY.get((instruction.module, instruction.function))
+        if implementation is None:
+            raise MALError(
+                f"undefined MAL operation {instruction.module}.{instruction.function}"
+            )
+        args = []
+        for arg in instruction.args:
+            if isinstance(arg, Var):
+                if arg.name not in env:
+                    raise MALError(f"variable {arg.name!r} not bound at runtime")
+                args.append(env[arg.name])
+            else:
+                args.append(arg.value)
+        try:
+            output = implementation(context, *args)
+        except MALError:
+            raise
+        except Exception as exc:  # surface kernel errors with MAL context
+            raise MALError(
+                f"{instruction.module}.{instruction.function} failed: {exc}"
+            ) from exc
+        if not instruction.results:
+            return
+        if len(instruction.results) == 1:
+            env[instruction.results[0]] = output
+        else:
+            if not isinstance(output, tuple) or len(output) != len(instruction.results):
+                raise MALError(
+                    f"{instruction.module}.{instruction.function}: arity mismatch"
+                )
+            for name, value in zip(instruction.results, output):
+                env[name] = value

@@ -1,0 +1,39 @@
+"""MAL operator modules.
+
+Each module registers ``module.function`` implementations into the
+global :data:`REGISTRY`, mirroring how MonetDB loads MAL modules into
+the interpreter's symbol table.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+#: (module, function) -> implementation.  Implementations receive the
+#: execution context followed by evaluated argument values and return a
+#: tuple of results (or a single value for single-result ops).
+REGISTRY: dict[tuple[str, str], Callable] = {}
+
+
+def mal_op(module: str, function: str):
+    """Decorator registering a MAL operator implementation."""
+
+    def decorate(fn: Callable) -> Callable:
+        REGISTRY[(module, function)] = fn
+        return fn
+
+    return decorate
+
+
+def load_all() -> None:
+    """Import every module so its operators register."""
+    from repro.mal.modules import (  # noqa: F401
+        aggr_mod,
+        algebra_mod,
+        array_mod,
+        bat_mod,
+        batcalc_mod,
+        calc_mod,
+        group_mod,
+        sql_mod,
+    )

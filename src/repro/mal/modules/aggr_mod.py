@@ -1,0 +1,55 @@
+"""MAL module ``aggr`` — scalar and grouped aggregation."""
+
+from __future__ import annotations
+
+from repro.errors import MALError
+from repro.gdk import aggregate as aggregate_kernel
+from repro.gdk import group as group_kernel
+from repro.gdk.bat import BAT
+from repro.mal.modules import mal_op
+
+
+def _grouping(groups: BAT, ngroups) -> group_kernel.Grouping:
+    return group_kernel.explicit_grouping(groups.tail.values, int(ngroups))
+
+
+def _register_scalar(name: str) -> None:
+    @mal_op("aggr", name)
+    def _op(ctx, b: BAT, _name=name):
+        if not isinstance(b, BAT):
+            raise MALError(f"aggr.{_name} expects a BAT")
+        return aggregate_kernel.scalar(_name, b.tail)
+
+
+for _name in ("sum", "avg", "min", "max", "count", "stddev", "median"):
+    _register_scalar(_name)
+
+
+def _register_grouped(name: str) -> None:
+    @mal_op("aggr", f"sub{name}")
+    def _op(ctx, b: BAT, groups: BAT, ngroups, _name=name):
+        if not isinstance(b, BAT) or not isinstance(groups, BAT):
+            raise MALError(f"aggr.sub{_name} expects BATs")
+        grouping = _grouping(groups, ngroups)
+        return BAT(aggregate_kernel.grouped(_name, b.tail, grouping))
+
+
+for _name in ("sum", "prod", "avg", "min", "max", "count", "stddev", "median"):
+    _register_grouped(_name)
+
+
+@mal_op("aggr", "subcountstar")
+def _subcountstar(ctx, groups: BAT, ngroups):
+    grouping = _grouping(groups, ngroups)
+    return BAT(aggregate_kernel.grouped_count_star(grouping))
+
+
+@mal_op("aggr", "subcountdistinct")
+def _subcountdistinct(ctx, b: BAT, groups: BAT, ngroups):
+    grouping = _grouping(groups, ngroups)
+    return BAT(aggregate_kernel.grouped_count_distinct(b.tail, grouping))
+
+
+@mal_op("aggr", "countdistinct")
+def _countdistinct(ctx, b: BAT):
+    return aggregate_kernel.scalar_count_distinct(b.tail)

@@ -1,0 +1,141 @@
+"""MAL module ``algebra`` — selections, projections, joins, sorting."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MALError
+from repro.gdk import join as join_kernel
+from repro.gdk import select as select_kernel
+from repro.gdk import sort as sort_kernel
+from repro.gdk.atoms import Atom
+from repro.gdk.bat import BAT
+from repro.mal.modules import mal_op
+
+
+@mal_op("algebra", "select")
+def _select(ctx, b: BAT, candidates=None):
+    """Candidate list of oids whose bit tail is TRUE."""
+    return select_kernel.select_true(b, candidates)
+
+
+@mal_op("algebra", "thetaselect")
+def _thetaselect(ctx, b: BAT, value, op: str, candidates=None):
+    return select_kernel.thetaselect(b, value, op, candidates)
+
+
+@mal_op("algebra", "rangeselect")
+def _rangeselect(ctx, b: BAT, low, high, li, hi, anti, candidates=None):
+    return select_kernel.rangeselect(b, low, high, bool(li), bool(hi), bool(anti), candidates)
+
+
+@mal_op("algebra", "isnilselect")
+def _isnilselect(ctx, b: BAT, want_null, candidates=None):
+    return select_kernel.isnull_select(b, bool(want_null), candidates)
+
+
+@mal_op("algebra", "projection")
+def _projection(ctx, candidates: BAT, b: BAT):
+    """Fetch-join: tail values of *b* at the candidate oids."""
+    return b.project(candidates)
+
+
+@mal_op("algebra", "projectionsafe")
+def _projectionsafe(ctx, candidates: BAT, b: BAT):
+    """Like projection but oid -1 yields NULL (outer-join fetch)."""
+    if candidates.atom is not Atom.OID:
+        raise MALError("projection candidates must be oids")
+    positions = candidates.tail.values - b.hseqbase
+    positions = np.where(candidates.tail.values < 0, -1, positions)
+    return BAT(b.tail.take_with_invalid(positions))
+
+
+@mal_op("algebra", "join")
+def _join(ctx, left: BAT, right: BAT, nil_matches=False):
+    return join_kernel.join(left, right, bool(nil_matches))
+
+
+@mal_op("algebra", "leftjoin")
+def _leftjoin(ctx, left: BAT, right: BAT):
+    return join_kernel.leftjoin(left, right)
+
+
+@mal_op("algebra", "thetajoin")
+def _thetajoin(ctx, left: BAT, right: BAT, op: str):
+    return join_kernel.thetajoin(left, right, op)
+
+
+@mal_op("algebra", "crossproduct")
+def _crossproduct(ctx, left_count, right_count):
+    return join_kernel.crossproduct(int(left_count), int(right_count))
+
+
+@mal_op("algebra", "semijoin")
+def _semijoin(ctx, left: BAT, right: BAT):
+    return join_kernel.semijoin(left, right)
+
+
+@mal_op("algebra", "antijoin")
+def _antijoin(ctx, left: BAT, right: BAT):
+    return join_kernel.antijoin(left, right)
+
+
+@mal_op("algebra", "intersect")
+def _intersect(ctx, a: BAT, b: BAT):
+    return select_kernel.intersect_candidates(a, b)
+
+
+@mal_op("algebra", "union")
+def _union(ctx, a: BAT, b: BAT):
+    return select_kernel.union_candidates(a, b)
+
+
+@mal_op("algebra", "difference")
+def _difference(ctx, a: BAT, b: BAT):
+    return select_kernel.difference_candidates(a, b)
+
+
+@mal_op("algebra", "firstn")
+def _firstn(ctx, candidates: BAT, n):
+    return select_kernel.firstn(candidates, int(n))
+
+
+@mal_op("algebra", "sort")
+def _sort(ctx, b: BAT, descending=False):
+    """Returns (sorted-tail BAT, order oid BAT)."""
+    order = sort_kernel.sort_order(b.tail, bool(descending))
+    return BAT(b.tail.take(order)), BAT.from_oids(order + b.hseqbase)
+
+
+@mal_op("algebra", "sortmulti")
+def _sortmulti(ctx, flags_json: str, *bats: BAT):
+    """Multi-key sort; flags encode descending per key. Returns order."""
+    import json
+
+    flags = json.loads(flags_json)
+    columns = [b.tail for b in bats]
+    order = sort_kernel.sort_order_multi(columns, [bool(f) for f in flags])
+    return BAT.from_oids(order)
+
+
+@mal_op("algebra", "inselect")
+def _inselect(ctx, b: BAT, values_json: str, candidates=None):
+    import json
+
+    return select_kernel.in_select(b, json.loads(values_json), candidates)
+
+
+@mal_op("algebra", "rowmembership")
+def _rowmembership(ctx, count, *bats: BAT):
+    """bit BAT over the first *count* BATs (left rows) marking rows that
+    also appear in the remaining *count* BATs (right rows)."""
+    from repro.gdk.atoms import Atom as _Atom
+    from repro.gdk.column import Column as _Column
+    from repro.gdk.join import rows_membership
+
+    count = int(count)
+    if len(bats) != 2 * count:
+        raise MALError("algebra.rowmembership: arity mismatch")
+    left = [b.tail for b in bats[:count]]
+    right = [b.tail for b in bats[count:]]
+    return BAT(_Column(_Atom.BIT, rows_membership(left, right)))

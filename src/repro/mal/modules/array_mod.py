@@ -1,0 +1,144 @@
+"""MAL module ``array`` — the SciQL-specific kernel primitives.
+
+Section 3 of the paper introduces exactly two new primitives for array
+materialisation, reproduced here with their signatures:
+
+    command array.series(start:int, step:int, stop:int, N:int, M:int)
+        :bat[:oid,:int]
+    pattern array.filler(cnt:lng, v:any_1) :bat[:oid,:any_1]
+
+plus the tiling kernel the structural GROUP BY compiles into
+(``array.tileagg``) and a relative-cell-access gather
+(``array.shift``) used for expressions like ``A[x-1][y]``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+import numpy as np
+
+from repro.errors import GDKError, MALError
+from repro.gdk.atoms import Atom, atom_for_python, coerce_scalar
+from repro.gdk.bat import BAT
+from repro.gdk.column import Column
+from repro.core.tiling import TileSpec, tile_aggregate
+from repro.mal.modules import mal_op
+
+
+def series_column(start: int, step: int, stop: int, inner: int, outer: int) -> Column:
+    """The ``array.series`` value pattern as a column.
+
+    Generates the dimension values ``start, start+step, ... < stop``,
+    repeating each value ``inner`` (N) times consecutively, and the
+    whole sequence ``outer`` (M) times (paper, Section 3).
+    """
+    if step <= 0:
+        raise GDKError("array.series needs a positive step")
+    if inner <= 0 or outer <= 0:
+        raise GDKError("array.series repetition factors must be positive")
+    base = np.arange(start, stop, step, dtype=np.int64)
+    values = np.tile(np.repeat(base, inner), outer)
+    return Column(Atom.LNG, values)
+
+
+def filler_column(count: int, value: Any, atom: Atom | None = None) -> Column:
+    """The ``array.filler`` pattern as a column.
+
+    Creates ``count`` entries of ``value``; a ``None`` value produces
+    NULLs (an array attribute without a DEFAULT starts as holes).
+    """
+    if count < 0:
+        raise GDKError("array.filler needs a non-negative count")
+    if value is None:
+        return Column.nulls(atom or Atom.INT, count)
+    resolved = atom or atom_for_python(value)
+    return Column.constant(resolved, coerce_scalar(value, resolved), count)
+
+
+@mal_op("array", "series")
+def _series(ctx, start, step, stop, inner, outer):
+    return BAT(series_column(int(start), int(step), int(stop), int(inner), int(outer)))
+
+
+@mal_op("array", "filler")
+def _filler(ctx, count, value, atom_name=None):
+    atom = Atom(atom_name) if atom_name else None
+    return BAT(filler_column(int(count), value, atom))
+
+
+@mal_op("array", "tileagg")
+def _tileagg(ctx, values: BAT, aggregate: str, shape_json: str, offsets_json: str):
+    """Aggregate every anchor's tile over a cell-aligned value BAT.
+
+    ``shape_json`` holds the dimension sizes, ``offsets_json`` the
+    per-dimension rank offsets of the tile pattern.
+    """
+    if not isinstance(values, BAT):
+        raise MALError("array.tileagg expects a BAT of cell values")
+    shape = tuple(json.loads(shape_json))
+    offsets = tuple(tuple(per_dim) for per_dim in json.loads(offsets_json))
+    spec = TileSpec(offsets)
+    return BAT(tile_aggregate(values.tail, shape, spec, aggregate))
+
+
+@mal_op("array", "shift")
+def _shift(ctx, values: BAT, shape_json: str, deltas_json: str):
+    """Relative cell access: entry *a* becomes ``values[a + deltas]``.
+
+    Cells whose shifted position falls outside the array become NULL —
+    the gather behind expressions such as ``A[x-1][y]`` (EdgeDetection,
+    Scenario II).
+    """
+    if not isinstance(values, BAT):
+        raise MALError("array.shift expects a BAT of cell values")
+    shape = tuple(json.loads(shape_json))
+    deltas = tuple(json.loads(deltas_json))
+    if len(deltas) != len(shape):
+        raise MALError("array.shift: deltas rank differs from shape")
+    cell_count = int(np.prod(shape))
+    if len(values) != cell_count:
+        raise MALError("array.shift: value BAT not cell-aligned")
+    # Compute source linear positions; -1 marks out-of-bounds.
+    positions = np.arange(cell_count, dtype=np.int64)
+    sources = np.zeros(cell_count, dtype=np.int64)
+    valid = np.ones(cell_count, dtype=np.bool_)
+    remaining = positions
+    stride = cell_count
+    for size, delta in zip(shape, deltas):
+        stride //= size
+        rank = remaining // stride
+        remaining = remaining % stride
+        target = rank + delta
+        valid &= (target >= 0) & (target < size)
+        sources += np.where(valid, target, 0) * stride
+    sources = np.where(valid, sources, -1)
+    return BAT(values.tail.take_with_invalid(sources))
+
+
+@mal_op("array", "cellindex")
+def _cellindex(ctx, shape_json: str, dims_json: str, *coordinate_bats: BAT):
+    """Linear cell oids for coordinate columns; -1 for out-of-domain.
+
+    ``dims_json`` holds ``[start, step, stop]`` per dimension so ranks
+    can be derived from raw dimension values.
+    """
+    shape = tuple(json.loads(shape_json))
+    dims = json.loads(dims_json)
+    if len(coordinate_bats) != len(shape):
+        raise MALError("array.cellindex: coordinate arity mismatch")
+    n = len(coordinate_bats[0]) if coordinate_bats else 0
+    oids = np.zeros(n, dtype=np.int64)
+    valid = np.ones(n, dtype=np.bool_)
+    stride = int(np.prod(shape)) if shape else 1
+    for (start, step, stop), size, coords in zip(dims, shape, coordinate_bats):
+        stride //= size
+        values = coords.tail.values.astype(np.int64)
+        offset = values - start
+        rank = offset // step
+        ok = (values >= start) & (values < stop) & (offset % step == 0)
+        ok &= coords.tail.validity()
+        valid &= ok
+        oids += np.where(ok, rank, 0) * stride
+    return BAT.from_oids(np.where(valid, oids, -1))

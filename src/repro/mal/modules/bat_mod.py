@@ -1,0 +1,93 @@
+"""MAL module ``bat`` — BAT lifecycle and structural operations."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MALError
+from repro.gdk.atoms import Atom
+from repro.gdk.bat import BAT
+from repro.gdk.column import Column
+from repro.mal.modules import mal_op
+
+
+@mal_op("bat", "new")
+def _new(ctx, atom_name: str):
+    return BAT.empty(Atom(atom_name))
+
+
+@mal_op("bat", "densebat")
+def _densebat(ctx, count):
+    return BAT.dense(0, int(count))
+
+
+@mal_op("bat", "mirror")
+def _mirror(ctx, b: BAT):
+    return b.mirror()
+
+
+@mal_op("bat", "append")
+def _append(ctx, target: BAT, source: BAT):
+    return target.append(source)
+
+
+@mal_op("bat", "replace")
+def _replace(ctx, target: BAT, oids: BAT, values: BAT):
+    if oids.atom is not Atom.OID:
+        raise MALError("bat.replace positions must be oids")
+    return target.replace(oids.tail.values, values.tail)
+
+
+@mal_op("bat", "slice")
+def _slice(ctx, b: BAT, start, stop):
+    return b.slice(int(start), int(stop))
+
+
+@mal_op("bat", "pack")
+def _pack(ctx, *values):
+    """Materialise scalars into a single-column BAT (VALUES rows)."""
+    if not values:
+        raise MALError("bat.pack needs at least one value")
+    sample = next((v for v in values if v is not None), None)
+    if sample is None:
+        return BAT(Column.nulls(Atom.INT, len(values)))
+    from repro.gdk.atoms import atom_for_python
+
+    atom = atom_for_python(sample)
+    return BAT(Column.from_pylist(atom, list(values)))
+
+
+@mal_op("bat", "getcount")
+def _getcount(ctx, b: BAT):
+    return len(b)
+
+
+@mal_op("bat", "fetch")
+def _fetch(ctx, b: BAT, position):
+    """Scalar tail value at a physical position (0-based)."""
+    index = int(position)
+    if index < 0 or index >= len(b):
+        raise MALError(f"bat.fetch position {index} out of range")
+    return b.tail.get(index)
+
+
+@mal_op("bat", "project_const")
+def _project_const(ctx, b: BAT, value, atom_name: str):
+    """Constant column aligned with *b* (MAL's ``algebra.project`` w/ const)."""
+    atom = Atom(atom_name)
+    if value is None:
+        return BAT(Column.nulls(atom, len(b)))
+    return BAT(Column.constant(atom, value, len(b)))
+
+
+@mal_op("bat", "cast")
+def _cast(ctx, b: BAT, atom_name: str):
+    return BAT(b.tail.cast(Atom(atom_name)), b.hseqbase)
+
+
+@mal_op("bat", "negative_oids")
+def _negative_oids(ctx, b: BAT):
+    """Positions of -1 entries in an oid BAT (invalid cell markers)."""
+    if b.atom is not Atom.OID:
+        raise MALError("bat.negative_oids needs an oid BAT")
+    return BAT.from_oids(np.flatnonzero(b.tail.values < 0).astype(np.int64))

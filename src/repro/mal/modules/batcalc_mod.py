@@ -1,0 +1,158 @@
+"""MAL module ``batcalc`` — bulk element-wise computation on BATs."""
+
+from __future__ import annotations
+
+from repro.errors import MALError
+from repro.gdk import calc
+from repro.gdk.atoms import Atom
+from repro.gdk.bat import BAT
+from repro.gdk.column import Column
+from repro.mal.modules import mal_op
+
+
+def _unwrap(operand):
+    """BAT -> Column, scalars pass through."""
+    if isinstance(operand, BAT):
+        return operand.tail
+    return operand
+
+
+def _wrap(column: Column) -> BAT:
+    return BAT(column)
+
+
+def _register_arith(symbol: str, name: str) -> None:
+    @mal_op("batcalc", name)
+    def _op(ctx, left, right, _symbol=symbol):
+        return _wrap(calc.arithmetic(_symbol, _unwrap(left), _unwrap(right)))
+
+
+for _symbol, _name in (("+", "add"), ("-", "sub"), ("*", "mul"), ("/", "div"), ("%", "mod")):
+    _register_arith(_symbol, _name)
+
+
+def _register_compare(symbol: str, name: str) -> None:
+    @mal_op("batcalc", name)
+    def _op(ctx, left, right, _symbol=symbol):
+        return _wrap(calc.compare(_symbol, _unwrap(left), _unwrap(right)))
+
+
+for _symbol, _name in (
+    ("==", "eq"),
+    ("!=", "ne"),
+    ("<", "lt"),
+    ("<=", "le"),
+    (">", "gt"),
+    (">=", "ge"),
+):
+    _register_compare(_symbol, _name)
+
+
+@mal_op("batcalc", "and")
+def _and(ctx, left, right):
+    return _wrap(calc.logical_and(_unwrap(left), _unwrap(right)))
+
+
+@mal_op("batcalc", "or")
+def _or(ctx, left, right):
+    return _wrap(calc.logical_or(_unwrap(left), _unwrap(right)))
+
+
+@mal_op("batcalc", "not")
+def _not(ctx, operand):
+    column = _unwrap(operand)
+    if not isinstance(column, Column):
+        raise MALError("batcalc.not needs a BAT")
+    return _wrap(calc.logical_not(column))
+
+
+@mal_op("batcalc", "isnil")
+def _isnil(ctx, operand):
+    column = _unwrap(operand)
+    if not isinstance(column, Column):
+        raise MALError("batcalc.isnil needs a BAT")
+    return _wrap(calc.isnull(column))
+
+
+@mal_op("batcalc", "ifthenelse")
+def _ifthenelse(ctx, condition, then_value, else_value):
+    cond = _unwrap(condition)
+    if not isinstance(cond, Column):
+        raise MALError("batcalc.ifthenelse needs a BAT condition")
+    return _wrap(calc.ifthenelse(cond, _unwrap(then_value), _unwrap(else_value)))
+
+
+@mal_op("batcalc", "negate")
+def _negate(ctx, operand):
+    return _wrap(calc.negate(_unwrap(operand)))
+
+
+@mal_op("batcalc", "abs")
+def _abs(ctx, operand):
+    return _wrap(calc.absolute(_unwrap(operand)))
+
+
+@mal_op("batcalc", "math")
+def _math(ctx, name: str, operand):
+    return _wrap(calc.apply_unary_math(name, _unwrap(operand)))
+
+
+@mal_op("batcalc", "concat")
+def _concat(ctx, left, right):
+    return _wrap(calc.concat_str(_unwrap(left), _unwrap(right)))
+
+
+@mal_op("batcalc", "cast")
+def _cast(ctx, operand, atom_name: str):
+    column = _unwrap(operand)
+    if not isinstance(column, Column):
+        raise MALError("batcalc.cast needs a BAT")
+    return _wrap(column.cast(Atom(atom_name)))
+
+
+@mal_op("batcalc", "fillnulls")
+def _fillnulls(ctx, operand, value):
+    column = _unwrap(operand)
+    if not isinstance(column, Column):
+        raise MALError("batcalc.fillnulls needs a BAT")
+    return _wrap(column.fill_nulls(value))
+
+
+# ----------------------------------------------------------------------
+# string kernels
+# ----------------------------------------------------------------------
+from repro.gdk import strings as _strings
+
+
+@mal_op("batcalc", "lower")
+def _lower(ctx, operand):
+    return _wrap(_strings.lower(_unwrap(operand)))
+
+
+@mal_op("batcalc", "upper")
+def _upper(ctx, operand):
+    return _wrap(_strings.upper(_unwrap(operand)))
+
+
+@mal_op("batcalc", "length")
+def _length(ctx, operand):
+    return _wrap(_strings.length(_unwrap(operand)))
+
+
+@mal_op("batcalc", "trim")
+def _trim(ctx, operand):
+    return _wrap(_strings.trim(_unwrap(operand)))
+
+
+@mal_op("batcalc", "substring")
+def _substring(ctx, operand, start, count=None):
+    return _wrap(_strings.substring(
+        _unwrap(operand),
+        int(start),
+        None if count is None else int(count),
+    ))
+
+
+@mal_op("batcalc", "like")
+def _like(ctx, operand, pattern):
+    return _wrap(_strings.like(_unwrap(operand), pattern))

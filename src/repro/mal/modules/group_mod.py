@@ -1,0 +1,35 @@
+"""MAL module ``group`` — grouping for value-based GROUP BY."""
+
+from __future__ import annotations
+
+from repro.errors import MALError
+from repro.gdk import group as group_kernel
+from repro.gdk.bat import BAT
+from repro.mal.modules import mal_op
+
+
+@mal_op("group", "group")
+def _group(ctx, b: BAT):
+    """Returns (groups, extents, histogram) — MonetDB's triple."""
+    grouping = group_kernel.group(b.tail)
+    return (
+        BAT(grouping.groups),
+        BAT.from_oids(grouping.extents + b.hseqbase),
+        BAT.from_pylist(grouping.groups.atom, grouping.histogram.tolist()),
+    )
+
+
+@mal_op("group", "subgroup")
+def _subgroup(ctx, b: BAT, groups: BAT):
+    """Refine existing group ids by another column."""
+    if len(b) != len(groups):
+        raise MALError("group.subgroup: misaligned inputs")
+    previous = group_kernel.explicit_grouping(
+        groups.tail.values, int(groups.tail.values.max()) + 1 if len(groups) else 0
+    )
+    grouping = group_kernel.subgroup(b.tail, previous)
+    return (
+        BAT(grouping.groups),
+        BAT.from_oids(grouping.extents + b.hseqbase),
+        BAT.from_pylist(grouping.groups.atom, grouping.histogram.tolist()),
+    )

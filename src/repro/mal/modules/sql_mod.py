@@ -1,0 +1,152 @@
+"""MAL module ``sql`` — the glue between MAL plans and the catalog.
+
+These operators carry every side effect a query plan can have: binding
+persistent BATs, appending/updating/deleting, DDL, and delivering the
+result set.  They are the operators :data:`~repro.mal.program.SIDE_EFFECT_OPS`
+protects from dead-code elimination.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.errors import MALError
+from repro.gdk.atoms import Atom
+from repro.gdk.bat import BAT
+from repro.gdk.column import Column
+from repro.catalog.objects import Array, ColumnDef, DimensionDef
+from repro.mal.modules import mal_op
+
+
+def _column_defs(defs_json: str) -> list[ColumnDef]:
+    return [
+        ColumnDef(d["name"], Atom(d["atom"]), d.get("default"), d.get("has_default", False))
+        for d in json.loads(defs_json)
+    ]
+
+
+def _dimension_defs(dims_json: str) -> list[DimensionDef]:
+    return [
+        DimensionDef(d["name"], Atom(d["atom"]), d["start"], d["step"], d["stop"])
+        for d in json.loads(dims_json)
+    ]
+
+
+@mal_op("sql", "bind")
+def _bind(ctx, name: str, column: str):
+    """The storage BAT of ``object.column``."""
+    return ctx.catalog.get(name).bind(column)
+
+
+@mal_op("sql", "count")
+def _count(ctx, name: str):
+    return ctx.catalog.get(name).count
+
+
+@mal_op("sql", "createTable")
+def _create_table(ctx, name: str, defs_json: str, if_not_exists=False):
+    if if_not_exists and name.lower() in ctx.catalog:
+        return 0
+    ctx.catalog.create_table(name, _column_defs(defs_json))
+    return 0
+
+
+@mal_op("sql", "createArray")
+def _create_array(ctx, name: str, dims_json: str, attrs_json: str, if_not_exists=False):
+    if if_not_exists and name.lower() in ctx.catalog:
+        return 0
+    ctx.catalog.create_array(name, _dimension_defs(dims_json), _column_defs(attrs_json))
+    return 0
+
+
+@mal_op("sql", "dropObject")
+def _drop(ctx, name: str, if_exists):
+    ctx.catalog.drop(name, bool(if_exists))
+    return 0
+
+
+@mal_op("sql", "alterDimension")
+def _alter_dimension(ctx, name: str, dimension: str, start, step, stop):
+    array = ctx.catalog.get_array(name)
+    array.alter_dimension(dimension, int(start), int(step), int(stop))
+    return 0
+
+
+@mal_op("sql", "append")
+def _append(ctx, name: str, columns_json: str, *bats: BAT):
+    """Bulk-append aligned columns to a table."""
+    table = ctx.catalog.get_table(name)
+    names = json.loads(columns_json)
+    if len(names) != len(bats):
+        raise MALError("sql.append: column/BAT arity mismatch")
+    return table.append_rows({n: b.tail for n, b in zip(names, bats)})
+
+
+@mal_op("sql", "update")
+def _update(ctx, name: str, column: str, oids: BAT, values: BAT):
+    """Point-update one column/attribute at the given oids."""
+    obj = ctx.catalog.get(name)
+    positions = oids.tail.values
+    if len(positions) != len(values):
+        raise MALError("sql.update: oid/value arity mismatch")
+    keep = positions >= 0
+    obj.replace_values(column, positions[keep], values.tail.take(np.flatnonzero(keep)))
+    return int(keep.sum())
+
+
+@mal_op("sql", "delete")
+def _delete(ctx, name: str, oids: BAT):
+    """DELETE: physical removal for tables, hole-punching for arrays."""
+    obj = ctx.catalog.get(name)
+    positions = oids.tail.values
+    positions = positions[positions >= 0]
+    if isinstance(obj, Array):
+        obj.delete_cells(positions)
+    else:
+        obj.delete_rows(positions)
+    return len(positions)
+
+
+@mal_op("sql", "clear_table")
+def _clear(ctx, name: str):
+    table = ctx.catalog.get_table(name)
+    count = table.count
+    table.clear()
+    return count
+
+
+class InternalResult:
+    """Result set assembled by ``sql.resultSet`` before engine wrapping."""
+
+    def __init__(self, kind: str, names: list[str], bats: list[BAT], meta: dict):
+        self.kind = kind
+        self.names = names
+        self.bats = bats
+        self.meta = meta
+
+
+@mal_op("sql", "resultSet")
+def _result_set(ctx, kind: str, names_json: str, meta_json: str, *bats: BAT):
+    names = json.loads(names_json)
+    if len(names) != len(bats):
+        raise MALError("sql.resultSet: name/BAT arity mismatch")
+    lengths = {len(b) for b in bats}
+    if len(lengths) > 1:
+        raise MALError(f"sql.resultSet: misaligned result columns {sorted(lengths)}")
+    ctx.result = InternalResult(kind, names, list(bats), json.loads(meta_json))
+    return 0
+
+
+@mal_op("sql", "setVariable")
+def _set_variable(ctx, name: str, value):
+    ctx.variables[name] = value
+    return 0
+
+
+@mal_op("sql", "affected")
+def _affected(ctx, count):
+    """Record the affected-row count of a DML statement."""
+    ctx.affected = int(count) if count is not None else 0
+    return ctx.affected

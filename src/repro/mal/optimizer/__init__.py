@@ -1,0 +1,9 @@
+"""MAL optimizer pipeline (the "MAL Optimizers" box of Figure 2)."""
+
+from repro.mal.optimizer.pipeline import (
+    DEFAULT_PIPELINE,
+    OptimizerPass,
+    optimize,
+)
+
+__all__ = ["optimize", "OptimizerPass", "DEFAULT_PIPELINE"]

@@ -1,0 +1,235 @@
+"""Individual MAL optimizer passes.
+
+Each pass is a pure function ``MALProgram -> MALProgram`` (programs are
+rebuilt, never mutated) mirroring MonetDB's optimizer modules:
+
+* ``constant_fold``   — evaluate ``calc.*`` over constant arguments at
+  compile time and inline the results;
+* ``common_terms``    — reuse the result of an earlier side-effect-free
+  instruction with an identical signature (CSE);
+* ``dead_code``       — drop instructions whose results are never used
+  and which have no side effects;
+* ``garbage_collect`` — insert ``language.free`` pseudo-ops after the
+  last use of each variable so the interpreter releases BATs early.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.mal.modules import REGISTRY, load_all
+from repro.mal.program import Constant, Instruction, MALProgram, Var
+
+
+def _clone_program(program: MALProgram, instructions: list[Instruction]) -> MALProgram:
+    clone = MALProgram(program.name)
+    clone.instructions = instructions
+    clone.types = dict(program.types)
+    clone._counter = program._counter
+    clone.result_columns = list(program.result_columns)
+    clone.result_kind = program.result_kind
+    clone.pinned = set(program.pinned)
+    return clone
+
+
+def constant_fold(program: MALProgram) -> MALProgram:
+    """Evaluate scalar ``calc.*`` instructions whose arguments are constants.
+
+    Folded values are substituted into later instructions as constants;
+    the folded instruction disappears.
+    """
+    load_all()
+    folded: dict[str, Constant] = {}
+    out: list[Instruction] = []
+    for instruction in program.instructions:
+        new_args: list[Any] = []
+        for arg in instruction.args:
+            if isinstance(arg, Var) and arg.name in folded:
+                new_args.append(folded[arg.name])
+            else:
+                new_args.append(arg)
+        candidate = Instruction(
+            instruction.module,
+            instruction.function,
+            instruction.results,
+            new_args,
+            instruction.comment,
+        )
+        if (
+            candidate.module == "calc"
+            and len(candidate.results) == 1
+            and candidate.results[0] not in program.pinned
+            and all(isinstance(a, Constant) for a in candidate.args)
+        ):
+            implementation = REGISTRY.get((candidate.module, candidate.function))
+            if implementation is not None:
+                try:
+                    value = implementation(None, *[a.value for a in candidate.args])
+                except Exception:
+                    out.append(candidate)
+                    continue
+                folded[candidate.results[0]] = Constant(value)
+                continue
+        out.append(candidate)
+    return _clone_program(program, out)
+
+
+def common_terms(program: MALProgram) -> MALProgram:
+    """Common subexpression elimination over side-effect-free instructions."""
+    seen: dict[tuple, list[str]] = {}
+    renames: dict[str, str] = {}
+    out: list[Instruction] = []
+    for instruction in program.instructions:
+        new_args: list[Any] = []
+        for arg in instruction.args:
+            if isinstance(arg, Var) and arg.name in renames:
+                new_args.append(Var(renames[arg.name]))
+            else:
+                new_args.append(arg)
+        candidate = Instruction(
+            instruction.module,
+            instruction.function,
+            instruction.results,
+            new_args,
+            instruction.comment,
+        )
+        if candidate.has_side_effects or not candidate.results:
+            out.append(candidate)
+            continue
+        key = candidate.signature()
+        prior = seen.get(key)
+        if prior is not None and len(prior) == len(candidate.results):
+            for mine, theirs in zip(candidate.results, prior):
+                renames[mine] = theirs
+            continue
+        seen[key] = candidate.results
+        out.append(candidate)
+    clone = _clone_program(program, out)
+    clone.result_columns = [
+        (name, renames.get(var, var)) for name, var in program.result_columns
+    ]
+    clone.pinned = {renames.get(v, v) for v in program.pinned}
+    return clone
+
+
+def dead_code(program: MALProgram) -> MALProgram:
+    """Remove side-effect-free instructions whose results are never used."""
+    live: set[str] = set(program.pinned)
+    live.update(var for _, var in program.result_columns)
+    keep: list[bool] = [False] * len(program.instructions)
+    for index in range(len(program.instructions) - 1, -1, -1):
+        instruction = program.instructions[index]
+        needed = instruction.has_side_effects or any(
+            result in live for result in instruction.results
+        )
+        if needed:
+            keep[index] = True
+            live.update(instruction.used_vars())
+    out = [ins for ins, k in zip(program.instructions, keep) if k]
+    return _clone_program(program, out)
+
+
+def garbage_collect(program: MALProgram) -> MALProgram:
+    """Insert ``language.free`` after the last use of each variable."""
+    protected = set(program.pinned)
+    protected.update(var for _, var in program.result_columns)
+    last_use: dict[str, int] = {}
+    for index, instruction in enumerate(program.instructions):
+        for used in instruction.used_vars():
+            last_use[used] = index
+        for result in instruction.results:
+            last_use.setdefault(result, index)
+    frees: dict[int, list[str]] = {}
+    for variable, index in last_use.items():
+        if variable in protected:
+            continue
+        frees.setdefault(index, []).append(variable)
+    out: list[Instruction] = []
+    for index, instruction in enumerate(program.instructions):
+        out.append(instruction)
+        if index in frees:
+            out.append(
+                Instruction(
+                    "language",
+                    "free",
+                    [],
+                    [Constant(name) for name in sorted(frees[index])],
+                )
+            )
+    return _clone_program(program, out)
+
+
+_NEUTRAL_RULES = {
+    # (function, constant-argument index, constant value) -> pass through
+    # the other argument unchanged.
+    ("add", 1, 0), ("add", 0, 0),
+    ("sub", 1, 0),
+    ("mul", 1, 1), ("mul", 0, 1),
+    ("div", 1, 1),
+    ("and", 1, True), ("and", 0, True),
+    ("or", 1, False), ("or", 0, False),
+}
+
+def strength_reduction(program: MALProgram) -> MALProgram:
+    """Alias away applications with a neutral constant operand.
+
+    ``x * 1``, ``x + 0``, ``x AND TRUE``, ``x OR FALSE`` (and friends)
+    are NULL-transparent identities, so the result variable becomes an
+    alias of the surviving operand and the instruction disappears.
+    Absorbing rules (``x * 0`` → 0) are deliberately NOT applied: they
+    would be wrong for NULL inputs.
+    """
+    renames: dict[str, Any] = {}
+    out: list[Instruction] = []
+    for instruction in program.instructions:
+        new_args: list[Any] = []
+        for arg in instruction.args:
+            if isinstance(arg, Var) and arg.name in renames:
+                replacement = renames[arg.name]
+                new_args.append(replacement)
+            else:
+                new_args.append(arg)
+        candidate = Instruction(
+            instruction.module,
+            instruction.function,
+            instruction.results,
+            new_args,
+            instruction.comment,
+        )
+        if (
+            candidate.module in ("batcalc", "calc")
+            and len(candidate.results) == 1
+            and len(candidate.args) == 2
+            and candidate.results[0] not in program.pinned
+        ):
+            reduced = False
+            for index in (0, 1):
+                other = candidate.args[1 - index]
+                arg = candidate.args[index]
+                if (
+                    isinstance(arg, Constant)
+                    and isinstance(other, Var)
+                    and (candidate.function, index, arg.value) in _NEUTRAL_RULES
+                ):
+                    # Result type must match the operand type for a pure
+                    # alias; only alias within the same kind (bat/bat).
+                    result_type = program.types.get(candidate.results[0])
+                    operand_type = program.types.get(other.name)
+                    if result_type == operand_type:
+                        renames[candidate.results[0]] = Var(other.name)
+                        reduced = True
+                        break
+            if reduced:
+                continue
+        out.append(candidate)
+    clone = _clone_program(program, out)
+    clone.result_columns = [
+        (
+            name,
+            renames[var].name
+            if var in renames and isinstance(renames[var], Var)
+            else var,
+        )
+        for name, var in program.result_columns
+    ]
+    return clone

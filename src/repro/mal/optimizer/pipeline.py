@@ -1,0 +1,50 @@
+"""The optimizer pipeline: an ordered sequence of passes.
+
+MonetDB applies a configurable pipeline of MAL optimizers between the
+MAL generator and the interpreter; SciQL reuses that machinery
+unchanged (Figure 2 marks the optimizer box grey only because array
+operations flow through it).  The default pipeline here is:
+
+    constant_fold → strength_reduction → common_terms → dead_code →
+    garbage_collect
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.mal.optimizer import passes
+from repro.mal.program import MALProgram
+
+
+@dataclass(frozen=True)
+class OptimizerPass:
+    """A named program-to-program transformation."""
+
+    name: str
+    apply: Callable[[MALProgram], MALProgram]
+
+
+CONSTANT_FOLD = OptimizerPass("constant_fold", passes.constant_fold)
+STRENGTH_REDUCTION = OptimizerPass("strength_reduction", passes.strength_reduction)
+COMMON_TERMS = OptimizerPass("common_terms", passes.common_terms)
+DEAD_CODE = OptimizerPass("dead_code", passes.dead_code)
+GARBAGE_COLLECT = OptimizerPass("garbage_collect", passes.garbage_collect)
+
+DEFAULT_PIPELINE: tuple[OptimizerPass, ...] = (
+    CONSTANT_FOLD,
+    STRENGTH_REDUCTION,
+    COMMON_TERMS,
+    DEAD_CODE,
+    GARBAGE_COLLECT,
+)
+
+
+def optimize(
+    program: MALProgram, pipeline: tuple[OptimizerPass, ...] = DEFAULT_PIPELINE
+) -> MALProgram:
+    """Run *program* through the pass pipeline and return the result."""
+    for optimizer_pass in pipeline:
+        program = optimizer_pass.apply(program)
+    return program

@@ -1,0 +1,256 @@
+"""The MAL intermediate representation.
+
+MAL (MonetDB Assembly Language) is "the primary textual interface to
+the MonetDB kernel" and the target language of every query compiler
+front-end (paper, Section 3).  A MAL program is a linear sequence of
+instructions
+
+    (r1, r2, ...) := module.function(arg1, arg2, ...);
+
+over single-assignment variables.  We reproduce the IR faithfully
+enough for the paper's pipeline: typed variables, constant arguments,
+a pretty printer matching MAL surface syntax, and helpers the
+optimizer passes rely on (def/use chains, side-effect classification).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator
+
+from repro.errors import MALError
+from repro.gdk.atoms import Atom
+
+
+@dataclass(frozen=True)
+class MALType:
+    """A MAL type: a scalar atom, a BAT of an atom, or ``any``."""
+
+    kind: str  # "scalar" | "bat" | "any"
+    atom: Atom | None = None
+
+    def __str__(self) -> str:
+        if self.kind == "bat":
+            atom = self.atom.value if self.atom else "any"
+            return f"bat[:oid,:{atom}]"
+        if self.kind == "scalar" and self.atom:
+            return f":{self.atom.value}"
+        return ":any"
+
+
+def scalar_type(atom: Atom) -> MALType:
+    """MAL type of a scalar of *atom*."""
+    return MALType("scalar", atom)
+
+
+def bat_type(atom: Atom | None = None) -> MALType:
+    """MAL type of a void-headed BAT with the given tail atom."""
+    return MALType("bat", atom)
+
+
+ANY = MALType("any")
+
+
+@dataclass(frozen=True)
+class Constant:
+    """A literal argument embedded in an instruction."""
+
+    value: Any
+    atom: Atom | None = None
+
+    def __str__(self) -> str:
+        if self.value is None:
+            return "nil"
+        if isinstance(self.value, str):
+            escaped = self.value.replace("\\", "\\\\").replace('"', '\\"')
+            return f'"{escaped}"'
+        if isinstance(self.value, bool):
+            return "true" if self.value else "false"
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class Var:
+    """A reference to a MAL variable by name."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+Argument = Var | Constant
+
+#: (module, function) pairs whose execution has observable side effects
+#: (catalog/storage mutation, result delivery) — never eliminated.
+SIDE_EFFECT_OPS = {
+    ("sql", "append"),
+    ("sql", "update"),
+    ("sql", "delete"),
+    ("sql", "clear_table"),
+    ("sql", "resultSet"),
+    ("sql", "createArray"),
+    ("sql", "createTable"),
+    ("sql", "dropObject"),
+    ("sql", "alterDimension"),
+    ("sql", "setVariable"),
+    ("sql", "affected"),
+    ("language", "raise"),
+    ("language", "free"),
+}
+
+
+@dataclass
+class Instruction:
+    """One MAL statement: results := module.function(args)."""
+
+    module: str
+    function: str
+    results: list[str]
+    args: list[Argument]
+    comment: str = ""
+
+    def __str__(self) -> str:
+        args = ", ".join(str(a) for a in self.args)
+        call = f"{self.module}.{self.function}({args});"
+        if self.results:
+            lhs = ", ".join(self.results)
+            if len(self.results) > 1:
+                lhs = f"({lhs})"
+            call = f"{lhs} := {call}"
+        if self.comment:
+            call = f"{call}  # {self.comment}"
+        return call
+
+    @property
+    def has_side_effects(self) -> bool:
+        """True when the instruction must survive dead-code elimination."""
+        return (self.module, self.function) in SIDE_EFFECT_OPS
+
+    def used_vars(self) -> list[str]:
+        """Names of variables read by this instruction."""
+        return [a.name for a in self.args if isinstance(a, Var)]
+
+    def signature(self) -> tuple:
+        """Hashable identity used by common-term elimination."""
+        key_args: list[Any] = []
+        for arg in self.args:
+            if isinstance(arg, Var):
+                key_args.append(("v", arg.name))
+            else:
+                key_args.append(("c", arg.atom, arg.value))
+        return (self.module, self.function, tuple(key_args))
+
+
+class MALProgram:
+    """A typed, single-assignment MAL program."""
+
+    def __init__(self, name: str = "user.main"):
+        self.name = name
+        self.instructions: list[Instruction] = []
+        self.types: dict[str, MALType] = {}
+        self._counter = itertools.count()
+        #: name -> variable holding a query result column (set by malgen).
+        self.result_columns: list[tuple[str, str]] = []
+        #: metadata describing the result shape ("table" | "array").
+        self.result_kind: str = "table"
+        #: names of variables that must survive garbage collection.
+        self.pinned: set[str] = set()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def fresh(self, mtype: MALType, prefix: str = "X") -> str:
+        """Allocate a new variable name of the given type."""
+        name = f"{prefix}_{next(self._counter)}"
+        self.types[name] = mtype
+        return name
+
+    def emit(
+        self,
+        module: str,
+        function: str,
+        args: Iterable[Any],
+        result_types: Iterable[MALType] = (),
+        comment: str = "",
+        prefix: str = "X",
+    ) -> list[str]:
+        """Append an instruction; auto-wrap raw Python literals as constants.
+
+        Returns the freshly allocated result variable names.
+        """
+        wrapped: list[Argument] = []
+        for arg in args:
+            if isinstance(arg, (Var, Constant)):
+                wrapped.append(arg)
+            elif isinstance(arg, str) and arg in self.types:
+                wrapped.append(Var(arg))
+            else:
+                wrapped.append(Constant(arg))
+        results = [self.fresh(t, prefix) for t in result_types]
+        self.instructions.append(Instruction(module, function, results, wrapped, comment))
+        return results
+
+    def emit1(
+        self,
+        module: str,
+        function: str,
+        args: Iterable[Any],
+        result_type: MALType,
+        comment: str = "",
+        prefix: str = "X",
+    ) -> str:
+        """Like :meth:`emit` for single-result instructions."""
+        return self.emit(module, function, args, [result_type], comment, prefix)[0]
+
+    def pin(self, name: str) -> None:
+        """Protect a variable from garbage collection / dead-code removal."""
+        self.pinned.add(name)
+
+    def type_of(self, name: str) -> MALType:
+        """Declared type of a variable."""
+        try:
+            return self.types[name]
+        except KeyError:
+            raise MALError(f"unknown MAL variable {name!r}") from None
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def to_text(self) -> str:
+        """Render MAL surface syntax (used by EXPLAIN and tests)."""
+        lines = [f"function {self.name}();"]
+        for instruction in self.instructions:
+            lines.append(f"    {instruction}")
+        lines.append(f"end {self.name};")
+        return "\n".join(lines)
+
+    def defined_vars(self) -> set[str]:
+        """All variables assigned anywhere in the program."""
+        out: set[str] = set()
+        for instruction in self.instructions:
+            out.update(instruction.results)
+        return out
+
+    def validate(self) -> None:
+        """Check single-assignment and def-before-use properties."""
+        defined: set[str] = set()
+        for instruction in self.instructions:
+            for used in instruction.used_vars():
+                if used not in defined:
+                    raise MALError(
+                        f"variable {used!r} used before definition in {instruction}"
+                    )
+            for result in instruction.results:
+                if result in defined:
+                    raise MALError(f"variable {result!r} assigned twice")
+                if result not in self.types:
+                    raise MALError(f"variable {result!r} has no declared type")
+                defined.add(result)

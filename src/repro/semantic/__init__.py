@@ -1,0 +1,20 @@
+"""Semantic analysis: name binding and type inference."""
+
+from repro.semantic.binder import BoundColumn, Scope, SourceInfo, source_from_catalog
+from repro.semantic.types import (
+    AGGREGATE_FUNCTIONS,
+    contains_aggregate,
+    infer_atom,
+    is_aggregate_call,
+)
+
+__all__ = [
+    "AGGREGATE_FUNCTIONS",
+    "BoundColumn",
+    "Scope",
+    "SourceInfo",
+    "contains_aggregate",
+    "infer_atom",
+    "is_aggregate_call",
+    "source_from_catalog",
+]

@@ -1,0 +1,129 @@
+"""Name binding: resolving column references against FROM sources.
+
+The binder rewrites :class:`~repro.sql.ast_nodes.ColumnRef` nodes into
+:class:`BoundColumn` nodes carrying the source index and atom type, so
+later stages never look names up again.  It is the front half of the
+"SQL/SciQL Compiler" box in the paper's Figure 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import SemanticError
+from repro.gdk.atoms import Atom
+from repro.catalog import Array, Catalog, Table
+from repro.catalog.objects import DimensionDef
+
+
+@dataclass(frozen=True)
+class BoundColumn:
+    """A resolved column reference: source ordinal + column name + type.
+
+    ``is_dimension`` is True for SciQL array dimensions — several
+    compilation rules special-case them (tiling anchors, coercions).
+    """
+
+    source: int
+    column: str
+    atom: Atom
+    is_dimension: bool = False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BoundColumn(#{self.source}.{self.column}:{self.atom.value})"
+
+
+@dataclass(frozen=True)
+class BoundCellRef:
+    """A resolved SciQL cell reference ``A[e1][e2](.attr)``.
+
+    ``indexes`` are bound coordinate expressions evaluated per row of
+    the current scope; the fetch happens against the *stored* array
+    (out-of-range coordinates produce NULL).
+    """
+
+    array: str  # catalog name of the array
+    indexes: tuple  # bound expressions, one per dimension
+    attribute: str
+    atom: Atom
+
+
+@dataclass
+class SourceInfo:
+    """One FROM source visible in a scope."""
+
+    alias: str
+    object_name: str  # catalog name, or "" for derived tables
+    kind: str  # "table" | "array" | "derived"
+    columns: list[tuple[str, Atom]]
+    dimensions: list[DimensionDef]
+
+    def column_atom(self, name: str) -> Optional[Atom]:
+        for column, atom in self.columns:
+            if column == name:
+                return atom
+        return None
+
+    def is_dimension(self, name: str) -> bool:
+        return any(d.name == name for d in self.dimensions)
+
+
+def source_from_catalog(catalog: Catalog, name: str, alias: str | None) -> SourceInfo:
+    """Build a SourceInfo for a named table/array."""
+    obj = catalog.get(name)
+    if isinstance(obj, Array):
+        columns = [(d.name, d.atom) for d in obj.dimensions]
+        columns += [(a.name, a.atom) for a in obj.attributes]
+        return SourceInfo(
+            alias or obj.name, obj.name, "array", columns, list(obj.dimensions)
+        )
+    assert isinstance(obj, Table)
+    columns = [(c.name, c.atom) for c in obj.columns]
+    return SourceInfo(alias or obj.name, obj.name, "table", columns, [])
+
+
+class Scope:
+    """The set of sources a query block can reference."""
+
+    def __init__(self, sources: list[SourceInfo]):
+        self.sources = sources
+        aliases = [s.alias for s in sources]
+        if len(set(aliases)) != len(aliases):
+            raise SemanticError(f"duplicate source aliases in FROM: {aliases}")
+
+    def resolve(self, name: str, qualifier: str | None) -> BoundColumn:
+        """Resolve ``[qualifier.]name`` to a unique source column."""
+        matches: list[BoundColumn] = []
+        for index, source in enumerate(self.sources):
+            if qualifier is not None and source.alias != qualifier:
+                continue
+            atom = source.column_atom(name)
+            if atom is not None:
+                matches.append(
+                    BoundColumn(index, name, atom, source.is_dimension(name))
+                )
+        if not matches:
+            target = f"{qualifier}.{name}" if qualifier else name
+            raise SemanticError(f"unknown column {target!r}")
+        if len(matches) > 1:
+            raise SemanticError(f"ambiguous column reference {name!r}")
+        return matches[0]
+
+    def source_by_alias(self, alias: str) -> tuple[int, SourceInfo]:
+        for index, source in enumerate(self.sources):
+            if source.alias == alias:
+                return index, source
+        raise SemanticError(f"unknown source {alias!r}")
+
+    def all_columns(self, qualifier: str | None = None) -> list[BoundColumn]:
+        """Expansion of ``*`` / ``qualifier.*`` in declaration order."""
+        out: list[BoundColumn] = []
+        for index, source in enumerate(self.sources):
+            if qualifier is not None and source.alias != qualifier:
+                continue
+            for column, atom in source.columns:
+                out.append(BoundColumn(index, column, atom, source.is_dimension(column)))
+        if qualifier is not None and not out:
+            raise SemanticError(f"unknown source {qualifier!r}")
+        return out

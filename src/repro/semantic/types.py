@@ -1,0 +1,163 @@
+"""Expression type inference over bound ASTs.
+
+Determines the atom type of every expression, applying SQL/MonetDB
+widening rules (``int`` < ``lng`` < ``dbl``); comparisons and logic
+yield ``bit``; AVG always yields ``dbl``; SUM widens to ``lng``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import SemanticError
+from repro.gdk.atoms import Atom, atom_for_python, atom_for_sql_type, is_numeric
+from repro.semantic.binder import BoundCellRef, BoundColumn
+from repro.sql import ast_nodes as ast
+
+#: aggregate function names.
+AGGREGATE_FUNCTIONS = frozenset(
+    {"sum", "avg", "min", "max", "count", "prod", "stddev", "median"}
+)
+
+#: scalar math functions with double results.
+MATH_FUNCTIONS = frozenset(
+    {"sqrt", "exp", "log", "ln", "log10", "sin", "cos", "tan"}
+)
+#: math functions preserving integer atoms.
+ROUNDING_FUNCTIONS = frozenset({"floor", "ceil", "ceiling", "round"})
+
+#: string functions and their result atoms.
+STRING_FUNCTIONS = {
+    "lower": Atom.STR,
+    "upper": Atom.STR,
+    "trim": Atom.STR,
+    "substring": Atom.STR,
+    "substr": Atom.STR,
+    "length": Atom.INT,
+    "char_length": Atom.INT,
+    "like": Atom.BIT,
+}
+
+
+def is_aggregate_call(expression) -> bool:
+    """True for a direct aggregate function application."""
+    return (
+        isinstance(expression, ast.FunctionCall)
+        and expression.name in AGGREGATE_FUNCTIONS
+    )
+
+
+def contains_aggregate(expression) -> bool:
+    """True when any aggregate call occurs inside *expression*."""
+    if is_aggregate_call(expression):
+        return True
+    if isinstance(expression, ast.BinaryOp):
+        return contains_aggregate(expression.left) or contains_aggregate(expression.right)
+    if isinstance(expression, ast.UnaryOp):
+        return contains_aggregate(expression.operand)
+    if isinstance(expression, ast.FunctionCall):
+        return any(contains_aggregate(a) for a in expression.args)
+    if isinstance(expression, ast.CaseExpression):
+        for condition, value in expression.whens:
+            if contains_aggregate(condition) or contains_aggregate(value):
+                return True
+        return expression.otherwise is not None and contains_aggregate(
+            expression.otherwise
+        )
+    if isinstance(expression, ast.IsNull):
+        return contains_aggregate(expression.operand)
+    if isinstance(expression, ast.InList):
+        return contains_aggregate(expression.operand) or any(
+            contains_aggregate(i) for i in expression.items
+        )
+    if isinstance(expression, ast.Between):
+        return (
+            contains_aggregate(expression.operand)
+            or contains_aggregate(expression.low)
+            or contains_aggregate(expression.high)
+        )
+    if isinstance(expression, ast.CastExpression):
+        return contains_aggregate(expression.operand)
+    return False
+
+
+def common_atom(left: Optional[Atom], right: Optional[Atom]) -> Optional[Atom]:
+    """Widest common atom of two optional atoms (None = untyped NULL)."""
+    if left is None:
+        return right
+    if right is None:
+        return left
+    if left is right:
+        return left
+    if is_numeric(left) and is_numeric(right):
+        order = {Atom.INT: 0, Atom.LNG: 1, Atom.DBL: 2}
+        return left if order[left] >= order[right] else right
+    raise SemanticError(f"incompatible types {left.value} and {right.value}")
+
+
+def infer_atom(expression) -> Optional[Atom]:
+    """Result atom of a bound expression; None for untyped NULL."""
+    if isinstance(expression, ast.Literal):
+        if expression.value is None:
+            return None
+        return atom_for_python(expression.value)
+    if isinstance(expression, BoundColumn):
+        return expression.atom
+    if isinstance(expression, BoundCellRef):
+        return expression.atom
+    if isinstance(expression, ast.CellRef):
+        raise SemanticError("cell reference not bound before type inference")
+    if isinstance(expression, ast.BinaryOp):
+        if expression.op in ("AND", "OR"):
+            return Atom.BIT
+        if expression.op in ("=", "<>", "!=", "<", "<=", ">", ">="):
+            return Atom.BIT
+        if expression.op == "||":
+            return Atom.STR
+        left = infer_atom(expression.left)
+        right = infer_atom(expression.right)
+        merged = common_atom(left, right)
+        if merged is not None and not is_numeric(merged):
+            raise SemanticError(
+                f"arithmetic on non-numeric type {merged.value}"
+            )
+        if expression.op == "/" and merged is None:
+            return None
+        return merged
+    if isinstance(expression, ast.UnaryOp):
+        if expression.op == "NOT":
+            return Atom.BIT
+        return infer_atom(expression.operand)
+    if isinstance(expression, ast.FunctionCall):
+        name = expression.name
+        if name == "count":
+            return Atom.LNG
+        if name in ("avg", "stddev", "median"):
+            return Atom.DBL
+        if name in ("sum", "prod"):
+            inner = infer_atom(expression.args[0]) if expression.args else Atom.LNG
+            return Atom.DBL if inner is Atom.DBL else Atom.LNG
+        if name in ("min", "max") and expression.args:
+            return infer_atom(expression.args[0])
+        if name in MATH_FUNCTIONS:
+            return Atom.DBL
+        if name in ROUNDING_FUNCTIONS:
+            inner = infer_atom(expression.args[0]) if expression.args else Atom.DBL
+            return inner if inner in (Atom.INT, Atom.LNG) else Atom.DBL
+        if name == "abs" and expression.args:
+            return infer_atom(expression.args[0])
+        if name in STRING_FUNCTIONS:
+            return STRING_FUNCTIONS[name]
+        raise SemanticError(f"unknown function {name!r}")
+    if isinstance(expression, ast.CaseExpression):
+        atom: Optional[Atom] = None
+        for _, value in expression.whens:
+            atom = common_atom(atom, infer_atom(value))
+        if expression.otherwise is not None:
+            atom = common_atom(atom, infer_atom(expression.otherwise))
+        return atom
+    if isinstance(expression, (ast.IsNull, ast.InList, ast.Between)):
+        return Atom.BIT
+    if isinstance(expression, ast.CastExpression):
+        return atom_for_sql_type(expression.type_name)
+    raise SemanticError(f"cannot infer type of {type(expression).__name__}")

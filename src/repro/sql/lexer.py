@@ -1,0 +1,180 @@
+"""The SQL/SciQL tokenizer.
+
+Hand-written single-pass scanner.  SQL conventions honoured:
+
+* keywords and identifiers are case-insensitive (keywords are upper-
+  cased, identifiers lower-cased);
+* ``"double quoted"`` identifiers preserve case;
+* ``'string literals'`` with doubled-quote escaping;
+* ``--`` line comments and ``/* ... */`` block comments.
+"""
+
+from __future__ import annotations
+
+from repro.errors import LexerError
+from repro.sql.tokens import KEYWORDS, OPERATORS, Token, TokenType
+
+_SINGLE_CHAR = {
+    "(": TokenType.LPAREN,
+    ")": TokenType.RPAREN,
+    "[": TokenType.LBRACKET,
+    "]": TokenType.RBRACKET,
+    ",": TokenType.COMMA,
+    ";": TokenType.SEMICOLON,
+    ".": TokenType.DOT,
+    ":": TokenType.COLON,
+    "*": TokenType.STAR,
+}
+
+
+class Lexer:
+    """Tokenizes one statement string."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.position = 0
+        self.line = 1
+        self.column = 1
+
+    def tokenize(self) -> list[Token]:
+        """Produce all tokens, terminated by an EOF token."""
+        tokens: list[Token] = []
+        while True:
+            self._skip_whitespace_and_comments()
+            if self.position >= len(self.text):
+                tokens.append(Token(TokenType.EOF, "", None, self.line, self.column))
+                return tokens
+            tokens.append(self._next_token())
+
+    # ------------------------------------------------------------------
+    def _peek(self, ahead: int = 0) -> str:
+        index = self.position + ahead
+        return self.text[index] if index < len(self.text) else ""
+
+    def _advance(self, count: int = 1) -> str:
+        out = self.text[self.position : self.position + count]
+        for ch in out:
+            if ch == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+        self.position += count
+        return out
+
+    def _skip_whitespace_and_comments(self) -> None:
+        while self.position < len(self.text):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "-" and self._peek(1) == "-":
+                while self.position < len(self.text) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                self._advance(2)
+                while self.position < len(self.text):
+                    if self._peek() == "*" and self._peek(1) == "/":
+                        self._advance(2)
+                        break
+                    self._advance()
+                else:
+                    raise LexerError("unterminated block comment", self.line, self.column)
+            else:
+                return
+
+    def _next_token(self) -> Token:
+        line, column = self.line, self.column
+        ch = self._peek()
+
+        if ch.isdigit() or (ch == "." and self._peek(1).isdigit()):
+            return self._number(line, column)
+        if ch.isalpha() or ch == "_":
+            return self._word(line, column)
+        if ch == "'":
+            return self._string(line, column)
+        if ch == '"':
+            return self._quoted_identifier(line, column)
+        for operator in OPERATORS:
+            if self.text.startswith(operator, self.position):
+                self._advance(len(operator))
+                return Token(TokenType.OPERATOR, operator, operator, line, column)
+        if ch in _SINGLE_CHAR:
+            self._advance()
+            return Token(_SINGLE_CHAR[ch], ch, ch, line, column)
+        raise LexerError(f"unexpected character {ch!r}", line, column)
+
+    def _number(self, line: int, column: int) -> Token:
+        start = self.position
+        seen_dot = False
+        seen_exp = False
+        while self.position < len(self.text):
+            ch = self._peek()
+            if ch.isdigit():
+                self._advance()
+            elif ch == "." and not seen_dot and not seen_exp:
+                # A dot not followed by a digit terminates the number
+                # (e.g. ``3.v`` never occurs; ``A.x`` handles the dot).
+                if not self._peek(1).isdigit():
+                    break
+                seen_dot = True
+                self._advance()
+            elif ch in "eE" and not seen_exp and (
+                self._peek(1).isdigit()
+                or (self._peek(1) in "+-" and self._peek(2).isdigit())
+            ):
+                seen_exp = True
+                self._advance()
+                if self._peek() in "+-":
+                    self._advance()
+            else:
+                break
+        text = self.text[start : self.position]
+        if seen_dot or seen_exp:
+            return Token(TokenType.FLOAT, text, float(text), line, column)
+        return Token(TokenType.INTEGER, text, int(text), line, column)
+
+    def _word(self, line: int, column: int) -> Token:
+        start = self.position
+        while self.position < len(self.text) and (
+            self._peek().isalnum() or self._peek() == "_"
+        ):
+            self._advance()
+        text = self.text[start : self.position]
+        upper = text.upper()
+        if upper in KEYWORDS:
+            return Token(TokenType.KEYWORD, upper, upper, line, column)
+        return Token(TokenType.IDENT, text.lower(), text.lower(), line, column)
+
+    def _string(self, line: int, column: int) -> Token:
+        self._advance()  # opening quote
+        parts: list[str] = []
+        while True:
+            if self.position >= len(self.text):
+                raise LexerError("unterminated string literal", line, column)
+            ch = self._advance()
+            if ch == "'":
+                if self._peek() == "'":  # doubled quote escape
+                    parts.append("'")
+                    self._advance()
+                else:
+                    break
+            else:
+                parts.append(ch)
+        value = "".join(parts)
+        return Token(TokenType.STRING, value, value, line, column)
+
+    def _quoted_identifier(self, line: int, column: int) -> Token:
+        self._advance()  # opening quote
+        start = self.position
+        while self.position < len(self.text) and self._peek() != '"':
+            self._advance()
+        if self.position >= len(self.text):
+            raise LexerError("unterminated quoted identifier", line, column)
+        text = self.text[start : self.position]
+        self._advance()  # closing quote
+        return Token(TokenType.IDENT, text, text, line, column)
+
+
+def tokenize(text: str) -> list[Token]:
+    """Convenience wrapper: tokenize *text*."""
+    return Lexer(text).tokenize()

@@ -1,0 +1,682 @@
+"""Recursive-descent parser for the SQL/SciQL dialect.
+
+Grammar notes specific to SciQL (all from Section 2 of the paper):
+
+* ``CREATE ARRAY name (x INT DIMENSION[0:1:4], ..., v INT DEFAULT 0)``;
+* projection items may carry the dimension qualifier ``[expr]``, which
+  coerces the result into an array;
+* ``GROUP BY name[x:x+2][y:y+2]`` is structural grouping — detected by
+  an identifier directly followed by ``[`` in the GROUP BY clause;
+* expressions may address cells by (relative) position:
+  ``A[x-1][y]`` or ``A[x][y].v``;
+* ``ALTER ARRAY name ALTER DIMENSION d SET RANGE [a:b:c]``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.sql import ast_nodes as ast
+from repro.sql.lexer import tokenize
+from repro.sql.tokens import Token, TokenType
+
+_COMPARISON_OPS = ("=", "<>", "!=", "<", "<=", ">", ">=")
+
+
+class Parser:
+    """Parses one token stream into statements."""
+
+    def __init__(self, text: str):
+        self.tokens = tokenize(text)
+        self.position = 0
+
+    # ------------------------------------------------------------------
+    # token plumbing
+    # ------------------------------------------------------------------
+    def _peek(self, ahead: int = 0) -> Token:
+        index = min(self.position + ahead, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._peek()
+        if token.type is not TokenType.EOF:
+            self.position += 1
+        return token
+
+    def _check(self, token_type: TokenType, text: str | None = None) -> bool:
+        token = self._peek()
+        if token.type is not token_type:
+            return False
+        return text is None or token.text == text
+
+    def _check_keyword(self, *names: str) -> bool:
+        return self._peek().is_keyword(*names)
+
+    def _match(self, token_type: TokenType, text: str | None = None) -> Token | None:
+        if self._check(token_type, text):
+            return self._advance()
+        return None
+
+    def _match_keyword(self, *names: str) -> Token | None:
+        if self._check_keyword(*names):
+            return self._advance()
+        return None
+
+    def _expect(self, token_type: TokenType, text: str | None = None) -> Token:
+        token = self._peek()
+        if not self._check(token_type, text):
+            wanted = text or token_type.value
+            raise ParseError(
+                f"expected {wanted!r}, found {token.text or 'end of input'!r}",
+                token.line,
+                token.column,
+            )
+        return self._advance()
+
+    def _expect_keyword(self, name: str) -> Token:
+        token = self._peek()
+        if not token.is_keyword(name):
+            raise ParseError(
+                f"expected {name}, found {token.text or 'end of input'!r}",
+                token.line,
+                token.column,
+            )
+        return self._advance()
+
+    def _expect_ident(self) -> str:
+        token = self._peek()
+        if token.type is TokenType.IDENT:
+            return self._advance().text
+        raise ParseError(
+            f"expected identifier, found {token.text or 'end of input'!r}",
+            token.line,
+            token.column,
+        )
+
+    def _error(self, message: str) -> ParseError:
+        token = self._peek()
+        return ParseError(message, token.line, token.column)
+
+    # ------------------------------------------------------------------
+    # entry points
+    # ------------------------------------------------------------------
+    def parse_statement(self) -> ast.Statement:
+        """Parse exactly one statement (trailing ``;`` allowed)."""
+        statement = self._statement()
+        self._match(TokenType.SEMICOLON)
+        if not self._check(TokenType.EOF):
+            raise self._error("unexpected input after statement")
+        return statement
+
+    def parse_script(self) -> list[ast.Statement]:
+        """Parse a ``;``-separated sequence of statements."""
+        statements: list[ast.Statement] = []
+        while not self._check(TokenType.EOF):
+            statements.append(self._statement())
+            if not self._match(TokenType.SEMICOLON):
+                break
+        if not self._check(TokenType.EOF):
+            raise self._error("unexpected input after statement")
+        return statements
+
+    # ------------------------------------------------------------------
+    # statements
+    # ------------------------------------------------------------------
+    def _statement(self) -> ast.Statement:
+        token = self._peek()
+        if token.is_keyword("EXPLAIN"):
+            self._advance()
+            return ast.Explain(self._statement())
+        if token.is_keyword("SELECT"):
+            return self._query_expression()
+        if token.is_keyword("CREATE"):
+            return self._create()
+        if token.is_keyword("INSERT"):
+            return self._insert()
+        if token.is_keyword("UPDATE"):
+            return self._update()
+        if token.is_keyword("DELETE"):
+            return self._delete()
+        if token.is_keyword("DROP"):
+            return self._drop()
+        if token.is_keyword("ALTER"):
+            return self._alter()
+        raise self._error(f"cannot parse statement starting with {token.text!r}")
+
+    # ------------------------------ DDL ------------------------------
+    def _create(self) -> ast.Statement:
+        self._expect_keyword("CREATE")
+        if self._match_keyword("TABLE"):
+            return self._create_table()
+        if self._match_keyword("ARRAY"):
+            return self._create_array()
+        raise self._error("expected TABLE or ARRAY after CREATE")
+
+    def _if_not_exists(self) -> bool:
+        if self._match_keyword("IF"):
+            self._expect_keyword("NOT")
+            self._expect_keyword("EXISTS")
+            return True
+        return False
+
+    def _create_table(self) -> ast.CreateTable:
+        if_not_exists = self._if_not_exists()
+        name = self._expect_ident()
+        self._expect(TokenType.LPAREN)
+        columns: list[ast.ColumnSpec] = []
+        while True:
+            if self._match_keyword("PRIMARY"):
+                # PRIMARY KEY (...) — accepted and ignored (tables keep
+                # bag semantics; dimension columns carry the key role
+                # for arrays).
+                self._expect_keyword("KEY")
+                self._expect(TokenType.LPAREN)
+                self._expect_ident()
+                while self._match(TokenType.COMMA):
+                    self._expect_ident()
+                self._expect(TokenType.RPAREN)
+            else:
+                columns.append(self._column_spec(allow_dimension=False))
+            if not self._match(TokenType.COMMA):
+                break
+        self._expect(TokenType.RPAREN)
+        return ast.CreateTable(name, tuple(columns), if_not_exists)
+
+    def _create_array(self) -> ast.CreateArray:
+        if_not_exists = self._if_not_exists()
+        name = self._expect_ident()
+        self._expect(TokenType.LPAREN)
+        elements = [self._column_spec(allow_dimension=True)]
+        while self._match(TokenType.COMMA):
+            elements.append(self._column_spec(allow_dimension=True))
+        self._expect(TokenType.RPAREN)
+        return ast.CreateArray(name, tuple(elements), if_not_exists)
+
+    def _column_spec(self, allow_dimension: bool) -> ast.ColumnSpec:
+        name = self._expect_ident()
+        type_name = self._type_name()
+        is_dimension = False
+        dimension_range = None
+        default = None
+        has_default = False
+        while True:
+            if allow_dimension and self._match_keyword("DIMENSION"):
+                is_dimension = True
+                if self._match(TokenType.LBRACKET):
+                    dimension_range = self._dimension_range_body()
+            elif self._match_keyword("DEFAULT"):
+                default = self._expression()
+                has_default = True
+            elif self._match_keyword("NOT"):
+                self._expect_keyword("NULL")  # accepted, not enforced
+            else:
+                break
+        return ast.ColumnSpec(
+            name, type_name, is_dimension, dimension_range, default, has_default
+        )
+
+    def _type_name(self) -> str:
+        token = self._peek()
+        if token.type in (TokenType.IDENT, TokenType.KEYWORD):
+            self._advance()
+            type_name = token.text.upper()
+        else:
+            raise self._error("expected a type name")
+        if self._match(TokenType.LPAREN):  # VARCHAR(32), DECIMAL(10,2), ...
+            self._expect(TokenType.INTEGER)
+            if self._match(TokenType.COMMA):
+                self._expect(TokenType.INTEGER)
+            self._expect(TokenType.RPAREN)
+        return type_name
+
+    def _dimension_range_body(self) -> ast.DimensionRange:
+        """Parses ``start : step : stop ]`` (the ``[`` is consumed)."""
+        start = self._expression()
+        self._expect(TokenType.COLON)
+        step = self._expression()
+        self._expect(TokenType.COLON)
+        stop = self._expression()
+        self._expect(TokenType.RBRACKET)
+        return ast.DimensionRange(start, step, stop)
+
+    def _drop(self) -> ast.DropObject:
+        self._expect_keyword("DROP")
+        if self._match_keyword("TABLE"):
+            kind = "table"
+        elif self._match_keyword("ARRAY"):
+            kind = "array"
+        else:
+            raise self._error("expected TABLE or ARRAY after DROP")
+        if_exists = False
+        if self._match_keyword("IF"):
+            self._expect_keyword("EXISTS")
+            if_exists = True
+        name = self._expect_ident()
+        return ast.DropObject(name, kind, if_exists)
+
+    def _alter(self) -> ast.AlterArrayDimension:
+        self._expect_keyword("ALTER")
+        self._expect_keyword("ARRAY")
+        array = self._expect_ident()
+        self._expect_keyword("ALTER")
+        self._expect_keyword("DIMENSION")
+        dimension = self._expect_ident()
+        self._expect_keyword("SET")
+        self._expect_keyword("RANGE")
+        self._expect(TokenType.LBRACKET)
+        dimension_range = self._dimension_range_body()
+        return ast.AlterArrayDimension(array, dimension, dimension_range)
+
+    # ------------------------------ DML ------------------------------
+    def _insert(self) -> ast.Statement:
+        self._expect_keyword("INSERT")
+        self._expect_keyword("INTO")
+        table = self._expect_ident()
+        columns: tuple[str, ...] = ()
+        if self._check(TokenType.LPAREN) and not self._peek(1).is_keyword("SELECT"):
+            self._expect(TokenType.LPAREN)
+            names = [self._expect_ident()]
+            while self._match(TokenType.COMMA):
+                names.append(self._expect_ident())
+            self._expect(TokenType.RPAREN)
+            columns = tuple(names)
+        if self._match_keyword("VALUES"):
+            rows = [self._value_row()]
+            while self._match(TokenType.COMMA):
+                rows.append(self._value_row())
+            return ast.InsertValues(table, columns, tuple(rows))
+        if self._check(TokenType.LPAREN):
+            self._expect(TokenType.LPAREN)
+            query = self._select()
+            self._expect(TokenType.RPAREN)
+            return ast.InsertSelect(table, columns, query)
+        if self._check_keyword("SELECT"):
+            return ast.InsertSelect(table, columns, self._select())
+        raise self._error("expected VALUES or SELECT in INSERT")
+
+    def _value_row(self) -> tuple[ast.Expression, ...]:
+        self._expect(TokenType.LPAREN)
+        values = [self._expression()]
+        while self._match(TokenType.COMMA):
+            values.append(self._expression())
+        self._expect(TokenType.RPAREN)
+        return tuple(values)
+
+    def _update(self) -> ast.Update:
+        self._expect_keyword("UPDATE")
+        table = self._expect_ident()
+        self._expect_keyword("SET")
+        assignments = [self._assignment()]
+        while self._match(TokenType.COMMA):
+            assignments.append(self._assignment())
+        where = self._expression() if self._match_keyword("WHERE") else None
+        return ast.Update(table, tuple(assignments), where)
+
+    def _assignment(self) -> tuple[str, ast.Expression]:
+        column = self._expect_ident()
+        self._expect(TokenType.OPERATOR, "=")
+        return column, self._expression()
+
+    def _delete(self) -> ast.Delete:
+        self._expect_keyword("DELETE")
+        self._expect_keyword("FROM")
+        table = self._expect_ident()
+        where = self._expression() if self._match_keyword("WHERE") else None
+        return ast.Delete(table, where)
+
+    # ----------------------------- SELECT ----------------------------
+    def _query_expression(self) -> ast.Statement:
+        """A SELECT block optionally chained with UNION/EXCEPT/INTERSECT."""
+        query: ast.Statement = self._select()
+        while True:
+            if self._match_keyword("UNION"):
+                op = "union"
+            elif self._match_keyword("EXCEPT"):
+                op = "except"
+            elif self._match_keyword("INTERSECT"):
+                op = "intersect"
+            else:
+                return query
+            keep_all = bool(self._match_keyword("ALL"))
+            if keep_all and op != "union":
+                raise self._error(f"{op.upper()} ALL is not supported")
+            right = self._select()
+            query = ast.SetOperation(op, keep_all, query, right)
+
+    def _select(self) -> ast.SelectStatement:
+        self._expect_keyword("SELECT")
+        distinct = bool(self._match_keyword("DISTINCT"))
+        items = [self._select_item()]
+        while self._match(TokenType.COMMA):
+            items.append(self._select_item())
+
+        sources: list[ast.TableSource] = []
+        if self._match_keyword("FROM"):
+            sources.append(self._table_source())
+            while self._match(TokenType.COMMA):
+                sources.append(self._table_source())
+
+        where = self._expression() if self._match_keyword("WHERE") else None
+
+        group_by = None
+        if self._match_keyword("GROUP"):
+            self._expect_keyword("BY")
+            group_by = self._group_by()
+
+        having = self._expression() if self._match_keyword("HAVING") else None
+
+        order_by: list[ast.OrderItem] = []
+        if self._match_keyword("ORDER"):
+            self._expect_keyword("BY")
+            order_by.append(self._order_item())
+            while self._match(TokenType.COMMA):
+                order_by.append(self._order_item())
+
+        limit = None
+        offset = None
+        if self._match_keyword("LIMIT"):
+            limit = int(self._expect(TokenType.INTEGER).value)
+        if self._match_keyword("OFFSET"):
+            offset = int(self._expect(TokenType.INTEGER).value)
+
+        return ast.SelectStatement(
+            tuple(items),
+            tuple(sources),
+            where,
+            group_by,
+            having,
+            tuple(order_by),
+            limit,
+            offset,
+            distinct,
+        )
+
+    def _select_item(self) -> ast.SelectItem:
+        if self._match(TokenType.LBRACKET):
+            # SciQL dimension qualifier: [expr]
+            expression = self._expression()
+            self._expect(TokenType.RBRACKET)
+            return ast.SelectItem(expression, self._alias(), dimension=True)
+        if self._check(TokenType.STAR):
+            self._advance()
+            return ast.SelectItem(ast.Star())
+        if (
+            self._check(TokenType.IDENT)
+            and self._peek(1).type is TokenType.DOT
+            and self._peek(2).type is TokenType.STAR
+        ):
+            qualifier = self._advance().text
+            self._advance()  # .
+            self._advance()  # *
+            return ast.SelectItem(ast.Star(qualifier))
+        expression = self._expression()
+        return ast.SelectItem(expression, self._alias())
+
+    def _alias(self) -> str | None:
+        if self._match_keyword("AS"):
+            return self._expect_ident()
+        if self._check(TokenType.IDENT):
+            return self._advance().text
+        return None
+
+    def _table_source(self) -> ast.TableSource:
+        source = self._primary_source()
+        while True:
+            if self._match_keyword("CROSS"):
+                self._expect_keyword("JOIN")
+                right = self._primary_source()
+                source = ast.JoinSource(source, right, "cross")
+            elif self._check_keyword("INNER", "JOIN", "LEFT"):
+                kind = "inner"
+                if self._match_keyword("LEFT"):
+                    self._match_keyword("OUTER")
+                    kind = "left"
+                else:
+                    self._match_keyword("INNER")
+                self._expect_keyword("JOIN")
+                right = self._primary_source()
+                self._expect_keyword("ON")
+                condition = self._expression()
+                source = ast.JoinSource(source, right, kind, condition)
+            else:
+                return source
+
+    def _primary_source(self) -> ast.TableSource:
+        if self._match(TokenType.LPAREN):
+            query = self._query_expression()
+            self._expect(TokenType.RPAREN)
+            self._match_keyword("AS")
+            alias = self._expect_ident()
+            return ast.SubquerySource(query, alias)
+        name = self._expect_ident()
+        alias = None
+        if self._match_keyword("AS"):
+            alias = self._expect_ident()
+        elif self._check(TokenType.IDENT):
+            alias = self._advance().text
+        return ast.NamedSource(name, alias)
+
+    def _group_by(self) -> ast.GroupBy:
+        if self._check(TokenType.IDENT) and self._peek(1).type is TokenType.LBRACKET:
+            return self._tile_group_by()
+        expressions = [self._expression()]
+        while self._match(TokenType.COMMA):
+            expressions.append(self._expression())
+        return ast.ValueGroupBy(tuple(expressions))
+
+    def _tile_group_by(self) -> ast.TileGroupBy:
+        array = self._expect_ident()
+        dimensions: list[ast.TileDimension] = []
+        while self._match(TokenType.LBRACKET):
+            low = self._expression()
+            high = None
+            if self._match(TokenType.COLON):
+                high = self._expression()
+            self._expect(TokenType.RBRACKET)
+            dimensions.append(ast.TileDimension(low, high))
+        if not dimensions:
+            raise self._error("structural GROUP BY needs at least one [..] group")
+        return ast.TileGroupBy(array, tuple(dimensions))
+
+    def _order_item(self) -> ast.OrderItem:
+        expression = self._expression()
+        descending = False
+        if self._match_keyword("DESC"):
+            descending = True
+        else:
+            self._match_keyword("ASC")
+        return ast.OrderItem(expression, descending)
+
+    # --------------------------- expressions -------------------------
+    def _expression(self) -> ast.Expression:
+        return self._or_expression()
+
+    def _or_expression(self) -> ast.Expression:
+        left = self._and_expression()
+        while self._match_keyword("OR"):
+            right = self._and_expression()
+            left = ast.BinaryOp("OR", left, right)
+        return left
+
+    def _and_expression(self) -> ast.Expression:
+        left = self._not_expression()
+        while self._match_keyword("AND"):
+            right = self._not_expression()
+            left = ast.BinaryOp("AND", left, right)
+        return left
+
+    def _not_expression(self) -> ast.Expression:
+        if self._match_keyword("NOT"):
+            return ast.UnaryOp("NOT", self._not_expression())
+        return self._comparison()
+
+    def _comparison(self) -> ast.Expression:
+        left = self._additive()
+        token = self._peek()
+        if token.type is TokenType.OPERATOR and token.text in _COMPARISON_OPS:
+            self._advance()
+            right = self._additive()
+            return ast.BinaryOp(token.text, left, right)
+        if self._match_keyword("IS"):
+            negated = bool(self._match_keyword("NOT"))
+            self._expect_keyword("NULL")
+            return ast.IsNull(left, negated)
+        negated = bool(self._match_keyword("NOT"))
+        if self._match_keyword("IN"):
+            self._expect(TokenType.LPAREN)
+            items = [self._expression()]
+            while self._match(TokenType.COMMA):
+                items.append(self._expression())
+            self._expect(TokenType.RPAREN)
+            return ast.InList(left, tuple(items), negated)
+        if self._match_keyword("BETWEEN"):
+            low = self._additive()
+            self._expect_keyword("AND")
+            high = self._additive()
+            return ast.Between(left, low, high, negated)
+        if self._match_keyword("LIKE"):
+            pattern = self._additive()
+            like = ast.FunctionCall("like", (left, pattern))
+            return ast.UnaryOp("NOT", like) if negated else like
+        if negated:
+            raise self._error("expected IN, BETWEEN or LIKE after NOT")
+        return left
+
+    def _additive(self) -> ast.Expression:
+        left = self._multiplicative()
+        while True:
+            token = self._peek()
+            if token.type is TokenType.OPERATOR and token.text in ("+", "-", "||"):
+                self._advance()
+                right = self._multiplicative()
+                left = ast.BinaryOp(token.text, left, right)
+            else:
+                return left
+
+    def _multiplicative(self) -> ast.Expression:
+        left = self._unary()
+        while True:
+            token = self._peek()
+            if token.type is TokenType.STAR:
+                self._advance()
+                left = ast.BinaryOp("*", left, self._unary())
+            elif token.type is TokenType.OPERATOR and token.text in ("/", "%"):
+                self._advance()
+                left = ast.BinaryOp(token.text, left, self._unary())
+            elif token.is_keyword("MOD"):
+                self._advance()
+                left = ast.BinaryOp("%", left, self._unary())
+            else:
+                return left
+
+    def _unary(self) -> ast.Expression:
+        token = self._peek()
+        if token.type is TokenType.OPERATOR and token.text in ("-", "+"):
+            self._advance()
+            operand = self._unary()
+            if token.text == "-":
+                if isinstance(operand, ast.Literal) and isinstance(
+                    operand.value, (int, float)
+                ):
+                    return ast.Literal(-operand.value)
+                return ast.UnaryOp("-", operand)
+            return operand
+        return self._primary()
+
+    def _primary(self) -> ast.Expression:
+        token = self._peek()
+        if token.type is TokenType.INTEGER or token.type is TokenType.FLOAT:
+            self._advance()
+            return ast.Literal(token.value)
+        if token.type is TokenType.STRING:
+            self._advance()
+            return ast.Literal(token.value)
+        if token.is_keyword("TRUE"):
+            self._advance()
+            return ast.Literal(True)
+        if token.is_keyword("FALSE"):
+            self._advance()
+            return ast.Literal(False)
+        if token.is_keyword("NULL"):
+            self._advance()
+            return ast.Literal(None)
+        if token.is_keyword("CASE"):
+            return self._case()
+        if token.is_keyword("CAST"):
+            return self._cast()
+        if token.type is TokenType.LPAREN:
+            self._advance()
+            expression = self._expression()
+            self._expect(TokenType.RPAREN)
+            return expression
+        if token.type is TokenType.IDENT:
+            return self._identifier_expression()
+        raise self._error(f"unexpected token {token.text!r} in expression")
+
+    def _case(self) -> ast.CaseExpression:
+        self._expect_keyword("CASE")
+        whens: list[tuple[ast.Expression, ast.Expression]] = []
+        while self._match_keyword("WHEN"):
+            condition = self._expression()
+            self._expect_keyword("THEN")
+            value = self._expression()
+            whens.append((condition, value))
+        if not whens:
+            raise self._error("CASE needs at least one WHEN branch")
+        otherwise = self._expression() if self._match_keyword("ELSE") else None
+        self._expect_keyword("END")
+        return ast.CaseExpression(tuple(whens), otherwise)
+
+    def _cast(self) -> ast.CastExpression:
+        self._expect_keyword("CAST")
+        self._expect(TokenType.LPAREN)
+        operand = self._expression()
+        self._expect_keyword("AS")
+        type_name = self._type_name()
+        self._expect(TokenType.RPAREN)
+        return ast.CastExpression(operand, type_name)
+
+    def _identifier_expression(self) -> ast.Expression:
+        name = self._expect_ident()
+        if self._check(TokenType.LPAREN):
+            return self._function_call(name)
+        if self._check(TokenType.LBRACKET):
+            return self._cell_reference(name)
+        if self._match(TokenType.DOT):
+            attribute = self._expect_ident()
+            return ast.ColumnRef(attribute, qualifier=name)
+        return ast.ColumnRef(name)
+
+    def _function_call(self, name: str) -> ast.FunctionCall:
+        self._expect(TokenType.LPAREN)
+        if self._check(TokenType.STAR):
+            self._advance()
+            self._expect(TokenType.RPAREN)
+            return ast.FunctionCall(name.lower(), (), star=True)
+        distinct = bool(self._match_keyword("DISTINCT"))
+        args: list[ast.Expression] = []
+        if not self._check(TokenType.RPAREN):
+            args.append(self._expression())
+            while self._match(TokenType.COMMA):
+                args.append(self._expression())
+        self._expect(TokenType.RPAREN)
+        return ast.FunctionCall(name.lower(), tuple(args), distinct=distinct)
+
+    def _cell_reference(self, array: str) -> ast.CellRef:
+        indexes: list[ast.Expression] = []
+        while self._match(TokenType.LBRACKET):
+            indexes.append(self._expression())
+            self._expect(TokenType.RBRACKET)
+        attribute = None
+        if self._match(TokenType.DOT):
+            attribute = self._expect_ident()
+        return ast.CellRef(array, tuple(indexes), attribute)
+
+
+def parse(text: str) -> ast.Statement:
+    """Parse one statement."""
+    return Parser(text).parse_statement()
+
+
+def parse_script(text: str) -> list[ast.Statement]:
+    """Parse a semicolon-separated script."""
+    return Parser(text).parse_script()

@@ -1,0 +1,61 @@
+"""Token definitions for the SQL/SciQL lexer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any
+
+
+class TokenType(enum.Enum):
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    INTEGER = "integer"
+    FLOAT = "float"
+    STRING = "string"
+    OPERATOR = "operator"
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACKET = "["
+    RBRACKET = "]"
+    COMMA = ","
+    SEMICOLON = ";"
+    DOT = "."
+    COLON = ":"
+    STAR = "*"
+    EOF = "eof"
+
+
+#: Reserved words (SQL:2003 subset + the SciQL extensions of the paper).
+KEYWORDS = frozenset(
+    {
+        "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT",
+        "OFFSET", "ASC", "DESC", "AS", "AND", "OR", "NOT", "NULL", "IS", "IN",
+        "BETWEEN", "LIKE", "CASE", "WHEN", "THEN", "ELSE", "END", "CREATE",
+        "TABLE", "ARRAY", "DIMENSION", "DEFAULT", "INSERT", "INTO", "VALUES",
+        "UPDATE", "SET", "DELETE", "DROP", "ALTER", "RANGE", "EXISTS", "IF",
+        "DISTINCT", "JOIN", "INNER", "LEFT", "RIGHT", "OUTER", "CROSS", "ON",
+        "MOD", "CAST", "TRUE", "FALSE", "PRIMARY", "KEY",
+        "UNION", "EXCEPT", "INTERSECT", "ALL", "EXPLAIN",
+    }
+)
+
+#: Multi-character operators, longest first so the lexer is greedy.
+OPERATORS = ("<>", "<=", ">=", "!=", "||", "=", "<", ">", "+", "-", "/", "%")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical unit with source position (1-based)."""
+
+    type: TokenType
+    text: str
+    value: Any
+    line: int
+    column: int
+
+    def is_keyword(self, *names: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.text in names
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Token({self.type.name}, {self.text!r})"

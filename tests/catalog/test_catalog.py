@@ -1,0 +1,280 @@
+"""Catalog and schema object tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CatalogError, DimensionError, PersistenceError
+from repro.gdk.atoms import Atom
+from repro.gdk.column import Column
+from repro.catalog import Array, Catalog, ColumnDef, DimensionDef, Table
+
+
+def make_matrix(name="matrix"):
+    return Array(
+        name,
+        [DimensionDef("x", Atom.INT, 0, 1, 4), DimensionDef("y", Atom.INT, 0, 1, 4)],
+        [ColumnDef("v", Atom.INT, 0, True)],
+    )
+
+
+class TestDimensionDef:
+    def test_size(self):
+        assert DimensionDef("x", Atom.INT, 0, 1, 4).size == 4
+        assert DimensionDef("x", Atom.INT, 0, 2, 5).size == 3
+        assert DimensionDef("x", Atom.INT, -1, 1, 5).size == 6
+
+    def test_values(self):
+        assert DimensionDef("x", Atom.INT, 0, 2, 6).values().tolist() == [0, 2, 4]
+
+    def test_contains(self):
+        dim = DimensionDef("x", Atom.INT, 0, 2, 6)
+        assert dim.contains(4)
+        assert not dim.contains(3)
+        assert not dim.contains(6)  # right-open
+
+    def test_rank_of(self):
+        dim = DimensionDef("x", Atom.INT, 10, 5, 25)
+        assert dim.rank_of(np.array([10, 15, 20, 11, 25])).tolist() == [
+            0, 1, 2, -1, -1,
+        ]
+
+    def test_invalid_step(self):
+        with pytest.raises(DimensionError):
+            DimensionDef("x", Atom.INT, 0, 0, 4)
+        with pytest.raises(DimensionError):
+            DimensionDef("x", Atom.INT, 0, -1, 4)
+
+    def test_backwards_range(self):
+        with pytest.raises(DimensionError):
+            DimensionDef("x", Atom.INT, 5, 1, 0)
+
+    def test_spec_rendering(self):
+        assert DimensionDef("x", Atom.INT, -1, 1, 5).spec() == "[-1:1:5]"
+
+
+class TestTable:
+    def test_starts_empty(self):
+        table = Table("t", [ColumnDef("a", Atom.INT)])
+        assert table.count == 0
+
+    def test_append_rows(self):
+        table = Table("t", [ColumnDef("a", Atom.INT), ColumnDef("b", Atom.STR)])
+        table.append_rows(
+            {
+                "a": Column.from_pylist(Atom.INT, [1, 2]),
+                "b": Column.from_pylist(Atom.STR, ["x", "y"]),
+            }
+        )
+        assert table.count == 2
+        assert table.bind("b").tail_pylist() == ["x", "y"]
+
+    def test_append_missing_column_uses_default(self):
+        table = Table(
+            "t", [ColumnDef("a", Atom.INT), ColumnDef("b", Atom.INT, 7, True)]
+        )
+        table.append_rows({"a": Column.from_pylist(Atom.INT, [1])})
+        assert table.bind("b").tail_pylist() == [7]
+
+    def test_append_missing_column_without_default_is_null(self):
+        table = Table("t", [ColumnDef("a", Atom.INT), ColumnDef("b", Atom.INT)])
+        table.append_rows({"a": Column.from_pylist(Atom.INT, [1])})
+        assert table.bind("b").tail_pylist() == [None]
+
+    def test_append_casts(self):
+        table = Table("t", [ColumnDef("a", Atom.DBL)])
+        table.append_rows({"a": Column.from_pylist(Atom.INT, [1])})
+        assert table.bind("a").tail_pylist() == [1.0]
+
+    def test_delete_rows_physical(self):
+        table = Table("t", [ColumnDef("a", Atom.INT)])
+        table.append_rows({"a": Column.from_pylist(Atom.INT, [1, 2, 3])})
+        table.delete_rows(np.array([1]))
+        assert table.bind("a").tail_pylist() == [1, 3]
+
+    def test_clear(self):
+        table = Table("t", [ColumnDef("a", Atom.INT)])
+        table.append_rows({"a": Column.from_pylist(Atom.INT, [1])})
+        table.clear()
+        assert table.count == 0
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(CatalogError):
+            Table("t", [ColumnDef("a", Atom.INT), ColumnDef("a", Atom.INT)])
+
+    def test_unknown_column(self):
+        table = Table("t", [ColumnDef("a", Atom.INT)])
+        with pytest.raises(CatalogError):
+            table.bind("nope")
+
+
+class TestArray:
+    def test_materialised_at_creation(self):
+        array = make_matrix()
+        assert array.cell_count == 16
+        assert array.bind("x").tail_pylist() == [
+            0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3,
+        ]
+        assert array.bind("y").tail_pylist() == [0, 1, 2, 3] * 4
+        assert array.bind("v").tail_pylist() == [0] * 16
+
+    def test_no_default_means_holes(self):
+        array = Array(
+            "a",
+            [DimensionDef("x", Atom.INT, 0, 1, 2)],
+            [ColumnDef("v", Atom.INT)],
+        )
+        assert array.bind("v").tail_pylist() == [None, None]
+
+    def test_series_parameters(self):
+        array = make_matrix()
+        assert array.series_parameters(0) == (4, 1)
+        assert array.series_parameters(1) == (1, 4)
+
+    def test_series_parameters_3d(self):
+        array = Array(
+            "a",
+            [
+                DimensionDef("x", Atom.INT, 0, 1, 2),
+                DimensionDef("y", Atom.INT, 0, 1, 3),
+                DimensionDef("z", Atom.INT, 0, 1, 5),
+            ],
+            [ColumnDef("v", Atom.INT, 0, True)],
+        )
+        assert array.series_parameters(0) == (15, 1)
+        assert array.series_parameters(1) == (5, 2)
+        assert array.series_parameters(2) == (1, 6)
+
+    def test_cell_oids(self):
+        array = make_matrix()
+        oids = array.cell_oids(
+            [np.array([0, 3, 1]), np.array([0, 3, 9])]
+        )
+        assert oids.tolist() == [0, 15, -1]
+
+    def test_grid(self):
+        array = make_matrix()
+        grid = array.grid("v")
+        assert grid.shape == (4, 4)
+        assert (grid == 0).all()
+
+    def test_delete_cells_punches_holes(self):
+        array = make_matrix()
+        array.delete_cells(np.array([0, 5]))
+        values = array.bind("v").tail_pylist()
+        assert values[0] is None and values[5] is None and values[1] == 0
+
+    def test_replace_values(self):
+        array = make_matrix()
+        array.replace_values("v", np.array([3]), Column.from_pylist(Atom.INT, [9]))
+        assert array.bind("v").find(3) == 9
+
+    def test_alter_dimension_expand(self):
+        array = make_matrix()
+        array.replace_values("v", np.array([0]), Column.from_pylist(Atom.INT, [42]))
+        array.alter_dimension("x", -1, 1, 5)
+        assert array.shape() == (6, 4)
+        # old cell (0,0) kept its value at the new location
+        oid = array.cell_oids([np.array([0]), np.array([0])])[0]
+        assert array.bind("v").find(int(oid)) == 42
+        # new border cells take the default
+        border = array.cell_oids([np.array([-1]), np.array([0])])[0]
+        assert array.bind("v").find(int(border)) == 0
+
+    def test_alter_dimension_shrink_drops_cells(self):
+        array = make_matrix()
+        array.replace_values("v", np.array([15]), Column.from_pylist(Atom.INT, [9]))
+        array.alter_dimension("x", 0, 1, 2)
+        assert array.shape() == (2, 4)
+        assert array.cell_count == 8
+
+    def test_needs_dimension_and_attribute(self):
+        with pytest.raises(CatalogError):
+            Array("a", [], [ColumnDef("v", Atom.INT)])
+        with pytest.raises(CatalogError):
+            Array("a", [DimensionDef("x", Atom.INT, 0, 1, 2)], [])
+
+
+class TestCatalog:
+    def test_create_and_lookup(self):
+        catalog = Catalog()
+        catalog.create_table("t", [ColumnDef("a", Atom.INT)])
+        assert "t" in catalog
+        assert isinstance(catalog.get("t"), Table)
+
+    def test_case_insensitive(self):
+        catalog = Catalog()
+        catalog.create_table("MyTable", [ColumnDef("a", Atom.INT)])
+        assert "mytable" in catalog
+        assert catalog.get("MYTABLE").name == "mytable"
+
+    def test_duplicate_name_rejected_across_kinds(self):
+        catalog = Catalog()
+        catalog.create_table("x", [ColumnDef("a", Atom.INT)])
+        with pytest.raises(CatalogError):
+            catalog.create_array(
+                "x",
+                [DimensionDef("d", Atom.INT, 0, 1, 2)],
+                [ColumnDef("v", Atom.INT)],
+            )
+
+    def test_kind_checked_lookups(self):
+        catalog = Catalog()
+        catalog.create_table("t", [ColumnDef("a", Atom.INT)])
+        with pytest.raises(CatalogError):
+            catalog.get_array("t")
+
+    def test_drop(self):
+        catalog = Catalog()
+        catalog.create_table("t", [ColumnDef("a", Atom.INT)])
+        catalog.drop("t")
+        assert "t" not in catalog
+
+    def test_drop_missing(self):
+        catalog = Catalog()
+        with pytest.raises(CatalogError):
+            catalog.drop("ghost")
+        catalog.drop("ghost", if_exists=True)  # no error
+
+    def test_names_sorted(self):
+        catalog = Catalog()
+        catalog.create_table("zz", [ColumnDef("a", Atom.INT)])
+        catalog.create_table("aa", [ColumnDef("a", Atom.INT)])
+        assert catalog.names() == ["aa", "zz"]
+
+
+class TestCatalogPersistence:
+    def test_roundtrip(self, tmp_path):
+        catalog = Catalog()
+        table = catalog.create_table(
+            "t", [ColumnDef("a", Atom.INT), ColumnDef("b", Atom.STR, "hi", True)]
+        )
+        table.append_rows(
+            {
+                "a": Column.from_pylist(Atom.INT, [1, None]),
+                "b": Column.from_pylist(Atom.STR, ["x", "y"]),
+            }
+        )
+        array = catalog.create_array(
+            "m",
+            [DimensionDef("x", Atom.INT, 0, 1, 3)],
+            [ColumnDef("v", Atom.DBL, 1.5, True)],
+        )
+        array.delete_cells(np.array([1]))
+        catalog.save(tmp_path / "farm")
+        loaded = Catalog.load(tmp_path / "farm")
+        assert loaded.get_table("t").bind("a").tail_pylist() == [1, None]
+        assert loaded.get_table("t").column_def("b").default == "hi"
+        marray = loaded.get_array("m")
+        assert marray.bind("v").tail_pylist() == [1.5, None, 1.5]
+        assert marray.dimensions[0].stop == 3
+
+    def test_save_overwrites(self, tmp_path):
+        catalog = Catalog()
+        catalog.create_table("t", [ColumnDef("a", Atom.INT)])
+        catalog.save(tmp_path / "farm")
+        catalog.save(tmp_path / "farm")  # idempotent
+        assert Catalog.load(tmp_path / "farm").names() == ["t"]
+
+    def test_load_missing(self, tmp_path):
+        with pytest.raises(PersistenceError):
+            Catalog.load(tmp_path / "nowhere")

@@ -1,0 +1,57 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+
+
+@pytest.fixture
+def conn():
+    """A fresh in-memory connection."""
+    return repro.connect()
+
+
+@pytest.fixture
+def matrix_conn():
+    """A connection holding the paper's 4×4 ``matrix`` array (Fig 1(a))."""
+    connection = repro.connect()
+    connection.execute(
+        "CREATE ARRAY matrix (x INT DIMENSION[0:1:4], "
+        "y INT DIMENSION[0:1:4], v INT DEFAULT 0)"
+    )
+    return connection
+
+
+@pytest.fixture
+def fig1c_conn(matrix_conn):
+    """The matrix after the full Figure 1(b)-(c) statement sequence."""
+    matrix_conn.execute(
+        "UPDATE matrix SET v = CASE WHEN x > y THEN x + y "
+        "WHEN x < y THEN x - y ELSE 0 END"
+    )
+    matrix_conn.execute(
+        "INSERT INTO matrix SELECT [x], [y], x * y FROM matrix WHERE x = y"
+    )
+    matrix_conn.execute("DELETE FROM matrix WHERE x > y")
+    return matrix_conn
+
+
+@pytest.fixture
+def obs_conn():
+    """A small relational playground: observations + stations tables."""
+    connection = repro.connect()
+    connection.execute(
+        "CREATE TABLE obs (station VARCHAR(10), day INT, temp DOUBLE)"
+    )
+    connection.execute(
+        "INSERT INTO obs VALUES ('ams', 1, 10.5), ('ams', 2, 12.0), "
+        "('rtm', 1, 9.0), ('rtm', 2, NULL), ('utr', 3, 7.25)"
+    )
+    connection.execute("CREATE TABLE stations (name VARCHAR(10), city VARCHAR(20))")
+    connection.execute(
+        "INSERT INTO stations VALUES ('ams', 'Amsterdam'), ('rtm', 'Rotterdam'), "
+        "('gro', 'Groningen')"
+    )
+    return connection

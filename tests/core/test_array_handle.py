@@ -1,0 +1,158 @@
+"""ArrayHandle (Pythonic array facade) tests."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import DimensionError, SciQLError
+from repro.core import ArrayHandle
+from repro.apps.imaging import reference_smooth
+
+
+@pytest.fixture
+def handle(conn):
+    data = np.arange(16).reshape(4, 4)
+    return ArrayHandle.from_numpy(conn, "grid", data), data
+
+
+class TestConstruction:
+    def test_create(self, conn):
+        handle = ArrayHandle.create(
+            conn, "a", [("x", 0, 1, 3), ("y", 0, 1, 2)], default=5
+        )
+        assert handle.shape == (3, 2)
+        assert (handle.to_numpy() == 5).all()
+
+    def test_create_without_default(self, conn):
+        handle = ArrayHandle.create(conn, "a", [("x", 0, 1, 2)], default=None)
+        assert np.isnan(handle.to_numpy()).all()
+
+    def test_from_numpy_int(self, handle):
+        h, data = handle
+        assert h.shape == (4, 4)
+        assert np.array_equal(h.to_numpy(), data)
+
+    def test_from_numpy_float(self, conn):
+        data = np.linspace(0, 1, 6).reshape(2, 3)
+        h = ArrayHandle.from_numpy(conn, "f", data)
+        assert np.allclose(h.to_numpy(), data)
+
+    def test_from_numpy_1d_and_3d(self, conn):
+        one = ArrayHandle.from_numpy(conn, "one", np.arange(5))
+        assert one.shape == (5,)
+        three = ArrayHandle.from_numpy(conn, "three", np.arange(8).reshape(2, 2, 2))
+        assert three.shape == (2, 2, 2)
+        assert np.array_equal(three.to_numpy(), np.arange(8).reshape(2, 2, 2))
+
+    def test_custom_dimension_names(self, conn):
+        h = ArrayHandle.from_numpy(
+            conn, "t", np.arange(4).reshape(2, 2), dimension_names=["lat", "lon"]
+        )
+        assert h.dimension_names == ["lat", "lon"]
+
+    def test_rank_mismatch(self, conn):
+        with pytest.raises(DimensionError):
+            ArrayHandle.from_numpy(
+                conn, "t", np.arange(4).reshape(2, 2), dimension_names=["x"]
+            )
+
+
+class TestReading:
+    def test_point_access(self, handle):
+        h, data = handle
+        assert h[2, 3] == data[2, 3]
+
+    def test_point_outside(self, handle):
+        h, _ = handle
+        with pytest.raises(DimensionError):
+            h[9, 9]
+
+    def test_slice_zoom(self, handle):
+        h, data = handle
+        assert np.array_equal(h[1:3, 0:2], data[1:3, 0:2])
+
+    def test_open_slices(self, handle):
+        h, data = handle
+        assert np.array_equal(h[:, 2:], data[:, 2:])
+
+    def test_wrong_rank(self, handle):
+        h, _ = handle
+        with pytest.raises(DimensionError):
+            h[1]
+
+    def test_shift(self, handle):
+        h, data = handle
+        shifted = h.shift((0, 1))
+        assert np.array_equal(shifted[:, :-1], data[:, 1:])
+        assert np.isnan(shifted[:, -1]).all()
+
+    def test_tile_smoothing(self, handle):
+        h, data = handle
+        assert np.allclose(h.tile(((-1, 2), (-1, 2)), "avg"), reference_smooth(data))
+
+    def test_tile_integer_span(self, handle):
+        h, data = handle
+        sums = h.tile((2, 2), "sum")
+        assert sums[0, 0] == data[0:2, 0:2].sum()
+
+    def test_to_rows(self, handle):
+        h, data = handle
+        rows = h.to_rows()
+        assert len(rows) == 16
+        assert rows[0] == (0, 0, 0)
+
+    def test_to_rows_drop_holes(self, handle):
+        h, _ = handle
+        h.punch_holes("x = 0")
+        assert len(h.to_rows(drop_holes=True)) == 12
+
+
+class TestWriting:
+    def test_point_assignment(self, handle):
+        h, _ = handle
+        h[1, 1] = 42
+        assert h[1, 1] == 42
+
+    def test_slice_assignment(self, handle):
+        h, _ = handle
+        h[0:2, 0:2] = 0
+        assert (h.to_numpy()[0:2, 0:2] == 0).all()
+
+    def test_null_assignment(self, handle):
+        h, _ = handle
+        h[0, 0] = None
+        assert h[0, 0] is None
+
+    def test_fill_expression(self, handle):
+        h, _ = handle
+        h.fill("x * 10 + y")
+        assert h[3, 2] == 32
+
+    def test_fill_with_where(self, handle):
+        h, data = handle
+        affected = h.fill("0", where="x = 1")
+        assert affected == 4
+        assert (h.to_numpy()[1] == 0).all()
+
+    def test_punch_holes_count(self, handle):
+        h, data = handle
+        assert h.punch_holes("v >= 8") == int((data >= 8).sum())
+
+    def test_resize(self, handle):
+        h, _ = handle
+        h.resize("y", -1, 1, 5)
+        assert h.shape == (4, 6)
+
+    def test_drop(self, handle):
+        h, _ = handle
+        h.drop()
+        assert "grid" not in h.connection.catalog
+
+    def test_multi_attribute_needs_name(self, conn):
+        conn.execute(
+            "CREATE ARRAY m (x INT DIMENSION[0:1:2], a INT DEFAULT 1, b INT DEFAULT 2)"
+        )
+        h = ArrayHandle(conn, "m")
+        with pytest.raises(SciQLError):
+            h.to_numpy()
+        assert h.to_numpy("b").tolist() == [2, 2]

@@ -1,0 +1,198 @@
+"""Structural grouping engine tests (the paper's core contribution)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DimensionError, GDKError
+from repro.gdk.atoms import Atom
+from repro.gdk.column import Column
+from repro.core.tiling import (
+    TileSpec,
+    brute_force_tile_aggregate,
+    in_bounds_count,
+    shifted,
+    tile_aggregate,
+    tile_members,
+)
+
+
+def fig1c_values():
+    """The matrix of Figure 1(c), cell order x-major."""
+    grid = {
+        (0, 0): 0, (0, 1): -1, (0, 2): -2, (0, 3): -3,
+        (1, 0): None, (1, 1): 1, (1, 2): -1, (1, 3): -2,
+        (2, 0): None, (2, 1): None, (2, 2): 4, (2, 3): -1,
+        (3, 0): None, (3, 1): None, (3, 2): None, (3, 3): 9,
+    }
+    return Column.from_pylist(
+        Atom.INT, [grid[(x, y)] for x in range(4) for y in range(4)]
+    )
+
+
+class TestTileSpec:
+    def test_from_ranges_basic(self):
+        spec = TileSpec.from_ranges([(0, 2), (0, 2)])
+        assert spec.offsets == ((0, 1), (0, 1))
+        assert spec.cells_per_tile == 4
+
+    def test_from_ranges_centered(self):
+        spec = TileSpec.from_ranges([(-1, 2)])
+        assert spec.offsets == ((-1, 0, 1),)
+
+    def test_step_filters_offsets(self):
+        # On a step-2 dimension only even offsets hit valid values.
+        spec = TileSpec.from_ranges([(0, 4)], steps=[2])
+        assert spec.offsets == ((0, 1),)  # rank offsets 0 and 1
+
+    def test_step_without_hits_rejected(self):
+        with pytest.raises(DimensionError):
+            TileSpec.from_ranges([(1, 2)], steps=[2])
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(DimensionError):
+            TileSpec.from_ranges([(2, 2)])
+
+    def test_empty_spec_rejected(self):
+        with pytest.raises(DimensionError):
+            TileSpec(())
+
+    def test_deltas_cross_product(self):
+        spec = TileSpec(((0, 1), (0, 1)))
+        assert sorted(spec.deltas()) == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+
+class TestShifted:
+    def test_positive_shift(self):
+        grid = np.arange(4.0).reshape(2, 2)
+        out = shifted(grid, (1, 0))
+        assert out[0, 0] == grid[1, 0]
+        assert np.isnan(out[1, 0])
+
+    def test_negative_shift(self):
+        grid = np.arange(4.0).reshape(2, 2)
+        out = shifted(grid, (0, -1))
+        assert out[0, 1] == grid[0, 0]
+        assert np.isnan(out[0, 0])
+
+    def test_shift_beyond_size(self):
+        grid = np.ones((2, 2))
+        assert np.isnan(shifted(grid, (5, 0))).all()
+
+
+class TestFigure1Tiling:
+    """Exact reproduction of Figure 1(d)/(e)."""
+
+    def test_avg_2x2_tiles(self):
+        values = fig1c_values()
+        spec = TileSpec.from_ranges([(0, 2), (0, 2)])
+        out = tile_aggregate(values, (4, 4), spec, "avg")
+        by_anchor = {
+            (x, y): out.get(x * 4 + y) for x in range(4) for y in range(4)
+        }
+        assert by_anchor[(1, 1)] == pytest.approx(4 / 3)  # 1, -1, 4 (one hole)
+        assert by_anchor[(1, 3)] == pytest.approx(-1.5)  # -2, -1
+        assert by_anchor[(3, 3)] == pytest.approx(9.0)  # corner: single cell
+        assert by_anchor[(3, 1)] is None  # all holes
+
+    def test_count_ignores_holes(self):
+        values = fig1c_values()
+        spec = TileSpec.from_ranges([(0, 2), (0, 2)])
+        out = tile_aggregate(values, (4, 4), spec, "count")
+        assert out.get(1 * 4 + 1) == 3
+        assert out.get(3 * 4 + 1) == 0
+
+    def test_count_star_counts_in_bounds_cells(self):
+        values = fig1c_values()
+        spec = TileSpec.from_ranges([(0, 2), (0, 2)])
+        out = tile_aggregate(values, (4, 4), spec, "count_star")
+        assert out.get(0) == 4  # interior anchor
+        assert out.get(3 * 4 + 3) == 1  # corner anchor
+
+
+class TestAggregates:
+    @pytest.fixture
+    def simple(self):
+        return Column.from_pylist(Atom.INT, [1, 2, 3, 4])  # 2x2
+
+    def test_sum(self, simple):
+        spec = TileSpec.from_ranges([(0, 2), (0, 2)])
+        out = tile_aggregate(simple, (2, 2), spec, "sum")
+        assert out.to_pylist() == [10, 6, 7, 4]
+
+    def test_min_max(self, simple):
+        spec = TileSpec.from_ranges([(0, 2), (0, 2)])
+        assert tile_aggregate(simple, (2, 2), spec, "min").to_pylist() == [1, 2, 3, 4]
+        assert tile_aggregate(simple, (2, 2), spec, "max").to_pylist() == [4, 4, 4, 4]
+
+    def test_prod(self, simple):
+        spec = TileSpec.from_ranges([(0, 2), (0, 2)])
+        assert tile_aggregate(simple, (2, 2), spec, "prod").to_pylist() == [24, 8, 12, 4]
+
+    def test_avg_type_is_double(self, simple):
+        spec = TileSpec.from_ranges([(0, 1), (0, 1)])
+        out = tile_aggregate(simple, (2, 2), spec, "avg")
+        assert out.atom is Atom.DBL
+
+    def test_double_input(self):
+        values = Column.from_pylist(Atom.DBL, [0.5, 1.5])
+        spec = TileSpec.from_ranges([(0, 2)])
+        out = tile_aggregate(values, (2,), spec, "sum")
+        assert out.to_pylist() == [2.0, 1.5]
+
+    def test_1d_array(self):
+        values = Column.from_pylist(Atom.INT, [1, 2, 3, 4, 5])
+        spec = TileSpec.from_ranges([(-1, 2)])
+        out = tile_aggregate(values, (5,), spec, "sum")
+        assert out.to_pylist() == [3, 6, 9, 12, 9]
+
+    def test_3d_array(self):
+        values = Column.from_pylist(Atom.INT, list(range(8)))
+        spec = TileSpec.from_ranges([(0, 2), (0, 2), (0, 2)])
+        out = tile_aggregate(values, (2, 2, 2), spec, "sum")
+        assert out.get(0) == sum(range(8))
+        assert out.get(7) == 7
+
+    def test_unknown_aggregate(self, simple):
+        spec = TileSpec.from_ranges([(0, 1), (0, 1)])
+        with pytest.raises(GDKError):
+            tile_aggregate(simple, (2, 2), spec, "median")
+
+    def test_misaligned_values(self, simple):
+        spec = TileSpec.from_ranges([(0, 1), (0, 1)])
+        with pytest.raises(DimensionError):
+            tile_aggregate(simple, (3, 3), spec, "sum")
+
+    def test_rank_mismatch(self, simple):
+        spec = TileSpec.from_ranges([(0, 1)])
+        with pytest.raises(DimensionError):
+            tile_aggregate(simple, (2, 2), spec, "sum")
+
+
+class TestMembersAndBruteForce:
+    def test_tile_members_interior(self):
+        spec = TileSpec.from_ranges([(0, 2), (0, 2)])
+        members = tile_members((4, 4), spec, (1, 1))
+        assert sorted(members) == [5, 6, 9, 10]
+
+    def test_tile_members_clipped(self):
+        spec = TileSpec.from_ranges([(0, 2), (0, 2)])
+        assert tile_members((4, 4), spec, (3, 3)) == [15]
+
+    def test_brute_force_matches_engine(self):
+        values = fig1c_values()
+        spec = TileSpec.from_ranges([(-1, 2), (0, 2)])
+        for aggregate in ("sum", "avg", "min", "max", "count", "count_star"):
+            fast = tile_aggregate(values, (4, 4), spec, aggregate).to_pylist()
+            slow = brute_force_tile_aggregate(values, (4, 4), spec, aggregate)
+            for f, s in zip(fast, slow):
+                if isinstance(s, float):
+                    assert f == pytest.approx(s)
+                else:
+                    assert f == s
+
+    def test_in_bounds_count(self):
+        spec = TileSpec.from_ranges([(-1, 2), (-1, 2)])
+        counts = in_bounds_count((3, 3), spec)
+        assert counts[1, 1] == 9
+        assert counts[0, 0] == 4
+        assert counts[0, 1] == 6

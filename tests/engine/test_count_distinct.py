@@ -1,0 +1,57 @@
+"""COUNT(DISTINCT ...) tests."""
+
+import pytest
+
+import repro
+from repro.errors import SemanticError
+
+
+@pytest.fixture
+def data(conn):
+    conn.execute("CREATE TABLE t (k INT, v INT, s VARCHAR(5))")
+    conn.execute(
+        "INSERT INTO t VALUES (1, 1, 'a'), (1, 1, 'b'), (1, 2, 'a'), "
+        "(2, 5, NULL), (2, NULL, 'c')"
+    )
+    return conn
+
+
+class TestCountDistinct:
+    def test_scalar(self, data):
+        assert data.execute("SELECT COUNT(DISTINCT v) FROM t").scalar() == 3
+
+    def test_scalar_strings(self, data):
+        assert data.execute("SELECT COUNT(DISTINCT s) FROM t").scalar() == 3
+
+    def test_grouped(self, data):
+        result = data.execute(
+            "SELECT k, COUNT(DISTINCT v) FROM t GROUP BY k ORDER BY k"
+        )
+        assert result.rows() == [(1, 2), (2, 1)]
+
+    def test_nulls_ignored(self, data):
+        result = data.execute(
+            "SELECT k, COUNT(DISTINCT s) FROM t GROUP BY k ORDER BY k"
+        )
+        assert result.rows() == [(1, 2), (2, 1)]
+
+    def test_all_null_group_counts_zero(self, conn):
+        conn.execute("CREATE TABLE t (k INT, v INT)")
+        conn.execute("INSERT INTO t VALUES (1, NULL)")
+        result = conn.execute("SELECT k, COUNT(DISTINCT v) FROM t GROUP BY k")
+        assert result.rows() == [(1, 0)]
+
+    def test_distinct_with_other_aggregates(self, data):
+        result = data.execute(
+            "SELECT k, COUNT(DISTINCT v), COUNT(v), SUM(v) FROM t "
+            "GROUP BY k ORDER BY k"
+        )
+        assert result.rows() == [(1, 2, 3, 4), (2, 1, 1, 5)]
+
+    def test_sum_distinct_rejected(self, data):
+        with pytest.raises(SemanticError):
+            data.execute("SELECT SUM(DISTINCT v) FROM t")
+
+    def test_avg_distinct_rejected_grouped(self, data):
+        with pytest.raises(SemanticError):
+            data.execute("SELECT k, AVG(DISTINCT v) FROM t GROUP BY k")

@@ -1,0 +1,190 @@
+"""Engine edge cases: EXPLAIN, empty inputs, degenerate shapes, errors."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import (
+    CatalogError,
+    DimensionError,
+    ParseError,
+    SciQLError,
+    SemanticError,
+)
+
+
+class TestExplainStatement:
+    def test_explain_select(self, conn):
+        conn.execute("CREATE TABLE t (a INT)")
+        result = conn.execute("EXPLAIN SELECT a FROM t")
+        lines = [row[0] for row in result.rows()]
+        assert lines[0].startswith("function user.main")
+        assert any("sql.bind" in line for line in lines)
+
+    def test_explain_does_not_execute(self, conn):
+        conn.execute("CREATE TABLE t (a INT)")
+        conn.execute("EXPLAIN INSERT INTO t VALUES (1)")
+        assert conn.execute("SELECT COUNT(*) FROM t").scalar() == 0
+
+    def test_explain_ddl(self, conn):
+        result = conn.execute("EXPLAIN CREATE TABLE t2 (a INT)")
+        assert any("sql.createTable" in row[0] for row in result.rows())
+        assert "t2" not in conn.catalog
+
+    def test_explain_shows_optimized_plan(self, conn):
+        conn.execute("CREATE TABLE t (a INT)")
+        result = conn.execute("EXPLAIN SELECT a FROM t WHERE a = 1 + 1")
+        text = "\n".join(row[0] for row in result.rows())
+        assert "calc.add" not in text  # constant folded
+
+
+class TestEmptyInputs:
+    def test_empty_table_select(self, conn):
+        conn.execute("CREATE TABLE t (a INT)")
+        assert conn.execute("SELECT a FROM t").rows() == []
+        assert conn.execute("SELECT a * 2 FROM t WHERE a > 0").rows() == []
+
+    def test_empty_table_joins(self, conn):
+        conn.execute("CREATE TABLE t (a INT)")
+        conn.execute("CREATE TABLE s (a INT)")
+        conn.execute("INSERT INTO s VALUES (1)")
+        assert conn.execute(
+            "SELECT * FROM t INNER JOIN s ON t.a = s.a"
+        ).rows() == []
+        assert conn.execute(
+            "SELECT * FROM s LEFT JOIN t ON s.a = t.a"
+        ).rows() == [(1, None)]
+
+    def test_empty_table_order_limit(self, conn):
+        conn.execute("CREATE TABLE t (a INT)")
+        assert conn.execute("SELECT a FROM t ORDER BY a LIMIT 5").rows() == []
+
+    def test_empty_update_delete(self, conn):
+        conn.execute("CREATE TABLE t (a INT)")
+        assert conn.execute("UPDATE t SET a = 1").affected == 0
+        assert conn.execute("DELETE FROM t").affected == 0
+
+    def test_empty_range_array(self, conn):
+        conn.execute("CREATE ARRAY a (x INT DIMENSION[5:1:5], v INT DEFAULT 0)")
+        assert conn.execute("SELECT COUNT(*) FROM a").scalar() == 0
+        assert conn.execute("SELECT x, v FROM a").rows() == []
+
+    def test_union_with_empty_side(self, conn):
+        conn.execute("CREATE TABLE t (a INT)")
+        conn.execute("CREATE TABLE s (a INT)")
+        conn.execute("INSERT INTO s VALUES (1)")
+        assert conn.execute("SELECT a FROM t UNION SELECT a FROM s").rows() == [(1,)]
+
+
+class TestDegenerateArrays:
+    def test_single_cell_array(self, conn):
+        conn.execute("CREATE ARRAY a (x INT DIMENSION[0:1:1], v INT DEFAULT 9)")
+        assert conn.execute("SELECT v FROM a").rows() == [(9,)]
+        result = conn.execute("SELECT x, SUM(v) FROM a GROUP BY a[x-1:x+2]")
+        assert result.rows() == [(0, 9)]
+
+    def test_tile_larger_than_array(self, conn):
+        conn.execute("CREATE ARRAY a (x INT DIMENSION[0:1:2], v INT DEFAULT 1)")
+        result = conn.execute("SELECT x, SUM(v) FROM a GROUP BY a[x-5:x+6]")
+        assert result.rows() == [(0, 2), (1, 2)]
+
+    def test_negative_dimension_values(self, conn):
+        conn.execute("CREATE ARRAY a (x INT DIMENSION[-3:1:0], v INT DEFAULT 0)")
+        conn.execute("UPDATE a SET v = x * x")
+        assert conn.execute("SELECT x, v FROM a").rows() == [
+            (-3, 9), (-2, 4), (-1, 1),
+        ]
+
+    def test_strided_cell_reference(self, conn):
+        conn.execute("CREATE ARRAY a (x INT DIMENSION[0:10:40], v INT DEFAULT 0)")
+        conn.execute("UPDATE a SET v = x")
+        result = conn.execute("SELECT x, a[x-10] FROM a")
+        assert result.rows() == [(0, None), (10, 0), (20, 10), (30, 20)]
+
+    def test_non_grid_coordinate_is_invalid(self, conn):
+        conn.execute("CREATE ARRAY a (x INT DIMENSION[0:10:40], v INT DEFAULT 5)")
+        # 15 is not on the step-10 grid: the cell does not exist.
+        result = conn.execute("SELECT a[15] FROM a LIMIT 1")
+        assert result.rows() == [(None,)]
+
+
+class TestErrorQuality:
+    def test_parse_error_mentions_position(self, conn):
+        with pytest.raises(ParseError) as excinfo:
+            conn.execute("SELECT FROM t")
+        assert "line 1" in str(excinfo.value)
+
+    def test_unknown_object_error_names_it(self, conn):
+        with pytest.raises(CatalogError) as excinfo:
+            conn.execute("SELECT a FROM missing_table")
+        assert "missing_table" in str(excinfo.value)
+
+    def test_unknown_column_error_names_it(self, obs_conn):
+        with pytest.raises(SemanticError) as excinfo:
+            obs_conn.execute("SELECT wrong_column FROM obs")
+        assert "wrong_column" in str(excinfo.value)
+
+    def test_all_errors_are_sciql_errors(self, conn):
+        for bad in (
+            "THIS IS NOT SQL",
+            "SELECT a FROM nope",
+            "CREATE ARRAY a (v INT)",
+        ):
+            with pytest.raises(SciQLError):
+                conn.execute(bad)
+
+    def test_insert_string_into_int_fails_cleanly(self, conn):
+        conn.execute("CREATE TABLE t (a INT)")
+        with pytest.raises(SciQLError):
+            conn.execute("INSERT INTO t VALUES ('not a number')")
+
+
+class TestMixedWorkflows:
+    def test_array_of_doubles(self, conn):
+        conn.execute(
+            "CREATE ARRAY m (x INT DIMENSION[0:1:3], v DOUBLE DEFAULT 0.5)"
+        )
+        conn.execute("UPDATE m SET v = v + x")
+        assert conn.execute("SELECT v FROM m").rows() == [(0.5,), (1.5,), (2.5,)]
+
+    def test_multi_attribute_array(self, conn):
+        conn.execute(
+            "CREATE ARRAY m (x INT DIMENSION[0:1:2], "
+            "red INT DEFAULT 0, green INT DEFAULT 0)"
+        )
+        conn.execute("UPDATE m SET red = 255 WHERE x = 0")
+        conn.execute("UPDATE m SET green = red / 2")
+        assert conn.execute("SELECT red, green FROM m").rows() == [
+            (255, 127), (0, 0),
+        ]
+
+    def test_tiling_multi_attribute(self, conn):
+        conn.execute(
+            "CREATE ARRAY m (x INT DIMENSION[0:1:3], a INT DEFAULT 1, b INT DEFAULT 2)"
+        )
+        result = conn.execute(
+            "SELECT x, SUM(a), SUM(b) FROM m GROUP BY m[x:x+2]"
+        )
+        assert result.rows() == [(0, 2, 4), (1, 2, 4), (2, 1, 2)]
+
+    def test_insert_select_between_arrays(self, conn):
+        conn.execute("CREATE ARRAY src (x INT DIMENSION[0:1:3], v INT DEFAULT 7)")
+        conn.execute("CREATE ARRAY dst (x INT DIMENSION[0:1:5], v INT DEFAULT 0)")
+        conn.execute("INSERT INTO dst SELECT [x], v FROM src")
+        assert conn.execute("SELECT v FROM dst").rows() == [
+            (7,), (7,), (7,), (0,), (0,),
+        ]
+
+    def test_query_after_alter(self, conn):
+        """Compiled plans bind fresh BATs, so ALTER invalidates nothing."""
+        conn.execute("CREATE ARRAY m (x INT DIMENSION[0:1:2], v INT DEFAULT 1)")
+        assert conn.execute("SELECT SUM(v) FROM m").scalar() == 2
+        conn.execute("ALTER ARRAY m ALTER DIMENSION x SET RANGE [0:1:10]")
+        assert conn.execute("SELECT SUM(v) FROM m").scalar() == 10
+
+    def test_self_union_of_array_table_views(self, conn):
+        conn.execute("CREATE ARRAY m (x INT DIMENSION[0:1:2], v INT DEFAULT 3)")
+        result = conn.execute(
+            "SELECT v FROM m UNION ALL SELECT v FROM m"
+        )
+        assert len(result.rows()) == 4

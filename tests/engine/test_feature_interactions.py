@@ -1,0 +1,160 @@
+"""Cross-feature interaction tests.
+
+Each test combines two or more features whose composition is easy to
+get wrong (tiling + ordering, coercion + set ops, holes + statistics,
+cell refs inside CASE, ...).
+"""
+
+import numpy as np
+import pytest
+
+import repro
+
+
+@pytest.fixture
+def ramp(conn):
+    """A 1-D array 0..7 with two holes."""
+    conn.execute("CREATE ARRAY r (x INT DIMENSION[0:1:8], v INT DEFAULT 0)")
+    conn.execute("UPDATE r SET v = x")
+    conn.execute("DELETE FROM r WHERE x = 3 OR x = 6")
+    return conn
+
+
+class TestTilingCombos:
+    def test_tiling_with_order_by_aggregate(self, ramp):
+        result = ramp.execute(
+            "SELECT x, SUM(v) FROM r GROUP BY r[x:x+3] ORDER BY SUM(v) DESC LIMIT 2"
+        )
+        sums = [s for _, s in result.rows()]
+        assert sums == sorted(sums, reverse=True)
+        assert len(sums) == 2
+
+    def test_tiling_table_result_with_limit(self, ramp):
+        result = ramp.execute(
+            "SELECT x, COUNT(v) FROM r GROUP BY r[x:x+2] LIMIT 3"
+        )
+        assert len(result.rows()) == 3
+
+    def test_tile_aggregate_inside_case(self, ramp):
+        result = ramp.execute(
+            "SELECT x, CASE WHEN COUNT(v) = 0 THEN -1 ELSE MIN(v) END "
+            "FROM r GROUP BY r[x:x+1]"
+        )
+        values = [v for _, v in result.rows()]
+        assert values[3] == -1  # the hole-only tile
+        assert values[0] == 0
+
+    def test_tile_of_expression_with_cellref(self, conn):
+        conn.execute("CREATE ARRAY a (x INT DIMENSION[0:1:4], v INT DEFAULT 2)")
+        # aggregate over an expression that itself shifts cells
+        result = conn.execute(
+            "SELECT x, SUM(v + a[x-1]) FROM a GROUP BY a[x:x+2]"
+        )
+        # v + a[x-1] is NULL at x=0 (border), 4 elsewhere
+        assert result.rows() == [(0, 4), (1, 8), (2, 8), (3, 4)]
+
+    def test_stddev_over_tiles_rejected_gracefully(self, ramp):
+        """stddev is not a tiling aggregate; the error must be clean."""
+        with pytest.raises(repro.SciQLError):
+            ramp.execute("SELECT x, STDDEV(v) FROM r GROUP BY r[x:x+3]")
+
+    def test_two_tiling_queries_in_script(self, ramp):
+        results = ramp.execute_script(
+            "SELECT x, SUM(v) FROM r GROUP BY r[x:x+2]; "
+            "SELECT x, MAX(v) FROM r GROUP BY r[x-1:x+2];"
+        )
+        assert len(results) == 2
+        assert len(results[0].rows()) == 8
+
+
+class TestCoercionCombos:
+    def test_union_of_array_views_then_coerce(self, conn):
+        conn.execute("CREATE ARRAY a (x INT DIMENSION[0:1:2], v INT DEFAULT 1)")
+        conn.execute("CREATE ARRAY b (x INT DIMENSION[2:1:4], v INT DEFAULT 2)")
+        result = conn.execute(
+            "SELECT [x], v FROM (SELECT x, v FROM a UNION ALL "
+            "SELECT x, v FROM b) AS merged"
+        )
+        assert result.grid().tolist() == [1, 1, 2, 2]
+
+    def test_insert_tiling_result_into_other_array(self, conn):
+        conn.execute("CREATE ARRAY src (x INT DIMENSION[0:1:4], v INT DEFAULT 3)")
+        conn.execute("CREATE ARRAY dst (x INT DIMENSION[0:1:4], v INT DEFAULT 0)")
+        conn.execute(
+            "INSERT INTO dst SELECT [x], SUM(v) FROM src GROUP BY src[x:x+2]"
+        )
+        assert conn.execute("SELECT v FROM dst").rows() == [(6,), (6,), (6,), (3,)]
+
+    def test_join_two_arrays_on_dimensions(self, conn):
+        conn.execute("CREATE ARRAY a (x INT DIMENSION[0:1:3], v INT DEFAULT 1)")
+        conn.execute("CREATE ARRAY b (x INT DIMENSION[1:1:4], w INT DEFAULT 2)")
+        result = conn.execute(
+            "SELECT a.x, a.v + b.w FROM a INNER JOIN b ON a.x = b.x ORDER BY a.x"
+        )
+        assert result.rows() == [(1, 3), (2, 3)]
+
+    def test_aggregate_over_coerced_subquery(self, obs_conn):
+        result = obs_conn.execute(
+            "SELECT AVG(n) FROM (SELECT station, COUNT(*) AS n FROM obs "
+            "GROUP BY station) AS counts"
+        )
+        assert result.scalar() == pytest.approx(5 / 3)
+
+
+class TestHolesEverywhere:
+    def test_holes_survive_persistence_and_tiling(self, ramp, tmp_path):
+        ramp.save(tmp_path / "db")
+        reopened = repro.connect(tmp_path / "db")
+        result = reopened.execute(
+            "SELECT x, COUNT(v) FROM r GROUP BY r[x:x+2]"
+        )
+        counts = [c for _, c in result.rows()]
+        assert counts == [2, 2, 1, 1, 2, 1, 1, 1]
+
+    def test_statistics_skip_holes(self, ramp):
+        # values present: 0,1,2,4,5,7
+        assert ramp.execute("SELECT MEDIAN(v) FROM r").scalar() == 3.0
+        count = ramp.execute("SELECT COUNT(v) FROM r").scalar()
+        assert count == 6
+
+    def test_is_null_finds_holes(self, ramp):
+        result = ramp.execute("SELECT x FROM r WHERE v IS NULL ORDER BY x")
+        assert result.rows() == [(3,), (6,)]
+
+    def test_interpolating_update_with_cellref(self, ramp):
+        """Fill each hole with its left neighbour (forward fill)."""
+        ramp.execute("UPDATE r SET v = r[x-1] WHERE v IS NULL")
+        assert ramp.execute("SELECT v FROM r").rows() == [
+            (0,), (1,), (2,), (2,), (4,), (5,), (5,), (7,),
+        ]
+
+    def test_string_functions_on_computed_column(self, conn):
+        conn.execute("CREATE TABLE t (a INT)")
+        conn.execute("INSERT INTO t VALUES (1), (22)")
+        result = conn.execute(
+            "SELECT LENGTH(CAST(a AS VARCHAR(10))) FROM t ORDER BY 1"
+        )
+        assert result.rows() == [(1,), (2,)]
+
+
+class TestDistinctAndSetOpCombos:
+    def test_distinct_after_tiling(self, ramp):
+        result = ramp.execute(
+            "SELECT DISTINCT COUNT(v) FROM r GROUP BY r[x:x+2]"
+        )
+        assert sorted(r[0] for r in result.rows()) == [1, 2]
+
+    def test_setop_of_grouped_queries(self, obs_conn):
+        result = obs_conn.execute(
+            "SELECT station FROM obs GROUP BY station "
+            "INTERSECT "
+            "SELECT name FROM stations"
+        )
+        assert sorted(result.rows()) == [("ams",), ("rtm",)]
+
+    def test_except_then_order_inside_subquery(self, obs_conn):
+        result = obs_conn.execute(
+            "SELECT s FROM (SELECT station AS s FROM obs EXCEPT "
+            "SELECT name AS s FROM stations) AS only_obs"
+        )
+        assert result.rows() == [("utr",)]

@@ -1,0 +1,187 @@
+"""Engine tests: string functions, LIKE, and set operations."""
+
+import pytest
+
+import repro
+from repro.errors import SciQLError, SemanticError
+
+
+@pytest.fixture
+def words(conn):
+    conn.execute("CREATE TABLE words (s VARCHAR(30))")
+    conn.execute(
+        "INSERT INTO words VALUES ('  Hello '), ('world'), (NULL), "
+        "('Amsterdam'), ('amber')"
+    )
+    return conn
+
+
+class TestStringFunctions:
+    def test_upper_lower(self, words):
+        result = words.execute(
+            "SELECT UPPER(s), LOWER(s) FROM words WHERE s = 'world'"
+        )
+        assert result.rows() == [("WORLD", "world")]
+
+    def test_null_propagates(self, words):
+        result = words.execute("SELECT UPPER(s) FROM words WHERE s IS NULL")
+        assert result.rows() == [(None,)]
+
+    def test_length(self, words):
+        result = words.execute("SELECT LENGTH(s) FROM words WHERE s = 'world'")
+        assert result.scalar() == 5
+
+    def test_trim(self, words):
+        result = words.execute("SELECT TRIM(s) FROM words WHERE LENGTH(s) = 8")
+        assert result.rows() == [("Hello",)]
+
+    def test_substring(self, words):
+        result = words.execute(
+            "SELECT SUBSTRING(s, 1, 3) FROM words WHERE s = 'Amsterdam'"
+        )
+        assert result.scalar() == "Ams"
+
+    def test_substring_without_length(self, words):
+        result = words.execute(
+            "SELECT SUBSTRING(s, 6) FROM words WHERE s = 'Amsterdam'"
+        )
+        assert result.scalar() == "rdam"
+
+    def test_scalar_string_function(self, conn):
+        assert conn.execute("SELECT UPPER('abc')").scalar() == "ABC"
+        assert conn.execute("SELECT LENGTH('abcd')").scalar() == 4
+
+    def test_nested_functions(self, words):
+        result = words.execute(
+            "SELECT UPPER(TRIM(s)) FROM words WHERE LENGTH(s) = 8"
+        )
+        assert result.scalar() == "HELLO"
+
+    def test_functions_in_where(self, words):
+        result = words.execute("SELECT s FROM words WHERE LOWER(s) = 'amber'")
+        assert result.rows() == [("amber",)]
+
+    def test_concat_operator(self, words):
+        result = words.execute("SELECT s || '!' FROM words WHERE s = 'world'")
+        assert result.scalar() == "world!"
+
+
+class TestLike:
+    def test_percent_wildcard(self, words):
+        result = words.execute("SELECT s FROM words WHERE s LIKE 'Am%'")
+        assert sorted(result.rows()) == [("Amsterdam",)]
+
+    def test_underscore_wildcard(self, words):
+        result = words.execute("SELECT s FROM words WHERE s LIKE 'w_rld'")
+        assert result.rows() == [("world",)]
+
+    def test_infix_pattern(self, words):
+        result = words.execute("SELECT s FROM words WHERE s LIKE '%mb%'")
+        assert result.rows() == [("amber",)]
+
+    def test_not_like(self, words):
+        result = words.execute(
+            "SELECT s FROM words WHERE s NOT LIKE '%m%' AND s IS NOT NULL"
+        )
+        assert sorted(result.rows()) == [("  Hello ",), ("world",)]
+
+    def test_null_never_matches(self, words):
+        result = words.execute("SELECT COUNT(*) FROM words WHERE s LIKE '%'")
+        assert result.scalar() == 4
+
+    def test_case_sensitive(self, words):
+        assert words.execute(
+            "SELECT COUNT(*) FROM words WHERE s LIKE 'am%'"
+        ).scalar() == 1
+
+    def test_like_with_regex_metacharacters(self, conn):
+        conn.execute("CREATE TABLE t (s VARCHAR(10))")
+        conn.execute("INSERT INTO t VALUES ('a.c'), ('abc')")
+        result = conn.execute("SELECT s FROM t WHERE s LIKE 'a.c'")
+        assert result.rows() == [("a.c",)]
+
+
+@pytest.fixture
+def two_tables(conn):
+    conn.execute("CREATE TABLE a (v INT)")
+    conn.execute("CREATE TABLE b (v INT)")
+    conn.execute("INSERT INTO a VALUES (1), (2), (2), (3), (NULL)")
+    conn.execute("INSERT INTO b VALUES (2), (4), (NULL)")
+    return conn
+
+
+def by_value(rows):
+    return sorted(rows, key=lambda r: (r[0] is None, r))
+
+
+class TestSetOperations:
+    def test_union_all_keeps_duplicates(self, two_tables):
+        result = two_tables.execute("SELECT v FROM a UNION ALL SELECT v FROM b")
+        assert len(result.rows()) == 8
+
+    def test_union_dedupes(self, two_tables):
+        result = two_tables.execute("SELECT v FROM a UNION SELECT v FROM b")
+        assert by_value(result.rows()) == [(1,), (2,), (3,), (4,), (None,)]
+
+    def test_except(self, two_tables):
+        result = two_tables.execute("SELECT v FROM a EXCEPT SELECT v FROM b")
+        assert sorted(result.rows()) == [(1,), (3,)]
+
+    def test_except_null_compares_equal(self, two_tables):
+        """SQL set semantics: NULL in both sides is removed by EXCEPT."""
+        result = two_tables.execute("SELECT v FROM a EXCEPT SELECT v FROM b")
+        assert (None,) not in result.rows()
+
+    def test_intersect(self, two_tables):
+        result = two_tables.execute("SELECT v FROM a INTERSECT SELECT v FROM b")
+        assert by_value(result.rows()) == [(2,), (None,)]
+
+    def test_chained_left_associative(self, two_tables):
+        result = two_tables.execute(
+            "SELECT v FROM a UNION SELECT v FROM b EXCEPT SELECT v FROM b"
+        )
+        assert sorted(result.rows()) == [(1,), (3,)]
+
+    def test_multi_column(self, conn):
+        conn.execute("CREATE TABLE p (x INT, y INT)")
+        conn.execute("CREATE TABLE q (x INT, y INT)")
+        conn.execute("INSERT INTO p VALUES (1, 1), (1, 2)")
+        conn.execute("INSERT INTO q VALUES (1, 2), (2, 2)")
+        result = conn.execute("SELECT x, y FROM p INTERSECT SELECT x, y FROM q")
+        assert result.rows() == [(1, 2)]
+
+    def test_type_widening(self, conn):
+        conn.execute("CREATE TABLE i (v INT)")
+        conn.execute("CREATE TABLE d (v DOUBLE)")
+        conn.execute("INSERT INTO i VALUES (1)")
+        conn.execute("INSERT INTO d VALUES (1.5)")
+        result = conn.execute("SELECT v FROM i UNION ALL SELECT v FROM d")
+        assert sorted(result.rows()) == [(1.0,), (1.5,)]
+
+    def test_arity_mismatch_rejected(self, two_tables):
+        with pytest.raises(SemanticError):
+            two_tables.execute("SELECT v FROM a UNION SELECT v, v FROM b")
+
+    def test_incompatible_types_rejected(self, conn):
+        conn.execute("CREATE TABLE i (v INT)")
+        conn.execute("CREATE TABLE s (v VARCHAR(5))")
+        conn.execute("INSERT INTO i VALUES (1)")
+        conn.execute("INSERT INTO s VALUES ('x')")
+        with pytest.raises(SemanticError):
+            conn.execute("SELECT v FROM i UNION SELECT v FROM s")
+
+    def test_except_all_unsupported(self, two_tables):
+        with pytest.raises(SciQLError):
+            two_tables.execute("SELECT v FROM a EXCEPT ALL SELECT v FROM b")
+
+    def test_union_with_filters(self, two_tables):
+        result = two_tables.execute(
+            "SELECT v FROM a WHERE v > 1 UNION SELECT v FROM b WHERE v < 3"
+        )
+        assert sorted(result.rows()) == [(2,), (3,)]
+
+    def test_union_of_aggregates(self, two_tables):
+        result = two_tables.execute(
+            "SELECT COUNT(*) FROM a UNION ALL SELECT COUNT(*) FROM b"
+        )
+        assert sorted(result.rows()) == [(3,), (5,)]

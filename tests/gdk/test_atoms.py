@@ -1,0 +1,119 @@
+"""Atom type system tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GDKError, TypeError_
+from repro.gdk.atoms import (
+    Atom,
+    atom_for_python,
+    atom_for_sql_type,
+    coerce_scalar,
+    common_numeric,
+    is_numeric,
+)
+
+
+class TestAtomInference:
+    def test_bool_maps_to_bit(self):
+        assert atom_for_python(True) is Atom.BIT
+
+    def test_numpy_bool_maps_to_bit(self):
+        assert atom_for_python(np.bool_(False)) is Atom.BIT
+
+    def test_small_int_maps_to_int(self):
+        assert atom_for_python(42) is Atom.INT
+
+    def test_negative_int_maps_to_int(self):
+        assert atom_for_python(-(2**31)) is Atom.INT
+
+    def test_large_int_maps_to_lng(self):
+        assert atom_for_python(2**31) is Atom.LNG
+
+    def test_float_maps_to_dbl(self):
+        assert atom_for_python(3.5) is Atom.DBL
+
+    def test_str_maps_to_str(self):
+        assert atom_for_python("hello") is Atom.STR
+
+    def test_none_rejected(self):
+        with pytest.raises(GDKError):
+            atom_for_python(None)
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(GDKError):
+            atom_for_python([1, 2])
+
+
+class TestNumericLattice:
+    def test_int_lng_widen(self):
+        assert common_numeric(Atom.INT, Atom.LNG) is Atom.LNG
+
+    def test_lng_dbl_widen(self):
+        assert common_numeric(Atom.LNG, Atom.DBL) is Atom.DBL
+
+    def test_same_type_identity(self):
+        assert common_numeric(Atom.INT, Atom.INT) is Atom.INT
+
+    def test_symmetric(self):
+        assert common_numeric(Atom.DBL, Atom.INT) is Atom.DBL
+
+    def test_str_not_numeric(self):
+        assert not is_numeric(Atom.STR)
+        with pytest.raises(TypeError_):
+            common_numeric(Atom.STR, Atom.INT)
+
+    def test_bit_not_numeric(self):
+        assert not is_numeric(Atom.BIT)
+
+
+class TestScalarCoercion:
+    def test_none_passthrough(self):
+        assert coerce_scalar(None, Atom.INT) is None
+
+    def test_int_to_dbl(self):
+        assert coerce_scalar(3, Atom.DBL) == 3.0
+
+    def test_float_to_int_truncates(self):
+        assert coerce_scalar(3.9, Atom.INT) == 3
+
+    def test_str_to_int(self):
+        assert coerce_scalar("17", Atom.INT) == 17
+
+    def test_int_to_str(self):
+        assert coerce_scalar(17, Atom.STR) == "17"
+
+    def test_bit_from_strings(self):
+        assert coerce_scalar("true", Atom.BIT) is True
+        assert coerce_scalar("F", Atom.BIT) is False
+
+    def test_bit_from_garbage_rejected(self):
+        with pytest.raises(GDKError):
+            coerce_scalar("maybe", Atom.BIT)
+
+    def test_bad_numeric_rejected(self):
+        with pytest.raises(GDKError):
+            coerce_scalar("abc", Atom.INT)
+
+
+class TestSqlTypeMapping:
+    @pytest.mark.parametrize(
+        "name, atom",
+        [
+            ("INT", Atom.INT),
+            ("integer", Atom.INT),
+            ("BIGINT", Atom.LNG),
+            ("DOUBLE", Atom.DBL),
+            ("real", Atom.DBL),
+            ("VARCHAR", Atom.STR),
+            ("boolean", Atom.BIT),
+            ("SMALLINT", Atom.INT),
+            ("TEXT", Atom.STR),
+        ],
+    )
+    def test_known_types(self, name, atom):
+        assert atom_for_sql_type(name) is atom
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError_):
+            atom_for_sql_type("GEOMETRY")

@@ -1,0 +1,119 @@
+"""BAT structure tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GDKError
+from repro.gdk.atoms import Atom
+from repro.gdk.bat import BAT, assert_aligned
+from repro.gdk.column import Column
+
+
+class TestConstruction:
+    def test_from_pylist(self):
+        bat = BAT.from_pylist(Atom.INT, [1, 2, None])
+        assert bat.tail_pylist() == [1, 2, None]
+        assert bat.hseqbase == 0
+
+    def test_dense(self):
+        bat = BAT.dense(5, 3)
+        assert bat.tail_pylist() == [5, 6, 7]
+        assert bat.atom is Atom.OID
+
+    def test_from_oids(self):
+        bat = BAT.from_oids(np.array([2, 4, 8]))
+        assert bat.tail_pylist() == [2, 4, 8]
+
+    def test_negative_seqbase_rejected(self):
+        with pytest.raises(GDKError):
+            BAT(Column.empty(Atom.INT), hseqbase=-1)
+
+
+class TestHead:
+    def test_head_oids(self):
+        bat = BAT.from_pylist(Atom.INT, [9, 8], hseqbase=10)
+        assert bat.head_oids().tolist() == [10, 11]
+
+    def test_buns(self):
+        bat = BAT.from_pylist(Atom.STR, ["a", "b"], hseqbase=3)
+        assert bat.buns() == [(3, "a"), (4, "b")]
+
+    def test_find(self):
+        bat = BAT.from_pylist(Atom.INT, [7, None], hseqbase=2)
+        assert bat.find(2) == 7
+        assert bat.find(3) is None
+
+    def test_find_outside_range(self):
+        bat = BAT.from_pylist(Atom.INT, [1])
+        with pytest.raises(GDKError):
+            bat.find(5)
+
+
+class TestOperations:
+    def test_mirror(self):
+        bat = BAT.from_pylist(Atom.STR, ["a", "b"], hseqbase=4)
+        mirrored = bat.mirror()
+        assert mirrored.tail_pylist() == [4, 5]
+        assert mirrored.hseqbase == 4
+
+    def test_slice(self):
+        bat = BAT.from_pylist(Atom.INT, [0, 1, 2, 3])
+        sliced = bat.slice(1, 3)
+        assert sliced.tail_pylist() == [1, 2]
+        assert sliced.hseqbase == 1
+
+    def test_append(self):
+        a = BAT.from_pylist(Atom.INT, [1])
+        b = BAT.from_pylist(Atom.INT, [2, None])
+        assert a.append(b).tail_pylist() == [1, 2, None]
+
+    def test_replace(self):
+        bat = BAT.from_pylist(Atom.INT, [1, 2, 3], hseqbase=10)
+        replaced = bat.replace(
+            np.array([10, 12]), Column.from_pylist(Atom.INT, [7, None])
+        )
+        assert replaced.tail_pylist() == [7, 2, None]
+
+    def test_project(self):
+        bat = BAT.from_pylist(Atom.STR, ["a", "b", "c"])
+        candidates = BAT.from_oids(np.array([2, 0]))
+        assert bat.project(candidates).tail_pylist() == ["c", "a"]
+
+    def test_project_requires_oid_candidates(self):
+        bat = BAT.from_pylist(Atom.INT, [1])
+        with pytest.raises(GDKError):
+            bat.project(BAT.from_pylist(Atom.INT, [0]))
+
+    def test_project_with_seqbase(self):
+        bat = BAT.from_pylist(Atom.INT, [10, 20], hseqbase=100)
+        candidates = BAT.from_oids(np.array([101]))
+        assert bat.project(candidates).tail_pylist() == [20]
+
+    def test_copy_independent(self):
+        bat = BAT.from_pylist(Atom.INT, [1])
+        clone = bat.copy()
+        clone.tail.values[0] = 9
+        assert bat.find(0) == 1
+
+
+class TestAlignment:
+    def test_aligned(self):
+        a = BAT.from_pylist(Atom.INT, [1, 2])
+        b = BAT.from_pylist(Atom.STR, ["x", "y"])
+        assert assert_aligned(a, b) == 2
+
+    def test_misaligned_length(self):
+        a = BAT.from_pylist(Atom.INT, [1])
+        b = BAT.from_pylist(Atom.INT, [1, 2])
+        with pytest.raises(GDKError):
+            assert_aligned(a, b)
+
+    def test_misaligned_seqbase(self):
+        a = BAT.from_pylist(Atom.INT, [1], hseqbase=0)
+        b = BAT.from_pylist(Atom.INT, [1], hseqbase=5)
+        with pytest.raises(GDKError):
+            assert_aligned(a, b)
+
+    def test_equality(self):
+        assert BAT.from_pylist(Atom.INT, [1]) == BAT.from_pylist(Atom.INT, [1])
+        assert BAT.from_pylist(Atom.INT, [1]) != BAT.from_pylist(Atom.INT, [2])

@@ -1,0 +1,197 @@
+"""Element-wise calculator tests (null propagation, SQL semantics)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GDKError
+from repro.gdk import calc
+from repro.gdk.atoms import Atom
+from repro.gdk.column import Column
+
+
+def col(atom, items):
+    return Column.from_pylist(atom, items)
+
+
+class TestArithmetic:
+    def test_add(self):
+        out = calc.arithmetic("+", col(Atom.INT, [1, 2]), col(Atom.INT, [10, 20]))
+        assert out.to_pylist() == [11, 22]
+
+    def test_scalar_broadcast(self):
+        out = calc.arithmetic("*", col(Atom.INT, [1, 2]), 3)
+        assert out.to_pylist() == [3, 6]
+
+    def test_scalar_left(self):
+        out = calc.arithmetic("-", 10, col(Atom.INT, [1, 2]))
+        assert out.to_pylist() == [9, 8]
+
+    def test_null_propagates(self):
+        out = calc.arithmetic("+", col(Atom.INT, [1, None]), col(Atom.INT, [1, 1]))
+        assert out.to_pylist() == [2, None]
+
+    def test_widening_to_double(self):
+        out = calc.arithmetic("+", col(Atom.INT, [1]), col(Atom.DBL, [0.5]))
+        assert out.atom is Atom.DBL
+        assert out.to_pylist() == [1.5]
+
+    def test_int_division_truncates_toward_zero(self):
+        out = calc.arithmetic("/", col(Atom.INT, [7, -7]), 2)
+        assert out.to_pylist() == [3, -3]
+
+    def test_division_by_zero_is_null(self):
+        out = calc.arithmetic("/", col(Atom.INT, [1, 4]), col(Atom.INT, [0, 2]))
+        assert out.to_pylist() == [None, 2]
+
+    def test_double_division(self):
+        out = calc.arithmetic("/", col(Atom.DBL, [1.0]), 4)
+        assert out.to_pylist() == [0.25]
+
+    def test_double_division_by_zero_is_null(self):
+        out = calc.arithmetic("/", col(Atom.DBL, [1.0]), 0)
+        assert out.to_pylist() == [None]
+
+    def test_mod_c_semantics(self):
+        out = calc.arithmetic("%", col(Atom.INT, [7, -7, 7]), col(Atom.INT, [3, 3, -3]))
+        assert out.to_pylist() == [1, -1, 1]
+
+    def test_mod_by_zero_is_null(self):
+        out = calc.arithmetic("%", col(Atom.INT, [5]), 0)
+        assert out.to_pylist() == [None]
+
+    def test_unknown_operator(self):
+        with pytest.raises(GDKError):
+            calc.arithmetic("^", col(Atom.INT, [1]), 2)
+
+    def test_both_scalars_rejected(self):
+        with pytest.raises(GDKError):
+            calc.arithmetic("+", 1, 2)
+
+    def test_length_mismatch(self):
+        with pytest.raises(GDKError):
+            calc.arithmetic("+", col(Atom.INT, [1]), col(Atom.INT, [1, 2]))
+
+    def test_negate_and_abs(self):
+        assert calc.negate(col(Atom.INT, [1, -2, None])).to_pylist() == [-1, 2, None]
+        assert calc.absolute(col(Atom.INT, [-3, 3, None])).to_pylist() == [3, 3, None]
+
+    def test_negate_string_rejected(self):
+        with pytest.raises(GDKError):
+            calc.negate(col(Atom.STR, ["a"]))
+
+
+class TestComparison:
+    def test_all_operators(self):
+        left = col(Atom.INT, [1, 2, 3])
+        assert calc.compare("==", left, 2).to_pylist() == [False, True, False]
+        assert calc.compare("!=", left, 2).to_pylist() == [True, False, True]
+        assert calc.compare("<", left, 2).to_pylist() == [True, False, False]
+        assert calc.compare("<=", left, 2).to_pylist() == [True, True, False]
+        assert calc.compare(">", left, 2).to_pylist() == [False, False, True]
+        assert calc.compare(">=", left, 2).to_pylist() == [False, True, True]
+
+    def test_null_compares_to_null(self):
+        out = calc.compare("==", col(Atom.INT, [None, 1]), 1)
+        assert out.to_pylist() == [None, True]
+
+    def test_string_comparison(self):
+        out = calc.compare("<", col(Atom.STR, ["a", "c"]), "b")
+        assert out.to_pylist() == [True, False]
+
+    def test_unknown_operator(self):
+        with pytest.raises(GDKError):
+            calc.compare("~", col(Atom.INT, [1]), 1)
+
+
+class TestThreeValuedLogic:
+    def test_and_truth_table(self):
+        a = col(Atom.BIT, [True, True, True, False, False, None, None, False, None])
+        b = col(Atom.BIT, [True, False, None, False, None, True, None, True, False])
+        out = calc.logical_and(a, b)
+        assert out.to_pylist() == [
+            True, False, None, False, False, None, None, False, False,
+        ]
+
+    def test_or_truth_table(self):
+        a = col(Atom.BIT, [True, True, True, False, False, None, None])
+        b = col(Atom.BIT, [True, False, None, False, None, True, None])
+        out = calc.logical_or(a, b)
+        assert out.to_pylist() == [True, True, True, False, None, True, None]
+
+    def test_not(self):
+        out = calc.logical_not(col(Atom.BIT, [True, False, None]))
+        assert out.to_pylist() == [False, True, None]
+
+    def test_not_requires_bits(self):
+        with pytest.raises(GDKError):
+            calc.logical_not(col(Atom.INT, [1]))
+
+    def test_isnull(self):
+        out = calc.isnull(col(Atom.INT, [1, None]))
+        assert out.to_pylist() == [False, True]
+        assert not out.has_nulls
+
+
+class TestIfThenElse:
+    def test_basic(self):
+        cond = col(Atom.BIT, [True, False])
+        out = calc.ifthenelse(cond, col(Atom.INT, [1, 1]), col(Atom.INT, [2, 2]))
+        assert out.to_pylist() == [1, 2]
+
+    def test_null_condition_takes_else(self):
+        cond = col(Atom.BIT, [None, True])
+        out = calc.ifthenelse(cond, 1, 2)
+        assert out.to_pylist() == [2, 1]
+
+    def test_scalar_branches(self):
+        cond = col(Atom.BIT, [True, False])
+        out = calc.ifthenelse(cond, 10, None)
+        assert out.to_pylist() == [10, None]
+
+    def test_branch_type_widening(self):
+        cond = col(Atom.BIT, [True, False])
+        out = calc.ifthenelse(cond, col(Atom.INT, [1, 1]), col(Atom.DBL, [0.5, 0.5]))
+        assert out.atom is Atom.DBL
+
+    def test_string_branches(self):
+        cond = col(Atom.BIT, [True, False])
+        out = calc.ifthenelse(cond, col(Atom.STR, ["y", "y"]), col(Atom.STR, ["n", "n"]))
+        assert out.to_pylist() == ["y", "n"]
+
+    def test_non_bit_condition_rejected(self):
+        with pytest.raises(GDKError):
+            calc.ifthenelse(col(Atom.INT, [1]), 1, 2)
+
+
+class TestStringsAndMath:
+    def test_concat(self):
+        out = calc.concat_str(col(Atom.STR, ["a", None]), "!")
+        assert out.to_pylist() == ["a!", None]
+
+    def test_concat_numbers_stringify(self):
+        out = calc.concat_str(col(Atom.INT, [1]), col(Atom.STR, ["x"]))
+        assert out.to_pylist() == ["1x"]
+
+    def test_sqrt(self):
+        out = calc.apply_unary_math("sqrt", col(Atom.DBL, [4.0, None]))
+        assert out.to_pylist() == [2.0, None]
+
+    def test_sqrt_negative_is_null(self):
+        out = calc.apply_unary_math("sqrt", col(Atom.DBL, [-1.0]))
+        assert out.to_pylist() == [None]
+
+    def test_log_zero_is_null(self):
+        out = calc.apply_unary_math("log", col(Atom.DBL, [0.0, 1.0]))
+        assert out.to_pylist() == [None, 0.0]
+
+    def test_floor_preserves_int(self):
+        out = calc.apply_unary_math("floor", col(Atom.INT, [3]))
+        assert out.atom is Atom.INT
+
+    def test_floor_on_double(self):
+        out = calc.apply_unary_math("floor", col(Atom.DBL, [3.7]))
+        assert out.to_pylist() == [3.0]
+
+    def test_unknown_function(self):
+        with pytest.raises(GDKError):
+            calc.apply_unary_math("sinh", col(Atom.DBL, [1.0]))

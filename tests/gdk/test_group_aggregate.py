@@ -1,0 +1,174 @@
+"""Grouping and aggregation kernel tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GDKError
+from repro.gdk import aggregate, group
+from repro.gdk.atoms import Atom
+from repro.gdk.column import Column
+
+
+@pytest.fixture
+def cities():
+    return Column.from_pylist(Atom.STR, ["ams", "rtm", "ams", None, "rtm", "ams"])
+
+
+@pytest.fixture
+def temps():
+    return Column.from_pylist(Atom.DBL, [10.0, 9.0, 12.0, 5.0, None, 14.0])
+
+
+class TestGroup:
+    def test_dense_ids_in_first_appearance_order(self, cities):
+        grouping = group.group(cities)
+        assert grouping.groups.to_pylist() == [0, 1, 0, 2, 1, 0]
+        assert grouping.ngroups == 3
+
+    def test_null_is_its_own_group(self, cities):
+        grouping = group.group(cities)
+        assert grouping.groups.get(3) == 2
+
+    def test_extents_point_to_first_member(self, cities):
+        grouping = group.group(cities)
+        assert grouping.extents.tolist() == [0, 1, 3]
+
+    def test_histogram(self, cities):
+        grouping = group.group(cities)
+        assert grouping.histogram.tolist() == [3, 2, 1]
+
+    def test_subgroup_refines(self, cities):
+        first = group.group(cities)
+        day = Column.from_pylist(Atom.INT, [1, 1, 2, 1, 2, 1])
+        refined = group.subgroup(day, first)
+        # (ams,1), (rtm,1), (ams,2), (null,1), (rtm,2), (ams,1)
+        assert refined.groups.to_pylist() == [0, 1, 2, 3, 4, 0]
+        assert refined.ngroups == 5
+
+    def test_subgroup_misaligned(self, cities):
+        first = group.group(cities)
+        with pytest.raises(GDKError):
+            group.subgroup(Column.from_pylist(Atom.INT, [1]), first)
+
+    def test_group_by_columns_compound(self, cities):
+        day = Column.from_pylist(Atom.INT, [1, 1, 2, 1, 2, 1])
+        grouping = group.group_by_columns([cities, day])
+        assert grouping.ngroups == 5
+
+    def test_explicit_grouping_negative_excluded(self):
+        grouping = group.explicit_grouping(np.array([0, -1, 1, 0]), 2)
+        assert grouping.histogram.tolist() == [2, 1]
+
+
+class TestGroupedAggregates:
+    def test_sum(self, cities, temps):
+        grouping = group.group(cities)
+        out = aggregate.grouped_sum(temps, grouping)
+        assert out.to_pylist() == [36.0, 9.0, 5.0]
+
+    def test_avg_ignores_nulls(self, cities, temps):
+        grouping = group.group(cities)
+        out = aggregate.grouped_avg(temps, grouping)
+        assert out.to_pylist() == [12.0, 9.0, 5.0]
+
+    def test_count_ignores_nulls(self, cities, temps):
+        grouping = group.group(cities)
+        out = aggregate.grouped_count(temps, grouping)
+        assert out.to_pylist() == [3, 1, 1]
+
+    def test_count_star_counts_rows(self, cities):
+        grouping = group.group(cities)
+        out = aggregate.grouped_count_star(grouping)
+        assert out.to_pylist() == [3, 2, 1]
+
+    def test_min_max(self, cities, temps):
+        grouping = group.group(cities)
+        assert aggregate.grouped_min(temps, grouping).to_pylist() == [10.0, 9.0, 5.0]
+        assert aggregate.grouped_max(temps, grouping).to_pylist() == [14.0, 9.0, 5.0]
+
+    def test_all_null_group_yields_null(self):
+        keys = Column.from_pylist(Atom.INT, [1, 2])
+        values = Column.from_pylist(Atom.INT, [None, 5])
+        grouping = group.group(keys)
+        assert aggregate.grouped_sum(values, grouping).to_pylist() == [None, 5]
+        assert aggregate.grouped_avg(values, grouping).to_pylist() == [None, 5.0]
+        assert aggregate.grouped_min(values, grouping).to_pylist() == [None, 5]
+        assert aggregate.grouped_count(values, grouping).to_pylist() == [0, 1]
+
+    def test_int_sum_widen_to_lng(self):
+        keys = Column.from_pylist(Atom.INT, [1, 1])
+        values = Column.from_pylist(Atom.INT, [2**30, 2**30])
+        grouping = group.group(keys)
+        out = aggregate.grouped_sum(values, grouping)
+        assert out.atom is Atom.LNG
+        assert out.to_pylist() == [2**31]
+
+    def test_prod(self):
+        keys = Column.from_pylist(Atom.INT, [1, 1, 2])
+        values = Column.from_pylist(Atom.INT, [3, 4, 5])
+        grouping = group.group(keys)
+        assert aggregate.grouped_prod(values, grouping).to_pylist() == [12, 5]
+
+    def test_string_min_max(self):
+        keys = Column.from_pylist(Atom.INT, [1, 1, 1])
+        values = Column.from_pylist(Atom.STR, ["pear", "apple", "fig"])
+        grouping = group.group(keys)
+        assert aggregate.grouped_min(values, grouping).to_pylist() == ["apple"]
+        assert aggregate.grouped_max(values, grouping).to_pylist() == ["pear"]
+
+    def test_sum_non_numeric_rejected(self, cities):
+        grouping = group.group(cities)
+        with pytest.raises(GDKError):
+            aggregate.grouped_sum(cities, grouping)
+
+    def test_dispatch_unknown(self, cities, temps):
+        grouping = group.group(cities)
+        with pytest.raises(GDKError):
+            aggregate.grouped("mode", temps, grouping)
+
+    def test_negative_group_rows_skipped(self):
+        values = Column.from_pylist(Atom.INT, [1, 100, 2])
+        grouping = group.explicit_grouping(np.array([0, -1, 0]), 1)
+        assert aggregate.grouped_sum(values, grouping).to_pylist() == [3]
+
+
+class TestScalarAggregates:
+    def test_sum(self, temps):
+        assert aggregate.scalar_sum(temps) == 50.0
+
+    def test_avg(self, temps):
+        assert aggregate.scalar_avg(temps) == 10.0
+
+    def test_count_excludes_nulls(self, temps):
+        assert aggregate.scalar_count(temps) == 5
+
+    def test_min_max(self, temps):
+        assert aggregate.scalar_min(temps) == 5.0
+        assert aggregate.scalar_max(temps) == 14.0
+
+    def test_empty_column(self):
+        empty = Column.empty(Atom.INT)
+        assert aggregate.scalar_sum(empty) is None
+        assert aggregate.scalar_avg(empty) is None
+        assert aggregate.scalar_min(empty) is None
+        assert aggregate.scalar_count(empty) == 0
+
+    def test_all_null(self):
+        nulls = Column.nulls(Atom.DBL, 3)
+        assert aggregate.scalar_sum(nulls) is None
+        assert aggregate.scalar_max(nulls) is None
+
+    def test_string_extremes(self):
+        values = Column.from_pylist(Atom.STR, ["b", "a", None])
+        assert aggregate.scalar_min(values) == "a"
+        assert aggregate.scalar_max(values) == "b"
+
+    def test_int_sum_is_int(self):
+        values = Column.from_pylist(Atom.INT, [1, 2, 3])
+        out = aggregate.scalar_sum(values)
+        assert out == 6 and isinstance(out, int)
+
+    def test_dispatch(self, temps):
+        assert aggregate.scalar("sum", temps) == 50.0
+        with pytest.raises(GDKError):
+            aggregate.scalar("mode", temps)

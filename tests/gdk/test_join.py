@@ -1,0 +1,161 @@
+"""Join kernel tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GDKError
+from repro.gdk import join
+from repro.gdk.atoms import Atom
+from repro.gdk.bat import BAT
+from repro.gdk.column import Column
+
+
+class TestInnerJoin:
+    def test_basic_matches(self):
+        left = BAT.from_pylist(Atom.INT, [1, 2, 3])
+        right = BAT.from_pylist(Atom.INT, [3, 1])
+        l, r = join.join(left, right)
+        pairs = set(zip(l.tail_pylist(), r.tail_pylist()))
+        assert pairs == {(0, 1), (2, 0)}
+
+    def test_duplicates_multiply(self):
+        left = BAT.from_pylist(Atom.INT, [1, 1])
+        right = BAT.from_pylist(Atom.INT, [1, 1, 1])
+        l, r = join.join(left, right)
+        assert len(l) == 6
+
+    def test_nulls_never_match(self):
+        left = BAT.from_pylist(Atom.INT, [None, 1])
+        right = BAT.from_pylist(Atom.INT, [None, 1])
+        l, r = join.join(left, right)
+        assert list(zip(l.tail_pylist(), r.tail_pylist())) == [(1, 1)]
+
+    def test_nil_matches_option(self):
+        left = BAT.from_pylist(Atom.INT, [None])
+        right = BAT.from_pylist(Atom.INT, [None])
+        l, r = join.join(left, right, nil_matches=True)
+        assert len(l) == 1
+
+    def test_string_join(self):
+        left = BAT.from_pylist(Atom.STR, ["a", "b"])
+        right = BAT.from_pylist(Atom.STR, ["b"])
+        l, r = join.join(left, right)
+        assert l.tail_pylist() == [1]
+
+    def test_seqbase_preserved(self):
+        left = BAT.from_pylist(Atom.INT, [5], hseqbase=10)
+        right = BAT.from_pylist(Atom.INT, [5], hseqbase=20)
+        l, r = join.join(left, right)
+        assert l.tail_pylist() == [10]
+        assert r.tail_pylist() == [20]
+
+    def test_type_mismatch_rejected(self):
+        with pytest.raises(GDKError):
+            join.join(
+                BAT.from_pylist(Atom.STR, ["1"]), BAT.from_pylist(Atom.INT, [1])
+            )
+
+    def test_mixed_int_widths_allowed(self):
+        l, r = join.join(
+            BAT.from_pylist(Atom.INT, [1]), BAT.from_pylist(Atom.LNG, [1])
+        )
+        assert len(l) == 1
+
+
+class TestLeftJoin:
+    def test_unmatched_marked(self):
+        left = BAT.from_pylist(Atom.INT, [1, 2])
+        right = BAT.from_pylist(Atom.INT, [2])
+        l, r = join.leftjoin(left, right)
+        assert l.tail_pylist() == [0, 1]
+        assert r.tail_pylist() == [-1, 0]
+
+    def test_null_left_keys_unmatched(self):
+        left = BAT.from_pylist(Atom.INT, [None])
+        right = BAT.from_pylist(Atom.INT, [1])
+        l, r = join.leftjoin(left, right)
+        assert r.tail_pylist() == [-1]
+
+    def test_projectionsafe_integration(self):
+        left = BAT.from_pylist(Atom.INT, [1, 2])
+        right = BAT.from_pylist(Atom.INT, [2])
+        payload = Column.from_pylist(Atom.STR, ["match"])
+        _, r = join.leftjoin(left, right)
+        fetched = payload.take_with_invalid(r.tail.values)
+        assert fetched.to_pylist() == [None, "match"]
+
+
+class TestThetaJoin:
+    def test_less_than(self):
+        left = BAT.from_pylist(Atom.INT, [1, 5])
+        right = BAT.from_pylist(Atom.INT, [3])
+        l, r = join.thetajoin(left, right, "<")
+        assert l.tail_pylist() == [0]
+
+    def test_nulls_excluded(self):
+        left = BAT.from_pylist(Atom.INT, [None, 1])
+        right = BAT.from_pylist(Atom.INT, [2])
+        l, _ = join.thetajoin(left, right, "<")
+        assert l.tail_pylist() == [1]
+
+    def test_unknown_operator(self):
+        bat = BAT.from_pylist(Atom.INT, [1])
+        with pytest.raises(GDKError):
+            join.thetajoin(bat, bat, "<<")
+
+
+class TestCrossProduct:
+    def test_cardinality(self):
+        l, r = join.crossproduct(2, 3)
+        assert len(l) == 6
+        assert l.tail_pylist() == [0, 0, 0, 1, 1, 1]
+        assert r.tail_pylist() == [0, 1, 2, 0, 1, 2]
+
+    def test_empty_side(self):
+        l, r = join.crossproduct(0, 5)
+        assert len(l) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(GDKError):
+            join.crossproduct(-1, 1)
+
+
+class TestSemiAntiJoin:
+    def test_semijoin(self):
+        left = BAT.from_pylist(Atom.INT, [1, 2, 3])
+        right = BAT.from_pylist(Atom.INT, [2, 2, 9])
+        assert join.semijoin(left, right).tail_pylist() == [1]
+
+    def test_antijoin(self):
+        left = BAT.from_pylist(Atom.INT, [1, 2, 3])
+        right = BAT.from_pylist(Atom.INT, [2])
+        assert join.antijoin(left, right).tail_pylist() == [0, 2]
+
+    def test_antijoin_excludes_null_left(self):
+        left = BAT.from_pylist(Atom.INT, [None, 1])
+        right = BAT.from_pylist(Atom.INT, [2])
+        assert join.antijoin(left, right).tail_pylist() == [1]
+
+
+class TestMultiColumnJoin:
+    def test_compound_key(self):
+        left = [
+            Column.from_pylist(Atom.INT, [1, 1, 2]),
+            Column.from_pylist(Atom.INT, [1, 2, 1]),
+        ]
+        right = [
+            Column.from_pylist(Atom.INT, [1, 2]),
+            Column.from_pylist(Atom.INT, [2, 1]),
+        ]
+        lpos, rpos = join.multi_column_join(left, right)
+        assert list(zip(lpos.tolist(), rpos.tolist())) == [(1, 0), (2, 1)]
+
+    def test_null_component_blocks_match(self):
+        left = [Column.from_pylist(Atom.INT, [1]), Column.from_pylist(Atom.INT, [None])]
+        right = [Column.from_pylist(Atom.INT, [1]), Column.from_pylist(Atom.INT, [None])]
+        lpos, _ = join.multi_column_join(left, right)
+        assert len(lpos) == 0
+
+    def test_arity_checked(self):
+        with pytest.raises(GDKError):
+            join.multi_column_join([], [])

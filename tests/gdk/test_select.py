@@ -1,0 +1,148 @@
+"""Selection kernel tests (candidate-list producers)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GDKError
+from repro.gdk import select
+from repro.gdk.atoms import Atom
+from repro.gdk.bat import BAT
+
+
+@pytest.fixture
+def numbers():
+    return BAT.from_pylist(Atom.INT, [5, None, 3, 7, 3, -2])
+
+
+class TestThetaSelect:
+    def test_equality(self, numbers):
+        assert select.thetaselect(numbers, 3, "==").tail_pylist() == [2, 4]
+
+    def test_less_than(self, numbers):
+        assert select.thetaselect(numbers, 3, "<").tail_pylist() == [5]
+
+    def test_greater_equal(self, numbers):
+        assert select.thetaselect(numbers, 5, ">=").tail_pylist() == [0, 3]
+
+    def test_not_equal_skips_nulls(self, numbers):
+        assert select.thetaselect(numbers, 3, "!=").tail_pylist() == [0, 3, 5]
+
+    def test_null_value_selects_nothing(self, numbers):
+        assert len(select.thetaselect(numbers, None, "==")) == 0
+
+    def test_unknown_operator(self, numbers):
+        with pytest.raises(GDKError):
+            select.thetaselect(numbers, 3, "~=")
+
+    def test_with_candidates(self, numbers):
+        candidates = BAT.from_oids(np.array([0, 2, 3]))
+        out = select.thetaselect(numbers, 3, ">", candidates)
+        assert out.tail_pylist() == [0, 3]
+
+    def test_candidate_out_of_range(self, numbers):
+        with pytest.raises(GDKError):
+            select.thetaselect(numbers, 3, ">", BAT.from_oids(np.array([99])))
+
+    def test_string_select(self):
+        bat = BAT.from_pylist(Atom.STR, ["b", "a", None, "b"])
+        assert select.thetaselect(bat, "b", "==").tail_pylist() == [0, 3]
+
+
+class TestRangeSelect:
+    def test_closed_interval(self, numbers):
+        out = select.rangeselect(numbers, 3, 5)
+        assert out.tail_pylist() == [0, 2, 4]
+
+    def test_open_bounds(self, numbers):
+        out = select.rangeselect(numbers, 3, 7, low_inclusive=False,
+                                 high_inclusive=False)
+        assert out.tail_pylist() == [0]
+
+    def test_unbounded_low(self, numbers):
+        out = select.rangeselect(numbers, None, 3)
+        assert out.tail_pylist() == [2, 4, 5]
+
+    def test_anti(self, numbers):
+        out = select.rangeselect(numbers, 3, 5, anti=True)
+        assert out.tail_pylist() == [3, 5]
+
+    def test_anti_excludes_nulls(self, numbers):
+        out = select.rangeselect(numbers, -100, 100, anti=True)
+        assert out.tail_pylist() == []
+
+
+class TestBitAndNullSelect:
+    def test_select_true(self):
+        bits = BAT.from_pylist(Atom.BIT, [True, False, None, True])
+        assert select.select_true(bits).tail_pylist() == [0, 3]
+
+    def test_select_true_requires_bits(self):
+        with pytest.raises(GDKError):
+            select.select_true(BAT.from_pylist(Atom.INT, [1]))
+
+    def test_isnull(self, numbers):
+        assert select.isnull_select(numbers).tail_pylist() == [1]
+
+    def test_not_null(self, numbers):
+        assert select.isnull_select(numbers, want_null=False).tail_pylist() == [
+            0, 2, 3, 4, 5,
+        ]
+
+
+class TestInSelect:
+    def test_membership(self, numbers):
+        out = select.in_select(numbers, [3, 7])
+        assert out.tail_pylist() == [2, 3, 4]
+
+    def test_null_members_ignored(self, numbers):
+        out = select.in_select(numbers, [None, 5])
+        assert out.tail_pylist() == [0]
+
+    def test_empty_list(self, numbers):
+        assert len(select.in_select(numbers, [None])) == 0
+
+    def test_strings(self):
+        bat = BAT.from_pylist(Atom.STR, ["a", "b", "c"])
+        assert select.in_select(bat, ["a", "c"]).tail_pylist() == [0, 2]
+
+
+class TestCandidateAlgebra:
+    def test_intersect(self):
+        a = BAT.from_oids(np.array([1, 3, 5]))
+        b = BAT.from_oids(np.array([3, 5, 7]))
+        assert select.intersect_candidates(a, b).tail_pylist() == [3, 5]
+
+    def test_union(self):
+        a = BAT.from_oids(np.array([1, 3]))
+        b = BAT.from_oids(np.array([3, 7]))
+        assert select.union_candidates(a, b).tail_pylist() == [1, 3, 7]
+
+    def test_difference(self):
+        a = BAT.from_oids(np.array([1, 3, 5]))
+        b = BAT.from_oids(np.array([3]))
+        assert select.difference_candidates(a, b).tail_pylist() == [1, 5]
+
+    def test_firstn(self):
+        a = BAT.from_oids(np.array([1, 3, 5]))
+        assert select.firstn(a, 2).tail_pylist() == [1, 3]
+
+    def test_firstn_negative(self):
+        with pytest.raises(GDKError):
+            select.firstn(BAT.from_oids(np.array([1])), -1)
+
+    def test_densify(self):
+        candidates = BAT.from_oids(np.array([0, 2]))
+        column = select.boolean_column_from_candidates(4, 0, candidates)
+        assert column.to_pylist() == [True, False, True, False]
+
+    def test_non_oid_rejected(self):
+        ints = BAT.from_pylist(Atom.INT, [1])
+        with pytest.raises(GDKError):
+            select.intersect_candidates(ints, ints)
+
+
+class TestSeqbaseHandling:
+    def test_select_respects_seqbase(self):
+        bat = BAT.from_pylist(Atom.INT, [1, 5, 1], hseqbase=100)
+        out = select.thetaselect(bat, 1, "==")
+        assert out.tail_pylist() == [100, 102]

@@ -1,0 +1,111 @@
+"""Sorting kernel and BAT persistence tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GDKError, PersistenceError
+from repro.gdk import persist, sort
+from repro.gdk.atoms import Atom
+from repro.gdk.bat import BAT
+from repro.gdk.column import Column
+
+
+class TestSort:
+    def test_ascending_numbers(self):
+        column = Column.from_pylist(Atom.INT, [3, 1, 2])
+        order = sort.sort_order(column)
+        assert column.take(order).to_pylist() == [1, 2, 3]
+
+    def test_nulls_first_ascending(self):
+        column = Column.from_pylist(Atom.INT, [3, None, 1])
+        order = sort.sort_order(column)
+        assert column.take(order).to_pylist() == [None, 1, 3]
+
+    def test_descending(self):
+        column = Column.from_pylist(Atom.INT, [3, None, 1])
+        order = sort.sort_order(column, descending=True)
+        assert column.take(order).to_pylist() == [3, 1, None]
+
+    def test_stable(self):
+        column = Column.from_pylist(Atom.INT, [1, 1, 1])
+        order = sort.sort_order(column)
+        assert order.tolist() == [0, 1, 2]
+
+    def test_strings(self):
+        column = Column.from_pylist(Atom.STR, ["pear", None, "apple"])
+        order = sort.sort_order(column)
+        assert column.take(order).to_pylist() == [None, "apple", "pear"]
+
+    def test_strings_descending(self):
+        column = Column.from_pylist(Atom.STR, ["pear", None, "apple"])
+        order = sort.sort_order(column, descending=True)
+        assert column.take(order).to_pylist() == ["pear", "apple", None]
+
+    def test_doubles(self):
+        column = Column.from_pylist(Atom.DBL, [2.5, -1.0, 0.0])
+        order = sort.sort_order(column)
+        assert column.take(order).to_pylist() == [-1.0, 0.0, 2.5]
+
+    def test_empty(self):
+        assert sort.sort_order(Column.empty(Atom.INT)).tolist() == []
+
+    def test_multi_key(self):
+        city = Column.from_pylist(Atom.STR, ["b", "a", "b", "a"])
+        temp = Column.from_pylist(Atom.INT, [2, 9, 1, 3])
+        order = sort.sort_order_multi([city, temp], [False, False])
+        assert city.take(order).to_pylist() == ["a", "a", "b", "b"]
+        assert temp.take(order).to_pylist() == [3, 9, 1, 2]
+
+    def test_multi_key_mixed_direction(self):
+        city = Column.from_pylist(Atom.STR, ["b", "a", "b", "a"])
+        temp = Column.from_pylist(Atom.INT, [2, 9, 1, 3])
+        order = sort.sort_order_multi([city, temp], [False, True])
+        assert temp.take(order).to_pylist() == [9, 3, 2, 1]
+
+    def test_multi_key_arity(self):
+        with pytest.raises(GDKError):
+            sort.sort_order_multi([Column.empty(Atom.INT)], [])
+
+    def test_is_sorted(self):
+        assert sort.is_sorted(Column.from_pylist(Atom.INT, [None, 1, 2]))
+        assert not sort.is_sorted(Column.from_pylist(Atom.INT, [2, 1]))
+
+
+class TestPersistence:
+    def test_roundtrip_numeric(self, tmp_path):
+        bat = BAT.from_pylist(Atom.INT, [1, None, 3], hseqbase=5)
+        persist.save_bat(bat, tmp_path, "numbers")
+        loaded = persist.load_bat(tmp_path, "numbers")
+        assert loaded == bat
+
+    def test_roundtrip_strings(self, tmp_path):
+        bat = BAT.from_pylist(Atom.STR, ["a", None, "c"])
+        persist.save_bat(bat, tmp_path, "words")
+        assert persist.load_bat(tmp_path, "words") == bat
+
+    def test_roundtrip_doubles_and_bits(self, tmp_path):
+        for name, atom, items in (
+            ("d", Atom.DBL, [1.5, None]),
+            ("b", Atom.BIT, [True, False, None]),
+        ):
+            bat = BAT.from_pylist(atom, items)
+            persist.save_bat(bat, tmp_path, name)
+            assert persist.load_bat(tmp_path, name) == bat
+
+    def test_list_bats(self, tmp_path):
+        persist.save_bat(BAT.from_pylist(Atom.INT, [1]), tmp_path, "one")
+        persist.save_bat(BAT.from_pylist(Atom.INT, [2]), tmp_path, "two")
+        assert persist.list_bats(tmp_path) == ["one", "two"]
+
+    def test_list_missing_directory(self, tmp_path):
+        assert persist.list_bats(tmp_path / "nowhere") == []
+
+    def test_delete(self, tmp_path):
+        persist.save_bat(BAT.from_pylist(Atom.INT, [1]), tmp_path, "gone")
+        persist.delete_bat(tmp_path, "gone")
+        assert persist.list_bats(tmp_path) == []
+        persist.delete_bat(tmp_path, "gone")  # idempotent
+
+    def test_load_missing(self, tmp_path):
+        with pytest.raises(PersistenceError):
+            persist.load_bat(tmp_path, "nothing")

@@ -1,0 +1,124 @@
+"""Exact reproduction of the paper's Figures 1 and 3 (experiments E1–E6).
+
+Every assertion below matches a printed matrix or BAT in the paper;
+grids are compared in (x, y) orientation (the paper draws y upward).
+"""
+
+import numpy as np
+import pytest
+
+
+def grid_yx(result):
+    """Paper orientation: rows = y descending, columns = x ascending."""
+    return np.flipud(result.grid().T)
+
+
+class TestFigure1:
+    def test_fig1a_creation(self, matrix_conn):
+        """Figure 1(a): 4×4 matrix of zeros."""
+        result = matrix_conn.execute("SELECT [x], [y], v FROM matrix")
+        assert result.grid().tolist() == [[0] * 4] * 4
+
+    def test_fig1b_guarded_update(self, matrix_conn):
+        """Figure 1(b): CASE-guarded UPDATE over dimension variables."""
+        matrix_conn.execute(
+            "UPDATE matrix SET v = CASE WHEN x > y THEN x + y "
+            "WHEN x < y THEN x - y ELSE 0 END"
+        )
+        result = matrix_conn.execute("SELECT [x], [y], v FROM matrix")
+        assert grid_yx(result).tolist() == [
+            [-3, -2, -1, 0],
+            [-2, -1, 0, 5],
+            [-1, 0, 3, 4],
+            [0, 1, 2, 3],
+        ]
+
+    def test_fig1c_insert_and_delete(self, fig1c_conn):
+        """Figure 1(c): INSERT overwrites x=y cells, DELETE punches x>y."""
+        result = fig1c_conn.execute("SELECT [x], [y], v FROM matrix")
+        expected = [
+            [-3, -2, -1, 9],
+            [-2, -1, 4, None],
+            [-1, 1, None, None],
+            [0, None, None, None],
+        ]
+        got = grid_yx(result)
+        for row_got, row_expected in zip(got, expected):
+            for value_got, value_expected in zip(row_got, row_expected):
+                if value_expected is None:
+                    assert np.isnan(value_got)
+                else:
+                    assert value_got == value_expected
+
+    def test_fig1d_e_tiling(self, fig1c_conn):
+        """Figure 1(d)/(e): 2×2 tiling with AVG and anchor filter."""
+        result = fig1c_conn.execute(
+            "SELECT [x], [y], AVG(v) FROM matrix "
+            "GROUP BY matrix[x:x+2][y:y+2] "
+            "HAVING x MOD 2 = 1 AND y MOD 2 = 1"
+        )
+        grid = result.grid()  # (x, y)
+        assert grid[1, 3] == pytest.approx(-1.5)
+        assert grid[3, 3] == pytest.approx(9.0)
+        assert grid[1, 1] == pytest.approx(4 / 3)
+        assert np.isnan(grid[3, 1])  # all-holes tile
+        # every non-anchor cell is null
+        nulls = np.isnan(grid)
+        assert nulls.sum() == 13
+
+    def test_fig1f_dimension_expansion(self, fig1c_conn):
+        """Figure 1(f): expanding both dimensions by 1 in all directions."""
+        fig1c_conn.execute("ALTER ARRAY matrix ALTER DIMENSION x SET RANGE [-1:1:5]")
+        fig1c_conn.execute("ALTER ARRAY matrix ALTER DIMENSION y SET RANGE [-1:1:5]")
+        result = fig1c_conn.execute("SELECT [x], [y], v FROM matrix")
+        grid = result.grid()
+        assert grid.shape == (6, 6)
+        # border cells take the DEFAULT 0
+        assert grid[0, :].tolist() == [0.0] * 6
+        assert grid[:, 0].tolist() == [0.0] * 6
+        assert grid[5, :].tolist() == [0.0] * 6
+        assert grid[:, 5].tolist() == [0.0] * 6
+        # the interior is the Figure 1(c) state shifted by (1, 1)
+        assert grid[1, 1] == 0  # old (0,0)
+        assert grid[4, 4] == 9  # old (3,3)
+        assert np.isnan(grid[4, 1])  # old (3,0) hole survives
+
+
+class TestFigure3:
+    """The storage layout: one BAT per dimension/attribute."""
+
+    def test_bat_contents(self, matrix_conn):
+        array = matrix_conn.catalog.get_array("matrix")
+        assert array.bind("x").tail_pylist() == [
+            0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3,
+        ]
+        assert array.bind("y").tail_pylist() == [
+            0, 1, 2, 3, 0, 1, 2, 3, 0, 1, 2, 3, 0, 1, 2, 3,
+        ]
+        assert array.bind("v").tail_pylist() == [0] * 16
+
+    def test_heads_are_dense_voids(self, matrix_conn):
+        array = matrix_conn.catalog.get_array("matrix")
+        for column in ("x", "y", "v"):
+            bat = array.bind(column)
+            assert bat.hseqbase == 0
+            assert bat.head_oids().tolist() == list(range(16))
+
+    def test_series_parameters_match_paper(self, matrix_conn):
+        """x := array.series(0,1,4, 4,1); y := array.series(0,1,4, 1,4)."""
+        array = matrix_conn.catalog.get_array("matrix")
+        assert array.series_parameters(0) == (4, 1)
+        assert array.series_parameters(1) == (1, 4)
+
+    def test_table_view_matches_buns(self, matrix_conn):
+        """SELECT x,y,v must enumerate the BATs' aligned BUNs."""
+        result = matrix_conn.execute("SELECT x, y, v FROM matrix")
+        array = matrix_conn.catalog.get_array("matrix")
+        expected = list(
+            zip(
+                array.bind("x").tail_pylist(),
+                array.bind("y").tail_pylist(),
+                array.bind("v").tail_pylist(),
+            )
+        )
+        assert result.rows() == expected

@@ -1,0 +1,158 @@
+"""Sequence semantics (SensorLog) and 3-D array integration tests."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.apps import timeseries as ts
+from repro.core import ArrayHandle
+
+
+@pytest.fixture
+def signal():
+    out = ts.synthetic_signal(96, hole_fraction=0.08)
+    # Inject spikes explicitly so random dropout cannot erase them.
+    out[30] = 25.0
+    out[60] = 25.0
+    return out
+
+
+@pytest.fixture
+def log(conn, signal):
+    return ts.SensorLog.from_numpy(conn, "sensor", signal)
+
+
+class TestSensorLog:
+    def test_roundtrip_with_holes(self, log, signal):
+        assert np.allclose(log.to_numpy(), signal, equal_nan=True)
+
+    def test_moving_average(self, log, signal):
+        assert np.allclose(
+            log.moving_average(5),
+            ts.reference_moving_average(signal, 5),
+            equal_nan=True,
+        )
+
+    def test_moving_min_max_bracket_mean(self, log, signal):
+        minimum = log.moving("min", 2, 2)
+        maximum = log.moving("max", 2, 2)
+        average = log.moving("avg", 2, 2)
+        valid = ~np.isnan(average)
+        assert (minimum[valid] <= average[valid] + 1e-9).all()
+        assert (average[valid] <= maximum[valid] + 1e-9).all()
+
+    def test_trailing_sum(self, log, signal):
+        trailing = log.trailing_sum(3)
+        t = 10
+        chunk = signal[t - 2 : t + 1]
+        assert trailing[t] == pytest.approx(np.nansum(chunk))
+
+    def test_difference(self, log, signal):
+        assert np.allclose(
+            log.difference(), ts.reference_difference(signal), equal_nan=True
+        )
+
+    def test_downsample(self, log, signal):
+        assert np.allclose(
+            log.downsample(4), ts.reference_downsample(signal, 4), equal_nan=True
+        )
+
+    def test_anomaly_detection_finds_spikes(self, log):
+        anomalies = [t for t, _ in log.anomalies(window=9, threshold=3.0)]
+        assert 30 in anomalies and 60 in anomalies
+
+    def test_interpolation_fills_all_holes(self, log, signal):
+        holes = int(np.isnan(signal).sum())
+        assert holes > 0
+        assert log.interpolate_holes(5) == holes
+        assert not np.isnan(log.to_numpy()).any()
+
+    def test_interpolation_preserves_real_samples(self, log, signal):
+        log.interpolate_holes(5)
+        out = log.to_numpy()
+        real = ~np.isnan(signal)
+        assert np.allclose(out[real], signal[real])
+
+    def test_record_overwrites(self, conn):
+        log = ts.SensorLog(conn, "s2", 4)
+        log.record(2, 7.5)
+        assert log.to_numpy()[2] == 7.5
+
+    def test_drop_below_punches_holes(self, log, signal):
+        threshold = float(np.nanpercentile(signal, 20))
+        dropped = log.drop_below(threshold)
+        assert dropped == int((signal < threshold).sum())
+
+    def test_even_window_rejected(self, log):
+        with pytest.raises(Exception):
+            log.moving_average(4)
+
+
+class TestThreeDimensionalArrays:
+    """A stack of frames: x × y × t volume queries."""
+
+    @pytest.fixture
+    def volume(self, conn):
+        data = np.arange(3 * 4 * 5).reshape(3, 4, 5).astype(np.int64)
+        conn.execute(
+            "CREATE ARRAY vol (x INT DIMENSION[0:1:3], y INT DIMENSION[0:1:4], "
+            "t INT DIMENSION[0:1:5], v INT)"
+        )
+        handle = ArrayHandle(conn, "vol")
+        from repro.gdk.atoms import Atom
+        from repro.gdk.column import Column
+
+        conn.catalog.get_array("vol").replace_values(
+            "v", np.arange(60, dtype=np.int64), Column(Atom.INT, data.reshape(-1))
+        )
+        return conn, data
+
+    def test_storage_order_x_major(self, volume):
+        conn, data = volume
+        array = conn.catalog.get_array("vol")
+        assert array.series_parameters(0) == (20, 1)
+        assert array.series_parameters(1) == (5, 3)
+        assert array.series_parameters(2) == (1, 12)
+        assert np.array_equal(array.grid("v"), data)
+
+    def test_3d_tiling(self, volume):
+        conn, data = volume
+        result = conn.execute(
+            "SELECT [x], [y], [t], SUM(v) FROM vol "
+            "GROUP BY vol[x:x+2][y:y+2][t:t+2]"
+        )
+        grid = result.grid()
+        assert grid[0, 0, 0] == data[0:2, 0:2, 0:2].sum()
+        assert grid[2, 3, 4] == data[2, 3, 4]  # corner anchor
+
+    def test_temporal_slab_selection(self, volume):
+        conn, data = volume
+        result = conn.execute(
+            "SELECT [x], [y], v FROM vol WHERE t = 2"
+        )
+        assert np.array_equal(result.grid(), data[:, :, 2])
+
+    def test_3d_cell_reference(self, volume):
+        conn, data = volume
+        result = conn.execute(
+            "SELECT [x], [y], [t], v - vol[x][y][t-1] FROM vol"
+        )
+        grid = result.grid()
+        assert np.isnan(grid[:, :, 0]).all()
+        assert np.array_equal(grid[:, :, 1:], data[:, :, 1:] - data[:, :, :-1])
+
+    def test_aggregate_over_one_axis(self, volume):
+        """Collapse time: per-pixel mean over all frames via value GROUP BY."""
+        conn, data = volume
+        result = conn.execute(
+            "SELECT [x], [y], AVG(v) FROM vol GROUP BY x, y"
+        )
+        assert np.allclose(result.grid(), data.mean(axis=2))
+
+    def test_alter_3d_dimension(self, volume):
+        conn, data = volume
+        conn.execute("ALTER ARRAY vol ALTER DIMENSION t SET RANGE [0:1:7]")
+        array = conn.catalog.get_array("vol")
+        assert array.shape() == (3, 4, 7)
+        assert np.array_equal(array.grid("v")[:, :, :5], data)
+        assert np.isnan(array.grid("v")[:, :, 5:]).all()

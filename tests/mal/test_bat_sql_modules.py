@@ -1,0 +1,142 @@
+"""Direct tests of the ``bat`` and ``sql`` MAL modules."""
+
+import json
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import MALError
+from repro.catalog import Catalog
+from repro.gdk.atoms import Atom
+from repro.gdk.bat import BAT
+from repro.mal import Interpreter, MALProgram, Var, bat_type, scalar_type
+
+
+@pytest.fixture
+def interp():
+    return Interpreter(Catalog())
+
+
+def run_one(interp, program):
+    context, _ = interp.run(program)
+    return context
+
+
+class TestBatModule:
+    def test_new_and_append(self, interp):
+        program = MALProgram()
+        empty = program.emit1("bat", "new", ["int"], bat_type(Atom.INT))
+        packed = program.emit1("bat", "pack", [1, 2], bat_type(None))
+        merged = program.emit1(
+            "bat", "append", [Var(empty), Var(packed)], bat_type(Atom.INT)
+        )
+        count = program.emit1("bat", "getcount", [Var(merged)], scalar_type(Atom.LNG))
+        program.emit("sql", "setVariable", ["n", Var(count)], [scalar_type(Atom.INT)])
+        assert run_one(interp, program).variables["n"] == 2
+
+    def test_pack_infers_atom(self, interp):
+        program = MALProgram()
+        packed = program.emit1("bat", "pack", ["a", None, "b"], bat_type(None))
+        fetched = program.emit1("bat", "fetch", [Var(packed), 0], scalar_type(Atom.STR))
+        program.emit("sql", "setVariable", ["v", Var(fetched)], [scalar_type(Atom.STR)])
+        assert run_one(interp, program).variables["v"] == "a"
+
+    def test_pack_all_null(self, interp):
+        program = MALProgram()
+        packed = program.emit1("bat", "pack", [None, None], bat_type(None))
+        fetched = program.emit1("bat", "fetch", [Var(packed), 1], scalar_type(Atom.INT))
+        program.emit("sql", "setVariable", ["v", Var(fetched)], [scalar_type(Atom.INT)])
+        assert run_one(interp, program).variables["v"] is None
+
+    def test_densebat_mirror_slice(self, interp):
+        program = MALProgram()
+        dense = program.emit1("bat", "densebat", [5], bat_type(Atom.OID))
+        sliced = program.emit1("bat", "slice", [Var(dense), 1, 3], bat_type(Atom.OID))
+        fetched = program.emit1("bat", "fetch", [Var(sliced), 0], scalar_type(Atom.LNG))
+        program.emit("sql", "setVariable", ["v", Var(fetched)], [scalar_type(Atom.INT)])
+        assert run_one(interp, program).variables["v"] == 1
+
+    def test_cast(self, interp):
+        program = MALProgram()
+        packed = program.emit1("bat", "pack", [1.9], bat_type(None))
+        cast = program.emit1("bat", "cast", [Var(packed), "int"], bat_type(Atom.INT))
+        fetched = program.emit1("bat", "fetch", [Var(cast), 0], scalar_type(Atom.INT))
+        program.emit("sql", "setVariable", ["v", Var(fetched)], [scalar_type(Atom.INT)])
+        assert run_one(interp, program).variables["v"] == 1
+
+    def test_project_const(self, interp):
+        program = MALProgram()
+        base = program.emit1("bat", "densebat", [3], bat_type(Atom.OID))
+        const = program.emit1(
+            "bat", "project_const", [Var(base), 7, "int"], bat_type(Atom.INT)
+        )
+        count = program.emit1("bat", "getcount", [Var(const)], scalar_type(Atom.LNG))
+        program.emit("sql", "setVariable", ["n", Var(count)], [scalar_type(Atom.INT)])
+        assert run_one(interp, program).variables["n"] == 3
+
+    def test_fetch_out_of_range(self, interp):
+        program = MALProgram()
+        packed = program.emit1("bat", "pack", [1], bat_type(None))
+        program.emit1("bat", "fetch", [Var(packed), 5], scalar_type(Atom.INT))
+        with pytest.raises(MALError):
+            interp.run(program)
+
+
+class TestSqlModuleSideEffects:
+    def test_bind_reads_catalog(self):
+        conn = repro.connect()
+        conn.execute("CREATE TABLE t (a INT)")
+        conn.execute("INSERT INTO t VALUES (5)")
+        program = MALProgram()
+        bound = program.emit1("sql", "bind", ["t", "a"], bat_type(Atom.INT))
+        fetched = program.emit1("bat", "fetch", [Var(bound), 0], scalar_type(Atom.INT))
+        program.emit("sql", "setVariable", ["v", Var(fetched)], [scalar_type(Atom.INT)])
+        context, _ = conn.interpreter.run(program)
+        assert context.variables["v"] == 5
+
+    def test_count(self):
+        conn = repro.connect()
+        conn.execute("CREATE ARRAY m (x INT DIMENSION[0:1:7], v INT DEFAULT 0)")
+        program = MALProgram()
+        count = program.emit1("sql", "count", ["m"], scalar_type(Atom.LNG))
+        program.emit("sql", "setVariable", ["n", Var(count)], [scalar_type(Atom.INT)])
+        context, _ = conn.interpreter.run(program)
+        assert context.variables["n"] == 7
+
+    def test_clear_table(self):
+        conn = repro.connect()
+        conn.execute("CREATE TABLE t (a INT)")
+        conn.execute("INSERT INTO t VALUES (1), (2)")
+        program = MALProgram()
+        program.emit("sql", "clear_table", ["t"], [scalar_type(Atom.INT)])
+        conn.interpreter.run(program)
+        assert conn.execute("SELECT COUNT(*) FROM t").scalar() == 0
+
+    def test_result_set_alignment_checked(self):
+        conn = repro.connect()
+        program = MALProgram()
+        a = program.emit1("bat", "pack", [1], bat_type(None))
+        b = program.emit1("bat", "pack", [1, 2], bat_type(None))
+        program.emit(
+            "sql", "resultSet",
+            ["table", json.dumps(["a", "b"]), json.dumps({}), Var(a), Var(b)],
+            [scalar_type(Atom.INT)],
+        )
+        with pytest.raises(MALError):
+            conn.interpreter.run(program)
+
+    def test_update_skips_invalid_oids(self):
+        conn = repro.connect()
+        conn.execute("CREATE ARRAY m (x INT DIMENSION[0:1:3], v INT DEFAULT 0)")
+        program = MALProgram()
+        oids = program.emit1("bat", "pack", [1, -1], bat_type(None))
+        values = program.emit1("bat", "pack", [9, 9], bat_type(None))
+        cast_oids = program.emit1("bat", "cast", [Var(oids), "oid"], bat_type(Atom.OID))
+        cast_vals = program.emit1("bat", "cast", [Var(values), "int"], bat_type(Atom.INT))
+        program.emit(
+            "sql", "update", ["m", "v", Var(cast_oids), Var(cast_vals)],
+            [scalar_type(Atom.INT)],
+        )
+        conn.interpreter.run(program)
+        assert conn.execute("SELECT v FROM m").rows() == [(0,), (9,), (0,)]

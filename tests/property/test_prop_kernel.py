@@ -1,0 +1,212 @@
+"""Property-based tests for the GDK kernel (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gdk import aggregate, calc, group, join, select, sort
+from repro.gdk.atoms import Atom
+from repro.gdk.bat import BAT
+from repro.gdk.column import Column
+
+ints_or_none = st.lists(
+    st.one_of(st.integers(-100, 100), st.none()), min_size=0, max_size=40
+)
+small_ints = st.lists(st.integers(-20, 20), min_size=0, max_size=40)
+
+
+class TestSelectProperties:
+    @given(ints_or_none, st.integers(-100, 100))
+    def test_thetaselect_matches_python_filter(self, items, needle):
+        bat = BAT.from_pylist(Atom.INT, items)
+        out = select.thetaselect(bat, needle, "==").tail_pylist()
+        expected = [i for i, v in enumerate(items) if v is not None and v == needle]
+        assert out == expected
+
+    @given(ints_or_none, st.integers(-50, 50), st.integers(-50, 50))
+    def test_rangeselect_plus_anti_partition_non_nulls(self, items, low, high):
+        bat = BAT.from_pylist(Atom.INT, items)
+        selected = set(select.rangeselect(bat, low, high).tail_pylist())
+        anti = set(select.rangeselect(bat, low, high, anti=True).tail_pylist())
+        non_null = {i for i, v in enumerate(items) if v is not None}
+        assert selected | anti == non_null
+        assert selected & anti == set()
+
+    @given(ints_or_none)
+    def test_isnull_partition(self, items):
+        bat = BAT.from_pylist(Atom.INT, items)
+        nulls = set(select.isnull_select(bat, True).tail_pylist())
+        non_nulls = set(select.isnull_select(bat, False).tail_pylist())
+        assert nulls | non_nulls == set(range(len(items)))
+        assert len(nulls) == sum(1 for v in items if v is None)
+
+
+class TestJoinProperties:
+    @given(small_ints, small_ints)
+    def test_join_matches_nested_loop(self, left_items, right_items):
+        left = BAT.from_pylist(Atom.INT, left_items)
+        right = BAT.from_pylist(Atom.INT, right_items)
+        l, r = join.join(left, right)
+        got = sorted(zip(l.tail_pylist(), r.tail_pylist()))
+        expected = sorted(
+            (i, j)
+            for i, a in enumerate(left_items)
+            for j, b in enumerate(right_items)
+            if a == b
+        )
+        assert got == expected
+
+    @given(small_ints, small_ints)
+    def test_leftjoin_covers_every_left_row(self, left_items, right_items):
+        left = BAT.from_pylist(Atom.INT, left_items)
+        right = BAT.from_pylist(Atom.INT, right_items)
+        l, r = join.leftjoin(left, right)
+        assert set(l.tail_pylist()) == set(range(len(left_items)))
+
+    @given(small_ints, small_ints)
+    def test_semijoin_antijoin_partition(self, left_items, right_items):
+        left = BAT.from_pylist(Atom.INT, left_items)
+        right = BAT.from_pylist(Atom.INT, right_items)
+        semi = set(join.semijoin(left, right).tail_pylist())
+        anti = set(join.antijoin(left, right).tail_pylist())
+        assert semi | anti == set(range(len(left_items)))
+        assert semi & anti == set()
+
+
+class TestGroupAggregateProperties:
+    @given(st.lists(st.integers(0, 5), min_size=1, max_size=40))
+    def test_histogram_sums_to_row_count(self, keys):
+        grouping = group.group(Column.from_pylist(Atom.INT, keys))
+        assert grouping.histogram.sum() == len(keys)
+
+    @given(st.lists(st.integers(0, 5), min_size=1, max_size=40))
+    def test_group_ids_dense_and_consistent(self, keys):
+        grouping = group.group(Column.from_pylist(Atom.INT, keys))
+        ids = grouping.groups.to_pylist()
+        assert max(ids) == grouping.ngroups - 1
+        # same key <-> same id
+        for i, a in enumerate(keys):
+            for j, b in enumerate(keys):
+                assert (a == b) == (ids[i] == ids[j])
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 3), st.one_of(st.integers(-50, 50), st.none())),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_grouped_sum_matches_python(self, pairs):
+        keys = Column.from_pylist(Atom.INT, [k for k, _ in pairs])
+        values = Column.from_pylist(Atom.INT, [v for _, v in pairs])
+        grouping = group.group(keys)
+        got = aggregate.grouped_sum(values, grouping).to_pylist()
+        expected: dict = {}
+        order: list = []
+        for k, v in pairs:
+            if k not in expected:
+                expected[k] = None
+                order.append(k)
+            if v is not None:
+                expected[k] = (expected[k] or 0) + v
+        assert got == [expected[k] for k in order]
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 3), st.one_of(st.integers(-50, 50), st.none())),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_grouped_min_le_max(self, pairs):
+        keys = Column.from_pylist(Atom.INT, [k for k, _ in pairs])
+        values = Column.from_pylist(Atom.INT, [v for _, v in pairs])
+        grouping = group.group(keys)
+        minima = aggregate.grouped_min(values, grouping).to_pylist()
+        maxima = aggregate.grouped_max(values, grouping).to_pylist()
+        for lo, hi in zip(minima, maxima):
+            assert (lo is None) == (hi is None)
+            if lo is not None:
+                assert lo <= hi
+
+
+class TestSortProperties:
+    @given(ints_or_none)
+    def test_sort_is_permutation(self, items):
+        column = Column.from_pylist(Atom.INT, items)
+        order = sort.sort_order(column)
+        assert sorted(order.tolist()) == list(range(len(items)))
+
+    @given(ints_or_none)
+    def test_sorted_ascending_with_nulls_first(self, items):
+        column = Column.from_pylist(Atom.INT, items)
+        out = column.take(sort.sort_order(column)).to_pylist()
+        null_count = sum(1 for v in items if v is None)
+        assert all(v is None for v in out[:null_count])
+        tail = out[null_count:]
+        assert tail == sorted(tail)
+
+    @given(ints_or_none)
+    def test_descending_reverses_non_nulls(self, items):
+        column = Column.from_pylist(Atom.INT, items)
+        ascending = [
+            v for v in column.take(sort.sort_order(column)).to_pylist()
+            if v is not None
+        ]
+        descending = [
+            v
+            for v in column.take(sort.sort_order(column, descending=True)).to_pylist()
+            if v is not None
+        ]
+        assert descending == ascending[::-1]
+
+
+class TestCalcProperties:
+    @given(ints_or_none, ints_or_none)
+    def test_add_matches_python(self, left, right):
+        n = min(len(left), len(right))
+        left, right = left[:n], right[:n]
+        if n == 0:
+            return
+        out = calc.arithmetic(
+            "+",
+            Column.from_pylist(Atom.INT, left),
+            Column.from_pylist(Atom.INT, right),
+        ).to_pylist()
+        expected = [
+            None if a is None or b is None else a + b for a, b in zip(left, right)
+        ]
+        assert out == expected
+
+    @given(ints_or_none, st.integers(-10, 10))
+    def test_compare_trichotomy(self, items, needle):
+        if not items:
+            return
+        column = Column.from_pylist(Atom.INT, items)
+        lt = calc.compare("<", column, needle).to_pylist()
+        eq = calc.compare("==", column, needle).to_pylist()
+        gt = calc.compare(">", column, needle).to_pylist()
+        for a, b, c, v in zip(lt, eq, gt, items):
+            if v is None:
+                assert a is None and b is None and c is None
+            else:
+                assert [a, b, c].count(True) == 1
+
+    @given(st.lists(st.one_of(st.booleans(), st.none()), min_size=1, max_size=30))
+    def test_not_not_is_identity(self, bits):
+        column = Column.from_pylist(Atom.BIT, bits)
+        out = calc.logical_not(calc.logical_not(column)).to_pylist()
+        assert out == bits
+
+    @given(
+        st.lists(st.one_of(st.booleans(), st.none()), min_size=1, max_size=20),
+        st.lists(st.one_of(st.booleans(), st.none()), min_size=1, max_size=20),
+    )
+    def test_de_morgan(self, left, right):
+        n = min(len(left), len(right))
+        a = Column.from_pylist(Atom.BIT, left[:n])
+        b = Column.from_pylist(Atom.BIT, right[:n])
+        lhs = calc.logical_not(calc.logical_and(a, b)).to_pylist()
+        rhs = calc.logical_or(calc.logical_not(a), calc.logical_not(b)).to_pylist()
+        assert lhs == rhs

@@ -1,0 +1,124 @@
+"""Property tests: string kernels, LIKE, and set-operation semantics."""
+
+import re
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.gdk.atoms import Atom
+from repro.gdk.column import Column
+from repro.gdk import strings
+
+texts = st.lists(
+    st.one_of(st.text(alphabet="abcXYZ 0_%.", max_size=8), st.none()),
+    min_size=0,
+    max_size=20,
+)
+
+
+class TestStringKernelProperties:
+    @given(texts)
+    def test_upper_lower_roundtrip_on_case_insensitive(self, items):
+        column = Column.from_pylist(Atom.STR, items)
+        twice = strings.lower(strings.upper(column)).to_pylist()
+        expected = [None if s is None else s.lower() for s in items]
+        assert twice == expected
+
+    @given(texts)
+    def test_length_matches_python(self, items):
+        column = Column.from_pylist(Atom.STR, items)
+        assert strings.length(column).to_pylist() == [
+            None if s is None else len(s) for s in items
+        ]
+
+    @given(texts, st.integers(1, 5), st.integers(0, 5))
+    def test_substring_matches_python(self, items, start, count):
+        column = Column.from_pylist(Atom.STR, items)
+        out = strings.substring(column, start, count).to_pylist()
+        expected = [
+            None if s is None else s[start - 1 : start - 1 + count] for s in items
+        ]
+        assert out == expected
+
+    @given(st.text(alphabet="abc", max_size=6))
+    def test_like_without_wildcards_is_equality(self, value):
+        column = Column.from_pylist(Atom.STR, [value, value + "x"])
+        out = strings.like(column, value).to_pylist()
+        assert out[0] is True
+        assert out[1] is False
+
+    @given(st.text(alphabet="abc%_", max_size=8))
+    def test_percent_suffix_matches_any_extension(self, value):
+        base = value.replace("%", "").replace("_", "")
+        column = Column.from_pylist(Atom.STR, [base + "anything"])
+        assert strings.like(column, base + "%").to_pylist() == [True]
+
+    @given(texts)
+    def test_percent_matches_everything_non_null(self, items):
+        column = Column.from_pylist(Atom.STR, items)
+        out = strings.like(column, "%").to_pylist()
+        assert out == [None if s is None else True for s in items]
+
+
+def sorted_rows(rows):
+    return sorted(rows, key=lambda r: (r[0] is None, r))
+
+
+class TestSetOperationProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(st.integers(0, 6), max_size=12),
+        st.lists(st.integers(0, 6), max_size=12),
+    )
+    def test_union_equals_python_set_union(self, left, right):
+        conn = self._connect(left, right)
+        result = conn.execute("SELECT v FROM a UNION SELECT v FROM b")
+        assert {r[0] for r in result.rows()} == set(left) | set(right)
+        assert len(result.rows()) == len(set(left) | set(right))
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(st.integers(0, 6), max_size=12),
+        st.lists(st.integers(0, 6), max_size=12),
+    )
+    def test_except_equals_python_set_difference(self, left, right):
+        conn = self._connect(left, right)
+        result = conn.execute("SELECT v FROM a EXCEPT SELECT v FROM b")
+        assert {r[0] for r in result.rows()} == set(left) - set(right)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(st.integers(0, 6), max_size=12),
+        st.lists(st.integers(0, 6), max_size=12),
+    )
+    def test_intersect_equals_python_set_intersection(self, left, right):
+        conn = self._connect(left, right)
+        result = conn.execute("SELECT v FROM a INTERSECT SELECT v FROM b")
+        assert {r[0] for r in result.rows()} == set(left) & set(right)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(st.integers(0, 4), max_size=10),
+        st.lists(st.integers(0, 4), max_size=10),
+    )
+    def test_union_all_preserves_multiplicity(self, left, right):
+        conn = self._connect(left, right)
+        result = conn.execute("SELECT v FROM a UNION ALL SELECT v FROM b")
+        assert sorted(r[0] for r in result.rows()) == sorted(left + right)
+
+    @staticmethod
+    def _connect(left, right):
+        conn = repro.connect()
+        conn.execute("CREATE TABLE a (v INT)")
+        conn.execute("CREATE TABLE b (v INT)")
+        if left:
+            conn.execute(
+                "INSERT INTO a VALUES " + ", ".join(f"({v})" for v in left)
+            )
+        if right:
+            conn.execute(
+                "INSERT INTO b VALUES " + ", ".join(f"({v})" for v in right)
+            )
+        return conn

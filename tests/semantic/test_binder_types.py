@@ -1,0 +1,177 @@
+"""Semantic layer unit tests: scopes, binding, type inference."""
+
+import pytest
+
+import repro
+from repro.errors import SemanticError
+from repro.gdk.atoms import Atom
+from repro.semantic.binder import (
+    BoundColumn,
+    Scope,
+    SourceInfo,
+    source_from_catalog,
+)
+from repro.semantic.types import (
+    common_atom,
+    contains_aggregate,
+    infer_atom,
+    is_aggregate_call,
+)
+from repro.sql import ast_nodes as ast
+from repro.sql.parser import parse
+
+
+def scope_of(*sources):
+    return Scope(list(sources))
+
+
+def make_source(alias, columns, dims=()):
+    from repro.catalog.objects import DimensionDef
+
+    dimension_defs = [DimensionDef(d, Atom.INT, 0, 1, 4) for d in dims]
+    return SourceInfo(alias, alias, "array" if dims else "table",
+                      columns, dimension_defs)
+
+
+class TestScope:
+    def test_resolve_unqualified(self):
+        scope = scope_of(make_source("t", [("a", Atom.INT)]))
+        bound = scope.resolve("a", None)
+        assert bound == BoundColumn(0, "a", Atom.INT, False)
+
+    def test_resolve_qualified(self):
+        scope = scope_of(
+            make_source("t", [("a", Atom.INT)]),
+            make_source("s", [("a", Atom.STR)]),
+        )
+        assert scope.resolve("a", "s").atom is Atom.STR
+
+    def test_ambiguous_rejected(self):
+        scope = scope_of(
+            make_source("t", [("a", Atom.INT)]),
+            make_source("s", [("a", Atom.INT)]),
+        )
+        with pytest.raises(SemanticError):
+            scope.resolve("a", None)
+
+    def test_unknown_rejected(self):
+        scope = scope_of(make_source("t", [("a", Atom.INT)]))
+        with pytest.raises(SemanticError):
+            scope.resolve("zz", None)
+
+    def test_dimension_flag(self):
+        scope = scope_of(make_source("m", [("x", Atom.INT), ("v", Atom.INT)], dims=["x"]))
+        assert scope.resolve("x", None).is_dimension
+        assert not scope.resolve("v", None).is_dimension
+
+    def test_all_columns_expansion(self):
+        scope = scope_of(
+            make_source("t", [("a", Atom.INT)]),
+            make_source("s", [("b", Atom.STR)]),
+        )
+        assert [c.column for c in scope.all_columns()] == ["a", "b"]
+        assert [c.column for c in scope.all_columns("s")] == ["b"]
+
+    def test_all_columns_unknown_qualifier(self):
+        scope = scope_of(make_source("t", [("a", Atom.INT)]))
+        with pytest.raises(SemanticError):
+            scope.all_columns("ghost")
+
+    def test_duplicate_aliases_rejected(self):
+        with pytest.raises(SemanticError):
+            scope_of(
+                make_source("t", [("a", Atom.INT)]),
+                make_source("t", [("b", Atom.INT)]),
+            )
+
+    def test_source_from_catalog(self):
+        conn = repro.connect()
+        conn.execute("CREATE ARRAY m (x INT DIMENSION[0:1:2], v DOUBLE)")
+        info = source_from_catalog(conn.catalog, "m", "alias")
+        assert info.alias == "alias"
+        assert info.kind == "array"
+        assert info.columns == [("x", Atom.INT), ("v", Atom.DBL)]
+
+
+def expr(sql):
+    """Parse a projection expression in isolation."""
+    return parse(f"SELECT {sql}").items[0].expression
+
+
+class TestAggregateDetection:
+    def test_direct_aggregate(self):
+        assert is_aggregate_call(expr("sum(1)"))
+
+    def test_non_aggregate_function(self):
+        assert not is_aggregate_call(expr("sqrt(1)"))
+
+    def test_nested_detection(self):
+        assert contains_aggregate(expr("1 + max(2) * 3"))
+        assert contains_aggregate(expr("CASE WHEN count(*) > 1 THEN 1 END"))
+        assert not contains_aggregate(expr("1 + 2 * 3"))
+
+    def test_inside_in_and_between(self):
+        assert contains_aggregate(expr("1 IN (min(2), 3)"))
+        assert contains_aggregate(expr("1 BETWEEN min(2) AND 3"))
+
+
+class TestCommonAtom:
+    def test_null_is_neutral(self):
+        assert common_atom(None, Atom.INT) is Atom.INT
+        assert common_atom(Atom.STR, None) is Atom.STR
+        assert common_atom(None, None) is None
+
+    def test_numeric_widening(self):
+        assert common_atom(Atom.INT, Atom.DBL) is Atom.DBL
+
+    def test_incompatible(self):
+        with pytest.raises(SemanticError):
+            common_atom(Atom.STR, Atom.INT)
+
+
+class TestInferAtom:
+    @pytest.mark.parametrize(
+        "sql, atom",
+        [
+            ("1", Atom.INT),
+            ("1.5", Atom.DBL),
+            ("'x'", Atom.STR),
+            ("TRUE", Atom.BIT),
+            ("1 + 2", Atom.INT),
+            ("1 + 2.0", Atom.DBL),
+            ("1 = 2", Atom.BIT),
+            ("1 < 2 AND TRUE", Atom.BIT),
+            ("'a' || 'b'", Atom.STR),
+            ("-3", Atom.INT),
+            ("NOT TRUE", Atom.BIT),
+            ("count(*)", Atom.LNG),
+            ("avg(1)", Atom.DBL),
+            ("sum(1)", Atom.LNG),
+            ("sum(1.0)", Atom.DBL),
+            ("min(1.5)", Atom.DBL),
+            ("sqrt(4)", Atom.DBL),
+            ("floor(1)", Atom.INT),
+            ("floor(1.5)", Atom.DBL),
+            ("abs(-2)", Atom.INT),
+            ("CASE WHEN TRUE THEN 1 ELSE 2.0 END", Atom.DBL),
+            ("1 IS NULL", Atom.BIT),
+            ("1 IN (2, 3)", Atom.BIT),
+            ("1 BETWEEN 0 AND 2", Atom.BIT),
+            ("CAST(1 AS DOUBLE)", Atom.DBL),
+            ("upper('x')", Atom.STR),
+            ("length('x')", Atom.INT),
+        ],
+    )
+    def test_inference_table(self, sql, atom):
+        assert infer_atom(expr(sql)) is atom
+
+    def test_null_literal_untyped(self):
+        assert infer_atom(expr("NULL")) is None
+
+    def test_arithmetic_on_strings_rejected(self):
+        with pytest.raises(SemanticError):
+            infer_atom(expr("'a' + 1"))
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(SemanticError):
+            infer_atom(expr("frobnicate(1)"))

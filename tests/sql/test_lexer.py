@@ -1,0 +1,124 @@
+"""Lexer tests."""
+
+import pytest
+
+from repro.errors import LexerError
+from repro.sql.lexer import tokenize
+from repro.sql.tokens import TokenType
+
+
+def kinds(text):
+    return [t.type for t in tokenize(text)[:-1]]
+
+
+def texts(text):
+    return [t.text for t in tokenize(text)[:-1]]
+
+
+class TestBasics:
+    def test_empty_input(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1 and tokens[0].type is TokenType.EOF
+
+    def test_keywords_uppercased(self):
+        assert texts("select From WHERE") == ["SELECT", "FROM", "WHERE"]
+
+    def test_identifiers_lowercased(self):
+        assert texts("Matrix xY_2") == ["matrix", "xy_2"]
+
+    def test_quoted_identifier_preserves_case(self):
+        tokens = tokenize('"MixedCase"')
+        assert tokens[0].type is TokenType.IDENT
+        assert tokens[0].text == "MixedCase"
+
+    def test_unterminated_quoted_identifier(self):
+        with pytest.raises(LexerError):
+            tokenize('"oops')
+
+
+class TestNumbers:
+    def test_integer(self):
+        token = tokenize("42")[0]
+        assert token.type is TokenType.INTEGER and token.value == 42
+
+    def test_float(self):
+        token = tokenize("3.25")[0]
+        assert token.type is TokenType.FLOAT and token.value == 3.25
+
+    def test_float_exponent(self):
+        assert tokenize("1e3")[0].value == 1000.0
+        assert tokenize("2.5E-1")[0].value == 0.25
+
+    def test_leading_dot(self):
+        assert tokenize(".5")[0].value == 0.5
+
+    def test_number_then_dot_identifier(self):
+        # "3.v" style input must not swallow the dot
+        kinds_ = kinds("a.x")
+        assert kinds_ == [TokenType.IDENT, TokenType.DOT, TokenType.IDENT]
+
+
+class TestStrings:
+    def test_simple(self):
+        token = tokenize("'hello'")[0]
+        assert token.type is TokenType.STRING and token.value == "hello"
+
+    def test_doubled_quote_escape(self):
+        assert tokenize("'it''s'")[0].value == "it's"
+
+    def test_empty_string(self):
+        assert tokenize("''")[0].value == ""
+
+    def test_unterminated(self):
+        with pytest.raises(LexerError):
+            tokenize("'oops")
+
+
+class TestOperatorsAndPunctuation:
+    def test_multi_char_operators(self):
+        assert texts("<> <= >= != ||") == ["<>", "<=", ">=", "!=", "||"]
+
+    def test_brackets_and_colon(self):
+        assert kinds("[0:1:4]") == [
+            TokenType.LBRACKET,
+            TokenType.INTEGER,
+            TokenType.COLON,
+            TokenType.INTEGER,
+            TokenType.COLON,
+            TokenType.INTEGER,
+            TokenType.RBRACKET,
+        ]
+
+    def test_star(self):
+        assert kinds("*") == [TokenType.STAR]
+
+    def test_unknown_character(self):
+        with pytest.raises(LexerError):
+            tokenize("@")
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert texts("SELECT -- comment\n 1") == ["SELECT", "1"]
+
+    def test_block_comment(self):
+        assert texts("SELECT /* multi\nline */ 1") == ["SELECT", "1"]
+
+    def test_unterminated_block(self):
+        with pytest.raises(LexerError):
+            tokenize("/* oops")
+
+
+class TestPositions:
+    def test_line_and_column_tracked(self):
+        tokens = tokenize("SELECT\n  x")
+        assert tokens[0].line == 1 and tokens[0].column == 1
+        assert tokens[1].line == 2 and tokens[1].column == 3
+
+    def test_error_carries_position(self):
+        try:
+            tokenize("a\n  @")
+        except LexerError as error:
+            assert error.line == 2
+        else:  # pragma: no cover
+            raise AssertionError("expected LexerError")

@@ -1,0 +1,378 @@
+"""Parser tests — every SciQL construct from the paper plus SQL basics."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sql import ast_nodes as ast
+from repro.sql.parser import parse, parse_script
+
+
+class TestCreateArray:
+    def test_paper_matrix(self):
+        stmt = parse(
+            "CREATE ARRAY matrix (x INT DIMENSION[0:1:4], "
+            "y INT DIMENSION[0:1:4], v INT DEFAULT 0)"
+        )
+        assert isinstance(stmt, ast.CreateArray)
+        assert stmt.name == "matrix"
+        x, y, v = stmt.elements
+        assert x.is_dimension and x.dimension_range is not None
+        assert y.is_dimension
+        assert not v.is_dimension and v.has_default
+        assert v.default == ast.Literal(0)
+
+    def test_negative_range_bounds(self):
+        stmt = parse("CREATE ARRAY a (x INT DIMENSION[-1:1:5], v INT)")
+        rng = stmt.elements[0].dimension_range
+        assert rng.start == ast.Literal(-1)
+
+    def test_unbounded_dimension(self):
+        stmt = parse("CREATE ARRAY a (x INT DIMENSION, v INT)")
+        assert stmt.elements[0].is_dimension
+        assert stmt.elements[0].dimension_range is None
+
+    def test_if_not_exists(self):
+        stmt = parse("CREATE ARRAY IF NOT EXISTS a (x INT DIMENSION[0:1:2], v INT)")
+        assert stmt.if_not_exists
+
+
+class TestCreateTable:
+    def test_columns_and_types(self):
+        stmt = parse("CREATE TABLE t (a INT, b VARCHAR(10), c DOUBLE DEFAULT 1.5)")
+        assert isinstance(stmt, ast.CreateTable)
+        assert [c.name for c in stmt.columns] == ["a", "b", "c"]
+        assert stmt.columns[2].has_default
+
+    def test_primary_key_clause_ignored(self):
+        stmt = parse("CREATE TABLE t (a INT, b INT, PRIMARY KEY (a, b))")
+        assert len(stmt.columns) == 2
+
+    def test_not_null_accepted(self):
+        stmt = parse("CREATE TABLE t (a INT NOT NULL)")
+        assert stmt.columns[0].name == "a"
+
+
+class TestDmlStatements:
+    def test_update_with_guarded_case(self):
+        stmt = parse(
+            "UPDATE matrix SET v = CASE WHEN x > y THEN x + y "
+            "WHEN x < y THEN x - y ELSE 0 END"
+        )
+        assert isinstance(stmt, ast.Update)
+        column, expression = stmt.assignments[0]
+        assert column == "v"
+        assert isinstance(expression, ast.CaseExpression)
+        assert len(expression.whens) == 2
+        assert expression.otherwise == ast.Literal(0)
+
+    def test_update_multiple_assignments(self):
+        stmt = parse("UPDATE t SET a = 1, b = 2 WHERE c = 3")
+        assert len(stmt.assignments) == 2
+        assert stmt.where is not None
+
+    def test_insert_values_multi_row(self):
+        stmt = parse("INSERT INTO t (a, b) VALUES (1, 'x'), (2, NULL)")
+        assert isinstance(stmt, ast.InsertValues)
+        assert stmt.columns == ("a", "b")
+        assert len(stmt.rows) == 2
+        assert stmt.rows[1][1] == ast.Literal(None)
+
+    def test_insert_select(self):
+        stmt = parse("INSERT INTO matrix SELECT [x], [y], x * y FROM matrix WHERE x = y")
+        assert isinstance(stmt, ast.InsertSelect)
+        assert stmt.query.items[0].dimension
+
+    def test_insert_parenthesised_select(self):
+        stmt = parse("INSERT INTO t (SELECT a FROM s)")
+        assert isinstance(stmt, ast.InsertSelect)
+
+    def test_delete(self):
+        stmt = parse("DELETE FROM matrix WHERE x > y")
+        assert isinstance(stmt, ast.Delete)
+        assert isinstance(stmt.where, ast.BinaryOp)
+
+    def test_delete_without_where(self):
+        assert parse("DELETE FROM t").where is None
+
+
+class TestAlterAndDrop:
+    def test_alter_dimension(self):
+        stmt = parse("ALTER ARRAY matrix ALTER DIMENSION x SET RANGE [-1:1:5]")
+        assert isinstance(stmt, ast.AlterArrayDimension)
+        assert stmt.array == "matrix" and stmt.dimension == "x"
+
+    def test_drop_table(self):
+        stmt = parse("DROP TABLE t")
+        assert stmt.kind == "table" and not stmt.if_exists
+
+    def test_drop_array_if_exists(self):
+        stmt = parse("DROP ARRAY IF EXISTS a")
+        assert stmt.kind == "array" and stmt.if_exists
+
+
+class TestSelectShapes:
+    def test_dimension_qualified_items(self):
+        stmt = parse("SELECT [x], [y], v FROM mtable")
+        dims = [i.dimension for i in stmt.items]
+        assert dims == [True, True, False]
+
+    def test_star(self):
+        stmt = parse("SELECT * FROM t")
+        assert isinstance(stmt.items[0].expression, ast.Star)
+
+    def test_qualified_star(self):
+        stmt = parse("SELECT t.* FROM t")
+        assert stmt.items[0].expression == ast.Star("t")
+
+    def test_aliases(self):
+        stmt = parse("SELECT a AS first, b second FROM t")
+        assert stmt.items[0].alias == "first"
+        assert stmt.items[1].alias == "second"
+
+    def test_distinct(self):
+        assert parse("SELECT DISTINCT a FROM t").distinct
+
+    def test_order_limit_offset(self):
+        stmt = parse("SELECT a FROM t ORDER BY a DESC, b LIMIT 10 OFFSET 5")
+        assert stmt.order_by[0].descending
+        assert not stmt.order_by[1].descending
+        assert stmt.limit == 10 and stmt.offset == 5
+
+    def test_no_from(self):
+        stmt = parse("SELECT 1 + 2")
+        assert stmt.sources == ()
+
+
+class TestStructuralGroupBy:
+    def test_paper_tiling_query(self):
+        stmt = parse(
+            "SELECT [x], [y], AVG(v) FROM matrix "
+            "GROUP BY matrix[x:x+2][y:y+2] "
+            "HAVING x MOD 2 = 1 AND y MOD 2 = 1"
+        )
+        group = stmt.group_by
+        assert isinstance(group, ast.TileGroupBy)
+        assert group.array == "matrix"
+        assert len(group.dimensions) == 2
+        low, high = group.dimensions[0].low, group.dimensions[0].high
+        assert low == ast.ColumnRef("x")
+        assert high == ast.BinaryOp("+", ast.ColumnRef("x"), ast.Literal(2))
+        assert stmt.having is not None
+
+    def test_centered_tile(self):
+        stmt = parse("SELECT SUM(v) FROM life GROUP BY life[x-1:x+2][y-1:y+2]")
+        tile = stmt.group_by.dimensions[0]
+        assert tile.low == ast.BinaryOp("-", ast.ColumnRef("x"), ast.Literal(1))
+
+    def test_single_cell_bracket(self):
+        stmt = parse("SELECT SUM(v) FROM a GROUP BY a[x][y]")
+        assert stmt.group_by.dimensions[0].high is None
+
+    def test_value_group_by(self):
+        stmt = parse("SELECT a, COUNT(*) FROM t GROUP BY a")
+        assert isinstance(stmt.group_by, ast.ValueGroupBy)
+
+    def test_group_by_expression(self):
+        stmt = parse("SELECT v / 16, COUNT(*) FROM t GROUP BY v / 16")
+        assert isinstance(stmt.group_by.expressions[0], ast.BinaryOp)
+
+
+class TestCellReferences:
+    def test_relative_access(self):
+        stmt = parse("SELECT a[x-1][y] FROM a")
+        ref = stmt.items[0].expression
+        assert isinstance(ref, ast.CellRef)
+        assert ref.array == "a" and len(ref.indexes) == 2
+        assert ref.attribute is None
+
+    def test_attribute_qualified(self):
+        stmt = parse("SELECT a[x][y].v FROM a")
+        assert stmt.items[0].expression.attribute == "v"
+
+    def test_in_arithmetic(self):
+        stmt = parse("SELECT 2 * a[x][y].v - a[x-1][y].v FROM a")
+        assert isinstance(stmt.items[0].expression, ast.BinaryOp)
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        expr = parse("SELECT 1 + 2 * 3").items[0].expression
+        assert expr == ast.BinaryOp(
+            "+", ast.Literal(1), ast.BinaryOp("*", ast.Literal(2), ast.Literal(3))
+        )
+
+    def test_parentheses_override(self):
+        expr = parse("SELECT (1 + 2) * 3").items[0].expression
+        assert expr.op == "*"
+
+    def test_and_binds_tighter_than_or(self):
+        expr = parse("SELECT a OR b AND c FROM t").items[0].expression
+        assert expr.op == "OR"
+        assert expr.right.op == "AND"
+
+    def test_mod_keyword_and_percent(self):
+        a = parse("SELECT x MOD 2 FROM t").items[0].expression
+        b = parse("SELECT x % 2 FROM t").items[0].expression
+        assert a == b
+
+    def test_unary_minus_folds_literal(self):
+        assert parse("SELECT -5").items[0].expression == ast.Literal(-5)
+
+    def test_unary_minus_on_column(self):
+        expr = parse("SELECT -x FROM t").items[0].expression
+        assert expr == ast.UnaryOp("-", ast.ColumnRef("x"))
+
+    def test_is_null(self):
+        expr = parse("SELECT x IS NULL FROM t").items[0].expression
+        assert expr == ast.IsNull(ast.ColumnRef("x"))
+
+    def test_is_not_null(self):
+        expr = parse("SELECT x IS NOT NULL FROM t").items[0].expression
+        assert expr.negated
+
+    def test_in_list(self):
+        expr = parse("SELECT x IN (1, 2) FROM t").items[0].expression
+        assert isinstance(expr, ast.InList) and len(expr.items) == 2
+
+    def test_not_in(self):
+        expr = parse("SELECT x NOT IN (1) FROM t").items[0].expression
+        assert expr.negated
+
+    def test_between(self):
+        expr = parse("SELECT x BETWEEN 1 AND 5 FROM t").items[0].expression
+        assert isinstance(expr, ast.Between)
+
+    def test_not_between(self):
+        expr = parse("SELECT x NOT BETWEEN 1 AND 5 FROM t").items[0].expression
+        assert expr.negated
+
+    def test_cast(self):
+        expr = parse("SELECT CAST(x AS DOUBLE) FROM t").items[0].expression
+        assert expr == ast.CastExpression(ast.ColumnRef("x"), "DOUBLE")
+
+    def test_count_star(self):
+        expr = parse("SELECT COUNT(*) FROM t").items[0].expression
+        assert expr.star
+
+    def test_concat(self):
+        expr = parse("SELECT a || b FROM t").items[0].expression
+        assert expr.op == "||"
+
+    def test_string_literal(self):
+        expr = parse("SELECT 'it''s'").items[0].expression
+        assert expr == ast.Literal("it's")
+
+    def test_booleans_and_null(self):
+        stmt = parse("SELECT TRUE, FALSE, NULL")
+        values = [i.expression.value for i in stmt.items]
+        assert values == [True, False, None]
+
+
+class TestJoins:
+    def test_inner_join(self):
+        stmt = parse("SELECT * FROM a INNER JOIN b ON a.id = b.id")
+        join = stmt.sources[0]
+        assert isinstance(join, ast.JoinSource) and join.kind == "inner"
+
+    def test_bare_join_is_inner(self):
+        stmt = parse("SELECT * FROM a JOIN b ON a.id = b.id")
+        assert stmt.sources[0].kind == "inner"
+
+    def test_left_join(self):
+        stmt = parse("SELECT * FROM a LEFT OUTER JOIN b ON a.id = b.id")
+        assert stmt.sources[0].kind == "left"
+
+    def test_cross_join(self):
+        stmt = parse("SELECT * FROM a CROSS JOIN b")
+        assert stmt.sources[0].kind == "cross"
+        assert stmt.sources[0].condition is None
+
+    def test_comma_sources(self):
+        stmt = parse("SELECT * FROM a, b, c")
+        assert len(stmt.sources) == 3
+
+    def test_subquery_source(self):
+        stmt = parse("SELECT * FROM (SELECT a FROM t) AS sub")
+        assert isinstance(stmt.sources[0], ast.SubquerySource)
+
+    def test_chained_joins(self):
+        stmt = parse(
+            "SELECT * FROM a CROSS JOIN b INNER JOIN c ON a.id = c.id"
+        )
+        outer = stmt.sources[0]
+        assert outer.kind == "inner"
+        assert outer.left.kind == "cross"
+
+
+class TestErrorsAndScripts:
+    def test_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse("EXPLODE EVERYTHING")
+
+    def test_trailing_tokens_rejected(self):
+        with pytest.raises(ParseError):
+            parse("SELECT 1 SELECT 2")
+
+    def test_missing_rparen(self):
+        with pytest.raises(ParseError):
+            parse("SELECT (1 + 2")
+
+    def test_empty_case_rejected(self):
+        with pytest.raises(ParseError):
+            parse("SELECT CASE END")
+
+    def test_dangling_not(self):
+        with pytest.raises(ParseError):
+            parse("SELECT x NOT 5 FROM t")
+
+    def test_script_multiple_statements(self):
+        statements = parse_script("SELECT 1; SELECT 2; DROP TABLE t;")
+        assert len(statements) == 3
+
+    def test_script_empty(self):
+        assert parse_script("") == []
+
+    def test_error_position_reported(self):
+        try:
+            parse("SELECT FROM")
+        except ParseError as error:
+            assert error.line == 1
+        else:  # pragma: no cover
+            raise AssertionError("expected ParseError")
+
+
+class TestSetOperationsAndExplain:
+    def test_union(self):
+        stmt = parse("SELECT a FROM t UNION SELECT a FROM s")
+        assert isinstance(stmt, ast.SetOperation)
+        assert stmt.op == "union" and not stmt.all
+
+    def test_union_all(self):
+        stmt = parse("SELECT a FROM t UNION ALL SELECT a FROM s")
+        assert stmt.all
+
+    def test_except_intersect(self):
+        assert parse("SELECT a FROM t EXCEPT SELECT a FROM s").op == "except"
+        assert parse("SELECT a FROM t INTERSECT SELECT a FROM s").op == "intersect"
+
+    def test_left_associative_chain(self):
+        stmt = parse("SELECT a FROM t UNION SELECT a FROM s EXCEPT SELECT a FROM u")
+        assert stmt.op == "except"
+        assert stmt.left.op == "union"
+
+    def test_except_all_rejected(self):
+        with pytest.raises(ParseError):
+            parse("SELECT a FROM t EXCEPT ALL SELECT a FROM s")
+
+    def test_explain_select(self):
+        stmt = parse("EXPLAIN SELECT 1")
+        assert isinstance(stmt, ast.Explain)
+        assert isinstance(stmt.statement, ast.SelectStatement)
+
+    def test_explain_dml(self):
+        stmt = parse("EXPLAIN UPDATE t SET a = 1")
+        assert isinstance(stmt.statement, ast.Update)
+
+    def test_count_distinct_flag(self):
+        expr = parse("SELECT COUNT(DISTINCT a) FROM t").items[0].expression
+        assert expr.distinct
