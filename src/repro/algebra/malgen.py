@@ -47,22 +47,61 @@ class EvalResult:
 
 @dataclass
 class Binding:
-    """Aligned BAT variables for the visible columns of a plan node."""
+    """Aligned BAT variables for the visible columns of a plan node.
+
+    Candidate lists are propagated *lazily*: a selection or join does
+    not copy every payload column through the qualifying oids (the seed
+    behaviour); instead each column keeps its base BAT plus a pending
+    candidate-list variable, and the payload fetch is emitted only when
+    — and if — the column is actually referenced.  Successive row-set
+    reductions compose their oid lists with a cheap oid-on-oid
+    ``algebra.projection`` instead of re-copying payloads, mirroring how
+    MonetDB threads candidate lists between GDK kernels.
+    """
 
     vars: dict[tuple[int, str], str] = field(default_factory=dict)
     atoms: dict[tuple[int, str], Atom] = field(default_factory=dict)
-    ref: Optional[str] = None  # any variable, for alignment/broadcast
+    ref: Optional[str] = None  # any variable of row-set length, for broadcast
+    #: per-column pending candidate list: (oid var, needs projectionsafe)
+    pending: dict[tuple[int, str], Optional[tuple[str, bool]]] = field(
+        default_factory=dict
+    )
 
-    def project_all(self, generator: "MALGenerator", candidates: str, safe: bool = False) -> "Binding":
-        """New binding with every column fetched through *candidates*."""
-        out = Binding(atoms=dict(self.atoms))
+    def column_var(self, generator: "MALGenerator", key: tuple[int, str]) -> str:
+        """The column as a row-set-aligned BAT var, fetching it on demand."""
+        entry = self.pending.get(key)
+        if entry is None:
+            return self.vars[key]
+        candidates, safe = entry
         op = "projectionsafe" if safe else "projection"
-        for key, var in self.vars.items():
-            out.vars[key] = generator.program.emit1(
-                "algebra", op, [Var(candidates), Var(var)],
-                bat_type(self.atoms[key]),
-            )
-        out.ref = next(iter(out.vars.values()), None)
+        var = generator.program.emit1(
+            "algebra", op, [Var(candidates), Var(self.vars[key])],
+            bat_type(self.atoms[key]),
+        )
+        self.vars[key] = var  # memoize: fetch each column at most once
+        self.pending[key] = None
+        return var
+
+    def restrict(self, generator: "MALGenerator", positions: str) -> "Binding":
+        """New binding narrowed to *positions* (oids into the current row set).
+
+        Pending candidate lists are composed with an oid-level
+        projection — one per distinct list, never per payload column.
+        """
+        out = Binding(vars=dict(self.vars), atoms=dict(self.atoms), ref=positions)
+        composed: dict[str, str] = {}
+        for key in self.vars:
+            entry = self.pending.get(key)
+            if entry is None:
+                out.pending[key] = (positions, False)
+                continue
+            candidates, safe = entry
+            if candidates not in composed:
+                composed[candidates] = generator.program.emit1(
+                    "algebra", "projection",
+                    [Var(positions), Var(candidates)], bat_type(Atom.OID),
+                )
+            out.pending[key] = (composed[candidates], safe)
         return out
 
 
@@ -430,7 +469,7 @@ class MALGenerator:
             candidates = self.program.emit1(
                 "algebra", "select", [Var(predicate)], bat_type(Atom.OID)
             )
-            return binding.project_all(self, candidates)
+            return binding.restrict(self, candidates)
         if isinstance(node, nodes.Join):
             return self._emit_join(node)
         raise SemanticError(f"unexpected relational node {type(node).__name__}")
@@ -442,19 +481,31 @@ class MALGenerator:
         right_sources = _source_indexes(node.right)
 
         def combine(loids: str, roids: str, safe_right: bool = False) -> Binding:
-            out = Binding(atoms={**left.atoms, **right.atoms})
-            for key, var in left.vars.items():
-                out.vars[key] = self.program.emit1(
-                    "algebra", "projection", [Var(loids), Var(var)],
-                    bat_type(left.atoms[key]),
-                )
-            op = "projectionsafe" if safe_right else "projection"
-            for key, var in right.vars.items():
-                out.vars[key] = self.program.emit1(
-                    "algebra", op, [Var(roids), Var(var)],
-                    bat_type(right.atoms[key]),
-                )
-            out.ref = next(iter(out.vars.values()), None)
+            """Joined binding: payload fetches stay pending behind the oids."""
+            out = Binding(atoms={**left.atoms, **right.atoms}, ref=loids)
+            for side, oids in ((left, loids), (right, roids)):
+                composed: dict[str, str] = {}
+                for key, var in side.vars.items():
+                    if side is right and safe_right:
+                        # Left-outer right side: roids may hold -1, which
+                        # plain oid composition cannot thread; fetch the
+                        # column through any pending list first and mark
+                        # it for projectionsafe.
+                        out.vars[key] = side.column_var(self, key)
+                        out.pending[key] = (roids, True)
+                        continue
+                    out.vars[key] = var
+                    entry = side.pending.get(key)
+                    if entry is None:
+                        out.pending[key] = (oids, False)
+                        continue
+                    candidates, safe = entry
+                    if candidates not in composed:
+                        composed[candidates] = self.program.emit1(
+                            "algebra", "projection",
+                            [Var(oids), Var(candidates)], bat_type(Atom.OID),
+                        )
+                    out.pending[key] = (composed[candidates], safe)
             return out
 
         if node.kind == "cross" or node.condition is None:
@@ -516,7 +567,7 @@ class MALGenerator:
             candidates = self.program.emit1(
                 "algebra", "select", [Var(predicate)], bat_type(Atom.OID)
             )
-            binding = binding.project_all(self, candidates)
+            binding = binding.restrict(self, candidates)
         return binding
 
     # ------------------------------------------------------------------
@@ -724,7 +775,7 @@ class MALGenerator:
         if isinstance(expression, BoundColumn):
             if binding is None:
                 raise SemanticError("column reference without a FROM clause")
-            var = binding.vars[(expression.source, expression.column)]
+            var = binding.column_var(self, (expression.source, expression.column))
             return EvalResult(_BAT, Var(var), expression.atom)
         if isinstance(expression, BoundCellRef):
             return self._eval_cell_ref(expression, binding)

@@ -7,6 +7,12 @@ aggregates to NULL (COUNT is the exception and yields 0).
 
 Rows whose group id is negative belong to no group (tiling uses this
 for cells outside every tile) and are skipped entirely.
+
+All grouped kernels are NumPy-vectorized segmented reductions: rows are
+sorted by (group id, value) once and per-group results read off the
+segment boundaries — no per-row Python loop.  The original loop
+implementations survive with a ``_reference`` suffix as property-test
+oracles and benchmark baselines.
 """
 
 from __future__ import annotations
@@ -16,7 +22,7 @@ from typing import Any
 import numpy as np
 
 from repro.errors import GDKError
-from repro.gdk.atoms import Atom, common_numeric, is_numeric
+from repro.gdk.atoms import Atom, canon_key, common_numeric, is_numeric
 from repro.gdk.column import Column
 from repro.gdk.group import Grouping
 
@@ -40,6 +46,20 @@ def _prepare(column: Column, grouping: Grouping) -> tuple[np.ndarray, np.ndarray
     valid &= column.validity()
     positions = np.flatnonzero(valid)
     return positions, ids[positions], grouping.ngroups
+
+
+def _group_value_sort(
+    ids: np.ndarray, values: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Rows sorted by (group id, value); object (str) values supported."""
+    by_value = np.argsort(values, kind="stable")
+    by_group = np.argsort(ids[by_value], kind="stable")
+    order = by_value[by_group]
+    return ids[order], values[order]
+
+
+def _segment_starts(sorted_ids: np.ndarray) -> np.ndarray:
+    return np.flatnonzero(np.r_[True, sorted_ids[1:] != sorted_ids[:-1]])
 
 
 def _numeric_result_atom(name: str, atom: Atom) -> Atom:
@@ -115,18 +135,21 @@ def grouped_avg(column: Column, grouping: Grouping) -> Column:
 
 
 def _grouped_extremum(column: Column, grouping: Grouping, largest: bool) -> Column:
+    """Per-group min/max as a segmented reduction (no per-row loop)."""
     positions, ids, ngroups = _prepare(column, grouping)
     counts = np.bincount(ids, minlength=ngroups)
-    if column.atom is Atom.STR:
-        best: list[Any] = [None] * ngroups
-        values = column.values[positions]
-        for gid, value in zip(ids.tolist(), values.tolist()):
-            if best[gid] is None or (value > best[gid]) == largest and value != best[gid]:
-                best[gid] = value
-        out = np.array(["" if b is None else b for b in best], dtype=object)
-        return Column(Atom.STR, out, mask=(counts == 0))
     values = column.values[positions]
-    fill: Any
+    if column.atom is Atom.STR:
+        # Strings: sort by (group, value) and read the segment edges.
+        values = values.astype(object)
+        out: np.ndarray = np.full(ngroups, "", dtype=object)
+        if len(values):
+            sorted_ids, sorted_values = _group_value_sort(ids, values)
+            starts = _segment_starts(sorted_ids)
+            ends = np.r_[starts[1:], len(sorted_ids)] - 1
+            pick = ends if largest else starts
+            out[sorted_ids[starts]] = sorted_values[pick]
+        return Column(column.atom, out, mask=(counts == 0))
     if column.atom is Atom.DBL:
         fill = -np.inf if largest else np.inf
         acc = np.full(ngroups, fill, dtype=np.float64)
@@ -206,7 +229,7 @@ def scalar_min(column: Column) -> Any:
         return None
     values = column.values[valid]
     if column.atom is Atom.STR:
-        return min(values.tolist())
+        return str(values.astype(object).min())
     out = values.min()
     return float(out) if column.atom is Atom.DBL else int(out)
 
@@ -218,7 +241,7 @@ def scalar_max(column: Column) -> Any:
         return None
     values = column.values[valid]
     if column.atom is Atom.STR:
-        return max(values.tolist())
+        return str(values.astype(object).max())
     out = values.max()
     return float(out) if column.atom is Atom.DBL else int(out)
 
@@ -244,33 +267,49 @@ def scalar(name: str, column: Column) -> Any:
 def grouped_count_distinct(column: Column, grouping: Grouping) -> Column:
     """Per-group count of distinct non-NULL values (COUNT(DISTINCT x))."""
     positions, ids, ngroups = _prepare(column, grouping)
-    seen: list[set] = [set() for _ in range(ngroups)]
     values = column.values[positions]
-    for gid, value in zip(ids.tolist(), values.tolist()):
-        seen[gid].add(value)
-    counts = np.array([len(s) for s in seen], dtype=np.int64)
+    if column.atom is Atom.STR:
+        values = values.astype(object)
+    if not len(values):
+        return Column(Atom.LNG, np.zeros(ngroups, dtype=np.int64))
+    sorted_ids, sorted_values = _group_value_sort(ids, values)
+    changed = sorted_values[1:] != sorted_values[:-1]
+    if sorted_values.dtype.kind == "f":
+        # NaN is one distinct value, as in np.unique / the group kernel.
+        changed &= ~(np.isnan(sorted_values[1:]) & np.isnan(sorted_values[:-1]))
+    fresh = np.r_[True, (sorted_ids[1:] != sorted_ids[:-1]) | changed]
+    counts = np.bincount(sorted_ids[fresh], minlength=ngroups).astype(np.int64)
     return Column(Atom.LNG, counts)
 
 
 def scalar_count_distinct(column: Column) -> int:
     """COUNT(DISTINCT x) over a whole column."""
     valid = column.validity()
-    return len({v for v in column.values[valid].tolist()})
+    values = column.values[valid]
+    if column.atom is Atom.STR:
+        values = values.astype(object)
+    return len(np.unique(values))
 
 
 def grouped_stddev(column: Column, grouping: Grouping) -> Column:
-    """Per-group sample standard deviation; NULL for groups with < 2 values."""
+    """Per-group sample standard deviation; NULL for groups with < 2 values.
+
+    Two-pass (mean, then squared deviations) for numerical stability —
+    the one-pass sum-of-squares formula cancels catastrophically for
+    large means.
+    """
     if not is_numeric(column.atom):
         raise GDKError(f"stddev over non-numeric column {column.atom}")
     positions, ids, ngroups = _prepare(column, grouping)
     values = column.values[positions].astype(np.float64)
     counts = np.bincount(ids, minlength=ngroups)
     sums = np.bincount(ids, weights=values, minlength=ngroups)
-    squares = np.bincount(ids, weights=values * values, minlength=ngroups)
-    safe_counts = np.where(counts > 1, counts, 2)
-    with np.errstate(invalid="ignore"):
-        variance = (squares - sums * sums / safe_counts) / (safe_counts - 1)
-    variance = np.clip(variance, 0.0, None)
+    safe_counts = np.where(counts > 0, counts, 1)
+    means = sums / safe_counts
+    deviations = values - means[ids] if len(values) else values
+    squares = np.bincount(ids, weights=deviations * deviations, minlength=ngroups)
+    divisors = np.where(counts > 1, counts - 1, 1)
+    variance = np.clip(squares / divisors, 0.0, None)
     return Column(Atom.DBL, np.sqrt(variance), mask=(counts < 2))
 
 
@@ -280,16 +319,22 @@ def grouped_median(column: Column, grouping: Grouping) -> Column:
         raise GDKError(f"median over non-numeric column {column.atom}")
     positions, ids, ngroups = _prepare(column, grouping)
     values = column.values[positions].astype(np.float64)
-    buckets: list[list[float]] = [[] for _ in range(ngroups)]
-    for gid, value in zip(ids.tolist(), values.tolist()):
-        buckets[gid].append(value)
+    counts = np.bincount(ids, minlength=ngroups)
+    mask = counts == 0
     out = np.zeros(ngroups, dtype=np.float64)
-    mask = np.zeros(ngroups, dtype=np.bool_)
-    for gid, bucket in enumerate(buckets):
-        if bucket:
-            out[gid] = float(np.median(bucket))
-        else:
-            mask[gid] = True
+    if len(values):
+        order = np.lexsort((values, ids))
+        sorted_values = values[order]
+        # Groups appear in id order once sorted, so group g starts at
+        # sum(counts[:g]) and its median sits at the middle offsets.
+        starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+        lo = np.where(mask, 0, starts + (counts - 1) // 2)
+        hi = np.where(mask, 0, starts + counts // 2)
+        medians = (sorted_values[lo] + sorted_values[hi]) / 2.0
+        # NaN poisons its group's median, as np.median does.
+        has_nan = np.bincount(ids, weights=np.isnan(values), minlength=ngroups) > 0
+        medians = np.where(has_nan, np.nan, medians)
+        out = np.where(mask, 0.0, medians)
     return Column(Atom.DBL, out, mask)
 
 
@@ -315,3 +360,85 @@ GROUPED_DISPATCH["stddev"] = grouped_stddev
 GROUPED_DISPATCH["median"] = grouped_median
 SCALAR_DISPATCH["stddev"] = scalar_stddev
 SCALAR_DISPATCH["median"] = scalar_median
+
+
+# ----------------------------------------------------------------------
+# reference (loop) implementations — property-test oracles only
+# ----------------------------------------------------------------------
+def _grouped_extremum_reference(
+    column: Column, grouping: Grouping, largest: bool
+) -> Column:
+    """Tuple-at-a-time min/max (the seed implementation)."""
+    positions, ids, ngroups = _prepare(column, grouping)
+    counts = np.bincount(ids, minlength=ngroups)
+    values = column.values[positions]
+    best: list[Any] = [None] * ngroups
+    for gid, value in zip(ids.tolist(), values.tolist()):
+        if best[gid] is None or ((value > best[gid]) == largest and value != best[gid]):
+            best[gid] = value
+    if column.atom is Atom.STR:
+        out: np.ndarray = np.array(
+            ["" if b is None else b for b in best], dtype=object
+        )
+    else:
+        out = np.array(
+            [0 if b is None else b for b in best], dtype=column.values.dtype
+        )
+    return Column(column.atom, out, mask=(counts == 0))
+
+
+def grouped_min_reference(column: Column, grouping: Grouping) -> Column:
+    return _grouped_extremum_reference(column, grouping, largest=False)
+
+
+def grouped_max_reference(column: Column, grouping: Grouping) -> Column:
+    return _grouped_extremum_reference(column, grouping, largest=True)
+
+
+def grouped_count_distinct_reference(column: Column, grouping: Grouping) -> Column:
+    """Tuple-at-a-time COUNT(DISTINCT x) (the seed implementation)."""
+    positions, ids, ngroups = _prepare(column, grouping)
+    seen: list[set] = [set() for _ in range(ngroups)]
+    values = column.values[positions]
+    for gid, value in zip(ids.tolist(), values.tolist()):
+        seen[gid].add(canon_key(value))
+    counts = np.array([len(s) for s in seen], dtype=np.int64)
+    return Column(Atom.LNG, counts)
+
+
+def grouped_median_reference(column: Column, grouping: Grouping) -> Column:
+    """Tuple-at-a-time median (the seed implementation)."""
+    if not is_numeric(column.atom):
+        raise GDKError(f"median over non-numeric column {column.atom}")
+    positions, ids, ngroups = _prepare(column, grouping)
+    values = column.values[positions].astype(np.float64)
+    buckets: list[list[float]] = [[] for _ in range(ngroups)]
+    for gid, value in zip(ids.tolist(), values.tolist()):
+        buckets[gid].append(value)
+    out = np.zeros(ngroups, dtype=np.float64)
+    mask = np.zeros(ngroups, dtype=np.bool_)
+    for gid, bucket in enumerate(buckets):
+        if bucket:
+            out[gid] = float(np.median(bucket))
+        else:
+            mask[gid] = True
+    return Column(Atom.DBL, out, mask)
+
+
+def grouped_stddev_reference(column: Column, grouping: Grouping) -> Column:
+    """Tuple-at-a-time sample stddev (the seed implementation)."""
+    if not is_numeric(column.atom):
+        raise GDKError(f"stddev over non-numeric column {column.atom}")
+    positions, ids, ngroups = _prepare(column, grouping)
+    values = column.values[positions].astype(np.float64)
+    buckets: list[list[float]] = [[] for _ in range(ngroups)]
+    for gid, value in zip(ids.tolist(), values.tolist()):
+        buckets[gid].append(value)
+    out = np.zeros(ngroups, dtype=np.float64)
+    mask = np.zeros(ngroups, dtype=np.bool_)
+    for gid, bucket in enumerate(buckets):
+        if len(bucket) < 2:
+            mask[gid] = True
+        else:
+            out[gid] = float(np.std(np.asarray(bucket), ddof=1))
+    return Column(Atom.DBL, out, mask)

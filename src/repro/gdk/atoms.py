@@ -151,3 +151,19 @@ def atom_for_sql_type(name: str) -> Atom:
         return SQL_TYPE_TO_ATOM[name.upper()]
     except KeyError:
         raise TypeError_(f"unsupported SQL type {name!r}") from None
+
+
+#: sentinel standing in for NaN in loop-based (reference) kernel keys.
+NAN_KEY = object()
+
+
+def canon_key(value: Any) -> Any:
+    """Join/group key canonicalization: NaN is one equal-to-itself value.
+
+    The vectorized kernels get this from ``np.unique``/``searchsorted``
+    (all NaNs land in one equivalence class); reference implementations
+    route dict/set keys through here to match.
+    """
+    if isinstance(value, float) and value != value:
+        return NAN_KEY
+    return value

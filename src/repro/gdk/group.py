@@ -4,6 +4,12 @@
 column(s), a dense *group-id* column plus the group *extents* (one
 representative oid per group) — the kernel building blocks of SQL's
 GROUP BY.  NULL is a group of its own, as in SQL grouping semantics.
+
+The production kernels are NumPy-vectorized: values are coded through
+``np.unique`` and the codes densified to first-appearance order with a
+stable sort — no per-row Python loop.  The original tuple-at-a-time
+implementations survive as ``group_reference`` / ``subgroup_reference``
+for the property-test suite.
 """
 
 from __future__ import annotations
@@ -13,7 +19,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import GDKError
-from repro.gdk.atoms import Atom
+from repro.gdk.atoms import Atom, canon_key as _canon_key
 from repro.gdk.bat import BAT
 from repro.gdk.column import Column
 
@@ -39,60 +45,74 @@ class Grouping:
         return len(self.extents)
 
 
+def _value_codes(column: Column) -> np.ndarray:
+    """Integer codes: equal (non-NULL) values share a code; NULL is its own."""
+    values = column.values
+    if column.atom is Atom.STR:
+        values = values.astype(object)
+    mask = column.mask
+    if mask is None:
+        _, codes = np.unique(values, return_inverse=True)
+        return codes.astype(np.int64)
+    codes = np.empty(len(column), dtype=np.int64)
+    valid = ~mask
+    ncodes = 0
+    if valid.any():
+        uniques, inverse = np.unique(values[valid], return_inverse=True)
+        codes[valid] = inverse
+        ncodes = len(uniques)
+    codes[mask] = ncodes
+    return codes
+
+
+def _densify_first_appearance(
+    codes: np.ndarray, dense: bool = False
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Remap codes to dense group ids in first-appearance order.
+
+    Returns ``(ids, extents, histogram)`` with the same contract as
+    :class:`Grouping`.  With *dense* the caller guarantees codes already
+    cover ``0 .. max`` (as :func:`_value_codes` emits), skipping one
+    re-coding pass; without it, codes may be arbitrary non-negative
+    int64 (the mixed-radix keys of :func:`subgroup`).
+    """
+    n = len(codes)
+    if n == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy(), empty.copy()
+    if not dense:
+        _, codes = np.unique(codes, return_inverse=True)
+        codes = codes.astype(np.int64)
+    ncodes = int(codes.max()) + 1
+    firsts = np.full(ncodes, n, dtype=np.int64)
+    np.minimum.at(firsts, codes, np.arange(n, dtype=np.int64))
+    appearance = np.argsort(firsts, kind="stable")  # over groups, not rows
+    rank = np.empty(ncodes, dtype=np.int64)
+    rank[appearance] = np.arange(ncodes, dtype=np.int64)
+    ids = rank[codes]
+    extents = firsts[appearance]
+    histogram = np.bincount(ids, minlength=ncodes)
+    return ids, extents, histogram.astype(np.int64)
+
+
 def group(column: Column) -> Grouping:
     """Group rows by one column's values (NULLs form their own group)."""
-    ids = np.empty(len(column), dtype=np.int64)
-    extents: list[int] = []
-    counts: list[int] = []
-    seen: dict = {}
-    mask = column.mask
-    values = column.values
-    null_key = object()
-    for pos in range(len(column)):
-        key = null_key if (mask is not None and mask[pos]) else values[pos]
-        gid = seen.get(key)
-        if gid is None:
-            gid = len(extents)
-            seen[key] = gid
-            extents.append(pos)
-            counts.append(0)
-        ids[pos] = gid
-        counts[gid] += 1
-    return Grouping(
-        Column(Atom.OID, ids),
-        np.asarray(extents, dtype=np.int64),
-        np.asarray(counts, dtype=np.int64),
+    ids, extents, histogram = _densify_first_appearance(
+        _value_codes(column), dense=True
     )
+    return Grouping(Column(Atom.OID, ids), extents, histogram)
 
 
 def subgroup(column: Column, previous: Grouping) -> Grouping:
     """Refine an existing grouping by an extra column (group.subgroup)."""
     if len(column) != len(previous.groups):
         raise GDKError("subgroup: column not aligned with previous grouping")
-    ids = np.empty(len(column), dtype=np.int64)
-    extents: list[int] = []
-    counts: list[int] = []
-    seen: dict = {}
-    mask = column.mask
-    values = column.values
+    sub_codes = _value_codes(column)
     prev_ids = previous.groups.values
-    null_key = object()
-    for pos in range(len(column)):
-        sub = null_key if (mask is not None and mask[pos]) else values[pos]
-        key = (int(prev_ids[pos]), sub)
-        gid = seen.get(key)
-        if gid is None:
-            gid = len(extents)
-            seen[key] = gid
-            extents.append(pos)
-            counts.append(0)
-        ids[pos] = gid
-        counts[gid] += 1
-    return Grouping(
-        Column(Atom.OID, ids),
-        np.asarray(extents, dtype=np.int64),
-        np.asarray(counts, dtype=np.int64),
-    )
+    width = int(sub_codes.max()) + 1 if len(sub_codes) else 1
+    combined = prev_ids * width + sub_codes
+    ids, extents, histogram = _densify_first_appearance(combined)
+    return Grouping(Column(Atom.OID, ids), extents, histogram)
 
 
 def group_by_columns(columns: list[Column]) -> Grouping:
@@ -117,14 +137,77 @@ def explicit_grouping(group_ids: np.ndarray, ngroups: int) -> Grouping:
         raise GDKError("group id out of range")
     histogram = np.bincount(group_ids[group_ids >= 0], minlength=ngroups)
     extents = np.full(ngroups, -1, dtype=np.int64)
-    seen_order: list[int] = []
-    for pos, gid in enumerate(group_ids.tolist()):
-        if gid >= 0 and extents[gid] < 0:
-            extents[gid] = pos
-            seen_order.append(gid)
+    positions = np.flatnonzero(group_ids >= 0)
+    if len(positions):
+        grouped = group_ids[positions]
+        order = np.argsort(grouped, kind="stable")
+        sorted_ids = grouped[order]
+        seg_starts = np.flatnonzero(
+            np.r_[True, sorted_ids[1:] != sorted_ids[:-1]]
+        )
+        extents[sorted_ids[seg_starts]] = positions[order[seg_starts]]
     return Grouping(Column(Atom.OID, group_ids), extents, histogram)
 
 
 def groups_bat(grouping: Grouping, hseqbase: int = 0) -> BAT:
     """The group-id column as a BAT aligned with the grouped input."""
     return BAT(grouping.groups, hseqbase)
+
+
+# ----------------------------------------------------------------------
+# reference (loop) implementations — property-test oracles only
+# ----------------------------------------------------------------------
+def group_reference(column: Column) -> Grouping:
+    """Tuple-at-a-time grouping (the seed implementation)."""
+    ids = np.empty(len(column), dtype=np.int64)
+    extents: list[int] = []
+    counts: list[int] = []
+    seen: dict = {}
+    mask = column.mask
+    values = column.values
+    null_key = object()
+    for pos in range(len(column)):
+        key = null_key if (mask is not None and mask[pos]) else _canon_key(values[pos])
+        gid = seen.get(key)
+        if gid is None:
+            gid = len(extents)
+            seen[key] = gid
+            extents.append(pos)
+            counts.append(0)
+        ids[pos] = gid
+        counts[gid] += 1
+    return Grouping(
+        Column(Atom.OID, ids),
+        np.asarray(extents, dtype=np.int64),
+        np.asarray(counts, dtype=np.int64),
+    )
+
+
+def subgroup_reference(column: Column, previous: Grouping) -> Grouping:
+    """Tuple-at-a-time grouping refinement (the seed implementation)."""
+    if len(column) != len(previous.groups):
+        raise GDKError("subgroup: column not aligned with previous grouping")
+    ids = np.empty(len(column), dtype=np.int64)
+    extents: list[int] = []
+    counts: list[int] = []
+    seen: dict = {}
+    mask = column.mask
+    values = column.values
+    prev_ids = previous.groups.values
+    null_key = object()
+    for pos in range(len(column)):
+        sub = null_key if (mask is not None and mask[pos]) else _canon_key(values[pos])
+        key = (int(prev_ids[pos]), sub)
+        gid = seen.get(key)
+        if gid is None:
+            gid = len(extents)
+            seen[key] = gid
+            extents.append(pos)
+            counts.append(0)
+        ids[pos] = gid
+        counts[gid] += 1
+    return Grouping(
+        Column(Atom.OID, ids),
+        np.asarray(extents, dtype=np.int64),
+        np.asarray(counts, dtype=np.int64),
+    )

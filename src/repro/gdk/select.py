@@ -21,33 +21,41 @@ from repro.gdk.column import Column
 THETA_OPS = ("==", "!=", "<", "<=", ">", ">=")
 
 
-def _candidate_positions(b: BAT, candidates: BAT | None) -> np.ndarray:
-    """Positions (0-based into *b*) restricted by an optional candidate list."""
+def _candidate_positions(b: BAT, candidates: BAT | None) -> tuple[np.ndarray, bool]:
+    """Positions (0-based into *b*) restricted by an optional candidate list.
+
+    Also reports whether the positions are known ascending — candidate
+    lists are sorted by contract, so :func:`_result` can usually skip
+    re-sorting its output.
+    """
     if candidates is None:
-        return np.arange(len(b), dtype=np.int64)
+        return np.arange(len(b), dtype=np.int64), True
     if candidates.atom is not Atom.OID:
         raise GDKError("candidate list must have oid tail")
     positions = candidates.tail.values - b.hseqbase
     if len(positions) and (positions.min() < 0 or positions.max() >= len(b)):
         raise GDKError("candidate oid outside BAT head range")
-    return positions
+    is_sorted = bool(np.all(positions[1:] >= positions[:-1]))
+    return positions, is_sorted
 
 
-def _result(b: BAT, positions: np.ndarray, keep: np.ndarray) -> BAT:
+def _result(b: BAT, positions: np.ndarray, keep: np.ndarray, is_sorted: bool = False) -> BAT:
     oids = positions[keep] + b.hseqbase
-    return BAT.from_oids(np.sort(oids))
+    if not is_sorted:
+        oids = np.sort(oids)
+    return BAT.from_oids(oids)
 
 
 def select_true(b: BAT, candidates: BAT | None = None) -> BAT:
     """Oids where a bit column is TRUE (NULL counts as not-true)."""
     if b.atom is not Atom.BIT:
         raise GDKError("select_true needs a bit BAT")
-    positions = _candidate_positions(b, candidates)
+    positions, presorted = _candidate_positions(b, candidates)
     values = b.tail.values[positions]
     keep = values.astype(np.bool_)
     if b.tail.mask is not None:
         keep &= ~b.tail.mask[positions]
-    return _result(b, positions, keep)
+    return _result(b, positions, keep, presorted)
 
 
 def thetaselect(b: BAT, value: Any, op: str, candidates: BAT | None = None) -> BAT:
@@ -58,7 +66,7 @@ def thetaselect(b: BAT, value: Any, op: str, candidates: BAT | None = None) -> B
     """
     if op not in THETA_OPS:
         raise GDKError(f"unknown theta operator {op!r}")
-    positions = _candidate_positions(b, candidates)
+    positions, presorted = _candidate_positions(b, candidates)
     if value is None:
         return BAT.empty(Atom.OID)
     coerced = coerce_scalar(value, b.atom)
@@ -78,7 +86,7 @@ def thetaselect(b: BAT, value: Any, op: str, candidates: BAT | None = None) -> B
     keep = np.asarray(keep, dtype=np.bool_)
     if b.tail.mask is not None:
         keep &= ~b.tail.mask[positions]
-    return _result(b, positions, keep)
+    return _result(b, positions, keep, presorted)
 
 
 def rangeselect(
@@ -95,7 +103,7 @@ def rangeselect(
     ``None`` bounds are unbounded.  With ``anti=True`` the complement is
     returned (still excluding NULL tails).
     """
-    positions = _candidate_positions(b, candidates)
+    positions, presorted = _candidate_positions(b, candidates)
     values = b.tail.values[positions]
     keep = np.ones(len(positions), dtype=np.bool_)
     if low is not None:
@@ -108,20 +116,20 @@ def rangeselect(
         keep = ~keep
     if b.tail.mask is not None:
         keep &= ~b.tail.mask[positions]
-    return _result(b, positions, keep)
+    return _result(b, positions, keep, presorted)
 
 
 def isnull_select(b: BAT, want_null: bool = True, candidates: BAT | None = None) -> BAT:
     """Oids whose tail is NULL (or NOT NULL with ``want_null=False``)."""
-    positions = _candidate_positions(b, candidates)
+    positions, presorted = _candidate_positions(b, candidates)
     mask = b.tail.effective_mask()[positions]
     keep = mask if want_null else ~mask
-    return _result(b, positions, keep)
+    return _result(b, positions, keep, presorted)
 
 
 def in_select(b: BAT, values: list[Any], candidates: BAT | None = None) -> BAT:
     """Oids whose tail equals any of *values* (NULL members ignored)."""
-    positions = _candidate_positions(b, candidates)
+    positions, presorted = _candidate_positions(b, candidates)
     concrete = [coerce_scalar(v, b.atom) for v in values if v is not None]
     if not concrete:
         return BAT.empty(Atom.OID)
@@ -133,7 +141,7 @@ def in_select(b: BAT, values: list[Any], candidates: BAT | None = None) -> BAT:
     keep = np.asarray(keep, dtype=np.bool_)
     if b.tail.mask is not None:
         keep &= ~b.tail.mask[positions]
-    return _result(b, positions, keep)
+    return _result(b, positions, keep, presorted)
 
 
 def intersect_candidates(a: BAT, b: BAT) -> BAT:

@@ -25,22 +25,16 @@ def sort_order(column: Column, descending: bool = False) -> np.ndarray:
     mask = column.effective_mask()
     if column.atom is Atom.STR:
         keys = column.values.astype(object)
-        decorated = sorted(
-            range(n),
-            key=lambda i: (0 if mask[i] else 1, "" if mask[i] else keys[i]),
-        )
-        order = np.asarray(decorated, dtype=np.int64)
+        null_positions = np.flatnonzero(mask)
+        non_null = np.flatnonzero(~mask)
         if descending:
-            # Stable descending: sort by key descending, NULLs last.
-            decorated = sorted(
-                range(n),
-                key=lambda i: (1 if mask[i] else 0,),
-            )
-            non_null = [i for i in range(n) if not mask[i]]
-            non_null.sort(key=lambda i: keys[i], reverse=True)
-            nulls = [i for i in range(n) if mask[i]]
-            order = np.asarray(non_null + nulls, dtype=np.int64)
-        return order
+            # Stable descending via ascending codes: equal keys keep
+            # their original order, NULLs sort last.
+            _, codes = np.unique(keys[non_null], return_inverse=True)
+            ordered = non_null[np.argsort(-codes.astype(np.int64), kind="stable")]
+            return np.concatenate([ordered, null_positions]).astype(np.int64)
+        ordered = non_null[np.argsort(keys[non_null], kind="stable")]
+        return np.concatenate([null_positions, ordered]).astype(np.int64)
     values = column.values
     if descending:
         if column.atom is Atom.DBL:

@@ -14,6 +14,7 @@ from typing import Any
 
 from repro.errors import MALError
 from repro.catalog import Catalog
+from repro.gdk.bat import BAT
 from repro.mal.modules import REGISTRY, load_all
 from repro.mal.program import Constant, Instruction, MALProgram, Var
 
@@ -30,10 +31,19 @@ class ExecutionContext:
 
 @dataclass
 class ExecutionStats:
-    """Profiling counters for one program run (used by benchmarks)."""
+    """Profiling counters for one program run (used by benchmarks).
+
+    ``rows_processed`` totals the BAT rows consumed by every executed
+    instruction; ``rows_per_operation`` breaks that down per MAL
+    operation.  Candidate-list propagation shows up here directly: the
+    fewer payload copies the plan materializes, the fewer rows flow
+    through ``algebra.projection``.
+    """
 
     instructions_executed: int = 0
     per_operation: dict[str, int] = field(default_factory=dict)
+    rows_processed: int = 0
+    rows_per_operation: dict[str, int] = field(default_factory=dict)
 
 
 class Interpreter:
@@ -57,27 +67,44 @@ class Interpreter:
                     if isinstance(arg, Constant):
                         env.pop(arg.value, None)
                 continue
-            self._execute(instruction, env, context)
+            rows = self._execute(instruction, env, context, collect_stats)
             if collect_stats:
                 stats.instructions_executed += 1
                 key = f"{instruction.module}.{instruction.function}"
                 stats.per_operation[key] = stats.per_operation.get(key, 0) + 1
+                stats.rows_processed += rows
+                stats.rows_per_operation[key] = (
+                    stats.rows_per_operation.get(key, 0) + rows
+                )
         return context, stats
 
     def _execute(
-        self, instruction: Instruction, env: dict[str, Any], context: ExecutionContext
-    ) -> None:
+        self,
+        instruction: Instruction,
+        env: dict[str, Any],
+        context: ExecutionContext,
+        count_rows: bool = False,
+    ) -> int:
+        """Execute one instruction; returns the BAT rows it consumed.
+
+        Row accounting only runs under *count_rows* so the non-profiled
+        dispatch loop stays untouched.
+        """
         implementation = REGISTRY.get((instruction.module, instruction.function))
         if implementation is None:
             raise MALError(
                 f"undefined MAL operation {instruction.module}.{instruction.function}"
             )
         args = []
+        rows = 0
         for arg in instruction.args:
             if isinstance(arg, Var):
                 if arg.name not in env:
                     raise MALError(f"variable {arg.name!r} not bound at runtime")
-                args.append(env[arg.name])
+                value = env[arg.name]
+                if count_rows and isinstance(value, BAT):
+                    rows += len(value)
+                args.append(value)
             else:
                 args.append(arg.value)
         try:
@@ -89,7 +116,7 @@ class Interpreter:
                 f"{instruction.module}.{instruction.function} failed: {exc}"
             ) from exc
         if not instruction.results:
-            return
+            return rows
         if len(instruction.results) == 1:
             env[instruction.results[0]] = output
         else:
@@ -99,3 +126,4 @@ class Interpreter:
                 )
             for name, value in zip(instruction.results, output):
                 env[name] = value
+        return rows

@@ -51,13 +51,13 @@ def _projectionsafe(ctx, candidates: BAT, b: BAT):
 
 
 @mal_op("algebra", "join")
-def _join(ctx, left: BAT, right: BAT, nil_matches=False):
-    return join_kernel.join(left, right, bool(nil_matches))
+def _join(ctx, left: BAT, right: BAT, nil_matches=False, lcand=None, rcand=None):
+    return join_kernel.join(left, right, bool(nil_matches), lcand, rcand)
 
 
 @mal_op("algebra", "leftjoin")
-def _leftjoin(ctx, left: BAT, right: BAT):
-    return join_kernel.leftjoin(left, right)
+def _leftjoin(ctx, left: BAT, right: BAT, lcand=None, rcand=None):
+    return join_kernel.leftjoin(left, right, lcand, rcand)
 
 
 @mal_op("algebra", "thetajoin")
@@ -71,13 +71,13 @@ def _crossproduct(ctx, left_count, right_count):
 
 
 @mal_op("algebra", "semijoin")
-def _semijoin(ctx, left: BAT, right: BAT):
-    return join_kernel.semijoin(left, right)
+def _semijoin(ctx, left: BAT, right: BAT, lcand=None, rcand=None):
+    return join_kernel.semijoin(left, right, lcand, rcand)
 
 
 @mal_op("algebra", "antijoin")
-def _antijoin(ctx, left: BAT, right: BAT):
-    return join_kernel.antijoin(left, right)
+def _antijoin(ctx, left: BAT, right: BAT, lcand=None, rcand=None):
+    return join_kernel.antijoin(left, right, lcand, rcand)
 
 
 @mal_op("algebra", "intersect")

@@ -187,9 +187,16 @@ class TestMalLowering:
 
     def test_left_join_uses_projectionsafe(self, conn):
         conn.execute("CREATE TABLE r (a INT)")
-        ops = self.ops(conn, "SELECT t.a FROM t LEFT JOIN r ON t.a = r.a")
+        ops = self.ops(conn, "SELECT t.a, r.a FROM t LEFT JOIN r ON t.a = r.a")
         assert "algebra.leftjoin" in ops
         assert "algebra.projectionsafe" in ops
+
+    def test_left_join_elides_unused_right_fetch(self, conn):
+        """Candidate propagation: untouched right payloads are never copied."""
+        conn.execute("CREATE TABLE r2 (a INT)")
+        ops = self.ops(conn, "SELECT t.a FROM t LEFT JOIN r2 ON t.a = r2.a")
+        assert "algebra.leftjoin" in ops
+        assert "algebra.projectionsafe" not in ops
 
     def test_every_program_validates(self, conn):
         """Generated programs are well-formed single-assignment MAL."""

@@ -159,3 +159,114 @@ class TestMultiColumnJoin:
     def test_arity_checked(self):
         with pytest.raises(GDKError):
             join.multi_column_join([], [])
+
+
+class TestCandidateLists:
+    """Joins accept candidate lists restricting which BUNs participate."""
+
+    def test_join_with_left_candidates(self):
+        left = BAT.from_pylist(Atom.INT, [1, 2, 1, 3])
+        right = BAT.from_pylist(Atom.INT, [1, 3])
+        lcand = BAT.from_oids(np.array([0, 3], dtype=np.int64))
+        l, r = join.join(left, right, lcand=lcand)
+        assert list(zip(l.tail_pylist(), r.tail_pylist())) == [(0, 0), (3, 1)]
+
+    def test_join_with_right_candidates(self):
+        left = BAT.from_pylist(Atom.INT, [1, 2])
+        right = BAT.from_pylist(Atom.INT, [1, 1, 2])
+        rcand = BAT.from_oids(np.array([1, 2], dtype=np.int64))
+        l, r = join.join(left, right, rcand=rcand)
+        assert list(zip(l.tail_pylist(), r.tail_pylist())) == [(0, 1), (1, 2)]
+
+    def test_join_candidates_respect_seqbase(self):
+        left = BAT.from_pylist(Atom.INT, [5, 6], hseqbase=10)
+        right = BAT.from_pylist(Atom.INT, [6])
+        lcand = BAT.from_oids(np.array([11], dtype=np.int64))
+        l, r = join.join(left, right, lcand=lcand)
+        assert l.tail_pylist() == [11]
+
+    def test_leftjoin_with_candidates(self):
+        left = BAT.from_pylist(Atom.INT, [1, 2, 3])
+        right = BAT.from_pylist(Atom.INT, [2])
+        lcand = BAT.from_oids(np.array([1, 2], dtype=np.int64))
+        l, r = join.leftjoin(left, right, lcand=lcand)
+        assert l.tail_pylist() == [1, 2]
+        assert r.tail_pylist() == [0, -1]
+
+    def test_semijoin_with_candidates(self):
+        left = BAT.from_pylist(Atom.INT, [1, 2, 2])
+        right = BAT.from_pylist(Atom.INT, [2])
+        lcand = BAT.from_oids(np.array([0, 1], dtype=np.int64))
+        assert join.semijoin(left, right, lcand=lcand).tail_pylist() == [1]
+
+    def test_antijoin_with_candidates(self):
+        left = BAT.from_pylist(Atom.INT, [1, 2, 2])
+        right = BAT.from_pylist(Atom.INT, [2])
+        lcand = BAT.from_oids(np.array([0, 1], dtype=np.int64))
+        assert join.antijoin(left, right, lcand=lcand).tail_pylist() == [0]
+
+    def test_join_ordering_is_canonical(self):
+        left = BAT.from_pylist(Atom.INT, [2, 1, 2])
+        right = BAT.from_pylist(Atom.INT, [2, 2, 1])
+        l, r = join.join(left, right)
+        pairs = list(zip(l.tail_pylist(), r.tail_pylist()))
+        assert pairs == sorted(pairs)
+
+
+class TestNaNKeySemantics:
+    """Unmasked NaN is one equal-to-itself join/group key (np.unique
+    semantics); vectorized and reference kernels must agree on it."""
+
+    def test_nan_joins_nan(self):
+        left = BAT(Column(Atom.DBL, np.array([1.0, np.nan, 2.0])))
+        right = BAT(Column(Atom.DBL, np.array([np.nan, 2.0])))
+        l_vec, r_vec = join.join(left, right)
+        l_ref, r_ref = join.join_reference(left, right)
+        pairs = list(zip(l_vec.tail_pylist(), r_vec.tail_pylist()))
+        assert pairs == [(1, 0), (2, 1)]
+        assert pairs == list(zip(l_ref.tail_pylist(), r_ref.tail_pylist()))
+
+    def test_nan_groups_together(self):
+        from repro.gdk import group
+
+        column = Column(Atom.DBL, np.array([np.nan, 1.0, np.nan]))
+        vec = group.group(column)
+        ref = group.group_reference(column)
+        assert vec.groups.to_pylist() == [0, 1, 0]
+        assert vec.groups.to_pylist() == ref.groups.to_pylist()
+
+    def test_nan_counts_once_distinct(self):
+        from repro.gdk import aggregate, group
+
+        keys = Column.from_pylist(Atom.INT, [0, 0, 0])
+        values = Column(Atom.DBL, np.array([np.nan, np.nan, 1.0]))
+        grouping = group.group(keys)
+        vec = aggregate.grouped_count_distinct(values, grouping)
+        ref = aggregate.grouped_count_distinct_reference(values, grouping)
+        assert vec.to_pylist() == [2]
+        assert vec.to_pylist() == ref.to_pylist()
+
+    def test_nan_semijoin_antijoin_agree_with_reference(self):
+        left = BAT(Column(Atom.DBL, np.array([1.0, np.nan, 3.0])))
+        right = BAT(Column(Atom.DBL, np.array([np.nan, 3.0])))
+        assert join.semijoin(left, right).tail_pylist() == [1, 2]
+        assert (
+            join.semijoin(left, right).tail_pylist()
+            == join.semijoin_reference(left, right).tail_pylist()
+        )
+        assert join.antijoin(left, right).tail_pylist() == [0]
+        assert (
+            join.antijoin(left, right).tail_pylist()
+            == join.antijoin_reference(left, right).tail_pylist()
+        )
+
+    def test_nan_poisons_group_median(self):
+        from repro.gdk import aggregate, group
+
+        keys = Column.from_pylist(Atom.INT, [0, 0, 0, 1])
+        values = Column(Atom.DBL, np.array([1.0, np.nan, 2.0, 5.0]))
+        grouping = group.group(keys)
+        vec = aggregate.grouped_median(values, grouping).to_pylist()
+        ref = aggregate.grouped_median_reference(values, grouping).to_pylist()
+        assert np.isnan(vec[0]) and np.isnan(ref[0])
+        assert vec[1] == ref[1] == 5.0

@@ -146,3 +146,28 @@ class TestSeqbaseHandling:
         bat = BAT.from_pylist(Atom.INT, [1, 5, 1], hseqbase=100)
         out = select.thetaselect(bat, 1, "==")
         assert out.tail_pylist() == [100, 102]
+
+
+class TestCandidateOrdering:
+    """Regression: results stay ascending without a redundant re-sort."""
+
+    def test_sorted_candidates_preserve_order(self, numbers):
+        candidates = BAT.from_oids(np.array([0, 2, 3, 4], dtype=np.int64))
+        out = select.thetaselect(numbers, 3, ">=", candidates)
+        assert out.tail_pylist() == [0, 2, 3, 4]
+
+    def test_unsorted_candidates_still_yield_ascending_oids(self, numbers):
+        candidates = BAT.from_oids(np.array([4, 0, 2], dtype=np.int64))
+        out = select.thetaselect(numbers, 3, ">=", candidates)
+        assert out.tail_pylist() == [0, 2, 4]
+
+    def test_no_candidates_ascending(self, numbers):
+        out = select.rangeselect(numbers, -10, 10)
+        values = out.tail_pylist()
+        assert values == sorted(values)
+
+    def test_sorted_candidates_with_seqbase(self):
+        bat = BAT.from_pylist(Atom.INT, [1, 2, 3, 4], hseqbase=10)
+        candidates = BAT.from_oids(np.array([10, 12, 13], dtype=np.int64))
+        out = select.thetaselect(bat, 2, ">=", candidates)
+        assert out.tail_pylist() == [12, 13]

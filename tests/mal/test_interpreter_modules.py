@@ -194,3 +194,24 @@ class TestScalarCalcModule:
             program.emit("sql", "setVariable", [name, Var(var)], [scalar_type(Atom.INT)])
         context, _ = run(interp, program)
         assert context.variables == {"a": False, "b": True, "c": None}
+
+
+class TestRowStats:
+    """ExecutionStats counts BAT rows consumed per instruction."""
+
+    def test_rows_processed_counts_bat_inputs(self, interp):
+        program = MALProgram()
+        packed = program.emit1("bat", "pack", [1, 2, 3], bat_type(None))
+        program.emit1("aggr", "sum", [Var(packed)], scalar_type(Atom.LNG))
+        _, stats = run(interp, program, collect_stats=True)
+        assert stats.rows_processed == 3
+        assert stats.rows_per_operation["aggr.sum"] == 3
+        assert stats.rows_per_operation["bat.pack"] == 0
+
+    def test_rows_not_tracked_without_flag(self, interp):
+        program = MALProgram()
+        packed = program.emit1("bat", "pack", [1, 2], bat_type(None))
+        program.emit1("aggr", "sum", [Var(packed)], scalar_type(Atom.LNG))
+        _, stats = run(interp, program)
+        assert stats.rows_processed == 0
+        assert stats.rows_per_operation == {}

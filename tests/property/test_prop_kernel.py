@@ -131,6 +131,201 @@ class TestGroupAggregateProperties:
                 assert lo <= hi
 
 
+def _column_equal(a, b):
+    assert a.atom is b.atom
+    assert a.to_pylist() == b.to_pylist()
+
+
+# Per-atom value strategies, NULLs included; min_size=0 exercises the
+# empty-BAT edge and singletons appear constantly at these sizes.
+VALUE_STRATEGIES = [
+    (Atom.INT, st.one_of(st.integers(-50, 50), st.none())),
+    (Atom.LNG, st.one_of(st.integers(-(2**40), 2**40), st.none())),
+    (
+        Atom.DBL,
+        st.one_of(
+            st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False),
+            st.none(),
+        ),
+    ),
+    (Atom.STR, st.one_of(st.text(alphabet="abcde", max_size=4), st.none())),
+]
+
+
+def _lists_of(value_strategy):
+    return st.lists(value_strategy, min_size=0, max_size=40)
+
+
+class TestVectorizedVsReference:
+    """Every vectorized kernel must agree with its retained ``_reference``
+    loop implementation across dtypes, NULL masks, and empty/singleton
+    inputs."""
+
+    @pytest.mark.parametrize("atom,values", VALUE_STRATEGIES)
+    @given(data=st.data(), nil_matches=st.booleans())
+    @settings(max_examples=25)
+    def test_join_matches_reference(self, atom, values, data, nil_matches):
+        left = BAT.from_pylist(atom, data.draw(_lists_of(values)))
+        right = BAT.from_pylist(atom, data.draw(_lists_of(values)))
+        l_vec, r_vec = join.join(left, right, nil_matches)
+        l_ref, r_ref = join.join_reference(left, right, nil_matches)
+        assert l_vec.tail_pylist() == l_ref.tail_pylist()
+        assert r_vec.tail_pylist() == r_ref.tail_pylist()
+
+    @pytest.mark.parametrize("atom,values", VALUE_STRATEGIES)
+    @given(data=st.data())
+    @settings(max_examples=25)
+    def test_leftjoin_matches_reference(self, atom, values, data):
+        left = BAT.from_pylist(atom, data.draw(_lists_of(values)))
+        right = BAT.from_pylist(atom, data.draw(_lists_of(values)))
+        l_vec, r_vec = join.leftjoin(left, right)
+        l_ref, r_ref = join.leftjoin_reference(left, right)
+        assert l_vec.tail_pylist() == l_ref.tail_pylist()
+        assert r_vec.tail_pylist() == r_ref.tail_pylist()
+
+    @pytest.mark.parametrize("atom,values", VALUE_STRATEGIES)
+    @given(data=st.data())
+    @settings(max_examples=25)
+    def test_semijoin_antijoin_match_reference(self, atom, values, data):
+        left = BAT.from_pylist(atom, data.draw(_lists_of(values)))
+        right = BAT.from_pylist(atom, data.draw(_lists_of(values)))
+        assert (
+            join.semijoin(left, right).tail_pylist()
+            == join.semijoin_reference(left, right).tail_pylist()
+        )
+        assert (
+            join.antijoin(left, right).tail_pylist()
+            == join.antijoin_reference(left, right).tail_pylist()
+        )
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.one_of(st.integers(0, 4), st.none()),
+                st.one_of(st.text(alphabet="ab", max_size=2), st.none()),
+            ),
+            max_size=30,
+        ),
+        st.lists(
+            st.tuples(
+                st.one_of(st.integers(0, 4), st.none()),
+                st.one_of(st.text(alphabet="ab", max_size=2), st.none()),
+            ),
+            max_size=30,
+        ),
+    )
+    def test_multi_column_join_matches_reference(self, left_rows, right_rows):
+        left = [
+            Column.from_pylist(Atom.INT, [r[0] for r in left_rows]),
+            Column.from_pylist(Atom.STR, [r[1] for r in left_rows]),
+        ]
+        right = [
+            Column.from_pylist(Atom.INT, [r[0] for r in right_rows]),
+            Column.from_pylist(Atom.STR, [r[1] for r in right_rows]),
+        ]
+        l_vec, r_vec = join.multi_column_join(left, right)
+        l_ref, r_ref = join.multi_column_join_reference(left, right)
+        assert l_vec.tolist() == l_ref.tolist()
+        assert r_vec.tolist() == r_ref.tolist()
+
+    @given(
+        st.lists(st.one_of(st.integers(0, 4), st.none()), max_size=30),
+        st.lists(st.one_of(st.integers(0, 4), st.none()), max_size=30),
+    )
+    def test_rows_membership_matches_reference(self, left_items, right_items):
+        left = [Column.from_pylist(Atom.INT, left_items)]
+        right = [Column.from_pylist(Atom.INT, right_items)]
+        got = join.rows_membership(left, right)
+        expected = join.rows_membership_reference(left, right)
+        assert got.tolist() == expected.tolist()
+
+    @pytest.mark.parametrize("atom,values", VALUE_STRATEGIES)
+    @given(data=st.data())
+    @settings(max_examples=25)
+    def test_group_matches_reference(self, atom, values, data):
+        column = Column.from_pylist(atom, data.draw(_lists_of(values)))
+        vec = group.group(column)
+        ref = group.group_reference(column)
+        assert vec.groups.to_pylist() == ref.groups.to_pylist()
+        assert vec.extents.tolist() == ref.extents.tolist()
+        assert vec.histogram.tolist() == ref.histogram.tolist()
+
+    @pytest.mark.parametrize("atom,values", VALUE_STRATEGIES)
+    @given(data=st.data())
+    @settings(max_examples=25)
+    def test_subgroup_matches_reference(self, atom, values, data):
+        items = data.draw(_lists_of(values))
+        keys = data.draw(
+            st.lists(
+                st.one_of(st.integers(0, 3), st.none()),
+                min_size=len(items),
+                max_size=len(items),
+            )
+        )
+        previous = group.group(Column.from_pylist(Atom.INT, keys))
+        column = Column.from_pylist(atom, items)
+        vec = group.subgroup(column, previous)
+        ref = group.subgroup_reference(column, previous)
+        assert vec.groups.to_pylist() == ref.groups.to_pylist()
+        assert vec.extents.tolist() == ref.extents.tolist()
+        assert vec.histogram.tolist() == ref.histogram.tolist()
+
+    @pytest.mark.parametrize(
+        "vec_fn,ref_fn,atoms",
+        [
+            (aggregate.grouped_min, aggregate.grouped_min_reference,
+             (Atom.INT, Atom.DBL, Atom.STR)),
+            (aggregate.grouped_max, aggregate.grouped_max_reference,
+             (Atom.INT, Atom.DBL, Atom.STR)),
+            (aggregate.grouped_count_distinct,
+             aggregate.grouped_count_distinct_reference,
+             (Atom.INT, Atom.DBL, Atom.STR)),
+            (aggregate.grouped_median, aggregate.grouped_median_reference,
+             (Atom.INT, Atom.DBL)),
+        ],
+    )
+    @given(data=st.data())
+    @settings(max_examples=40)
+    def test_grouped_aggregates_match_reference(self, vec_fn, ref_fn, atoms, data):
+        atom = data.draw(st.sampled_from(atoms))
+        values = dict(VALUE_STRATEGIES)[atom]
+        items = data.draw(_lists_of(values))
+        keys = data.draw(
+            st.lists(
+                st.integers(0, 4), min_size=len(items), max_size=len(items)
+            )
+        )
+        grouping = group.group(Column.from_pylist(Atom.INT, keys))
+        column = Column.from_pylist(atom, items)
+        _column_equal(vec_fn(column, grouping), ref_fn(column, grouping))
+
+    @given(data=st.data())
+    @settings(max_examples=40)
+    def test_grouped_stddev_matches_reference(self, data):
+        items = data.draw(
+            st.lists(
+                st.one_of(
+                    st.floats(-1e3, 1e3, allow_nan=False, allow_infinity=False),
+                    st.none(),
+                ),
+                max_size=40,
+            )
+        )
+        keys = data.draw(
+            st.lists(st.integers(0, 4), min_size=len(items), max_size=len(items))
+        )
+        grouping = group.group(Column.from_pylist(Atom.INT, keys))
+        column = Column.from_pylist(Atom.DBL, items)
+        vec = aggregate.grouped_stddev(column, grouping)
+        ref = aggregate.grouped_stddev_reference(column, grouping)
+        assert vec.atom is ref.atom
+        for got, expected in zip(vec.to_pylist(), ref.to_pylist()):
+            if expected is None:
+                assert got is None
+            else:
+                assert got == pytest.approx(expected, abs=1e-9)
+
+
 class TestSortProperties:
     @given(ints_or_none)
     def test_sort_is_permutation(self, items):
