@@ -1,0 +1,98 @@
+"""E16: prepared re-execution vs. the full compile pipeline.
+
+Point queries on small results are dominated by front-end work
+(lex → parse → bind → malgen → optimize), so replaying a compiled MAL
+plan with fresh parameter bindings should win by a wide margin.  Three
+contenders on the same point-select workload:
+
+* ``full-pipeline``  — a cache-disabled connection recompiling per call;
+* ``statement-cache``— plain ``execute`` hitting the LRU plan cache;
+* ``prepared``       — an explicit ``PreparedStatement``.
+
+Plus the ingestion pair: row-at-a-time INSERT vs. one ``executemany``
+bulk append of the same rows.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+
+SIZE = 64
+POINT_SQL = "SELECT v FROM m WHERE x = ? AND y = ?"
+
+
+def make_matrix(conn):
+    conn.execute(
+        f"CREATE ARRAY m (x INT DIMENSION[0:1:{SIZE}], "
+        f"y INT DIMENSION[0:1:{SIZE}], v INT DEFAULT 0)"
+    )
+    conn.execute("UPDATE m SET v = x * 100 + y")
+
+
+@pytest.mark.benchmark(group="E16-prepared")
+def test_point_select_full_pipeline(benchmark):
+    conn = repro.connect(statement_cache_size=0)
+    make_matrix(conn)
+
+    value = benchmark(lambda: conn.execute(POINT_SQL, (7, 9)).scalar())
+    assert value == 709
+
+
+@pytest.mark.benchmark(group="E16-prepared")
+def test_point_select_statement_cache(benchmark):
+    conn = repro.connect()
+    make_matrix(conn)
+    conn.execute(POINT_SQL, (0, 0))  # warm the cache
+
+    value = benchmark(lambda: conn.execute(POINT_SQL, (7, 9)).scalar())
+    assert value == 709
+    assert conn.compile_count == conn.cache_misses  # no recompiles after warmup
+
+
+@pytest.mark.benchmark(group="E16-prepared")
+def test_point_select_prepared(benchmark):
+    conn = repro.connect()
+    make_matrix(conn)
+    statement = conn.prepare(POINT_SQL)
+    compiles = conn.compile_count
+
+    value = benchmark(lambda: statement.execute((7, 9)).scalar())
+    assert value == 709
+    assert conn.compile_count == compiles  # re-execution never compiles
+
+
+#: 256 distinct cells; the last write to (1, 7) carries value 193.
+INGEST_ROWS = [(i % SIZE, (i * 7) % SIZE, i) for i in range(256)]
+
+
+@pytest.mark.benchmark(group="E16-ingest")
+def test_insert_row_at_a_time(benchmark):
+    def run():
+        conn = repro.connect()
+        make_matrix(conn)
+        statement = conn.prepare("INSERT INTO m VALUES (?, ?, ?)")
+        for row in INGEST_ROWS:
+            statement.execute(row)
+        return conn
+
+    conn = run()  # correctness once, outside the timer
+    assert (
+        conn.execute("SELECT v FROM m WHERE x = 1 AND y = 7").scalar() == 193
+    )
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="E16-ingest")
+def test_insert_executemany_bulk(benchmark):
+    def run():
+        conn = repro.connect()
+        make_matrix(conn)
+        conn.executemany("INSERT INTO m VALUES (?, ?, ?)", INGEST_ROWS)
+        return conn
+
+    conn = run()
+    assert (
+        conn.execute("SELECT v FROM m WHERE x = 1 AND y = 7").scalar() == 193
+    )
+    benchmark(run)

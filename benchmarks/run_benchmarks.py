@@ -30,6 +30,7 @@ DEFAULT_SUITES = [
     "benchmarks/bench_gdk_kernels.py",
     "benchmarks/bench_fig1_array_ops.py",
     "benchmarks/bench_tiling_scaling.py",
+    "benchmarks/bench_prepared.py",
 ]
 
 

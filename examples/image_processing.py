@@ -32,8 +32,10 @@ def main(output_dir: str = "life_images") -> None:
     conn = repro.connect()
     building = rasters.building_image(96)
 
-    print("Loading the building image as a 96x96 SciQL array ...")
-    imaging.load_image(conn, "building", building)
+    print("Registering the building image as a 96x96 SciQL array ...")
+    # One call ingests the ndarray column-wise — no SQL literals, no
+    # Python-tuple detour (the GeoTIFF Data Vault path of the paper).
+    conn.register_array("building", building.astype(np.int32), dims=("x", "y"))
     processor = imaging.ImageProcessor(conn, "building")
     save(out, "building_original", building)
 

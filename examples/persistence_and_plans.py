@@ -6,7 +6,8 @@ Run with::
 
 Shows the parts of the reproduction a demo visitor would not see:
 the database "farm" on disk, the MAL program each SciQL statement
-compiles into (Figure 2), and what each optimizer pass contributes.
+compiles into (Figure 2), what each optimizer pass contributes, and
+the prepared-plan cache that lets re-executions skip the front end.
 """
 
 import tempfile
@@ -22,7 +23,9 @@ def main() -> None:
     )
     conn.execute("UPDATE sensor SET v = t * 1.5")
     conn.execute("CREATE TABLE anomalies (t INT, note VARCHAR(40))")
-    conn.execute("INSERT INTO anomalies VALUES (3, 'spike'), (6, 'drift')")
+    conn.cursor().executemany(
+        "INSERT INTO anomalies VALUES (?, ?)", [(3, "spike"), (6, "drift")]
+    )
 
     # --- persistence ---------------------------------------------------
     with tempfile.TemporaryDirectory() as tmp:
@@ -56,6 +59,18 @@ def main() -> None:
     # the result, for completeness
     for row in conn.execute(query).rows():
         print("  ", row)
+
+    # --- prepared statements --------------------------------------------
+    lookup = conn.prepare("SELECT note FROM anomalies WHERE t = ?")
+    compiles_before = conn.compile_count
+    for t in (3, 6, 3, 6):
+        note = lookup.execute((t,)).scalar()
+        print(f"anomaly at t={t}: {note}")
+    print(
+        f"\nprepared re-execution compiled {conn.compile_count - compiles_before} "
+        f"plans for 4 lookups (statement cache: {conn.cache_hits} hits, "
+        f"{conn.cache_misses} misses this session)"
+    )
 
 
 if __name__ == "__main__":

@@ -7,7 +7,8 @@ Run with::
 Creates the 4×4 ``matrix`` array, applies the guarded UPDATE, the
 INSERT/DELETE pair, the 2×2 tiling query and the dimension expansion —
 printing each intermediate state in the paper's orientation
-(y grows upward).
+(y grows upward).  Statements run through the DB-API cursor; the
+final lookups use ``?`` parameter binding.
 """
 
 import numpy as np
@@ -30,33 +31,41 @@ def show(title, result, value_name=None):
 
 def main():
     conn = repro.connect()
+    cur = conn.cursor()
 
     # Figure 1(a): array creation — all cells exist, DEFAULT 0.
-    conn.execute(
+    cur.execute(
         "CREATE ARRAY matrix ("
         "x INT DIMENSION[0:1:4], y INT DIMENSION[0:1:4], v INT DEFAULT 0)"
     )
-    show("Figure 1(a): CREATE ARRAY", conn.execute("SELECT [x],[y],v FROM matrix"))
+    show("Figure 1(a): CREATE ARRAY", cur.execute("SELECT [x],[y],v FROM matrix"))
 
     # Figure 1(b): guarded update with dimensions as bound variables.
-    conn.execute(
+    cur.execute(
         "UPDATE matrix SET v = CASE WHEN x > y THEN x + y "
         "WHEN x < y THEN x - y ELSE 0 END"
     )
-    show("Figure 1(b): guarded UPDATE", conn.execute("SELECT [x],[y],v FROM matrix"))
+    show("Figure 1(b): guarded UPDATE", cur.execute("SELECT [x],[y],v FROM matrix"))
 
     # Figure 1(c): INSERT overwrites, DELETE punches holes.
-    conn.execute("INSERT INTO matrix SELECT [x], [y], x * y FROM matrix WHERE x = y")
-    conn.execute("DELETE FROM matrix WHERE x > y")
-    show("Figure 1(c): INSERT + DELETE", conn.execute("SELECT [x],[y],v FROM matrix"))
+    cur.execute("INSERT INTO matrix SELECT [x], [y], x * y FROM matrix WHERE x = y")
+    cur.execute("DELETE FROM matrix WHERE x > y")
+    show("Figure 1(c): INSERT + DELETE", cur.execute("SELECT [x],[y],v FROM matrix"))
 
     # Figure 1(d)/(e): structural grouping with 2×2 tiles.
-    result = conn.execute(
+    result = cur.execute(
         "SELECT [x], [y], AVG(v) FROM matrix "
         "GROUP BY matrix[x:x+2][y:y+2] "
         "HAVING x MOD 2 = 1 AND y MOD 2 = 1"
     )
     show("Figure 1(e): 2x2 tiling, AVG, anchor filter", result)
+
+    # Parameterized point lookups: one compiled plan, many bindings.
+    lookup = conn.prepare("SELECT v FROM matrix WHERE x = ? AND y = ?")
+    print("--- parameterized cell lookups (one prepared plan) ---")
+    for x, y in ((0, 0), (1, 3), (3, 3)):
+        print(f"matrix[{x}][{y}].v = {lookup.execute((x, y)).scalar()}")
+    print()
 
     # Figure 1(f): dimension expansion.
     conn.execute("ALTER ARRAY matrix ALTER DIMENSION x SET RANGE [-1:1:5]")

@@ -20,12 +20,14 @@ from repro.apps import imaging, rasters
 def main() -> None:
     conn = repro.connect()
     earth = rasters.remote_sensing_image(64)
-    imaging.load_image(conn, "earth", earth)
+    conn.register_array("earth", earth.astype(np.int32), dims=("x", "y"))
     processor = imaging.ImageProcessor(conn, "earth")
 
     print("Water filter (v < 48 is water):")
     water = processor.filter_water(48)
-    water_pixels = sum(1 for row in water.rows() if row[2] is not None)
+    # Columnar export: NULL-filtered pixels surface as NaN, no tuples.
+    water_values = water.to_numpy()[water.value_names()[0]]
+    water_pixels = int(np.isfinite(water_values).sum())
     print(f"  {water_pixels} water pixels out of {64 * 64}")
 
     print("\nIntensity histogram (16 buckets):")

@@ -72,6 +72,16 @@ def main() -> None:
     print("  FROM sensor GROUP BY sensor[t-2:t+3]")
     print(" ", sparkline(log.to_numpy()))
 
+    # A live feed: each sample lands via one prepared, parameterized
+    # INSERT — the plan compiles once, then only bindings change.
+    ingest = conn.prepare("INSERT INTO sensor VALUES (:t, :v)")
+    for t, v in ((10, 0.5), (11, 0.75), (12, 1.0)):
+        ingest.execute({"t": t, "v": v})
+    cur = conn.cursor()
+    cur.execute("SELECT v FROM sensor WHERE t BETWEEN ? AND ?", (10, 12))
+    print("\nlive samples written through the prepared INSERT:")
+    print(" ", cur.fetchnumpy()["v"])
+
 
 if __name__ == "__main__":
     main()

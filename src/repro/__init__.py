@@ -5,19 +5,67 @@ column kernel (BATs), the MAL layer, an SQL/SciQL front-end with
 arrays as first-class citizens, structural grouping, and the demo
 applications (Conway's Game of Life, in-database image processing).
 
+The client surface is DB-API 2.0 (PEP 249): ``connect()`` yields a
+:class:`Connection` with cursors, ``?``/``:name`` parameter binding,
+prepared statements backed by an LRU plan cache, and NumPy fast paths
+(``Connection.register_array``, ``Cursor.fetchnumpy``).
+
 Quickstart::
 
     import repro
     conn = repro.connect()
-    conn.execute("CREATE ARRAY m (x INT DIMENSION[0:1:4], "
-                 "y INT DIMENSION[0:1:4], v INT DEFAULT 0)")
-    r = conn.execute("SELECT [x], [y], AVG(v) FROM m "
-                     "GROUP BY m[x:x+2][y:y+2]")
+    cur = conn.cursor()
+    cur.execute("CREATE ARRAY m (x INT DIMENSION[0:1:4], "
+                "y INT DIMENSION[0:1:4], v INT DEFAULT 0)")
+    cur.execute("UPDATE m SET v = x + y")
+    r = cur.execute("SELECT [x], [y], AVG(v) FROM m "
+                    "GROUP BY m[x:x+2][y:y+2]")
     print(r.grid())
+    cur.execute("SELECT v FROM m WHERE x = ? AND y = ?", (1, 2))
+    print(cur.fetchone())
 """
 
-from repro.engine import Connection, Result, connect
-from repro.errors import SciQLError
+from repro.engine import Connection, Cursor, PreparedStatement, Result, connect
+from repro.errors import (
+    DatabaseError,
+    DataError,
+    Error,
+    IntegrityError,
+    InterfaceError,
+    InternalError,
+    NotSupportedError,
+    OperationalError,
+    ProgrammingError,
+    SciQLError,
+    Warning,
+)
 
-__version__ = "1.0.0"
-__all__ = ["Connection", "Result", "SciQLError", "connect", "__version__"]
+__version__ = "1.1.0"
+
+# PEP 249 module globals.
+apilevel = "2.0"
+threadsafety = 1  # threads may share the module, not connections
+paramstyle = "qmark"  # named (:name) parameters are supported as well
+
+__all__ = [
+    "Connection",
+    "Cursor",
+    "PreparedStatement",
+    "Result",
+    "SciQLError",
+    "Warning",
+    "Error",
+    "InterfaceError",
+    "DatabaseError",
+    "DataError",
+    "OperationalError",
+    "IntegrityError",
+    "InternalError",
+    "ProgrammingError",
+    "NotSupportedError",
+    "apilevel",
+    "threadsafety",
+    "paramstyle",
+    "connect",
+    "__version__",
+]

@@ -27,6 +27,7 @@ from repro.core.tiling import TileSpec
 from repro.semantic.binder import (
     BoundCellRef,
     BoundColumn,
+    Parameter,
     Scope,
     SourceInfo,
     source_from_catalog,
@@ -46,12 +47,25 @@ _INTEGRAL_ATOMS = (Atom.INT, Atom.LNG)
 # ----------------------------------------------------------------------
 # constant folding (DDL ranges, defaults, VALUES rows)
 # ----------------------------------------------------------------------
-def fold_constant(expression: Any) -> Any:
+def fold_constant(expression: Any, allow_params: bool = False) -> Any:
     """Evaluate a constant expression at compile time.
 
     Raises :class:`SemanticError` when the expression references
     columns or functions — DDL ranges and VALUES rows must be literal.
+    With ``allow_params`` a *bare* placeholder passes through as a
+    :class:`~repro.semantic.binder.Parameter` marker (used by INSERT
+    VALUES rows, which bind the value at execution time); placeholders
+    inside compound constant expressions stay rejected.
     """
+    if isinstance(expression, (ast.Placeholder, Parameter)):
+        if not allow_params:
+            raise SemanticError(
+                "bind parameters are not allowed in this constant context "
+                "(DDL ranges, tile bounds, LIMIT, function constants)"
+            )
+        if isinstance(expression, Parameter):
+            return expression
+        return Parameter(expression.key)
     if isinstance(expression, ast.Literal):
         return expression.value
     if isinstance(expression, ast.UnaryOp) and expression.op == "-":
@@ -103,8 +117,10 @@ class Binder:
         self.catalog = catalog
 
     def bind(self, expression: Any) -> Any:
-        if isinstance(expression, (ast.Literal, BoundColumn, BoundCellRef)):
+        if isinstance(expression, (ast.Literal, BoundColumn, BoundCellRef, Parameter)):
             return expression
+        if isinstance(expression, ast.Placeholder):
+            return Parameter(expression.key)
         if isinstance(expression, ast.ColumnRef):
             return self.scope.resolve(expression.name, expression.qualifier)
         if isinstance(expression, ast.Star):
@@ -342,7 +358,7 @@ def _plan_insert_values(
             raise SemanticError(
                 f"INSERT row has {len(row)} values, expected {len(columns)}"
             )
-        rows.append([fold_constant(value) for value in row])
+        rows.append([fold_constant(value, allow_params=True) for value in row])
     if isinstance(obj, Array):
         provided = set(columns)
         for dimension in obj.dimensions:
@@ -507,7 +523,7 @@ def _validate_grouped_expression(expression: Any, keys: list[Any]) -> None:
     """Check that a grouped output only uses keys, constants, aggregates."""
     if any(expression == key for key in keys):
         return
-    if isinstance(expression, ast.Literal):
+    if isinstance(expression, (ast.Literal, Parameter)):
         return
     if is_aggregate_call(expression):
         return

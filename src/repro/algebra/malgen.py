@@ -26,11 +26,11 @@ from typing import Any, Optional
 from repro.errors import SemanticError
 from repro.gdk.atoms import Atom
 from repro.catalog import Array, Catalog
-from repro.semantic.binder import BoundCellRef, BoundColumn
+from repro.semantic.binder import BoundCellRef, BoundColumn, Parameter
 from repro.semantic.types import infer_atom, is_aggregate_call
 from repro.sql import ast_nodes as ast
 from repro.algebra import nodes
-from repro.mal.program import Constant, MALProgram, Var, bat_type, scalar_type
+from repro.mal.program import Constant, MALProgram, Param, Var, bat_type, scalar_type
 
 _BAT = "bat"
 _SCALAR = "scalar"
@@ -679,6 +679,8 @@ class MALGenerator:
             return EvalResult(
                 _SCALAR, Constant(expression.value), infer_atom(expression)
             )
+        if isinstance(expression, Parameter):
+            return EvalResult(_SCALAR, Param(expression.key), expression.atom)
         if isinstance(expression, ast.BinaryOp):
             left = self._eval_scalar_aggregate(expression.left, binding)
             right = self._eval_scalar_aggregate(expression.right, binding)
@@ -759,7 +761,17 @@ class MALGenerator:
             return result.value.name
         if binding is None or binding.ref is None:
             raise SemanticError("cannot broadcast a constant without a FROM row set")
-        target_atom = result.atom or atom or Atom.INT
+        target_atom = result.atom or atom
+        if target_atom is None and isinstance(result.value, Param):
+            # Untyped parameter: let the runtime infer the atom from the
+            # bound value instead of coercing through a guessed type.
+            return self.program.emit1(
+                "bat", "project_const",
+                [Var(binding.ref), result.value, None],
+                bat_type(None),
+            )
+        if target_atom is None:
+            target_atom = Atom.INT
         return self.program.emit1(
             "bat", "project_const",
             [Var(binding.ref), result.value, target_atom.value],
@@ -772,6 +784,8 @@ class MALGenerator:
             return EvalResult(
                 _SCALAR, Constant(expression.value), infer_atom(expression)
             )
+        if isinstance(expression, Parameter):
+            return EvalResult(_SCALAR, Param(expression.key), expression.atom)
         if isinstance(expression, BoundColumn):
             if binding is None:
                 raise SemanticError("column reference without a FROM clause")
@@ -1059,7 +1073,12 @@ class MALGenerator:
     # ------------------------------------------------------------------
     def _pack_column(self, values: list[Any], atom: Atom) -> str:
         packed = self.program.emit1(
-            "bat", "pack", [Constant(v) for v in values], bat_type(None)
+            "bat", "pack",
+            [
+                Param(v.key) if isinstance(v, Parameter) else Constant(v)
+                for v in values
+            ],
+            bat_type(None),
         )
         return self.program.emit1(
             "bat", "cast", [Var(packed), atom.value], bat_type(atom)
@@ -1304,6 +1323,8 @@ class _GroupedContext:
             return EvalResult(
                 _SCALAR, Constant(expression.value), infer_atom(expression)
             )
+        if isinstance(expression, Parameter):
+            return EvalResult(_SCALAR, Param(expression.key), expression.atom)
         if isinstance(expression, ast.BinaryOp):
             left = self.eval(expression.left)
             right = self.eval(expression.right)

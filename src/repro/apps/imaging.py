@@ -199,9 +199,10 @@ def create_boxes_table(
     connection.execute(
         f"CREATE TABLE {name} (x1 INT, y1 INT, x2 INT, y2 INT)"
     )
-    rows = ", ".join(f"({a}, {b}, {c}, {d})" for a, b, c, d in boxes)
-    if rows:
-        connection.execute(f"INSERT INTO {name} VALUES {rows}")
+    if boxes:
+        connection.executemany(
+            f"INSERT INTO {name} VALUES (?, ?, ?, ?)", boxes
+        )
 
 
 # ----------------------------------------------------------------------

@@ -61,10 +61,12 @@ class GameOfLife:
     # board manipulation (each is a SciQL query)
     # ------------------------------------------------------------------
     def seed(self, cells: Iterable[tuple[int, int]]) -> None:
-        """Make the given (x, y) cells alive."""
-        rows = ", ".join(f"({x}, {y}, 1)" for x, y in cells)
-        if rows:
-            self.connection.execute(f"INSERT INTO {self.name} VALUES {rows}")
+        """Make the given (x, y) cells alive (bulk parameter binding)."""
+        cells = list(cells)
+        if cells:
+            self.connection.executemany(
+                f"INSERT INTO {self.name} VALUES (?, ?, 1)", cells
+            )
 
     def seed_random(self, density: float = 0.3, seed: int = 0) -> None:
         """Randomly populate the board with the given live-cell density."""

@@ -68,7 +68,7 @@ class SensorLog:
     def record(self, t: int, value: float) -> None:
         """Store one sample (INSERT overwrites the cell)."""
         self.connection.execute(
-            f"INSERT INTO {self.name} VALUES ({t}, {value!r})"
+            f"INSERT INTO {self.name} VALUES (?, ?)", (t, value)
         )
 
     def to_numpy(self) -> np.ndarray:

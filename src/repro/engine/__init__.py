@@ -1,6 +1,7 @@
-"""Execution engine: connections and results."""
+"""Execution engine: connections, cursors, prepared statements, results."""
 
-from repro.engine.connection import Connection, connect
+from repro.engine.connection import Connection, PreparedStatement, connect
+from repro.engine.cursor import Cursor
 from repro.engine.result import Result
 
-__all__ = ["Connection", "Result", "connect"]
+__all__ = ["Connection", "Cursor", "PreparedStatement", "Result", "connect"]

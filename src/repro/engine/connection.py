@@ -1,103 +1,449 @@
-"""The public entry point: connections executing SQL/SciQL statements.
+"""The public entry point: a DB-API 2.0 connection executing SQL/SciQL.
 
-A connection drives the full Figure 2 pipeline for every statement:
+A connection drives the full Figure 2 pipeline for every *new*
+statement text:
 
     parse → bind/compile → MAL generation → MAL optimization →
     MAL interpretation → result
 
-``Connection.explain`` exposes the optimized MAL program text, and the
-optimizer pipeline can be switched off (``optimize=False``) for the
-ablation benchmarks.
+Compiled plans are cached in an LRU statement cache keyed on the SQL
+text, so repeated :meth:`Connection.execute` calls — and every
+re-execution of a :class:`PreparedStatement` — skip straight from
+parameter binding to MAL interpretation.  DDL bumps an internal schema
+version, which lazily invalidates every cached (and prepared) plan.
+
+PEP 249 surface: :func:`connect` / :meth:`Connection.cursor` /
+``commit`` / ``close``, ``qmark`` (``?``) and named (``:name``)
+parameter binding, and the module-level exception hierarchy re-exported
+as ``Connection`` class attributes.  Engine extensions on top:
+``execute`` returning the rich :class:`Result`, ``prepare`` for
+explicit prepared statements, ``register_array`` for zero-copy NumPy
+array ingestion, ``explain`` / ``explain_unoptimized``, and ``save`` /
+``open`` persistence.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Optional
+from typing import Any, Iterable, Mapping, Optional, Sequence, Union
 
-from repro.errors import SciQLError
+import numpy as np
+
+from repro import errors
+from repro.errors import (
+    InterfaceError,
+    NotSupportedError,
+    ProgrammingError,
+    SciQLError,
+)
 from repro.catalog import Catalog
+from repro.catalog.objects import Array, ColumnDef, DimensionDef
+from repro.gdk.atoms import Atom
+from repro.gdk.bat import BAT
+from repro.gdk.column import Column
+from repro.algebra import nodes
 from repro.algebra.compiler import plan_statement
 from repro.algebra.malgen import MALGenerator
 from repro.mal.interpreter import ExecutionStats, Interpreter
 from repro.mal.optimizer import DEFAULT_PIPELINE, optimize
 from repro.mal.program import MALProgram
-from repro.sql.parser import parse, parse_script
+from repro.semantic.binder import Parameter
+from repro.sql import ast_nodes as ast
+from repro.sql.parser import Parser, parse
+from repro.engine.cursor import Cursor, Params
 from repro.engine.result import Result
+
+#: statements whose execution changes the schema (invalidates plans).
+_DDL_NODES = (
+    ast.CreateTable,
+    ast.CreateArray,
+    ast.DropObject,
+    ast.AlterArrayDimension,
+)
+
+#: default capacity of the per-connection LRU statement cache.
+DEFAULT_STATEMENT_CACHE_SIZE = 128
+
+
+@dataclass
+class CompiledStatement:
+    """One fully compiled statement: the unit the plan cache stores."""
+
+    sql: str
+    program: MALProgram
+    param_keys: tuple
+    is_explain: bool
+    is_ddl: bool
+    schema_version: int
+    #: InsertValuesPlan for the executemany bulk-ingestion fast path
+    #: (single parameterized VALUES row), else None.
+    bulk_insert: Optional[nodes.InsertValuesPlan] = None
+
+
+def _normalize_value(value: Any) -> Any:
+    """NumPy scalars -> Python scalars; everything else passes through."""
+    if isinstance(value, np.generic):
+        return value.item()
+    return value
+
+
+def bind_parameters(param_keys: tuple, params: Params) -> dict:
+    """Validate *params* against a statement's parameter signature.
+
+    Returns the ``key -> value`` bindings the interpreter resolves
+    :class:`~repro.mal.program.Param` operands from.  Raises
+    :class:`ProgrammingError` on arity or style mismatches.
+    """
+    if not param_keys:
+        if params:
+            raise ProgrammingError(
+                "statement takes no parameters but bindings were supplied"
+            )
+        return {}
+    if isinstance(param_keys[0], str):  # named style (:name)
+        if not isinstance(params, Mapping):
+            raise ProgrammingError(
+                "statement uses named parameters; supply a mapping"
+            )
+        bindings = {}
+        for key in param_keys:
+            if key not in params:
+                raise ProgrammingError(f"missing value for parameter :{key}")
+            bindings[key] = _normalize_value(params[key])
+        return bindings
+    expected = max(param_keys) + 1  # positional style (?)
+    if (
+        params is None
+        or isinstance(params, (str, bytes, Mapping))
+        or not isinstance(params, Sequence)
+    ):
+        raise ProgrammingError(
+            f"statement takes {expected} positional parameters; "
+            "supply a sequence"
+        )
+    if len(params) != expected:
+        raise ProgrammingError(
+            f"statement takes {expected} positional parameters, "
+            f"{len(params)} given"
+        )
+    return {index: _normalize_value(value) for index, value in enumerate(params)}
+
+
+def _atom_for_dtype(dtype: np.dtype) -> Atom:
+    """The narrowest atom able to store an ndarray of *dtype*."""
+    if dtype.kind == "b":
+        return Atom.BIT
+    if dtype.kind in "iu":
+        return Atom.INT if dtype.itemsize <= 4 and dtype.kind == "i" else Atom.LNG
+    if dtype.kind == "f":
+        return Atom.DBL
+    if dtype.kind in "OUS":
+        return Atom.STR
+    raise ProgrammingError(f"cannot store ndarrays of dtype {dtype} as an array")
+
+
+def _ingest_column(array_values: np.ndarray, atom: Atom) -> Column:
+    """Flatten one attribute ndarray into a Column (NaN/None -> NULL)."""
+    flat = np.ascontiguousarray(array_values).reshape(-1)
+    if atom is Atom.DBL:
+        mask = np.isnan(flat.astype(np.float64))
+        return Column(atom, flat, mask if mask.any() else None)
+    if atom is Atom.STR:
+        out = flat.astype(object)
+        mask = np.array([v is None for v in out], dtype=np.bool_)
+        if mask.any():
+            out = out.copy()
+            out[mask] = ""
+            return Column(atom, out, mask)
+        return Column(atom, out)
+    return Column(atom, flat)
+
+
+_DEFAULT_DIMENSION_NAMES = ("x", "y", "z", "w")
 
 
 class Connection:
     """A single-user session against an in-memory (or loaded) database."""
 
-    def __init__(self, catalog: Optional[Catalog] = None, optimize: bool = True):
+    # PEP 249: exceptions available as Connection attributes.
+    Warning = errors.Warning
+    Error = errors.Error
+    InterfaceError = errors.InterfaceError
+    DatabaseError = errors.DatabaseError
+    DataError = errors.DataError
+    OperationalError = errors.OperationalError
+    IntegrityError = errors.IntegrityError
+    InternalError = errors.InternalError
+    ProgrammingError = errors.ProgrammingError
+    NotSupportedError = errors.NotSupportedError
+
+    def __init__(
+        self,
+        catalog: Optional[Catalog] = None,
+        optimize: bool = True,
+        statement_cache_size: int = DEFAULT_STATEMENT_CACHE_SIZE,
+    ):
         self.catalog = catalog if catalog is not None else Catalog()
         self.interpreter = Interpreter(self.catalog)
         self.optimize_programs = optimize
         self.pipeline = DEFAULT_PIPELINE
         #: statistics of the last executed statement (instruction counts).
         self.last_stats: Optional[ExecutionStats] = None
+        #: LRU capacity of the compiled-plan cache (0 disables caching).
+        self.statement_cache_size = statement_cache_size
+        self._plan_cache: OrderedDict[tuple, CompiledStatement] = OrderedDict()
+        self._schema_version = 0
+        self._closed = False
+        #: observability: full front-end compiles / plan-cache traffic.
+        self.compile_count = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     # ------------------------------------------------------------------
-    # execution
+    # PEP 249 lifecycle
     # ------------------------------------------------------------------
-    def _compile_statement(self, statement) -> MALProgram:
-        plan = plan_statement(statement, self.catalog)
+    def _check_open(self) -> None:
+        if self._closed:
+            raise InterfaceError("connection is closed")
+
+    def cursor(self) -> Cursor:
+        """A new DB-API cursor over this connection."""
+        self._check_open()
+        return Cursor(self)
+
+    def close(self) -> None:
+        """Close the connection; further operations raise InterfaceError."""
+        self._plan_cache.clear()
+        self._closed = True
+
+    def commit(self) -> None:
+        """PEP 249 commit: a no-op — every statement is applied directly."""
+        self._check_open()
+
+    def rollback(self) -> None:
+        """PEP 249 rollback: unsupported, the engine has no transactions."""
+        self._check_open()
+        raise NotSupportedError("the engine does not support transactions")
+
+    def __enter__(self) -> "Connection":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # compilation + statement cache
+    # ------------------------------------------------------------------
+    def _compile_plan(self, plan: nodes.StatementPlan) -> MALProgram:
+        self.compile_count += 1
         program = MALGenerator(self.catalog).generate(plan)
         if self.optimize_programs:
             program = optimize(program, self.pipeline)
         return program
 
+    def _compile_statement(self, statement) -> MALProgram:
+        return self._compile_plan(plan_statement(statement, self.catalog))
+
+    def _cache_key(self, sql: str) -> tuple:
+        # The optimizer settings are part of the identity: benchmarks
+        # flip them per-connection, and ablation runs swap pipelines.
+        return (sql, self.optimize_programs, self.pipeline)
+
+    def _compile_sql(self, sql: str) -> CompiledStatement:
+        parser = Parser(sql)
+        statement = parser.parse_statement()
+        param_keys = tuple(parser.parameters)
+        is_explain = isinstance(statement, ast.Explain)
+        inner = statement.statement if is_explain else statement
+        plan = plan_statement(inner, self.catalog)
+        program = self._compile_plan(plan)
+        program.param_keys = param_keys
+        bulk = None
+        if isinstance(plan, nodes.InsertValuesPlan) and len(plan.rows) == 1:
+            bulk = plan
+        return CompiledStatement(
+            sql,
+            program,
+            param_keys,
+            is_explain,
+            isinstance(inner, _DDL_NODES),
+            self._schema_version,
+            bulk,
+        )
+
+    def _compiled(self, sql: str) -> CompiledStatement:
+        """Cache lookup or full compile of one statement text."""
+        self._check_open()
+        key = self._cache_key(sql)
+        entry = self._plan_cache.get(key)
+        if entry is not None:
+            if entry.schema_version == self._schema_version:
+                self._plan_cache.move_to_end(key)
+                self.cache_hits += 1
+                return entry
+            del self._plan_cache[key]  # stale: schema changed since
+        self.cache_misses += 1
+        entry = self._compile_sql(sql)
+        if self.statement_cache_size > 0:
+            self._plan_cache[key] = entry
+            while len(self._plan_cache) > self.statement_cache_size:
+                self._plan_cache.popitem(last=False)
+        return entry
+
+    def _refresh(self, entry: CompiledStatement) -> CompiledStatement:
+        """Re-validate a compiled statement against the current schema."""
+        if entry.schema_version == self._schema_version:
+            return entry
+        return self._compiled(entry.sql)
+
+    def _note_schema_change(self) -> None:
+        self._schema_version += 1
+
     def compile(self, sql: str) -> MALProgram:
         """Compile one statement down to (optimized) MAL."""
-        from repro.sql.ast_nodes import Explain
+        return self._compiled(sql).program
 
-        statement = parse(sql)
-        if isinstance(statement, Explain):
-            statement = statement.statement
-        return self._compile_statement(statement)
+    def prepare(self, sql: str) -> "PreparedStatement":
+        """Compile once; re-execute under fresh parameter bindings."""
+        return PreparedStatement(self, self._compiled(sql))
 
-    def execute(self, sql: str, collect_stats: bool = False) -> Result:
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def execute(
+        self, sql: str, params: Params = None, collect_stats: bool = False
+    ) -> Result:
         """Execute one statement and return its result.
 
-        ``EXPLAIN <statement>`` returns the optimized MAL program text
-        as a one-column result instead of executing the statement.
+        ``params`` binds ``?`` (sequence) or ``:name`` (mapping)
+        placeholders.  ``EXPLAIN <statement>`` returns the optimized
+        MAL program text as a one-column result instead of executing
+        the statement.
         """
-        from repro.gdk.atoms import Atom
-        from repro.gdk.column import Column
-        from repro.sql.ast_nodes import Explain
+        return self._run_compiled(self._compiled(sql), params, collect_stats)
 
-        statement = parse(sql)
-        if isinstance(statement, Explain):
-            program = self._compile_statement(statement.statement)
-            lines = program.to_text().splitlines()
-            return Result(
-                "table",
-                ["mal"],
-                [Column.from_pylist(Atom.STR, lines)],
-                {"dims": []},
+    def _explain_result(self, program: MALProgram) -> Result:
+        lines = program.to_text().splitlines()
+        return Result(
+            "table",
+            ["mal"],
+            [Column.from_pylist(Atom.STR, lines)],
+            {"dims": [], "atoms": [Atom.STR.value]},
+        )
+
+    def _run_compiled(
+        self,
+        entry: CompiledStatement,
+        params: Params = None,
+        collect_stats: bool = False,
+    ) -> Result:
+        self._check_open()
+        if entry.is_explain:
+            return self._explain_result(entry.program)
+        bindings = bind_parameters(entry.param_keys, params)
+        context, stats = self.interpreter.run(
+            entry.program, collect_stats, bindings
+        )
+        self.last_stats = stats if collect_stats else None
+        if entry.is_ddl:
+            self._note_schema_change()
+        if context.result is not None:
+            return Result.from_internal(context.result, context.affected)
+        return Result(affected=context.affected)
+
+    def executemany(
+        self, sql: str, seq_of_params: Iterable[Params]
+    ) -> Result:
+        """Execute the statement once per parameter set.
+
+        Single-row parameterized ``INSERT ... VALUES`` statements take
+        a bulk path: the parameter sets are transposed into columns and
+        appended (tables) or scattered into cells (arrays) in one go.
+        The returned Result totals the affected rows.
+        """
+        return self._executemany_compiled(self._compiled(sql), seq_of_params)
+
+    def _executemany_compiled(
+        self, entry: CompiledStatement, seq_of_params: Iterable[Params]
+    ) -> Result:
+        if entry.is_explain:
+            raise ProgrammingError("cannot executemany an EXPLAIN statement")
+        seq = list(seq_of_params)
+        if entry.bulk_insert is not None and entry.param_keys and seq:
+            return Result(affected=self._bulk_insert(entry, seq))
+        total = 0
+        for params in seq:
+            total += self._run_compiled(entry, params).affected
+        return Result(affected=total)
+
+    def _bulk_insert(self, entry: CompiledStatement, seq: list) -> int:
+        """Columnar ingestion of many parameter sets for one VALUES row."""
+        plan = entry.bulk_insert
+        bound = [bind_parameters(entry.param_keys, params) for params in seq]
+        per_column: dict[str, list] = {}
+        for column, template in zip(plan.columns, plan.rows[0]):
+            if isinstance(template, Parameter):
+                per_column[column] = [row[template.key] for row in bound]
+            else:
+                per_column[column] = [template] * len(seq)
+        if plan.target_kind == "table":
+            table = self.catalog.get_table(plan.target)
+            return table.append_rows(
+                {
+                    name: Column.from_pylist(table.column_def(name).atom, values)
+                    for name, values in per_column.items()
+                }
+            )
+        array = self.catalog.get_array(plan.target)
+        coordinates = []
+        valid_rows = np.ones(len(seq), dtype=np.bool_)
+        for dimension in array.dimensions:
+            column = Column.from_pylist(Atom.LNG, per_column[dimension.name])
+            if column.mask is not None:
+                # NULL coordinates never address a cell — drop those
+                # rows, exactly like the per-row execute path does.
+                valid_rows &= ~column.mask
+            coordinates.append(column.values)
+        oids = np.where(valid_rows, array.cell_oids(coordinates), -1)
+        keep = oids >= 0
+        positions = np.flatnonzero(keep)
+        for column in plan.columns:
+            if array.is_dimension(column):
+                continue
+            values = Column.from_pylist(
+                array.attribute_def(column).atom, per_column[column]
+            )
+            array.replace_values(column, oids[keep], values.take(positions))
+        return int(keep.sum())
+
+    def _execute_statement(self, statement: ast.Statement) -> Result:
+        """Compile and run one already-parsed statement (script path)."""
+        if isinstance(statement, ast.Explain):
+            return self._explain_result(
+                self._compile_statement(statement.statement)
             )
         program = self._compile_statement(statement)
-        context, stats = self.interpreter.run(program, collect_stats)
-        self.last_stats = stats if collect_stats else None
+        context, _ = self.interpreter.run(program)
+        if isinstance(statement, _DDL_NODES):
+            self._note_schema_change()
         if context.result is not None:
             return Result.from_internal(context.result, context.affected)
         return Result(affected=context.affected)
 
     def execute_script(self, sql: str) -> list[Result]:
         """Execute a ``;``-separated script; returns one result each."""
-        results: list[Result] = []
-        for statement in parse_script(sql):
-            plan = plan_statement(statement, self.catalog)
-            program = MALGenerator(self.catalog).generate(plan)
-            if self.optimize_programs:
-                program = optimize(program, self.pipeline)
-            context, _ = self.interpreter.run(program)
-            if context.result is not None:
-                results.append(Result.from_internal(context.result, context.affected))
-            else:
-                results.append(Result(affected=context.affected))
-        return results
+        self._check_open()
+        parser = Parser(sql)
+        statements = parser.parse_script()
+        if parser.parameters:
+            raise ProgrammingError("bind parameters are not allowed in scripts")
+        return [self._execute_statement(statement) for statement in statements]
 
+    # ------------------------------------------------------------------
+    # plan inspection
+    # ------------------------------------------------------------------
     def explain(self, sql: str) -> str:
         """The optimized MAL program of a statement as MAL surface text."""
         return self.compile(sql).to_text()
@@ -105,14 +451,76 @@ class Connection:
     def explain_unoptimized(self, sql: str) -> str:
         """The MAL program before the optimizer pipeline runs."""
         statement = parse(sql)
+        if isinstance(statement, ast.Explain):
+            statement = statement.statement
         plan = plan_statement(statement, self.catalog)
         return MALGenerator(self.catalog).generate(plan).to_text()
+
+    # ------------------------------------------------------------------
+    # NumPy array ingestion
+    # ------------------------------------------------------------------
+    def register_array(
+        self,
+        name: str,
+        values: Union[np.ndarray, Mapping[str, np.ndarray]],
+        dims: Optional[Sequence[str]] = None,
+        attribute: str = "v",
+    ) -> Array:
+        """Install an ndarray as a SciQL array, bypassing SQL literals.
+
+        ``values`` is one ndarray (stored under *attribute*) or a
+        mapping of attribute name to ndarray (all of one shape).  Each
+        axis becomes an INT dimension ``[0:1:size]`` named after
+        ``dims`` (default ``x``, ``y``, ``z``, ``w``, then ``d4``...).
+        Float NaNs and object-array ``None`` entries become NULL cells,
+        so round-tripping through ``Result.grid()`` is exact.
+        """
+        self._check_open()
+        if isinstance(values, Mapping):
+            arrays = {key: np.asarray(value) for key, value in values.items()}
+        else:
+            arrays = {attribute: np.asarray(values)}
+        if not arrays:
+            raise ProgrammingError("register_array needs at least one attribute")
+        shapes = {array.shape for array in arrays.values()}
+        if len(shapes) != 1:
+            raise ProgrammingError(
+                f"attribute arrays must share one shape, got {sorted(shapes)}"
+            )
+        shape = shapes.pop()
+        if len(shape) == 0:
+            raise ProgrammingError("register_array needs at least one axis")
+        if dims is None:
+            dims = [
+                _DEFAULT_DIMENSION_NAMES[i]
+                if i < len(_DEFAULT_DIMENSION_NAMES)
+                else f"d{i}"
+                for i in range(len(shape))
+            ]
+        if len(dims) != len(shape):
+            raise ProgrammingError(
+                f"array has {len(shape)} axes but {len(dims)} dimension names"
+            )
+        dimensions = [
+            DimensionDef(dim_name, Atom.INT, 0, 1, int(size))
+            for dim_name, size in zip(dims, shape)
+        ]
+        atoms = {
+            attr: _atom_for_dtype(array.dtype) for attr, array in arrays.items()
+        }
+        attributes = [ColumnDef(attr, atoms[attr]) for attr in arrays]
+        array_obj = self.catalog.create_array(name, dimensions, attributes)
+        for attr, array in arrays.items():
+            array_obj.bats[attr] = BAT(_ingest_column(array, atoms[attr]))
+        self._note_schema_change()
+        return array_obj
 
     # ------------------------------------------------------------------
     # persistence
     # ------------------------------------------------------------------
     def save(self, directory: str | Path) -> None:
         """Persist the whole database under *directory* (the "farm")."""
+        self._check_open()
         self.catalog.save(Path(directory))
 
     @classmethod
@@ -121,11 +529,65 @@ class Connection:
         return cls(Catalog.load(Path(directory)), optimize)
 
 
-def connect(path: Optional[str | Path] = None, optimize: bool = True) -> Connection:
+class PreparedStatement:
+    """A statement compiled once, re-executed under fresh bindings.
+
+    Re-execution skips lexing, parsing, binding, MAL generation and
+    optimization entirely: only parameter validation and MAL
+    interpretation run.  If the schema changed since compilation the
+    statement transparently re-prepares itself first.
+    """
+
+    def __init__(self, connection: Connection, compiled: CompiledStatement):
+        self.connection = connection
+        self._compiled = compiled
+
+    @property
+    def sql(self) -> str:
+        return self._compiled.sql
+
+    @property
+    def parameters(self) -> tuple:
+        """Bind-parameter keys in occurrence order."""
+        return self._compiled.param_keys
+
+    @property
+    def program(self) -> MALProgram:
+        """The compiled (optimized) MAL program."""
+        return self._compiled.program
+
+    def execute(self, params: Params = None, collect_stats: bool = False) -> Result:
+        """Run the compiled plan under *params*."""
+        self._compiled = self.connection._refresh(self._compiled)
+        return self.connection._run_compiled(self._compiled, params, collect_stats)
+
+    def executemany(self, seq_of_params: Iterable[Params]) -> Result:
+        """Run once per parameter set; the Result totals affected rows.
+
+        Single-row parameterized INSERTs take the same bulk columnar
+        path as :meth:`Connection.executemany`.
+        """
+        self._compiled = self.connection._refresh(self._compiled)
+        return self.connection._executemany_compiled(self._compiled, seq_of_params)
+
+    def explain(self) -> str:
+        """MAL surface text of the compiled plan."""
+        return self.program.to_text()
+
+
+def connect(
+    path: Optional[str | Path] = None,
+    optimize: bool = True,
+    statement_cache_size: int = DEFAULT_STATEMENT_CACHE_SIZE,
+) -> Connection:
     """Create a connection: in-memory by default, or load a saved farm."""
     if path is None:
-        return Connection(optimize=optimize)
+        return Connection(
+            optimize=optimize, statement_cache_size=statement_cache_size
+        )
     path = Path(path)
     if path.exists():
-        return Connection.open(path, optimize)
+        connection = Connection.open(path, optimize)
+        connection.statement_cache_size = statement_cache_size
+        return connection
     raise SciQLError(f"no database at {path}; use connect() and save()")

@@ -1,0 +1,180 @@
+"""PEP 249 cursors: the standard fetch interface over SciQL results.
+
+A :class:`Cursor` wraps :meth:`Connection.execute` with the DB-API 2.0
+protocol — ``description``, ``rowcount``, ``fetchone`` / ``fetchmany``
+/ ``fetchall``, iteration and context-manager support — while keeping
+the engine's :class:`~repro.engine.result.Result` as the backing store
+(and as the return value of :meth:`Cursor.execute`, so array-shaped
+results keep their ``grid()`` / ``to_array()`` accessors).
+
+Beyond PEP 249, :meth:`Cursor.fetchnumpy` delivers the remaining rows
+as columnar NumPy arrays without materialising Python tuples.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.errors import InterfaceError, ProgrammingError
+from repro.engine.result import Result
+
+Params = Union[Sequence[Any], Mapping[str, Any], None]
+
+
+class Cursor:
+    """A DB-API 2.0 cursor bound to one :class:`Connection`."""
+
+    def __init__(self, connection):
+        self.connection = connection
+        #: default number of rows fetchmany() returns.
+        self.arraysize = 1
+        self._result: Optional[Result] = None
+        self._rows: Optional[list[tuple]] = None
+        self._index = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Close the cursor; further operations raise InterfaceError."""
+        self._closed = True
+        self._result = None
+        self._rows = None
+
+    def __enter__(self) -> "Cursor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise InterfaceError("cursor is closed")
+        self.connection._check_open()
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def execute(self, sql: str, params: Params = None) -> Result:
+        """Execute one statement, optionally binding parameters.
+
+        Returns the engine :class:`Result` (a DB-API extension; the
+        cursor itself is primed for ``fetch*`` either way).
+        """
+        self._check_open()
+        result = self.connection.execute(sql, params)
+        self._install(result)
+        return result
+
+    def executemany(self, sql: str, seq_of_params: Iterable[Params]) -> Result:
+        """Execute the statement once per parameter set.
+
+        A single-row parameterized ``INSERT ... VALUES`` takes the bulk
+        ingestion fast path: one columnar append instead of one plan
+        execution per row.  ``rowcount`` totals the affected rows.
+        """
+        self._check_open()
+        result = self.connection.executemany(sql, seq_of_params)
+        self._install(result)
+        return result
+
+    def _install(self, result: Result) -> None:
+        self._result = result
+        self._rows = None
+        self._index = 0
+
+    # ------------------------------------------------------------------
+    # PEP 249 attributes
+    # ------------------------------------------------------------------
+    @property
+    def result(self) -> Optional[Result]:
+        """The backing Result of the last execute (DB-API extension)."""
+        return self._result
+
+    @property
+    def description(self) -> Optional[list[tuple]]:
+        """PEP 249 column descriptions, or None for non-query statements."""
+        if self._result is None or not self._result.is_query:
+            return None
+        return self._result.description
+
+    @property
+    def rowcount(self) -> int:
+        """Rows in the result set (queries) or affected rows (DML)."""
+        if self._result is None:
+            return -1
+        if self._result.is_query:
+            return self._result.row_count
+        return self._result.affected
+
+    def setinputsizes(self, sizes) -> None:  # pragma: no cover - PEP 249 no-op
+        """PEP 249 no-op (sizes are never predeclared here)."""
+
+    def setoutputsize(self, size, column=None) -> None:  # pragma: no cover
+        """PEP 249 no-op (results are materialised columns already)."""
+
+    # ------------------------------------------------------------------
+    # fetching
+    # ------------------------------------------------------------------
+    def _fetch_rows(self) -> list[tuple]:
+        self._check_open()
+        if self._result is None or not self._result.is_query:
+            raise ProgrammingError(
+                "no result set to fetch from; execute a query first"
+            )
+        if self._rows is None:
+            self._rows = self._result.rows()
+        return self._rows
+
+    def fetchone(self) -> Optional[tuple]:
+        """The next row as a tuple, or None when exhausted."""
+        rows = self._fetch_rows()
+        if self._index >= len(rows):
+            return None
+        row = rows[self._index]
+        self._index += 1
+        return row
+
+    def fetchmany(self, size: Optional[int] = None) -> list[tuple]:
+        """The next *size* rows (default: :attr:`arraysize`)."""
+        rows = self._fetch_rows()
+        if size is None:
+            size = self.arraysize
+        out = rows[self._index : self._index + size]
+        self._index += len(out)
+        return out
+
+    def fetchall(self) -> list[tuple]:
+        """All remaining rows."""
+        rows = self._fetch_rows()
+        out = rows[self._index :]
+        self._index = len(rows)
+        return out
+
+    def fetchnumpy(self) -> dict[str, np.ndarray]:
+        """All remaining rows as columnar ndarrays (name -> array).
+
+        Numeric columns with NULLs widen to float64 with NaN holes;
+        string/bool columns with NULLs come back as object arrays with
+        ``None`` entries.  Skips the Python-tuple detour entirely.
+        """
+        self._check_open()
+        if self._result is None or not self._result.is_query:
+            raise ProgrammingError(
+                "no result set to fetch from; execute a query first"
+            )
+        arrays = self._result.to_numpy()
+        if self._index:
+            arrays = {name: array[self._index :] for name, array in arrays.items()}
+        self._index = self._result.row_count
+        return arrays
+
+    def __iter__(self) -> Iterator[tuple]:
+        while True:
+            row = self.fetchone()
+            if row is None:
+                return
+            yield row

@@ -3,7 +3,9 @@
 A :class:`Result` wraps the columns a plan delivered through
 ``sql.resultSet``.  Array-shaped results (queries with ``[dim]``
 projection items) additionally expose a dense grid view via the
-table→array coercion rules.
+table→array coercion rules.  For the DB-API layer a result carries
+PEP 249 ``description`` metadata and a columnar :meth:`to_numpy`
+export that never materialises Python tuples.
 """
 
 from __future__ import annotations
@@ -17,6 +19,17 @@ from repro.gdk.bat import BAT
 from repro.gdk.column import Column
 from repro.catalog.objects import DimensionDef
 from repro.core.coercion import infer_dimension_range, table_to_array_columns
+
+
+def _column_to_numpy(column: Column) -> np.ndarray:
+    """One column as an ndarray; NULLs become NaN (numeric) or None."""
+    if column.mask is None:
+        return column.values.copy()
+    if column.atom.value in ("int", "lng", "dbl", "oid"):
+        return column.to_numpy()  # float64 with NaN holes
+    out = column.values.astype(object)
+    out[column.mask] = None
+    return out
 
 
 class Result:
@@ -47,6 +60,24 @@ class Result:
     @property
     def is_query(self) -> bool:
         return self.kind in ("table", "array")
+
+    @property
+    def description(self) -> Optional[list[tuple]]:
+        """PEP 249 column descriptions: 7-tuples, one per result column.
+
+        ``(name, type_code, display_size, internal_size, precision,
+        scale, null_ok)`` — the type code is the atom name (``"int"``,
+        ``"dbl"``, ...) or None when the column is untyped (bare NULL).
+        None for DDL/DML results.
+        """
+        if not self.is_query:
+            return None
+        atoms = list(self.meta.get("atoms") or [])
+        atoms += [None] * (len(self.names) - len(atoms))
+        return [
+            (name, atom, None, None, None, None, True)
+            for name, atom in zip(self.names, atoms)
+        ]
 
     @property
     def row_count(self) -> int:
@@ -87,6 +118,23 @@ class Result:
                 f"{self.row_count}x{len(self.columns)}"
             )
         return self.columns[0].get(0)
+
+    # ------------------------------------------------------------------
+    # columnar access
+    # ------------------------------------------------------------------
+    def to_numpy(self) -> dict[str, np.ndarray]:
+        """All columns as ndarrays (name -> array), no tuple detour.
+
+        Numeric columns with NULLs widen to float64 with NaN holes
+        (matching :meth:`grid`); string/bool columns with NULLs come
+        back as object arrays holding ``None``.  Duplicate column
+        names keep the first occurrence.
+        """
+        out: dict[str, np.ndarray] = {}
+        for name, column in zip(self.names, self.columns):
+            if name not in out:
+                out[name] = _column_to_numpy(column)
+        return out
 
     # ------------------------------------------------------------------
     # array-shaped access

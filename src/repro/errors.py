@@ -1,19 +1,73 @@
 """Exception hierarchy for the SciQL reproduction.
 
 Every error raised by the library derives from :class:`SciQLError`, so
-client code can catch one base class.  The sub-classes mirror the stages
-of the MonetDB/SciQL pipeline: lexing/parsing, semantic analysis,
-catalog manipulation, MAL interpretation and kernel (GDK) execution.
+client code can catch one base class.  The hierarchy is layered to be
+DB-API 2.0 (PEP 249) compliant: :data:`Error` is an alias of
+:class:`SciQLError`, and the standard PEP 249 classes
+(:class:`InterfaceError`, :class:`DatabaseError` and its children)
+slot in between the base class and the pipeline-specific errors.  The
+pipeline errors mirror the stages of the MonetDB/SciQL pipeline:
+lexing/parsing, semantic analysis, catalog manipulation, MAL
+interpretation and kernel (GDK) execution — each derives from the
+PEP 249 class a database driver would use for that failure mode, so
+both ``except repro.ProgrammingError`` and ``except repro.ParseError``
+work.
 """
 
 from __future__ import annotations
 
 
 class SciQLError(Exception):
-    """Base class for all errors raised by this library."""
+    """Base class for all errors raised by this library (PEP 249 ``Error``)."""
 
 
-class LexerError(SciQLError):
+#: PEP 249 name for the base error class.
+Error = SciQLError
+
+
+class Warning(Exception):  # noqa: A001 - PEP 249 mandates the name
+    """PEP 249 ``Warning``: important non-fatal notices (unused today)."""
+
+
+# ----------------------------------------------------------------------
+# PEP 249 layer
+# ----------------------------------------------------------------------
+class InterfaceError(SciQLError):
+    """Misuse of the database interface itself (closed cursor, ...)."""
+
+
+class DatabaseError(SciQLError):
+    """Base class for errors related to the database."""
+
+
+class DataError(DatabaseError):
+    """Problems with the processed data (bad coercion, bad coordinates)."""
+
+
+class OperationalError(DatabaseError):
+    """Errors related to the database's operation (I/O, interpretation)."""
+
+
+class IntegrityError(DatabaseError):
+    """Relational integrity violations (unused: tables keep bag semantics)."""
+
+
+class InternalError(DatabaseError):
+    """The database hit an internal inconsistency (kernel-level errors)."""
+
+
+class ProgrammingError(DatabaseError):
+    """Errors in the submitted SQL or its bind parameters."""
+
+
+class NotSupportedError(DatabaseError):
+    """A requested feature the engine does not provide (e.g. rollback)."""
+
+
+# ----------------------------------------------------------------------
+# pipeline-stage errors
+# ----------------------------------------------------------------------
+class LexerError(ProgrammingError):
     """Raised when the tokenizer meets an unrecognisable character sequence."""
 
     def __init__(self, message: str, line: int = 0, column: int = 0):
@@ -22,7 +76,7 @@ class LexerError(SciQLError):
         self.column = column
 
 
-class ParseError(SciQLError):
+class ParseError(ProgrammingError):
     """Raised when the token stream does not match the SQL/SciQL grammar."""
 
     def __init__(self, message: str, line: int = 0, column: int = 0):
@@ -31,33 +85,33 @@ class ParseError(SciQLError):
         self.column = column
 
 
-class SemanticError(SciQLError):
+class SemanticError(ProgrammingError):
     """Raised during name binding and type checking of a parsed statement."""
 
 
-class CatalogError(SciQLError):
+class CatalogError(ProgrammingError):
     """Raised on catalog violations: duplicate names, missing objects, ..."""
 
 
-class TypeError_(SciQLError):
+class TypeError_(ProgrammingError):
     """Raised when expression operands cannot be reconciled to one type."""
 
 
-class MALError(SciQLError):
+class MALError(OperationalError):
     """Raised by the MAL interpreter: unknown operation, arity mismatch."""
 
 
-class GDKError(SciQLError):
+class GDKError(InternalError):
     """Raised by the column kernel on malformed operator input."""
 
 
-class DimensionError(SciQLError):
+class DimensionError(DataError):
     """Raised for invalid dimension ranges or out-of-domain cell access."""
 
 
-class CoercionError(SciQLError):
+class CoercionError(DataError):
     """Raised when a table cannot be coerced into an array (or vice versa)."""
 
 
-class PersistenceError(SciQLError):
+class PersistenceError(OperationalError):
     """Raised when loading or saving a database farm directory fails."""

@@ -146,10 +146,57 @@ def absolute(operand: Column) -> Column:
     raise GDKError(f"no abs for {operand.atom}")
 
 
+#: comparison with swapped operand order (a < b  ==  b > a).
+_SWAPPED_COMPARE = {
+    "==": "==", "!=": "!=", "<": ">", "<=": ">=", ">": "<", ">=": "<=",
+}
+
+
+def _compare_column_scalar(op: str, column: Column, scalar: Any) -> Column:
+    """Column-vs-scalar comparison via broadcasting (no materialisation)."""
+    if scalar is None:
+        return Column.nulls(Atom.BIT, len(column))
+    lvals: Any = column.values
+    if column.atom is Atom.STR:
+        value: Any = coerce_scalar(scalar, Atom.STR)
+        lvals = lvals.astype(object)
+    elif (
+        column.atom in (Atom.INT, Atom.LNG, Atom.DBL, Atom.OID)
+        and isinstance(scalar, (int, float, np.integer, np.floating))
+        and not isinstance(scalar, (bool, np.bool_))
+    ):
+        # Numeric vs numeric: let numpy widen instead of truncating the
+        # scalar to the column atom (1.5 must stay 1.5 against an INT
+        # column, so v < 1.5 keeps v = 1).
+        value = scalar.item() if isinstance(scalar, np.generic) else scalar
+    else:
+        value = coerce_scalar(scalar, column.atom)
+    if op == "==":
+        result = lvals == value
+    elif op == "!=":
+        result = lvals != value
+    elif op == "<":
+        result = lvals < value
+    elif op == "<=":
+        result = lvals <= value
+    elif op == ">":
+        result = lvals > value
+    else:
+        result = lvals >= value
+    mask = None if column.mask is None else column.mask.copy()
+    return Column(Atom.BIT, np.asarray(result, dtype=np.bool_), mask)
+
+
 def compare(op: str, left: Any, right: Any) -> Column:
     """Comparison producing a bit column (NULL when either side is NULL)."""
     if op not in COMPARE_OPS:
         raise GDKError(f"unknown comparison {op!r}")
+    # Scalar fast path: broadcast instead of building a constant column
+    # (the hot case for parameterized point selects: col = ?).
+    if isinstance(left, Column) and not isinstance(right, Column):
+        return _compare_column_scalar(op, left, right)
+    if isinstance(right, Column) and not isinstance(left, Column):
+        return _compare_column_scalar(_SWAPPED_COMPARE[op], right, left)
     length = _operand_length(left, right)
     atom_hint = None
     for operand in (left, right):

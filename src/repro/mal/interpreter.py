@@ -16,7 +16,7 @@ from repro.errors import MALError
 from repro.catalog import Catalog
 from repro.gdk.bat import BAT
 from repro.mal.modules import REGISTRY, load_all
-from repro.mal.program import Constant, Instruction, MALProgram, Var
+from repro.mal.program import Constant, Instruction, MALProgram, Param, Var
 
 
 @dataclass
@@ -27,6 +27,8 @@ class ExecutionContext:
     result: Any = None
     affected: int = 0
     variables: dict[str, Any] = field(default_factory=dict)
+    #: bind-parameter values for this execution (key -> Python scalar).
+    params: dict[Any, Any] = field(default_factory=dict)
 
 
 @dataclass
@@ -54,10 +56,18 @@ class Interpreter:
         self.catalog = catalog
 
     def run(
-        self, program: MALProgram, collect_stats: bool = False
+        self,
+        program: MALProgram,
+        collect_stats: bool = False,
+        params: dict | None = None,
     ) -> tuple[ExecutionContext, ExecutionStats]:
-        """Execute *program*; returns the final context and statistics."""
-        context = ExecutionContext(self.catalog)
+        """Execute *program*; returns the final context and statistics.
+
+        ``params`` supplies the values for any late-bound
+        :class:`~repro.mal.program.Param` operands of the program
+        (prepared-statement re-execution).
+        """
+        context = ExecutionContext(self.catalog, params=params or {})
         stats = ExecutionStats()
         env: dict[str, Any] = {}
         for instruction in program.instructions:
@@ -105,6 +115,11 @@ class Interpreter:
                 if count_rows and isinstance(value, BAT):
                     rows += len(value)
                 args.append(value)
+            elif isinstance(arg, Param):
+                try:
+                    args.append(context.params[arg.key])
+                except KeyError:
+                    raise MALError(f"unbound statement parameter {arg}") from None
             else:
                 args.append(arg.value)
         try:

@@ -7,12 +7,26 @@ the interpreter's symbol table.
 
 from __future__ import annotations
 
-from typing import Callable
+import functools
+import json
+from typing import Any, Callable
 
 #: (module, function) -> implementation.  Implementations receive the
 #: execution context followed by evaluated argument values and return a
 #: tuple of results (or a single value for single-result ops).
 REGISTRY: dict[tuple[str, str], Callable] = {}
+
+
+@functools.lru_cache(maxsize=1024)
+def cached_loads(text: str) -> Any:
+    """Memoized ``json.loads`` for instruction metadata constants.
+
+    Compiled plans embed small JSON blobs (result names, shapes, tile
+    offsets) as constant arguments; prepared re-execution would parse
+    the same strings on every run.  The returned object is shared —
+    callers must treat it as read-only or copy before mutating.
+    """
+    return json.loads(text)
 
 
 def mal_op(module: str, function: str):

@@ -24,7 +24,7 @@ from repro.gdk.atoms import Atom, atom_for_python, coerce_scalar
 from repro.gdk.bat import BAT
 from repro.gdk.column import Column
 from repro.core.tiling import TileSpec, tile_aggregate
-from repro.mal.modules import mal_op
+from repro.mal.modules import cached_loads, mal_op
 
 
 def series_column(start: int, step: int, stop: int, inner: int, outer: int) -> Column:
@@ -77,8 +77,8 @@ def _tileagg(ctx, values: BAT, aggregate: str, shape_json: str, offsets_json: st
     """
     if not isinstance(values, BAT):
         raise MALError("array.tileagg expects a BAT of cell values")
-    shape = tuple(json.loads(shape_json))
-    offsets = tuple(tuple(per_dim) for per_dim in json.loads(offsets_json))
+    shape = tuple(cached_loads(shape_json))
+    offsets = tuple(tuple(per_dim) for per_dim in cached_loads(offsets_json))
     spec = TileSpec(offsets)
     return BAT(tile_aggregate(values.tail, shape, spec, aggregate))
 
@@ -93,8 +93,8 @@ def _shift(ctx, values: BAT, shape_json: str, deltas_json: str):
     """
     if not isinstance(values, BAT):
         raise MALError("array.shift expects a BAT of cell values")
-    shape = tuple(json.loads(shape_json))
-    deltas = tuple(json.loads(deltas_json))
+    shape = tuple(cached_loads(shape_json))
+    deltas = tuple(cached_loads(deltas_json))
     if len(deltas) != len(shape):
         raise MALError("array.shift: deltas rank differs from shape")
     cell_count = int(np.prod(shape))
@@ -124,8 +124,8 @@ def _cellindex(ctx, shape_json: str, dims_json: str, *coordinate_bats: BAT):
     ``dims_json`` holds ``[start, step, stop]`` per dimension so ranks
     can be derived from raw dimension values.
     """
-    shape = tuple(json.loads(shape_json))
-    dims = json.loads(dims_json)
+    shape = tuple(cached_loads(shape_json))
+    dims = cached_loads(dims_json)
     if len(coordinate_bats) != len(shape):
         raise MALError("array.cellindex: coordinate arity mismatch")
     n = len(coordinate_bats[0]) if coordinate_bats else 0

@@ -72,11 +72,17 @@ def _fetch(ctx, b: BAT, position):
 
 
 @mal_op("bat", "project_const")
-def _project_const(ctx, b: BAT, value, atom_name: str):
-    """Constant column aligned with *b* (MAL's ``algebra.project`` w/ const)."""
-    atom = Atom(atom_name)
+def _project_const(ctx, b: BAT, value, atom_name: str | None = None):
+    """Constant column aligned with *b* (MAL's ``algebra.project`` w/ const).
+
+    Without an explicit atom (untyped bind parameters) the atom is
+    inferred from the runtime value.
+    """
     if value is None:
-        return BAT(Column.nulls(atom, len(b)))
+        return BAT(Column.nulls(Atom(atom_name) if atom_name else Atom.INT, len(b)))
+    from repro.gdk.atoms import atom_for_python
+
+    atom = Atom(atom_name) if atom_name else atom_for_python(value)
     return BAT(Column.constant(atom, value, len(b)))
 
 

@@ -17,7 +17,7 @@ from repro.gdk.atoms import Atom
 from repro.gdk.bat import BAT
 from repro.gdk.column import Column
 from repro.catalog.objects import Array, ColumnDef, DimensionDef
-from repro.mal.modules import mal_op
+from repro.mal.modules import cached_loads, mal_op
 
 
 def _column_defs(defs_json: str) -> list[ColumnDef]:
@@ -129,13 +129,13 @@ class InternalResult:
 
 @mal_op("sql", "resultSet")
 def _result_set(ctx, kind: str, names_json: str, meta_json: str, *bats: BAT):
-    names = json.loads(names_json)
+    names = list(cached_loads(names_json))
     if len(names) != len(bats):
         raise MALError("sql.resultSet: name/BAT arity mismatch")
     lengths = {len(b) for b in bats}
     if len(lengths) > 1:
         raise MALError(f"sql.resultSet: misaligned result columns {sorted(lengths)}")
-    ctx.result = InternalResult(kind, names, list(bats), json.loads(meta_json))
+    ctx.result = InternalResult(kind, names, list(bats), dict(cached_loads(meta_json)))
     return 0
 
 

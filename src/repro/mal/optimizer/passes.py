@@ -29,6 +29,7 @@ def _clone_program(program: MALProgram, instructions: list[Instruction]) -> MALP
     clone.result_columns = list(program.result_columns)
     clone.result_kind = program.result_kind
     clone.pinned = set(program.pinned)
+    clone.param_keys = tuple(program.param_keys)
     return clone
 
 

@@ -71,6 +71,24 @@ class Constant:
 
 
 @dataclass(frozen=True)
+class Param:
+    """A late-bound statement parameter embedded in an instruction.
+
+    ``key`` names the binding: an ``int`` for positional ``?`` markers,
+    a ``str`` for ``:name`` markers.  The interpreter resolves the
+    operand against the execution's parameter bindings, so one compiled
+    program (a prepared statement) re-executes under fresh values
+    without re-entering the compiler.
+    """
+
+    key: Any  # int (positional) | str (named)
+    atom: Atom | None = None
+
+    def __str__(self) -> str:
+        return f"?{self.key}" if isinstance(self.key, int) else f":{self.key}"
+
+
+@dataclass(frozen=True)
 class Var:
     """A reference to a MAL variable by name."""
 
@@ -80,7 +98,7 @@ class Var:
         return self.name
 
 
-Argument = Var | Constant
+Argument = Var | Constant | Param
 
 #: (module, function) pairs whose execution has observable side effects
 #: (catalog/storage mutation, result delivery) — never eliminated.
@@ -138,6 +156,9 @@ class Instruction:
         for arg in self.args:
             if isinstance(arg, Var):
                 key_args.append(("v", arg.name))
+            elif isinstance(arg, Param):
+                # Same key ⇒ same runtime value, so CSE stays sound.
+                key_args.append(("p", arg.key))
             else:
                 key_args.append(("c", arg.atom, arg.value))
         return (self.module, self.function, tuple(key_args))
@@ -157,6 +178,9 @@ class MALProgram:
         self.result_kind: str = "table"
         #: names of variables that must survive garbage collection.
         self.pinned: set[str] = set()
+        #: bind-parameter keys of the source statement in occurrence
+        #: order (set by the connection; drives arity checking).
+        self.param_keys: tuple = ()
 
     # ------------------------------------------------------------------
     # construction
@@ -182,7 +206,7 @@ class MALProgram:
         """
         wrapped: list[Argument] = []
         for arg in args:
-            if isinstance(arg, (Var, Constant)):
+            if isinstance(arg, (Var, Constant, Param)):
                 wrapped.append(arg)
             elif isinstance(arg, str) and arg in self.types:
                 wrapped.append(Var(arg))

@@ -9,12 +9,32 @@ later stages never look names up again.  It is the front half of the
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Union
 
 from repro.errors import SemanticError
 from repro.gdk.atoms import Atom
 from repro.catalog import Array, Catalog, Table
 from repro.catalog.objects import DimensionDef
+
+
+@dataclass(frozen=True)
+class Parameter:
+    """A typed bind parameter surviving into the compiled plan.
+
+    The binder rewrites :class:`~repro.sql.ast_nodes.Placeholder`
+    markers into ``Parameter`` nodes.  ``atom`` stays ``None`` for an
+    untyped parameter (like a bare NULL literal); wrapping the marker
+    in ``CAST(? AS type)`` pins the type.  MAL generation lowers a
+    ``Parameter`` to a late-bound :class:`~repro.mal.program.Param`
+    operand, so one compiled program re-executes under fresh bindings.
+    """
+
+    key: Union[int, str]
+    atom: Optional[Atom] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        marker = f"?{self.key}" if isinstance(self.key, int) else f":{self.key}"
+        return f"Parameter({marker})"
 
 
 @dataclass(frozen=True)

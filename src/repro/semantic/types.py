@@ -11,7 +11,7 @@ from typing import Optional
 
 from repro.errors import SemanticError
 from repro.gdk.atoms import Atom, atom_for_python, atom_for_sql_type, is_numeric
-from repro.semantic.binder import BoundCellRef, BoundColumn
+from repro.semantic.binder import BoundCellRef, BoundColumn, Parameter
 from repro.sql import ast_nodes as ast
 
 #: aggregate function names.
@@ -104,6 +104,8 @@ def infer_atom(expression) -> Optional[Atom]:
     if isinstance(expression, BoundColumn):
         return expression.atom
     if isinstance(expression, BoundCellRef):
+        return expression.atom
+    if isinstance(expression, Parameter):
         return expression.atom
     if isinstance(expression, ast.CellRef):
         raise SemanticError("cell reference not bound before type inference")

@@ -29,6 +29,18 @@ class Literal:
 
 
 @dataclass(frozen=True)
+class Placeholder:
+    """A bind-parameter marker: positional ``?`` or named ``:name``.
+
+    ``key`` is the 0-based position for ``?`` markers (assigned in
+    lexical order) or the identifier for ``:name`` markers.  The value
+    arrives at execution time through the DB-API parameter binding.
+    """
+
+    key: Union[int, str]
+
+
+@dataclass(frozen=True)
 class ColumnRef:
     """``name`` or ``qualifier.name``."""
 
@@ -133,6 +145,7 @@ class CastExpression:
 
 Expression = Union[
     Literal,
+    Placeholder,
     ColumnRef,
     Star,
     BinaryOp,

@@ -6,7 +6,11 @@ Hand-written single-pass scanner.  SQL conventions honoured:
   cased, identifiers lower-cased);
 * ``"double quoted"`` identifiers preserve case;
 * ``'string literals'`` with doubled-quote escaping;
-* ``--`` line comments and ``/* ... */`` block comments.
+* ``--`` line comments and ``/* ... */`` block comments;
+* ``?`` yields a parameter-marker token (DB-API ``qmark`` binding);
+  named ``:name`` markers are recognised by the parser from the
+  ``:`` + identifier token pair, because a bare ``:`` must remain a
+  separator inside SciQL range syntax (``[0:1:4]``, ``A[x:x+2]``).
 """
 
 from __future__ import annotations
@@ -24,6 +28,7 @@ _SINGLE_CHAR = {
     ".": TokenType.DOT,
     ":": TokenType.COLON,
     "*": TokenType.STAR,
+    "?": TokenType.PARAM,
 }
 
 

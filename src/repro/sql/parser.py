@@ -10,6 +10,12 @@ Grammar notes specific to SciQL (all from Section 2 of the paper):
 * expressions may address cells by (relative) position:
   ``A[x-1][y]`` or ``A[x][y].v``;
 * ``ALTER ARRAY name ALTER DIMENSION d SET RANGE [a:b:c]``.
+
+Bind parameters (PEP 249): ``?`` anywhere a primary expression is
+allowed, and ``:name`` when the ``:`` directly precedes an identifier
+in primary-expression position — the range/tile uses of ``:`` always
+consume their separator token first, so the two never clash.  One
+statement must not mix the positional and named styles.
 """
 
 from __future__ import annotations
@@ -28,6 +34,11 @@ class Parser:
     def __init__(self, text: str):
         self.tokens = tokenize(text)
         self.position = 0
+        #: bind-parameter keys in occurrence order: ints for ``?``
+        #: markers (their 0-based position), strings for ``:name``.
+        self.parameters: list[int | str] = []
+        self._positional_count = 0
+        self._named = False
 
     # ------------------------------------------------------------------
     # token plumbing
@@ -603,6 +614,15 @@ class Parser:
             return self._case()
         if token.is_keyword("CAST"):
             return self._cast()
+        if token.type is TokenType.PARAM:
+            self._advance()
+            return self._placeholder(None)
+        if token.type is TokenType.COLON and self._peek(1).type is TokenType.IDENT:
+            # A leading ``:`` can only be a named parameter here: range
+            # and tile separators consume their ``:`` before recursing
+            # into expression parsing.
+            self._advance()
+            return self._placeholder(self._advance().text)
         if token.type is TokenType.LPAREN:
             self._advance()
             expression = self._expression()
@@ -611,6 +631,20 @@ class Parser:
         if token.type is TokenType.IDENT:
             return self._identifier_expression()
         raise self._error(f"unexpected token {token.text!r} in expression")
+
+    def _placeholder(self, name: str | None) -> ast.Placeholder:
+        if name is None:
+            if self._named:
+                raise self._error("cannot mix ? and :name parameters")
+            key: int | str = self._positional_count
+            self._positional_count += 1
+        else:
+            if self._positional_count:
+                raise self._error("cannot mix ? and :name parameters")
+            self._named = True
+            key = name
+        self.parameters.append(key)
+        return ast.Placeholder(key)
 
     def _case(self) -> ast.CaseExpression:
         self._expect_keyword("CASE")
@@ -675,6 +709,17 @@ class Parser:
 def parse(text: str) -> ast.Statement:
     """Parse one statement."""
     return Parser(text).parse_statement()
+
+
+def parse_with_parameters(text: str) -> tuple[ast.Statement, tuple[int | str, ...]]:
+    """Parse one statement, also returning its bind-parameter keys.
+
+    The keys come back in occurrence order; named parameters may
+    repeat (``:a + :a`` yields ``("a", "a")``).
+    """
+    parser = Parser(text)
+    statement = parser.parse_statement()
+    return statement, tuple(parser.parameters)
 
 
 def parse_script(text: str) -> list[ast.Statement]:

@@ -23,6 +23,7 @@ class TokenType(enum.Enum):
     DOT = "."
     COLON = ":"
     STAR = "*"
+    PARAM = "?"
     EOF = "eof"
 
 

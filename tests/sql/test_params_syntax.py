@@ -1,0 +1,95 @@
+"""Lexing and parsing of bind-parameter markers (? and :name)."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sql import ast_nodes as ast
+from repro.sql.lexer import tokenize
+from repro.sql.parser import Parser, parse, parse_with_parameters
+from repro.sql.tokens import TokenType
+
+
+class TestLexer:
+    def test_question_mark_token(self):
+        tokens = tokenize("SELECT ? FROM t")
+        assert TokenType.PARAM in [t.type for t in tokens]
+
+    def test_colon_stays_a_separate_token(self):
+        tokens = tokenize("[0:1:4]")
+        assert [t.type for t in tokens[:6]] == [
+            TokenType.LBRACKET,
+            TokenType.INTEGER,
+            TokenType.COLON,
+            TokenType.INTEGER,
+            TokenType.COLON,
+            TokenType.INTEGER,
+        ]
+
+
+class TestPositional:
+    def test_indexes_assigned_in_order(self):
+        statement, keys = parse_with_parameters(
+            "SELECT a FROM t WHERE a = ? AND b = ? OR c = ?"
+        )
+        assert keys == (0, 1, 2)
+
+    def test_placeholder_node(self):
+        statement, keys = parse_with_parameters("SELECT a FROM t WHERE a = ?")
+        assert isinstance(statement.where.right, ast.Placeholder)
+        assert statement.where.right.key == 0
+
+    def test_in_values_row(self):
+        statement, keys = parse_with_parameters(
+            "INSERT INTO t VALUES (?, ?, 3)"
+        )
+        assert keys == (0, 1)
+        assert statement.rows[0][0] == ast.Placeholder(0)
+        assert statement.rows[0][2] == ast.Literal(3)
+
+    def test_in_cell_reference_index(self):
+        statement, keys = parse_with_parameters("SELECT m[x-?][y].v FROM m")
+        assert keys == (0,)
+
+
+class TestNamed:
+    def test_named_keys(self):
+        statement, keys = parse_with_parameters(
+            "SELECT a FROM t WHERE a = :lo AND b = :hi"
+        )
+        assert keys == ("lo", "hi")
+
+    def test_repeated_name(self):
+        _, keys = parse_with_parameters(
+            "SELECT a FROM t WHERE a = :v OR b = :v"
+        )
+        assert keys == ("v", "v")
+
+    def test_mixing_styles_rejected(self):
+        with pytest.raises(ParseError, match="mix"):
+            parse("SELECT a FROM t WHERE a = ? AND b = :b")
+        with pytest.raises(ParseError, match="mix"):
+            parse("SELECT a FROM t WHERE a = :a AND b = ?")
+
+
+class TestNoClashWithRangeSyntax:
+    """The ``:`` of SciQL ranges and tiles must stay a separator."""
+
+    def test_tile_group_by_still_parses(self):
+        statement = parse(
+            "SELECT [x], AVG(v) FROM m GROUP BY m[x:x+2][y:y+2]"
+        )
+        group = statement.group_by
+        assert isinstance(group, ast.TileGroupBy)
+        # the bound after ':' is an expression, not a named parameter
+        assert isinstance(group.dimensions[0].high, ast.BinaryOp)
+
+    def test_dimension_range_still_parses(self):
+        statement = parse(
+            "CREATE ARRAY a (x INT DIMENSION[0:1:4], v INT)"
+        )
+        assert statement.elements[0].dimension_range is not None
+
+    def test_script_parser_collects_parameters(self):
+        parser = Parser("SELECT ? ; SELECT 1")
+        parser.parse_script()
+        assert parser.parameters == [0]
