@@ -8,12 +8,29 @@ reduce the interpreted instruction count on CSE-heavy plans.
 import pytest
 
 import repro
+from repro.mal.optimizer import pipeline as optimizer_pipeline
 
 #: a query whose plan contains duplicated sub-expressions and constants.
 CSE_QUERY = (
     "SELECT station, AVG(temp) * 2 + 1 * 1 FROM obs "
     "WHERE day * 2 > 1 + 1 AND day * 2 < 10 + 10 GROUP BY station"
 )
+
+#: fragment size used by the mitosis/mergetable ablation legs.
+ABLATION_FRAGMENT_ROWS = 250
+
+
+def mitosis_only_pipeline(conn):
+    """The default pipeline + mitosis but *no* mergetable: every pack
+    re-merges immediately, isolating the pure fragmentation overhead."""
+    return (
+        optimizer_pipeline.CONSTANT_FOLD,
+        optimizer_pipeline.STRENGTH_REDUCTION,
+        optimizer_pipeline.COMMON_TERMS,
+        optimizer_pipeline.mitosis_pass(conn.catalog, ABLATION_FRAGMENT_ROWS, 1),
+        optimizer_pipeline.DEAD_CODE,
+        optimizer_pipeline.GARBAGE_COLLECT,
+    )
 
 
 def build_obs(conn, rows=2000):
@@ -58,8 +75,61 @@ def test_optimizer_equivalence_and_instruction_reduction():
     assert sum(fast_work.values()) < sum(slow_work.values())
 
 
+@pytest.mark.benchmark(group="E12-optimizer")
+def test_with_mitosis_only(benchmark):
+    """Fragmentation without propagation: packs re-merge immediately."""
+    conn = repro.connect(optimize=True, nr_threads=1)
+    build_obs(conn)
+    conn.pipeline = mitosis_only_pipeline(conn)
+    result = benchmark(conn.execute, CSE_QUERY)
+    assert len(result.rows()) == 7
+
+
+@pytest.mark.benchmark(group="E12-optimizer")
+def test_with_mitosis_mergetable(benchmark):
+    """The full fragmented pipeline (per-fragment select/group/partials)."""
+    conn = repro.connect(
+        optimize=True, nr_threads=1, fragment_rows=ABLATION_FRAGMENT_ROWS
+    )
+    build_obs(conn)
+    result = benchmark(conn.execute, CSE_QUERY)
+    assert len(result.rows()) == 7
+
+
+def test_mitosis_mergetable_equivalence():
+    """The fragmentation passes never change results — only plan shape."""
+    reference = repro.connect(optimize=True, nr_threads=1)
+    mitosis_only = repro.connect(optimize=True, nr_threads=1)
+    full = repro.connect(
+        optimize=True, nr_threads=1, fragment_rows=ABLATION_FRAGMENT_ROWS
+    )
+    for connection in (reference, mitosis_only, full):
+        build_obs(connection, rows=1000)
+    mitosis_only.pipeline = mitosis_only_pipeline(mitosis_only)
+    expected = reference.execute(CSE_QUERY).rows()
+    assert mitosis_only.execute(CSE_QUERY).rows() == expected
+    assert full.execute(CSE_QUERY).rows() == expected
+    # mitosis alone leaves the packs in place; mergetable consumes them.
+    assert "mat.pack" in mitosis_only.explain(CSE_QUERY)
+    # temp is DOUBLE, so AVG takes the byte-identical row-level merge
+    # (float partials would re-associate the accumulation).
+    full_plan = full.explain(CSE_QUERY)
+    assert "mat.partition" in full_plan
+    assert "mat.packgroups" in full_plan
+    # Sequential knobs keep the unfragmented plan byte-for-byte.
+    assert "mat.partition" not in reference.explain(CSE_QUERY)
+
+
 @pytest.mark.benchmark(group="E12-compile-only")
 def test_compilation_cost(benchmark):
     conn = repro.connect()
     build_obs(conn, rows=10)
+    benchmark(conn.compile, CSE_QUERY)
+
+
+@pytest.mark.benchmark(group="E12-compile-only")
+def test_compilation_cost_fragmented(benchmark):
+    """Optimize-time cost of the mitosis/mergetable passes themselves."""
+    conn = repro.connect(nr_threads=1, fragment_rows=ABLATION_FRAGMENT_ROWS)
+    build_obs(conn, rows=2000)
     benchmark(conn.compile, CSE_QUERY)

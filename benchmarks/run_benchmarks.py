@@ -31,6 +31,7 @@ DEFAULT_SUITES = [
     "benchmarks/bench_fig1_array_ops.py",
     "benchmarks/bench_tiling_scaling.py",
     "benchmarks/bench_prepared.py",
+    "benchmarks/bench_parallel.py",
 ]
 
 

@@ -24,6 +24,8 @@ array ingestion, ``explain`` / ``explain_unoptimized``, and ``save`` /
 
 from __future__ import annotations
 
+import math
+import os
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
@@ -47,7 +49,7 @@ from repro.algebra import nodes
 from repro.algebra.compiler import plan_statement
 from repro.algebra.malgen import MALGenerator
 from repro.mal.interpreter import ExecutionStats, Interpreter
-from repro.mal.optimizer import DEFAULT_PIPELINE, optimize
+from repro.mal.optimizer import DEFAULT_PIPELINE, build_pipeline, optimize
 from repro.mal.program import MALProgram
 from repro.semantic.binder import Parameter
 from repro.sql import ast_nodes as ast
@@ -65,6 +67,57 @@ _DDL_NODES = (
 
 #: default capacity of the per-connection LRU statement cache.
 DEFAULT_STATEMENT_CACHE_SIZE = 128
+
+#: cap on the automatic worker-thread count.
+MAX_AUTO_THREADS = 8
+
+
+def _resolve_nr_threads(value: Optional[int]) -> int:
+    """Worker count: explicit knob > ``REPRO_NR_THREADS`` > cpu count."""
+    source = "nr_threads"
+    if value is None:
+        env = os.environ.get("REPRO_NR_THREADS")
+        if env:
+            value = env
+            source = "REPRO_NR_THREADS"
+    if value is None:
+        value = min(os.cpu_count() or 1, MAX_AUTO_THREADS)
+    try:
+        return max(1, int(value))
+    except (TypeError, ValueError):
+        raise ProgrammingError(
+            f"invalid {source} value {value!r}: expected an integer"
+        ) from None
+
+
+def _resolve_fragment_rows(value) -> Optional[float]:
+    """Fragment size: ``None`` = auto, ``math.inf`` = fragmentation off.
+
+    Accepts ints, ``float('inf')``, and the ``REPRO_FRAGMENT_ROWS``
+    environment override (``"inf"``/``"off"``/``"0"`` disable).
+    """
+    source = "fragment_rows"
+    if value is None:
+        env = os.environ.get("REPRO_FRAGMENT_ROWS")
+        if env is not None:
+            value = env
+            source = "REPRO_FRAGMENT_ROWS"
+    if value is None:
+        return None
+    try:
+        if isinstance(value, str):
+            lowered = value.strip().lower()
+            if lowered in ("", "inf", "off", "none", "auto"):
+                return math.inf if lowered != "auto" else None
+        value = float(value)
+    except (TypeError, ValueError):
+        raise ProgrammingError(
+            f"invalid {source} value {value!r}: expected a row count, "
+            "'inf'/'off' or 'auto'"
+        ) from None
+    if math.isinf(value) or value <= 0:
+        return math.inf
+    return int(value)
 
 
 @dataclass
@@ -184,11 +237,18 @@ class Connection:
         catalog: Optional[Catalog] = None,
         optimize: bool = True,
         statement_cache_size: int = DEFAULT_STATEMENT_CACHE_SIZE,
+        nr_threads: Optional[int] = None,
+        fragment_rows: Optional[float] = None,
     ):
         self.catalog = catalog if catalog is not None else Catalog()
-        self.interpreter = Interpreter(self.catalog)
+        #: execution knobs: worker threads for the dataflow scheduler and
+        #: the mitosis fragment size.  ``nr_threads=1, fragment_rows=inf``
+        #: reproduces the sequential engine exactly (plans included).
+        self._nr_threads = _resolve_nr_threads(nr_threads)
+        self._fragment_rows = _resolve_fragment_rows(fragment_rows)
+        self.interpreter = Interpreter(self.catalog, self._nr_threads)
         self.optimize_programs = optimize
-        self.pipeline = DEFAULT_PIPELINE
+        self.pipeline = self._build_pipeline()
         #: statistics of the last executed statement (instruction counts).
         self.last_stats: Optional[ExecutionStats] = None
         #: LRU capacity of the compiled-plan cache (0 disables caching).
@@ -200,6 +260,67 @@ class Connection:
         self.compile_count = 0
         self.cache_hits = 0
         self.cache_misses = 0
+
+    # ------------------------------------------------------------------
+    # execution knobs (parallel fragmented execution)
+    # ------------------------------------------------------------------
+    def _build_pipeline(self) -> tuple:
+        fragmented = self._fragment_rows is not None and not (
+            isinstance(self._fragment_rows, float)
+            and math.isinf(self._fragment_rows)
+        )
+        if self._fragment_rows is None and self._nr_threads > 1:
+            fragmented = True  # auto mode sizes fragments per thread
+        if not fragmented:
+            return DEFAULT_PIPELINE
+        rows = None if self._fragment_rows is None else int(self._fragment_rows)
+        return build_pipeline(
+            self.catalog, rows, self._nr_threads, fragmented=True
+        )
+
+    @property
+    def nr_threads(self) -> int:
+        """Dataflow worker threads (1 = the sequential interpreter)."""
+        return self._nr_threads
+
+    @nr_threads.setter
+    def nr_threads(self, value: Optional[int]) -> None:
+        self._nr_threads = _resolve_nr_threads(value)
+        self.interpreter.set_threads(self._nr_threads)
+        self.pipeline = self._build_pipeline()
+
+    @property
+    def fragment_rows(self):
+        """Mitosis fragment size: int, ``None`` (auto) or ``inf`` (off)."""
+        return self._fragment_rows
+
+    @fragment_rows.setter
+    def fragment_rows(self, value) -> None:
+        self._fragment_rows = _resolve_fragment_rows(value)
+        self.pipeline = self._build_pipeline()
+
+    def last_profile(self) -> list[dict]:
+        """Per-operation profile of the last ``collect_stats`` execution.
+
+        Returns one entry per MAL operation, ordered by cumulative wall
+        time (descending): ``{"operation", "calls", "rows", "seconds"}``.
+        Returns an empty list when the last statement ran without
+        ``collect_stats=True``.
+        """
+        stats = self.last_stats
+        if stats is None:
+            return []
+        out = [
+            {
+                "operation": operation,
+                "calls": stats.per_operation.get(operation, 0),
+                "rows": stats.rows_per_operation.get(operation, 0),
+                "seconds": seconds,
+            }
+            for operation, seconds in stats.seconds_per_operation.items()
+        ]
+        out.sort(key=lambda entry: entry["seconds"], reverse=True)
+        return out
 
     # ------------------------------------------------------------------
     # PEP 249 lifecycle
@@ -216,6 +337,7 @@ class Connection:
     def close(self) -> None:
         """Close the connection; further operations raise InterfaceError."""
         self._plan_cache.clear()
+        self.interpreter.close()
         self._closed = True
 
     def commit(self) -> None:
@@ -248,8 +370,15 @@ class Connection:
 
     def _cache_key(self, sql: str) -> tuple:
         # The optimizer settings are part of the identity: benchmarks
-        # flip them per-connection, and ablation runs swap pipelines.
-        return (sql, self.optimize_programs, self.pipeline)
+        # flip them per-connection, ablation runs swap pipelines, and
+        # the fragmentation knobs change the compiled plan shape.
+        return (
+            sql,
+            self.optimize_programs,
+            self.pipeline,
+            self._nr_threads,
+            self._fragment_rows,
+        )
 
     def _compile_sql(self, sql: str) -> CompiledStatement:
         parser = Parser(sql)
@@ -524,9 +653,20 @@ class Connection:
         self.catalog.save(Path(directory))
 
     @classmethod
-    def open(cls, directory: str | Path, optimize: bool = True) -> "Connection":
+    def open(
+        cls,
+        directory: str | Path,
+        optimize: bool = True,
+        nr_threads: Optional[int] = None,
+        fragment_rows: Optional[float] = None,
+    ) -> "Connection":
         """Open a database previously written by :meth:`save`."""
-        return cls(Catalog.load(Path(directory)), optimize)
+        return cls(
+            Catalog.load(Path(directory)),
+            optimize,
+            nr_threads=nr_threads,
+            fragment_rows=fragment_rows,
+        )
 
 
 class PreparedStatement:
@@ -579,15 +719,31 @@ def connect(
     path: Optional[str | Path] = None,
     optimize: bool = True,
     statement_cache_size: int = DEFAULT_STATEMENT_CACHE_SIZE,
+    nr_threads: Optional[int] = None,
+    fragment_rows: Optional[float] = None,
 ) -> Connection:
-    """Create a connection: in-memory by default, or load a saved farm."""
+    """Create a connection: in-memory by default, or load a saved farm.
+
+    ``nr_threads`` sizes the dataflow scheduler's worker pool (default:
+    auto from ``os.cpu_count()``, capped at 8; 1 keeps the sequential
+    interpreter).  ``fragment_rows`` sizes the mitosis scan fragments
+    (default: auto — roughly one fragment per worker for large scans;
+    ``float('inf')`` disables fragmentation).  Both accept
+    ``REPRO_NR_THREADS`` / ``REPRO_FRAGMENT_ROWS`` environment
+    overrides when not given explicitly.
+    """
     if path is None:
         return Connection(
-            optimize=optimize, statement_cache_size=statement_cache_size
+            optimize=optimize,
+            statement_cache_size=statement_cache_size,
+            nr_threads=nr_threads,
+            fragment_rows=fragment_rows,
         )
     path = Path(path)
     if path.exists():
-        connection = Connection.open(path, optimize)
+        connection = Connection.open(
+            path, optimize, nr_threads=nr_threads, fragment_rows=fragment_rows
+        )
         connection.statement_cache_size = statement_cache_size
         return connection
     raise SciQLError(f"no database at {path}; use connect() and save()")

@@ -338,6 +338,76 @@ def grouped_median(column: Column, grouping: Grouping) -> Column:
     return Column(Atom.DBL, out, mask)
 
 
+# ----------------------------------------------------------------------
+# partial-aggregate merging (mitosis/mergetable fragment rejoin)
+# ----------------------------------------------------------------------
+#: aggregates whose per-fragment partials can be merged into the exact
+#: global result.  ``avg`` decomposes into (sum, count) partials and is
+#: handled by :func:`merge_avg`; stddev/median/count-distinct are not
+#: decomposable and force the optimizer to fall back to row-level
+#: grouping.
+MERGEABLE = {"sum", "prod", "min", "max", "count"}
+
+
+def merge_partials(name: str, partials: Column, grouping: Grouping) -> Column:
+    """Fold per-fragment partial aggregates into the global per-group result.
+
+    ``partials`` holds one value per (fragment, local group); *grouping*
+    maps each of those rows to its global group.  A NULL partial means
+    the fragment saw only NULL inputs for that group and contributes
+    nothing; a global group whose partials are all NULL aggregates to
+    NULL — exactly the semantics of the row-level kernels, so merging
+    reduces to running the matching grouped kernel over the partials:
+    sum of sums, min of mins, max of maxes, and (for COUNT) sum of
+    counts.
+    """
+    name = name.lower()
+    if name not in MERGEABLE:
+        raise GDKError(f"aggregate {name!r} has no partial merge")
+    if name == "count":
+        return grouped_sum(partials, grouping)
+    return GROUPED_DISPATCH[name](partials, grouping)
+
+
+def merge_avg(sums: Column, counts: Column, grouping: Grouping) -> Column:
+    """Merge (sum, count) partials into the global per-group mean.
+
+    AVG is not directly mergeable (an average of fragment averages
+    weights fragments equally), so mitosis emits per-fragment sum and
+    count partials and this kernel recombines them: global mean =
+    Σ partial sums / Σ partial counts, NULL where the count is zero.
+    """
+    if len(sums) != len(counts) or len(sums) != len(grouping.groups):
+        raise GDKError("merge_avg: misaligned partial columns")
+    merged_sums = grouped_sum(sums, grouping)
+    merged_counts = grouped_sum(counts, grouping)
+    totals = merged_sums.values.astype(np.float64)
+    divisors = merged_counts.values.astype(np.float64)
+    empty = divisors <= 0
+    if merged_counts.mask is not None:
+        empty |= merged_counts.mask
+    with np.errstate(invalid="ignore", divide="ignore"):
+        means = totals / np.where(empty, 1.0, divisors)
+    return Column(Atom.DBL, np.where(empty, 0.0, means), mask=empty)
+
+
+def first_occurrence(groups: Column, ngroups: int) -> np.ndarray:
+    """First row position of each dense group id, in group-id order.
+
+    Reconstructs the *extents* of a grouping from its row-aligned group
+    ids — the fallback the mergetable optimizer uses when a consumer
+    needs global extents that the fragmented grouping never built.
+    """
+    ids = groups.values
+    out = np.full(ngroups, len(ids), dtype=np.int64)
+    if len(ids):
+        valid = ids >= 0
+        np.minimum.at(out, ids[valid], np.flatnonzero(valid))
+    if (out >= len(ids)).any():
+        raise GDKError("first_occurrence: group id without a row")
+    return out
+
+
 def scalar_stddev(column: Column) -> Any:
     """Sample standard deviation; NULL with fewer than two values."""
     valid = column.validity()

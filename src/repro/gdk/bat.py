@@ -138,6 +138,84 @@ class BAT:
         return BAT(self.tail.copy(), self.hseqbase)
 
 
+def pack_bats(parts: Sequence[BAT]) -> BAT:
+    """Re-merge horizontal fragments into one BAT (MonetDB's ``mat.pack``).
+
+    The fragments must be supplied in fragment order; their tails are
+    concatenated and the head restarts dense from the first fragment's
+    ``hseqbase``.  Packing the partitions of a BAT therefore
+    reconstructs it exactly.
+    """
+    if not parts:
+        raise GDKError("mat.pack needs at least one fragment")
+    if len(parts) == 1:
+        return parts[0]
+    atom = parts[0].atom
+    for part in parts[1:]:
+        if part.atom is not atom:
+            raise GDKError(f"mat.pack of {atom} and {part.atom} fragments")
+    # Single-pass concatenation: a pairwise fold would re-copy the
+    # accumulated prefix once per fragment (quadratic in fragments).
+    values = np.concatenate([part.tail.values for part in parts])
+    if any(part.tail.mask is not None for part in parts):
+        mask = np.concatenate([part.tail.effective_mask() for part in parts])
+    else:
+        mask = None
+    return BAT(Column(atom, values, mask), parts[0].hseqbase)
+
+
+def merge_candidates(parts: Sequence[BAT]) -> BAT:
+    """Ordered union of per-fragment candidate lists (``bat.mergecand``).
+
+    Fragments partition the head range in ascending oid order, so each
+    fragment's qualifying oids already sort strictly after the previous
+    fragment's; the union is a plain concatenation — no re-sort, which
+    also preserves the pairing of aligned join-oid fragments.
+    """
+    if not parts:
+        raise GDKError("bat.mergecand needs at least one fragment")
+    for part in parts:
+        if part.atom is not Atom.OID:
+            raise GDKError("bat.mergecand fragments must have oid tails")
+    if len(parts) == 1:
+        return parts[0]
+    values = np.concatenate([part.tail.values for part in parts])
+    return BAT.from_oids(values)
+
+
+def partition_bounds(count: int, index: int, pieces: int) -> tuple[int, int]:
+    """Row bounds ``[start, stop)`` of fragment *index* of *pieces*.
+
+    Computed from the runtime row count so compiled plans stay correct
+    when the underlying table grows after plan caching.
+    """
+    if pieces <= 0:
+        raise GDKError("partition count must be positive")
+    if index < 0 or index >= pieces:
+        raise GDKError(f"partition index {index} outside 0..{pieces - 1}")
+    return (count * index) // pieces, (count * (index + 1)) // pieces
+
+
+def partition(b: BAT, index: int, pieces: int) -> BAT:
+    """Fragment *index* of *pieces* equal horizontal slices of *b*.
+
+    The slice keeps its global head range (``hseqbase`` advances by the
+    slice start), so selections over a fragment emit oids in the shared
+    oid space and fragment results merge by concatenation.  Unlike
+    :meth:`BAT.slice` the fragment is a zero-copy *view* of the source
+    arrays: kernels never mutate their inputs in place, fragments are
+    transient within one execution, and copying every partition would
+    re-materialise the whole column once per fragmented plan.
+    """
+    start, stop = partition_bounds(len(b), index, pieces)
+    tail = b.tail
+    mask = tail.mask[start:stop] if tail.mask is not None else None
+    return BAT(
+        Column(tail.atom, tail.values[start:stop], mask),
+        b.hseqbase + start,
+    )
+
+
 def assert_aligned(*bats: BAT) -> int:
     """Check that BATs are head-aligned (same seqbase and length)."""
     if not bats:

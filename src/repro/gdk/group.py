@@ -46,7 +46,13 @@ class Grouping:
 
 
 def _value_codes(column: Column) -> np.ndarray:
-    """Integer codes: equal (non-NULL) values share a code; NULL is its own."""
+    """Integer codes: equal (non-NULL) values share a code; NULL is its own.
+
+    Deliberately avoids ``np.unique(return_index=True)``: asking for
+    first-occurrence indexes forces a *stable* sort, which measures ~2x
+    slower than the default introsort plus a ``np.minimum.at`` pass in
+    :func:`_densify_first_appearance`.
+    """
     values = column.values
     if column.atom is Atom.STR:
         values = values.astype(object)
@@ -147,6 +153,30 @@ def explicit_grouping(group_ids: np.ndarray, ngroups: int) -> Grouping:
         )
         extents[sorted_ids[seg_starts]] = positions[order[seg_starts]]
     return Grouping(Column(Atom.OID, group_ids), extents, histogram)
+
+
+@dataclass(frozen=True)
+class GroupView:
+    """A grouping seen only through (row ids, group count).
+
+    The aggregation kernels never touch extents or histograms, so the
+    ``aggr.sub*`` operators wrap their explicit group-id inputs in this
+    view instead of :func:`explicit_grouping` — skipping a full stable
+    sort per aggregate call.  Structurally compatible with
+    :class:`Grouping` everywhere only ``groups``/``ngroups`` are read
+    (:func:`subgroup` included).
+    """
+
+    groups: Column
+    ngroups: int
+
+
+def grouping_view(group_ids: np.ndarray, ngroups: int) -> GroupView:
+    """Cheap :class:`GroupView` over externally computed group ids."""
+    group_ids = np.asarray(group_ids, dtype=np.int64)
+    if len(group_ids) and ngroups >= 0 and group_ids.max() >= ngroups:
+        raise GDKError("group id out of range")
+    return GroupView(Column(Atom.OID, group_ids), int(ngroups))
 
 
 def groups_bat(grouping: Grouping, hseqbase: int = 0) -> BAT:

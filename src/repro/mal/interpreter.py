@@ -1,22 +1,40 @@
-"""The MAL interpreter.
+"""The MAL interpreter: sequential reference and dataflow scheduler.
 
-Executes a :class:`~repro.mal.program.MALProgram` instruction by
-instruction against the module registry, exactly like MonetDB's MAL
-interpreter walks the compiled plan (paper, Figure 2).  The execution
-context carries the catalog (for ``sql.*`` side effects) and collects
-the statement result.
+The sequential path executes a :class:`~repro.mal.program.MALProgram`
+instruction by instruction against the module registry, exactly like
+MonetDB's MAL interpreter walks the compiled plan (paper, Figure 2).
+
+With ``nr_threads > 1`` the interpreter instead runs MonetDB's
+*dataflow* discipline: instructions whose inputs are all resolved
+dispatch to a thread pool, so the independent fragments produced by the
+mitosis/mergetable optimizer passes execute concurrently (the NumPy
+kernels release the GIL, so fragment-parallel select/calc/aggregate
+work scales on real cores).  Side-effecting instructions act as
+barriers, which preserves program order for catalog mutation and result
+delivery; ``nr_threads=1`` keeps the exact sequential behaviour.
 """
 
 from __future__ import annotations
 
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Optional
 
 from repro.errors import MALError
 from repro.catalog import Catalog
 from repro.gdk.bat import BAT
 from repro.mal.modules import REGISTRY, load_all
 from repro.mal.program import Constant, Instruction, MALProgram, Param, Var
+
+#: instructions whose largest BAT input is below this row count run on
+#: the scheduler thread — pool dispatch overhead would dominate.
+PARALLEL_MIN_ROWS = 4096
+
+#: operations that are (near) zero-cost regardless of input size —
+#: never worth a pool round-trip.  ``mat.partition`` returns a view.
+INLINE_OPS = {("mat", "partition"), ("bat", "getcount"), ("bat", "mirror")}
 
 
 @dataclass
@@ -37,24 +55,73 @@ class ExecutionStats:
 
     ``rows_processed`` totals the BAT rows consumed by every executed
     instruction; ``rows_per_operation`` breaks that down per MAL
-    operation.  Candidate-list propagation shows up here directly: the
-    fewer payload copies the plan materializes, the fewer rows flow
-    through ``algebra.projection``.
+    operation.  ``seconds_per_operation`` / ``instruction_timings``
+    hold per-instruction wall-clock time (collected under
+    ``collect_stats``), and ``parallel_batches`` counts the dataflow
+    scheduling waves that dispatched more than one instruction
+    concurrently — 0 for a fully sequential run.
     """
 
     instructions_executed: int = 0
     per_operation: dict[str, int] = field(default_factory=dict)
     rows_processed: int = 0
     rows_per_operation: dict[str, int] = field(default_factory=dict)
+    #: cumulative wall-clock seconds per MAL operation.
+    seconds_per_operation: dict[str, float] = field(default_factory=dict)
+    #: (instruction index, "module.function", wall seconds) per executed
+    #: instruction, in completion order.
+    instruction_timings: list[tuple[int, str, float]] = field(default_factory=list)
+    #: dataflow waves with >= 2 instructions in flight.
+    parallel_batches: int = 0
+
+    def record(self, index: int, instruction: Instruction, rows: int, seconds: float) -> None:
+        key = f"{instruction.module}.{instruction.function}"
+        self.instructions_executed += 1
+        self.per_operation[key] = self.per_operation.get(key, 0) + 1
+        self.rows_processed += rows
+        self.rows_per_operation[key] = self.rows_per_operation.get(key, 0) + rows
+        self.seconds_per_operation[key] = (
+            self.seconds_per_operation.get(key, 0.0) + seconds
+        )
+        self.instruction_timings.append((index, key, seconds))
 
 
 class Interpreter:
     """Dispatching interpreter over the MAL module registry."""
 
-    def __init__(self, catalog: Catalog):
+    def __init__(self, catalog: Catalog, nr_threads: int = 1):
         load_all()
         self.catalog = catalog
+        self.nr_threads = max(1, int(nr_threads))
+        self._executor: Optional[ThreadPoolExecutor] = None
 
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def set_threads(self, nr_threads: int) -> None:
+        """Change the worker count; tears down any existing pool."""
+        nr_threads = max(1, int(nr_threads))
+        if nr_threads != self.nr_threads:
+            self.close()
+            self.nr_threads = nr_threads
+
+    def _pool(self) -> ThreadPoolExecutor:
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.nr_threads,
+                thread_name_prefix="mal-dataflow",
+            )
+        return self._executor
+
+    # ------------------------------------------------------------------
+    # entry point
+    # ------------------------------------------------------------------
     def run(
         self,
         program: MALProgram,
@@ -69,43 +136,206 @@ class Interpreter:
         """
         context = ExecutionContext(self.catalog, params=params or {})
         stats = ExecutionStats()
+        if self.nr_threads > 1 and self._wants_dataflow(program):
+            self._run_dataflow(program, context, stats, collect_stats)
+        else:
+            self._run_sequential(program, context, stats, collect_stats)
+        return context, stats
+
+    @staticmethod
+    def _wants_dataflow(program: MALProgram) -> bool:
+        """Dataflow pays off on fragmented plans; plain plans stay serial.
+
+        Unfragmented plans are chains with almost no instruction-level
+        parallelism, so the scheduler would only add dispatch latency to
+        point queries (the prepared-statement fast path in particular).
+        """
+        flag = getattr(program, "_dataflow_worthwhile", None)
+        if flag is None:
+            flag = any(
+                instruction.module == "mat" for instruction in program.instructions
+            )
+            program._dataflow_worthwhile = flag
+        return flag
+
+    # ------------------------------------------------------------------
+    # sequential reference loop
+    # ------------------------------------------------------------------
+    def _run_sequential(
+        self,
+        program: MALProgram,
+        context: ExecutionContext,
+        stats: ExecutionStats,
+        collect_stats: bool,
+    ) -> None:
         env: dict[str, Any] = {}
-        for instruction in program.instructions:
+        for index, instruction in enumerate(program.instructions):
             if instruction.module == "language" and instruction.function == "free":
                 # Garbage-collection pseudo-op inserted by the optimizer.
                 for arg in instruction.args:
                     if isinstance(arg, Constant):
                         env.pop(arg.value, None)
                 continue
-            rows = self._execute(instruction, env, context, collect_stats)
             if collect_stats:
-                stats.instructions_executed += 1
-                key = f"{instruction.module}.{instruction.function}"
-                stats.per_operation[key] = stats.per_operation.get(key, 0) + 1
-                stats.rows_processed += rows
-                stats.rows_per_operation[key] = (
-                    stats.rows_per_operation.get(key, 0) + rows
+                started = time.perf_counter()
+                rows = self._execute(instruction, env, context, True)
+                stats.record(
+                    index, instruction, rows, time.perf_counter() - started
                 )
-        return context, stats
+            else:
+                self._execute(instruction, env, context, False)
 
-    def _execute(
+    # ------------------------------------------------------------------
+    # dataflow scheduler
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _dependency_state(program: MALProgram) -> list[set[int]]:
+        deps = getattr(program, "_dataflow_deps", None)
+        if deps is None:
+            deps = program.dependencies()
+            program._dataflow_deps = deps
+        return deps
+
+    def _run_dataflow(
+        self,
+        program: MALProgram,
+        context: ExecutionContext,
+        stats: ExecutionStats,
+        collect_stats: bool,
+    ) -> None:
+        instructions = program.instructions
+        deps = self._dependency_state(program)
+        remaining = [set(edges) for edges in deps]
+        dependents: list[list[int]] = [[] for _ in instructions]
+        for index, edges in enumerate(deps):
+            for producer in edges:
+                dependents[producer].append(index)
+        env: dict[str, Any] = {}
+        ready: deque[int] = deque(
+            index for index, edges in enumerate(remaining) if not edges
+        )
+        in_flight: dict[Any, int] = {}
+        pool = self._pool()
+        failure: Optional[BaseException] = None
+
+        def complete(index: int) -> None:
+            for dependent in dependents[index]:
+                pending = remaining[dependent]
+                pending.discard(index)
+                if not pending:
+                    ready.append(dependent)
+
+        while (ready or in_flight) and failure is None:
+            submitted = 0
+            while ready:
+                index = ready.popleft()
+                instruction = instructions[index]
+                if (
+                    instruction.module == "language"
+                    and instruction.function == "free"
+                ):
+                    for arg in instruction.args:
+                        if isinstance(arg, Constant):
+                            env.pop(arg.value, None)
+                    complete(index)
+                    continue
+                # Inline when there is nothing to overlap with (a lone
+                # ready instruction and an idle pool), when the pool's
+                # backlog is already deep enough to keep every worker
+                # busy (the scheduler thread then shares the work
+                # instead of queueing), or when the inputs are too
+                # small to amortise pool dispatch.
+                if (
+                    (not ready and not in_flight)
+                    or len(in_flight) >= 2 * self.nr_threads
+                    or self._run_inline(instruction, env)
+                ):
+                    try:
+                        if collect_stats:
+                            started = time.perf_counter()
+                            rows = self._execute(instruction, env, context, True)
+                            stats.record(
+                                index,
+                                instruction,
+                                rows,
+                                time.perf_counter() - started,
+                            )
+                        else:
+                            self._execute(instruction, env, context, False)
+                    except BaseException as exc:  # noqa: BLE001 - cleanup path
+                        failure = exc
+                        break
+                    complete(index)
+                    continue
+                future = pool.submit(
+                    self._worker, index, instruction, env, context, collect_stats
+                )
+                in_flight[future] = index
+                submitted += 1
+            if submitted > 1 or (submitted and in_flight and len(in_flight) > 1):
+                stats.parallel_batches += 1
+            if failure is not None or not in_flight:
+                continue
+            finished, _ = wait(in_flight, return_when=FIRST_COMPLETED)
+            for future in finished:
+                index = in_flight.pop(future)
+                try:
+                    rows, seconds, output = future.result()
+                except BaseException as exc:  # noqa: BLE001 - cleanup path
+                    failure = exc
+                    continue
+                self._store(instructions[index], output, env)
+                if collect_stats:
+                    stats.record(index, instructions[index], rows, seconds)
+                complete(index)
+        if failure is not None:
+            for future in in_flight:
+                future.cancel()
+            if in_flight:
+                wait(list(in_flight))
+            raise failure
+
+    @staticmethod
+    def _run_inline(instruction: Instruction, env: dict[str, Any]) -> bool:
+        """Small inputs run on the scheduler thread — dispatch costs more."""
+        if (instruction.module, instruction.function) in INLINE_OPS:
+            return True
+        largest = 0
+        for arg in instruction.args:
+            if isinstance(arg, Var):
+                value = env.get(arg.name)
+                if isinstance(value, BAT):
+                    length = len(value)
+                    if length > largest:
+                        largest = length
+        return largest < PARALLEL_MIN_ROWS
+
+    def _worker(
+        self,
+        index: int,
+        instruction: Instruction,
+        env: dict[str, Any],
+        context: ExecutionContext,
+        count_rows: bool,
+    ) -> tuple[int, float, Any]:
+        """Execute one instruction off-thread; results are stored by the
+        scheduler thread, so workers never mutate the environment."""
+        started = time.perf_counter()
+        args, rows = self._resolve_args(instruction, env, context, count_rows)
+        output = self._apply(instruction, args, context)
+        return rows, time.perf_counter() - started, output
+
+    # ------------------------------------------------------------------
+    # shared execution machinery
+    # ------------------------------------------------------------------
+    def _resolve_args(
         self,
         instruction: Instruction,
         env: dict[str, Any],
         context: ExecutionContext,
-        count_rows: bool = False,
-    ) -> int:
-        """Execute one instruction; returns the BAT rows it consumed.
-
-        Row accounting only runs under *count_rows* so the non-profiled
-        dispatch loop stays untouched.
-        """
-        implementation = REGISTRY.get((instruction.module, instruction.function))
-        if implementation is None:
-            raise MALError(
-                f"undefined MAL operation {instruction.module}.{instruction.function}"
-            )
-        args = []
+        count_rows: bool,
+    ) -> tuple[list[Any], int]:
+        args: list[Any] = []
         rows = 0
         for arg in instruction.args:
             if isinstance(arg, Var):
@@ -122,23 +352,52 @@ class Interpreter:
                     raise MALError(f"unbound statement parameter {arg}") from None
             else:
                 args.append(arg.value)
+        return args, rows
+
+    @staticmethod
+    def _apply(
+        instruction: Instruction, args: list[Any], context: ExecutionContext
+    ) -> Any:
+        implementation = REGISTRY.get((instruction.module, instruction.function))
+        if implementation is None:
+            raise MALError(
+                f"undefined MAL operation {instruction.module}.{instruction.function}"
+            )
         try:
-            output = implementation(context, *args)
+            return implementation(context, *args)
         except MALError:
             raise
         except Exception as exc:  # surface kernel errors with MAL context
             raise MALError(
                 f"{instruction.module}.{instruction.function} failed: {exc}"
             ) from exc
+
+    @staticmethod
+    def _store(instruction: Instruction, output: Any, env: dict[str, Any]) -> None:
         if not instruction.results:
-            return rows
+            return
         if len(instruction.results) == 1:
             env[instruction.results[0]] = output
-        else:
-            if not isinstance(output, tuple) or len(output) != len(instruction.results):
-                raise MALError(
-                    f"{instruction.module}.{instruction.function}: arity mismatch"
-                )
-            for name, value in zip(instruction.results, output):
-                env[name] = value
+            return
+        if not isinstance(output, tuple) or len(output) != len(instruction.results):
+            raise MALError(
+                f"{instruction.module}.{instruction.function}: arity mismatch"
+            )
+        for name, value in zip(instruction.results, output):
+            env[name] = value
+
+    def _execute(
+        self,
+        instruction: Instruction,
+        env: dict[str, Any],
+        context: ExecutionContext,
+        count_rows: bool = False,
+    ) -> int:
+        """Execute one instruction; returns the BAT rows it consumed.
+
+        Row accounting only runs under *count_rows* so the non-profiled
+        dispatch loop stays untouched.
+        """
+        args, rows = self._resolve_args(instruction, env, context, count_rows)
+        self._store(instruction, self._apply(instruction, args, context), env)
         return rows

@@ -49,5 +49,6 @@ def load_all() -> None:
         batcalc_mod,
         calc_mod,
         group_mod,
+        mat_mod,
         sql_mod,
     )

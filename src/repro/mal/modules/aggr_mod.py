@@ -9,8 +9,10 @@ from repro.gdk.bat import BAT
 from repro.mal.modules import mal_op
 
 
-def _grouping(groups: BAT, ngroups) -> group_kernel.Grouping:
-    return group_kernel.explicit_grouping(groups.tail.values, int(ngroups))
+def _grouping(groups: BAT, ngroups) -> group_kernel.GroupView:
+    # The aggregation kernels only read (ids, ngroups); the cheap view
+    # skips the per-call extents sort of ``explicit_grouping``.
+    return group_kernel.grouping_view(groups.tail.values, int(ngroups))
 
 
 def _register_scalar(name: str) -> None:
@@ -53,3 +55,35 @@ def _subcountdistinct(ctx, b: BAT, groups: BAT, ngroups):
 @mal_op("aggr", "countdistinct")
 def _countdistinct(ctx, b: BAT):
     return aggregate_kernel.scalar_count_distinct(b.tail)
+
+
+def _register_merge(name: str) -> None:
+    @mal_op("aggr", f"merge{name}")
+    def _op(ctx, partials: BAT, groups: BAT, ngroups, _name=name):
+        """Fold per-fragment partials into the global per-group result."""
+        if not isinstance(partials, BAT) or not isinstance(groups, BAT):
+            raise MALError(f"aggr.merge{_name} expects BATs")
+        grouping = _grouping(groups, ngroups)
+        return BAT(aggregate_kernel.merge_partials(_name, partials.tail, grouping))
+
+
+for _name in sorted(aggregate_kernel.MERGEABLE):
+    _register_merge(_name)
+
+
+@mal_op("aggr", "mergeavg")
+def _mergeavg(ctx, sums: BAT, counts: BAT, groups: BAT, ngroups):
+    """Merge (sum, count) partials into the global per-group mean."""
+    if not all(isinstance(b, BAT) for b in (sums, counts, groups)):
+        raise MALError("aggr.mergeavg expects BATs")
+    grouping = _grouping(groups, ngroups)
+    return BAT(aggregate_kernel.merge_avg(sums.tail, counts.tail, grouping))
+
+
+@mal_op("aggr", "firstocc")
+def _firstocc(ctx, groups: BAT, ngroups):
+    """Reconstruct grouping extents from row-aligned global group ids."""
+    if not isinstance(groups, BAT):
+        raise MALError("aggr.firstocc expects a BAT")
+    positions = aggregate_kernel.first_occurrence(groups.tail, int(ngroups))
+    return BAT.from_oids(positions + groups.hseqbase)

@@ -91,6 +91,16 @@ def _cast(ctx, b: BAT, atom_name: str):
     return BAT(b.tail.cast(Atom(atom_name)), b.hseqbase)
 
 
+@mal_op("bat", "mergecand")
+def _mergecand(ctx, *parts: BAT):
+    """Ordered union of per-fragment candidate lists (mergetable rejoin)."""
+    from repro.gdk.bat import merge_candidates
+
+    if not parts or not all(isinstance(p, BAT) for p in parts):
+        raise MALError("bat.mergecand expects candidate BATs")
+    return merge_candidates(parts)
+
+
 @mal_op("bat", "negative_oids")
 def _negative_oids(ctx, b: BAT):
     """Positions of -1 entries in an oid BAT (invalid cell markers)."""

@@ -17,14 +17,25 @@ def _unwrap(operand):
     return operand
 
 
-def _wrap(column: Column) -> BAT:
+def _wrap(column: Column, *operands) -> BAT:
+    """Wrap a result column, inheriting the head range of the inputs.
+
+    Element-wise kernels preserve the head, so the result keeps the
+    first BAT operand's ``hseqbase`` — fragment slices produced by
+    ``mat.partition`` stay in the global oid space through arbitrary
+    ``batcalc`` chains and a subsequent ``algebra.select`` emits
+    globally valid candidate oids.
+    """
+    for operand in operands:
+        if isinstance(operand, BAT):
+            return BAT(column, operand.hseqbase)
     return BAT(column)
 
 
 def _register_arith(symbol: str, name: str) -> None:
     @mal_op("batcalc", name)
     def _op(ctx, left, right, _symbol=symbol):
-        return _wrap(calc.arithmetic(_symbol, _unwrap(left), _unwrap(right)))
+        return _wrap(calc.arithmetic(_symbol, _unwrap(left), _unwrap(right)), left, right)
 
 
 for _symbol, _name in (("+", "add"), ("-", "sub"), ("*", "mul"), ("/", "div"), ("%", "mod")):
@@ -34,7 +45,7 @@ for _symbol, _name in (("+", "add"), ("-", "sub"), ("*", "mul"), ("/", "div"), (
 def _register_compare(symbol: str, name: str) -> None:
     @mal_op("batcalc", name)
     def _op(ctx, left, right, _symbol=symbol):
-        return _wrap(calc.compare(_symbol, _unwrap(left), _unwrap(right)))
+        return _wrap(calc.compare(_symbol, _unwrap(left), _unwrap(right)), left, right)
 
 
 for _symbol, _name in (
@@ -50,12 +61,12 @@ for _symbol, _name in (
 
 @mal_op("batcalc", "and")
 def _and(ctx, left, right):
-    return _wrap(calc.logical_and(_unwrap(left), _unwrap(right)))
+    return _wrap(calc.logical_and(_unwrap(left), _unwrap(right)), left, right)
 
 
 @mal_op("batcalc", "or")
 def _or(ctx, left, right):
-    return _wrap(calc.logical_or(_unwrap(left), _unwrap(right)))
+    return _wrap(calc.logical_or(_unwrap(left), _unwrap(right)), left, right)
 
 
 @mal_op("batcalc", "not")
@@ -63,7 +74,7 @@ def _not(ctx, operand):
     column = _unwrap(operand)
     if not isinstance(column, Column):
         raise MALError("batcalc.not needs a BAT")
-    return _wrap(calc.logical_not(column))
+    return _wrap(calc.logical_not(column), operand)
 
 
 @mal_op("batcalc", "isnil")
@@ -71,7 +82,7 @@ def _isnil(ctx, operand):
     column = _unwrap(operand)
     if not isinstance(column, Column):
         raise MALError("batcalc.isnil needs a BAT")
-    return _wrap(calc.isnull(column))
+    return _wrap(calc.isnull(column), operand)
 
 
 @mal_op("batcalc", "ifthenelse")
@@ -79,27 +90,27 @@ def _ifthenelse(ctx, condition, then_value, else_value):
     cond = _unwrap(condition)
     if not isinstance(cond, Column):
         raise MALError("batcalc.ifthenelse needs a BAT condition")
-    return _wrap(calc.ifthenelse(cond, _unwrap(then_value), _unwrap(else_value)))
+    return _wrap(calc.ifthenelse(cond, _unwrap(then_value), _unwrap(else_value)), condition, then_value, else_value)
 
 
 @mal_op("batcalc", "negate")
 def _negate(ctx, operand):
-    return _wrap(calc.negate(_unwrap(operand)))
+    return _wrap(calc.negate(_unwrap(operand)), operand)
 
 
 @mal_op("batcalc", "abs")
 def _abs(ctx, operand):
-    return _wrap(calc.absolute(_unwrap(operand)))
+    return _wrap(calc.absolute(_unwrap(operand)), operand)
 
 
 @mal_op("batcalc", "math")
 def _math(ctx, name: str, operand):
-    return _wrap(calc.apply_unary_math(name, _unwrap(operand)))
+    return _wrap(calc.apply_unary_math(name, _unwrap(operand)), operand)
 
 
 @mal_op("batcalc", "concat")
 def _concat(ctx, left, right):
-    return _wrap(calc.concat_str(_unwrap(left), _unwrap(right)))
+    return _wrap(calc.concat_str(_unwrap(left), _unwrap(right)), left, right)
 
 
 @mal_op("batcalc", "cast")
@@ -107,7 +118,7 @@ def _cast(ctx, operand, atom_name: str):
     column = _unwrap(operand)
     if not isinstance(column, Column):
         raise MALError("batcalc.cast needs a BAT")
-    return _wrap(column.cast(Atom(atom_name)))
+    return _wrap(column.cast(Atom(atom_name)), operand)
 
 
 @mal_op("batcalc", "fillnulls")
@@ -115,7 +126,7 @@ def _fillnulls(ctx, operand, value):
     column = _unwrap(operand)
     if not isinstance(column, Column):
         raise MALError("batcalc.fillnulls needs a BAT")
-    return _wrap(column.fill_nulls(value))
+    return _wrap(column.fill_nulls(value), operand)
 
 
 # ----------------------------------------------------------------------
@@ -126,22 +137,22 @@ from repro.gdk import strings as _strings
 
 @mal_op("batcalc", "lower")
 def _lower(ctx, operand):
-    return _wrap(_strings.lower(_unwrap(operand)))
+    return _wrap(_strings.lower(_unwrap(operand)), operand)
 
 
 @mal_op("batcalc", "upper")
 def _upper(ctx, operand):
-    return _wrap(_strings.upper(_unwrap(operand)))
+    return _wrap(_strings.upper(_unwrap(operand)), operand)
 
 
 @mal_op("batcalc", "length")
 def _length(ctx, operand):
-    return _wrap(_strings.length(_unwrap(operand)))
+    return _wrap(_strings.length(_unwrap(operand)), operand)
 
 
 @mal_op("batcalc", "trim")
 def _trim(ctx, operand):
-    return _wrap(_strings.trim(_unwrap(operand)))
+    return _wrap(_strings.trim(_unwrap(operand)), operand)
 
 
 @mal_op("batcalc", "substring")
@@ -150,9 +161,9 @@ def _substring(ctx, operand, start, count=None):
         _unwrap(operand),
         int(start),
         None if count is None else int(count),
-    ))
+    ), operand)
 
 
 @mal_op("batcalc", "like")
 def _like(ctx, operand, pattern):
-    return _wrap(_strings.like(_unwrap(operand), pattern))
+    return _wrap(_strings.like(_unwrap(operand), pattern), operand)

@@ -15,7 +15,10 @@ def _group(ctx, b: BAT):
     return (
         BAT(grouping.groups),
         BAT.from_oids(grouping.extents + b.hseqbase),
-        BAT.from_pylist(grouping.groups.atom, grouping.histogram.tolist()),
+        # Zero-copy wrap: the histogram is rarely consumed, and a
+        # tolist()/from_pylist round-trip per call is measurable on
+        # fragmented plans (one group call per fragment).
+        BAT.from_oids(grouping.histogram),
     )
 
 
@@ -24,12 +27,12 @@ def _subgroup(ctx, b: BAT, groups: BAT):
     """Refine existing group ids by another column."""
     if len(b) != len(groups):
         raise MALError("group.subgroup: misaligned inputs")
-    previous = group_kernel.explicit_grouping(
+    previous = group_kernel.grouping_view(
         groups.tail.values, int(groups.tail.values.max()) + 1 if len(groups) else 0
     )
     grouping = group_kernel.subgroup(b.tail, previous)
     return (
         BAT(grouping.groups),
         BAT.from_oids(grouping.extents + b.hseqbase),
-        BAT.from_pylist(grouping.groups.atom, grouping.histogram.tolist()),
+        BAT.from_oids(grouping.histogram),
     )

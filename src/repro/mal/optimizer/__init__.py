@@ -2,8 +2,18 @@
 
 from repro.mal.optimizer.pipeline import (
     DEFAULT_PIPELINE,
+    MERGETABLE,
     OptimizerPass,
+    build_pipeline,
+    mitosis_pass,
     optimize,
 )
 
-__all__ = ["optimize", "OptimizerPass", "DEFAULT_PIPELINE"]
+__all__ = [
+    "optimize",
+    "OptimizerPass",
+    "DEFAULT_PIPELINE",
+    "MERGETABLE",
+    "build_pipeline",
+    "mitosis_pass",
+]

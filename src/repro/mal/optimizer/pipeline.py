@@ -12,9 +12,11 @@ operations flow through it).  The default pipeline here is:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Optional
 
 from repro.mal.optimizer import passes
+from repro.mal.optimizer.mergetable import mergetable as _mergetable
+from repro.mal.optimizer.mitosis import make_mitosis
 from repro.mal.program import MALProgram
 
 
@@ -31,6 +33,7 @@ STRENGTH_REDUCTION = OptimizerPass("strength_reduction", passes.strength_reducti
 COMMON_TERMS = OptimizerPass("common_terms", passes.common_terms)
 DEAD_CODE = OptimizerPass("dead_code", passes.dead_code)
 GARBAGE_COLLECT = OptimizerPass("garbage_collect", passes.garbage_collect)
+MERGETABLE = OptimizerPass("mergetable", _mergetable)
 
 DEFAULT_PIPELINE: tuple[OptimizerPass, ...] = (
     CONSTANT_FOLD,
@@ -39,6 +42,41 @@ DEFAULT_PIPELINE: tuple[OptimizerPass, ...] = (
     DEAD_CODE,
     GARBAGE_COLLECT,
 )
+
+
+def mitosis_pass(
+    catalog, fragment_rows: Optional[int], nr_threads: int
+) -> OptimizerPass:
+    """A mitosis pass bound to a catalog and the fragmentation knobs."""
+    return OptimizerPass("mitosis", make_mitosis(catalog, fragment_rows, nr_threads))
+
+
+def build_pipeline(
+    catalog=None,
+    fragment_rows: Optional[int] = None,
+    nr_threads: int = 1,
+    fragmented: bool = False,
+) -> tuple[OptimizerPass, ...]:
+    """The optimizer pipeline for one connection's execution knobs.
+
+    Without fragmentation this is exactly :data:`DEFAULT_PIPELINE`, so
+    ``nr_threads=1, fragment_rows=inf`` keeps today's plan shapes.  With
+    fragmentation enabled, mitosis/mergetable slot in after
+    ``common_terms`` (CSE first means fewer distinct sources to
+    fragment) and before ``dead_code`` (which then sweeps unused
+    fragments and packs).
+    """
+    if not fragmented or catalog is None:
+        return DEFAULT_PIPELINE
+    return (
+        CONSTANT_FOLD,
+        STRENGTH_REDUCTION,
+        COMMON_TERMS,
+        mitosis_pass(catalog, fragment_rows, nr_threads),
+        MERGETABLE,
+        DEAD_CODE,
+        GARBAGE_COLLECT,
+    )
 
 
 def optimize(

@@ -263,6 +263,78 @@ class MALProgram:
             out.update(instruction.results)
         return out
 
+    # ------------------------------------------------------------------
+    # dataflow graph
+    # ------------------------------------------------------------------
+    def dependencies(self) -> list[set[int]]:
+        """Def/use dependency edges: ``deps[i]`` holds the indexes of the
+        instructions that must complete before instruction *i* may run.
+
+        Three edge sources, mirroring MonetDB's dataflow admission rules:
+
+        * data edges — the producer of every variable an instruction
+          reads (``language.free`` pseudo-ops additionally read the
+          variables they release);
+        * consumer edges into ``language.free`` — a variable may only be
+          released once every reader has finished;
+        * side-effect barriers — instructions in
+          :data:`SIDE_EFFECT_OPS` order against *everything* before
+          them, and everything after orders against the barrier, so
+          catalog mutation and result delivery keep program order.
+        """
+        producer: dict[str, int] = {}
+        consumers: dict[str, list[int]] = {}
+        deps: list[set[int]] = []
+        last_barrier = -1
+        for index, instruction in enumerate(self.instructions):
+            edges: set[int] = set()
+            is_free = (
+                instruction.module == "language"
+                and instruction.function == "free"
+            )
+            if is_free:
+                for arg in instruction.args:
+                    if isinstance(arg, Constant) and isinstance(arg.value, str):
+                        if arg.value in producer:
+                            edges.add(producer[arg.value])
+                        edges.update(consumers.get(arg.value, ()))
+            for used in instruction.used_vars():
+                if used in producer:
+                    edges.add(producer[used])
+                consumers.setdefault(used, []).append(index)
+            # language.free is nominally side-effecting (it must survive
+            # dead-code elimination) but releasing an environment entry
+            # only needs its precise producer/consumer edges — treating
+            # it as a barrier would serialize the whole dataflow graph.
+            if instruction.has_side_effects and not is_free:
+                edges.update(range(index))
+                last_barrier = index
+            elif last_barrier >= 0:
+                edges.add(last_barrier)
+            edges.discard(index)
+            deps.append(edges)
+            for result in instruction.results:
+                producer[result] = index
+        return deps
+
+    def topological_levels(self) -> list[list[int]]:
+        """Instruction indexes grouped into dataflow levels.
+
+        Level *k* holds every instruction whose longest dependency chain
+        has length *k*; instructions within one level are mutually
+        independent and may execute concurrently.
+        """
+        deps = self.dependencies()
+        level_of: list[int] = []
+        levels: list[list[int]] = []
+        for index, edges in enumerate(deps):
+            level = 1 + max((level_of[d] for d in edges), default=-1)
+            level_of.append(level)
+            while len(levels) <= level:
+                levels.append([])
+            levels[level].append(index)
+        return levels
+
     def validate(self) -> None:
         """Check single-assignment and def-before-use properties."""
         defined: set[str] = set()

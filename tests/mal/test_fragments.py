@@ -1,0 +1,249 @@
+"""Units for the fragmentation stack: dependency graph, mat/merge
+kernels, the mitosis/mergetable passes, and the dataflow scheduler."""
+
+import math
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import MALError
+from repro.gdk.atoms import Atom
+from repro.gdk.bat import (
+    BAT,
+    merge_candidates,
+    pack_bats,
+    partition,
+    partition_bounds,
+)
+from repro.gdk import aggregate as aggregate_kernel
+from repro.gdk.column import Column
+from repro.gdk.group import explicit_grouping
+from repro.catalog import Catalog
+from repro.mal.interpreter import Interpreter
+from repro.mal.optimizer.mitosis import fragment_count
+from repro.mal.program import Constant, Instruction, MALProgram, Var, bat_type
+
+
+class TestDependencyGraph:
+    def build(self):
+        program = MALProgram()
+        a = program.emit1("bat", "densebat", [4], bat_type(Atom.OID))
+        b = program.emit1("bat", "densebat", [4], bat_type(Atom.OID))
+        c = program.emit1("bat", "append", [Var(a), Var(b)], bat_type(Atom.OID))
+        return program, (a, b, c)
+
+    def test_data_edges(self):
+        program, _ = self.build()
+        deps = program.dependencies()
+        assert deps[0] == set() and deps[1] == set()
+        assert deps[2] == {0, 1}
+
+    def test_levels_are_parallel(self):
+        program, _ = self.build()
+        levels = program.topological_levels()
+        assert levels == [[0, 1], [2]]
+
+    def test_side_effects_are_barriers(self):
+        program = MALProgram()
+        program.emit1("bat", "densebat", [4], bat_type(Atom.OID))
+        program.emit("sql", "affected", [1], [bat_type(None)])
+        program.emit1("bat", "densebat", [4], bat_type(Atom.OID))
+        deps = program.dependencies()
+        assert deps[1] == {0}  # the barrier waits for everything before it
+        assert 1 in deps[2]  # and everything after waits for the barrier
+
+    def test_free_waits_for_consumers(self):
+        program = MALProgram()
+        a = program.emit1("bat", "densebat", [4], bat_type(Atom.OID))
+        program.emit1("bat", "getcount", [Var(a)], bat_type(None))
+        program.instructions.append(
+            Instruction("language", "free", [], [Constant(a)])
+        )
+        deps = program.dependencies()
+        assert deps[2] == {0, 1}
+
+
+class TestMatKernels:
+    def test_partition_roundtrip(self):
+        b = BAT.from_pylist(Atom.INT, list(range(10)))
+        parts = [partition(b, i, 3) for i in range(3)]
+        assert [p.hseqbase for p in parts] == [0, 3, 6]
+        assert sum(len(p) for p in parts) == 10
+        packed = pack_bats(parts)
+        assert packed.tail.to_pylist() == list(range(10))
+        assert packed.hseqbase == 0
+
+    def test_partition_bounds_cover_exactly(self):
+        for count in (0, 1, 7, 64):
+            for pieces in (1, 2, 5):
+                spans = [partition_bounds(count, i, pieces) for i in range(pieces)]
+                assert spans[0][0] == 0 and spans[-1][1] == count
+                for (_, stop), (start, _) in zip(spans, spans[1:]):
+                    assert stop == start
+
+    def test_merge_candidates_concatenates_in_order(self):
+        a = BAT.from_oids(np.array([1, 4], dtype=np.int64))
+        b = BAT.from_oids(np.array([6, 9], dtype=np.int64))
+        assert merge_candidates([a, b]).tail.to_pylist() == [1, 4, 6, 9]
+
+    def test_merge_candidates_rejects_values(self):
+        with pytest.raises(Exception):
+            merge_candidates([BAT.from_pylist(Atom.INT, [1])])
+
+
+class TestMergeKernels:
+    def grouping(self, ids, ngroups):
+        return explicit_grouping(np.asarray(ids, dtype=np.int64), ngroups)
+
+    def test_merge_sum_ignores_null_partials(self):
+        partials = Column.from_pylist(Atom.LNG, [3, None, 4, None])
+        grouping = self.grouping([0, 0, 1, 1], 2)
+        merged = aggregate_kernel.merge_partials("sum", partials, grouping)
+        assert merged.to_pylist() == [3, 4]
+
+    def test_merge_all_null_partials_is_null(self):
+        partials = Column.from_pylist(Atom.LNG, [None, None])
+        grouping = self.grouping([0, 0], 1)
+        merged = aggregate_kernel.merge_partials("min", partials, grouping)
+        assert merged.to_pylist() == [None]
+
+    def test_merge_avg_weights_by_count(self):
+        sums = Column.from_pylist(Atom.LNG, [10, 2, None])
+        counts = Column.from_pylist(Atom.LNG, [4, 1, 0])
+        grouping = self.grouping([0, 0, 1], 2)
+        merged = aggregate_kernel.merge_avg(sums, counts, grouping)
+        assert merged.to_pylist() == [12 / 5, None]
+
+    def test_merge_rejects_nondecomposable(self):
+        with pytest.raises(Exception):
+            aggregate_kernel.merge_partials(
+                "stddev",
+                Column.from_pylist(Atom.DBL, [1.0]),
+                self.grouping([0], 1),
+            )
+
+    def test_first_occurrence(self):
+        groups = Column(Atom.OID, np.array([1, 0, 1, 2, 0], dtype=np.int64))
+        assert aggregate_kernel.first_occurrence(groups, 3).tolist() == [1, 0, 3]
+
+
+class TestMitosisSizing:
+    def test_explicit_fragment_rows(self):
+        assert fragment_count(100, 10, 1) == 10
+        assert fragment_count(101, 10, 1) == 11
+        assert fragment_count(5, 10, 1) == 1
+
+    def test_auto_mode(self):
+        assert fragment_count(10_000_000, None, 4) == 4
+        assert fragment_count(100, None, 4) == 1  # below the auto floor
+        assert fragment_count(10_000_000, None, 1) == 1
+
+    def test_caps(self):
+        assert fragment_count(10_000_000, 1, 1) == 64  # MAX_FRAGMENTS
+        assert fragment_count(10, 1, 1) == 10  # never more pieces than rows
+        assert fragment_count(100, math.inf, 4) == 1
+
+
+class TestFragmentedPlans:
+    def fragmented_connection(self, rows=64):
+        conn = repro.connect(nr_threads=1, fragment_rows=8)
+        conn.execute("CREATE TABLE t (k INT, v INT)")
+        conn.executemany(
+            "INSERT INTO t VALUES (?, ?)", [(i % 3, i) for i in range(rows)]
+        )
+        return conn
+
+    def test_select_project_fragmented(self):
+        conn = self.fragmented_connection()
+        plan = conn.explain("SELECT v FROM t WHERE v > 10")
+        assert plan.count("algebra.select") == 8
+        assert "bat.mergecand" not in plan  # candidates never re-merged
+        assert "mat.pack" in plan  # payload fragments rejoin for the result
+
+    def test_grouped_aggregate_uses_partials(self):
+        conn = self.fragmented_connection()
+        plan = conn.explain("SELECT k, AVG(v), COUNT(*) FROM t GROUP BY k")
+        assert plan.count("group.group") == 9  # 8 fragments + distinct-key merge
+        assert "aggr.mergeavg" in plan
+        assert "aggr.mergecount" in plan
+
+    def test_nondecomposable_falls_back_to_row_groups(self):
+        conn = self.fragmented_connection()
+        plan = conn.explain("SELECT k, STDDEV(v) FROM t GROUP BY k")
+        assert "mat.packgroups" in plan
+        assert "aggr.substddev" in plan
+        rows = conn.execute("SELECT k, STDDEV(v) FROM t GROUP BY k").rows()
+        reference = repro.connect(nr_threads=1, fragment_rows=math.inf)
+        reference.execute("CREATE TABLE t (k INT, v INT)")
+        reference.executemany(
+            "INSERT INTO t VALUES (?, ?)", [(i % 3, i) for i in range(64)]
+        )
+        assert rows == reference.execute(
+            "SELECT k, STDDEV(v) FROM t GROUP BY k"
+        ).rows()
+
+    def test_join_fragments_left_side(self):
+        conn = self.fragmented_connection()
+        conn.execute("CREATE TABLE small (k INT, name VARCHAR(8))")
+        conn.executemany(
+            "INSERT INTO small VALUES (?, ?)", [(i, f"n{i}") for i in range(3)]
+        )
+        sql = "SELECT t.v, small.name FROM t JOIN small ON t.k = small.k"
+        plan = conn.explain(sql)
+        assert plan.count("algebra.join") == 8
+        reference = repro.connect(nr_threads=1, fragment_rows=math.inf)
+        reference.execute("CREATE TABLE t (k INT, v INT)")
+        reference.executemany(
+            "INSERT INTO t VALUES (?, ?)", [(i % 3, i) for i in range(64)]
+        )
+        reference.execute("CREATE TABLE small (k INT, name VARCHAR(8))")
+        reference.executemany(
+            "INSERT INTO small VALUES (?, ?)", [(i, f"n{i}") for i in range(3)]
+        )
+        assert conn.execute(sql).rows() == reference.execute(sql).rows()
+
+    def test_cache_key_includes_knobs(self):
+        conn = self.fragmented_connection()
+        sql = "SELECT v FROM t WHERE v > 10"
+        fragmented = conn.execute(sql).rows()
+        conn.fragment_rows = math.inf
+        assert "mat.partition" not in conn.explain(sql)
+        assert conn.execute(sql).rows() == fragmented
+
+
+class TestDataflowScheduler:
+    def test_error_propagates(self):
+        catalog = Catalog()
+        interpreter = Interpreter(catalog, nr_threads=4)
+        program = MALProgram()
+        base = program.emit1("bat", "densebat", [4], bat_type(Atom.OID))
+        bad = program.emit1(
+            "mat", "partition", [Var(base), 5, 2], bat_type(Atom.OID)
+        )
+        program.emit("mat", "pack", [Var(bad)], [bat_type(Atom.OID)])
+        with pytest.raises(MALError):
+            interpreter.run(program)
+        interpreter.close()
+
+    def test_dataflow_matches_sequential(self):
+        conn = repro.connect(nr_threads=4, fragment_rows=4)
+        reference = repro.connect(nr_threads=1, fragment_rows=math.inf)
+        for c in (conn, reference):
+            c.execute("CREATE TABLE t (k INT, v DOUBLE)")
+            c.executemany(
+                "INSERT INTO t VALUES (?, ?)",
+                [(i % 7, float(i) / 3.0) for i in range(200)],
+            )
+        sql = "SELECT k, SUM(v), MIN(v), MAX(v), AVG(v) FROM t GROUP BY k"
+        assert conn.execute(sql).rows() == reference.execute(sql).rows()
+        conn.close()
+        reference.close()
+
+    def test_sequential_interpreter_untouched_by_plain_plans(self):
+        conn = repro.connect(nr_threads=4, fragment_rows=math.inf)
+        conn.execute("CREATE TABLE t (k INT)")
+        conn.execute("INSERT INTO t VALUES (1), (2)")
+        # unfragmented plan: the dataflow gate keeps it on the fast path
+        assert conn.execute("SELECT k FROM t").rows() == [(1,), (2,)]
+        conn.close()

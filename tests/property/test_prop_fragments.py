@@ -1,0 +1,227 @@
+"""Fragmented vs. unfragmented execution equivalence.
+
+The mitosis/mergetable optimizer passes plus the dataflow scheduler
+must be observationally invisible: for randomized tables and arrays
+(including NULLs), every query in a representative suite returns
+*identical* rows under every combination of
+``nr_threads ∈ {1, 4}`` × ``fragment_rows ∈ {7, 64, ∞}``.
+The ``(1, ∞)`` cell is the sequential engine itself, so each other
+cell is compared row-for-row against it.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+
+#: the knob matrix of the acceptance criterion.
+KNOBS = [
+    (1, 7),
+    (1, 64),
+    (1, math.inf),
+    (4, 7),
+    (4, 64),
+    (4, math.inf),
+]
+
+#: a representative query suite: selection, projection expressions,
+#: grouped aggregates (decomposable and not), multi-key grouping,
+#: HAVING, DISTINCT, ORDER BY/LIMIT, joins, set ops, scalar aggregates.
+TABLE_QUERIES = [
+    "SELECT k, v FROM t WHERE v > 10",
+    "SELECT k + 1, v * 2 FROM t WHERE v >= 0 AND k < 5",
+    "SELECT v FROM t WHERE v IS NULL",
+    "SELECT k, SUM(v), COUNT(v), COUNT(*) FROM t GROUP BY k",
+    "SELECT k, MIN(v), MAX(v), AVG(v) FROM t GROUP BY k",
+    "SELECT k, SUM(d), AVG(d), MIN(d) FROM t GROUP BY k",
+    "SELECT SUM(d), AVG(d) FROM t",
+    "SELECT k, STDDEV(v), MEDIAN(v) FROM t GROUP BY k",
+    "SELECT k, COUNT(DISTINCT v) FROM t GROUP BY k",
+    "SELECT k, g, SUM(v) FROM t GROUP BY k, g",
+    "SELECT k, AVG(v) FROM t WHERE v > 2 GROUP BY k HAVING AVG(v) > 5",
+    "SELECT DISTINCT k FROM t",
+    "SELECT k, v FROM t ORDER BY v, k LIMIT 5",
+    "SELECT SUM(v), COUNT(*), MIN(v) FROM t",
+    "SELECT t.k, u.w FROM t JOIN u ON t.k = u.k",
+    "SELECT t.k, u.w FROM t LEFT JOIN u ON t.k = u.k",
+    "SELECT k FROM t UNION SELECT k FROM u",
+    "SELECT k FROM t EXCEPT SELECT k FROM u",
+]
+
+ARRAY_QUERIES = [
+    "SELECT x, v FROM a WHERE v > 10",
+    "SELECT x, v + 1 FROM a WHERE x >= 2",
+    "SELECT SUM(v), COUNT(v) FROM a",
+    "SELECT x / 3, AVG(v) FROM a GROUP BY x / 3",
+]
+
+
+def _make_connection(nr_threads, fragment_rows):
+    return repro.connect(nr_threads=nr_threads, fragment_rows=fragment_rows)
+
+
+def _load_tables(conn, t_rows, u_rows):
+    conn.execute("CREATE TABLE t (k INT, g INT, v INT, d DOUBLE)")
+    conn.execute("CREATE TABLE u (k INT, w INT)")
+    if t_rows:
+        conn.executemany("INSERT INTO t VALUES (?, ?, ?, ?)", t_rows)
+    if u_rows:
+        conn.executemany("INSERT INTO u VALUES (?, ?)", u_rows)
+
+
+def _load_array(conn, cells):
+    conn.execute(
+        f"CREATE ARRAY a (x INT DIMENSION[0:1:{len(cells)}], v INT)"
+    )
+    conn.executemany(
+        "INSERT INTO a (x, v) VALUES (?, ?)",
+        [(x, v) for x, v in enumerate(cells)],
+    )
+
+
+@st.composite
+def table_data(draw):
+    t_rows = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, 6),
+                st.integers(0, 2),
+                st.one_of(st.none(), st.integers(-30, 30)),
+                st.one_of(
+                    st.none(),
+                    st.floats(-1e6, 1e6, allow_nan=False).map(
+                        lambda f: f / 3.0
+                    ),
+                ),
+            ),
+            min_size=0,
+            max_size=60,
+        )
+    )
+    u_rows = draw(
+        st.lists(
+            st.tuples(st.integers(0, 6), st.integers(-5, 5)),
+            min_size=0,
+            max_size=25,
+        )
+    )
+    return t_rows, u_rows
+
+
+class TestFragmentedEquivalence:
+    @settings(max_examples=25, deadline=None)
+    @given(table_data())
+    def test_table_queries(self, data):
+        t_rows, u_rows = data
+        baseline = _make_connection(1, math.inf)
+        _load_tables(baseline, t_rows, u_rows)
+        expected = {sql: baseline.execute(sql).rows() for sql in TABLE_QUERIES}
+        for nr_threads, fragment_rows in KNOBS[:2] + KNOBS[3:]:
+            conn = _make_connection(nr_threads, fragment_rows)
+            _load_tables(conn, t_rows, u_rows)
+            for sql in TABLE_QUERIES:
+                assert conn.execute(sql).rows() == expected[sql], (
+                    sql,
+                    nr_threads,
+                    fragment_rows,
+                )
+            conn.close()
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.lists(
+            st.one_of(st.none(), st.integers(-40, 40)),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_array_queries(self, cells):
+        baseline = _make_connection(1, math.inf)
+        _load_array(baseline, cells)
+        expected = {sql: baseline.execute(sql).rows() for sql in ARRAY_QUERIES}
+        for nr_threads, fragment_rows in KNOBS[:2] + KNOBS[3:]:
+            conn = _make_connection(nr_threads, fragment_rows)
+            _load_array(conn, cells)
+            for sql in ARRAY_QUERIES:
+                assert conn.execute(sql).rows() == expected[sql], (
+                    sql,
+                    nr_threads,
+                    fragment_rows,
+                )
+            conn.close()
+
+
+class TestFragmentedPlanInvariants:
+    def test_sequential_knobs_reproduce_default_plans(self):
+        """``nr_threads=1, fragment_rows=∞`` keeps today's plan shapes."""
+        reference = repro.connect(nr_threads=1, fragment_rows=math.inf)
+        plain = repro.connect(nr_threads=1, fragment_rows=math.inf)
+        for conn in (reference, plain):
+            conn.execute("CREATE TABLE t (k INT, v INT)")
+            conn.execute(
+                "INSERT INTO t VALUES " + ", ".join(
+                    f"({i % 5}, {i})" for i in range(100)
+                )
+            )
+        sql = "SELECT k, SUM(v) FROM t WHERE v > 3 GROUP BY k"
+        assert reference.explain(sql) == plain.explain(sql)
+        assert "mat.partition" not in reference.explain(sql)
+
+    def test_fragmented_plans_contain_mat_ops(self):
+        conn = repro.connect(nr_threads=1, fragment_rows=7)
+        conn.execute("CREATE TABLE t (k INT, v INT)")
+        conn.execute(
+            "INSERT INTO t VALUES " + ", ".join(
+                f"({i % 5}, {i})" for i in range(100)
+            )
+        )
+        plan = conn.explain("SELECT k, SUM(v) FROM t WHERE v > 3 GROUP BY k")
+        assert "mat.partition" in plan
+        assert "bat.mergecand" in plan or "mat.pack" in plan
+        assert "aggr.mergesum" in plan
+
+    def test_cached_fragmented_plan_survives_growth(self):
+        """Partition bounds come from runtime counts: cached plans stay
+        correct when the table grows (or shrinks) after compilation."""
+        conn = repro.connect(nr_threads=1, fragment_rows=8)
+        conn.execute("CREATE TABLE t (k INT, v INT)")
+        conn.executemany(
+            "INSERT INTO t VALUES (?, ?)", [(i % 3, i) for i in range(32)]
+        )
+        sql = "SELECT k, SUM(v) FROM t GROUP BY k"
+        first = conn.execute(sql).rows()
+        assert first
+        conn.executemany(
+            "INSERT INTO t VALUES (?, ?)", [(i % 3, i * 2) for i in range(200)]
+        )
+        expected = {
+            k: sum(i for i in range(32) if i % 3 == k)
+            + sum(2 * i for i in range(200) if i % 3 == k)
+            for k in range(3)
+        }
+        assert dict(conn.execute(sql).rows()) == expected
+        conn.execute("DELETE FROM t WHERE v >= 0")
+        assert conn.execute(sql).rows() == []
+
+    def test_parallel_batches_counted(self):
+        conn = repro.connect(nr_threads=4, fragment_rows=16)
+        conn.execute("CREATE TABLE t (k INT, v INT)")
+        conn.execute(
+            "INSERT INTO t VALUES " + ", ".join(
+                f"({i % 5}, {i})" for i in range(256)
+            )
+        )
+        result = conn.execute(
+            "SELECT k, SUM(v) FROM t WHERE v > 3 GROUP BY k",
+            collect_stats=True,
+        )
+        assert result.rows()
+        stats = conn.last_stats
+        assert stats.parallel_batches >= 0
+        assert stats.instruction_timings
+        profile = conn.last_profile()
+        assert profile and profile[0]["seconds"] >= 0
+        conn.close()
