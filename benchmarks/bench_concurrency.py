@@ -1,0 +1,111 @@
+"""E18: the concurrent-session engine — read throughput and commit cost.
+
+The Database/Connection split must keep single-session latency intact
+while letting many sessions share one store.  Four measurements:
+
+* ``read-1-session``   — point-select throughput, one session (the
+  pre-split baseline shape);
+* ``read-4-sessions``  — the same number of point selects spread over
+  4 sessions on 4 threads (shared plan cache, lock-free reads off the
+  committed head);
+* ``commit-autocommit``— one INSERT per call: implicit transaction,
+  fork + publish per statement;
+* ``commit-explicit``  — a 16-row explicit transaction per call: one
+  fork + one publish amortised over the batch.
+
+On this 1-CPU container the multi-session read leg measures engine
+overhead (locks, snapshot resolution), not parallel speedup — the
+point is that it stays within noise of the single-session leg.
+"""
+
+import threading
+
+import pytest
+
+import repro
+
+SIZE = 64
+POINT_SQL = "SELECT v FROM m WHERE x = ? AND y = ?"
+READS_PER_ROUND = 64
+
+
+def make_database():
+    db = repro.Database(nr_threads=1)
+    conn = db.connect()
+    conn.execute(
+        f"CREATE ARRAY m (x INT DIMENSION[0:1:{SIZE}], "
+        f"y INT DIMENSION[0:1:{SIZE}], v INT DEFAULT 0)"
+    )
+    conn.execute("UPDATE m SET v = x * 100 + y")
+    return db
+
+
+@pytest.mark.benchmark(group="E18-concurrency-read")
+def test_read_throughput_one_session(benchmark):
+    db = make_database()
+    conn = db.connect()
+    conn.execute(POINT_SQL, (0, 0))  # warm the shared plan cache
+
+    def round_trip():
+        for i in range(READS_PER_ROUND):
+            conn.execute(POINT_SQL, (i % SIZE, 9))
+
+    benchmark(round_trip)
+
+
+@pytest.mark.benchmark(group="E18-concurrency-read")
+def test_read_throughput_four_sessions(benchmark):
+    db = make_database()
+    sessions = [db.connect() for _ in range(4)]
+    sessions[0].execute(POINT_SQL, (0, 0))  # warm the shared plan cache
+    per_session = READS_PER_ROUND // 4
+
+    def worker(conn, offset):
+        for i in range(per_session):
+            conn.execute(POINT_SQL, ((offset + i) % SIZE, 9))
+
+    def round_trip():
+        threads = [
+            threading.Thread(target=worker, args=(conn, idx * per_session))
+            for idx, conn in enumerate(sessions)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+    benchmark(round_trip)
+    # Sessions shared one compiled plan: no per-session recompiles.
+    assert db.compile_count <= 4
+
+
+@pytest.mark.benchmark(group="E18-concurrency-commit")
+def test_commit_latency_autocommit(benchmark):
+    db = repro.Database(nr_threads=1)
+    conn = db.connect()
+    conn.execute("CREATE TABLE t (a INT, b DOUBLE)")
+
+    counter = iter(range(10_000_000))
+
+    def one_statement_txn():
+        conn.execute("INSERT INTO t VALUES (?, ?)", (next(counter), 0.5))
+
+    benchmark(one_statement_txn)
+
+
+@pytest.mark.benchmark(group="E18-concurrency-commit")
+def test_commit_latency_explicit_batch(benchmark):
+    db = repro.Database(nr_threads=1)
+    conn = db.connect()
+    conn.execute("CREATE TABLE t (a INT, b DOUBLE)")
+
+    counter = iter(range(10_000_000))
+
+    def sixteen_row_txn():
+        with conn.transaction():
+            for _ in range(16):
+                conn.execute(
+                    "INSERT INTO t VALUES (?, ?)", (next(counter), 0.5)
+                )
+
+    benchmark(sixteen_row_txn)

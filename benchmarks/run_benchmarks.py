@@ -32,6 +32,7 @@ DEFAULT_SUITES = [
     "benchmarks/bench_tiling_scaling.py",
     "benchmarks/bench_prepared.py",
     "benchmarks/bench_parallel.py",
+    "benchmarks/bench_concurrency.py",
 ]
 
 

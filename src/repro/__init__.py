@@ -10,6 +10,15 @@ The client surface is DB-API 2.0 (PEP 249): ``connect()`` yields a
 prepared statements backed by an LRU plan cache, and NumPy fast paths
 (``Connection.register_array``, ``Cursor.fetchnumpy``).
 
+For multi-user workloads, :class:`Database` is the shared engine —
+catalog versions, the dataflow scheduler and the plan cache — and
+``Database.connect()`` hands out concurrent transactional sessions
+(``BEGIN``/``COMMIT``/``ROLLBACK`` with snapshot isolation,
+``threadsafety == 2``)::
+
+    db = repro.Database()
+    a, b = db.connect(), db.connect()   # independent concurrent sessions
+
 Quickstart::
 
     import repro
@@ -25,7 +34,14 @@ Quickstart::
     print(cur.fetchone())
 """
 
-from repro.engine import Connection, Cursor, PreparedStatement, Result, connect
+from repro.engine import (
+    Connection,
+    Cursor,
+    Database,
+    PreparedStatement,
+    Result,
+    connect,
+)
 from repro.errors import (
     DatabaseError,
     DataError,
@@ -40,15 +56,16 @@ from repro.errors import (
     Warning,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 # PEP 249 module globals.
 apilevel = "2.0"
-threadsafety = 1  # threads may share the module, not connections
+threadsafety = 2  # threads may share the module and connections
 paramstyle = "qmark"  # named (:name) parameters are supported as well
 
 __all__ = [
     "Connection",
+    "Database",
     "Cursor",
     "PreparedStatement",
     "Result",

@@ -48,10 +48,12 @@ def load_image(connection: Connection, name: str, image: np.ndarray) -> None:
         f"CREATE ARRAY {name} (x INT DIMENSION[0:1:{width}], "
         f"y INT DIMENSION[0:1:{height}], v INT DEFAULT 0)"
     )
-    array = connection.catalog.get_array(name)
     flat = np.ascontiguousarray(image, dtype=np.int64).reshape(-1)
     oids = np.arange(flat.size, dtype=np.int64)
-    array.replace_values("v", oids, Column(Atom.INT, flat))
+    with connection.staging() as txn:
+        array = connection.catalog.get_array(name)
+        array.replace_values("v", oids, Column(Atom.INT, flat))
+        txn.note_write(name)
 
 
 def fetch_image(connection: Connection, name: str) -> np.ndarray:

@@ -60,9 +60,13 @@ class SensorLog:
         log = cls(connection, name, len(samples))
         values = samples.astype(np.float64)
         mask = np.isnan(values)
-        array = connection.catalog.get_array(name)
         column = Column(Atom.DBL, np.where(mask, 0.0, values), mask)
-        array.replace_values("v", np.arange(len(samples), dtype=np.int64), column)
+        with connection.staging() as txn:
+            array = connection.catalog.get_array(name)
+            array.replace_values(
+                "v", np.arange(len(samples), dtype=np.int64), column
+            )
+            txn.note_write(name)
         return log
 
     def record(self, t: int, value: float) -> None:

@@ -3,18 +3,23 @@
 MonetDB's SQL catalog was "modified for SciQL support" (Figure 2): the
 same namespace holds both kinds of objects, so a query can join a table
 with an array (the AreasOfInterest demo does exactly that).
+
+Since the engine grew concurrent sessions, a catalog doubles as one
+*version* of the database state: committed catalogs are immutable by
+convention, transactions work on a :meth:`Catalog.fork` (object-level
+copy-on-write sharing the storage BATs), and commit publishes a new
+version assembled with :meth:`Catalog.clone` + :meth:`Catalog.set_entry`.
 """
 
 from __future__ import annotations
 
 import json
-import shutil
 from pathlib import Path
-from typing import Iterator
+from typing import Iterator, Optional
 
 from repro.errors import CatalogError, PersistenceError
 from repro.gdk.atoms import Atom
-from repro.gdk.persist import load_bat, save_bat
+from repro.gdk.persist import load_bat, publish_farm, save_bat
 from repro.catalog.objects import Array, ColumnDef, DimensionDef, Table
 
 SchemaObject = Table | Array
@@ -105,14 +110,58 @@ class Catalog:
         self._objects[key] = obj
 
     # ------------------------------------------------------------------
+    # versioning (copy-on-write snapshots)
+    # ------------------------------------------------------------------
+    def clone(self) -> "Catalog":
+        """Shallow copy: a new namespace sharing the object descriptors.
+
+        Used when assembling a merged committed version — the objects
+        themselves are shared, only the name→object map is private.
+        """
+        other = Catalog()
+        other._objects = dict(self._objects)
+        return other
+
+    def fork(self) -> "Catalog":
+        """Copy-on-write fork for a transaction.
+
+        Every table/array is structurally cloned (sharing its immutable
+        BATs), so all catalog mutation a transaction performs — DDL,
+        appends, point updates, re-materialisation — stays private to
+        the fork until commit publishes it.
+        """
+        other = Catalog()
+        other._objects = {
+            name: obj.clone() for name, obj in self._objects.items()
+        }
+        return other
+
+    def entry(self, name: str) -> Optional[SchemaObject]:
+        """The object stored under (lowercased) *name*, or None."""
+        return self._objects.get(name.lower())
+
+    def set_entry(self, name: str, obj: Optional[SchemaObject]) -> None:
+        """Install (or, with ``None``, remove) an object during a merge."""
+        key = name.lower()
+        if obj is None:
+            self._objects.pop(key, None)
+        else:
+            self._objects[key] = obj
+
+    # ------------------------------------------------------------------
     # persistence (the database "farm")
     # ------------------------------------------------------------------
     def save(self, directory: Path) -> None:
-        """Write the whole database under *directory*."""
-        directory = Path(directory)
-        if directory.exists():
-            shutil.rmtree(directory)
-        directory.mkdir(parents=True)
+        """Publish the whole database under *directory* atomically.
+
+        The farm is written to a staging sibling and swapped in, so a
+        crash mid-save never leaves a half-written farm behind and a
+        concurrent :meth:`load` sees either the old or the new version.
+        """
+        publish_farm(Path(directory), self._write_farm)
+
+    def _write_farm(self, directory: Path) -> None:
+        """Write manifest + BATs into an (existing, empty) directory."""
         manifest: dict = {"objects": []}
         for name, obj in sorted(self._objects.items()):
             entry: dict = {"name": name, "kind": obj.kind}

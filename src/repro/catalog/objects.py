@@ -130,6 +130,20 @@ class Table:
         except KeyError:
             raise CatalogError(f"table {self.name}: no column {column!r}") from None
 
+    def clone(self) -> "Table":
+        """Structural copy sharing the (immutable) storage BATs.
+
+        Mutating operations rebind entries of ``self.bats`` with fresh
+        BATs instead of mutating payloads in place, so a clone is a true
+        copy-on-write snapshot: writes against the clone never surface
+        in the original and vice versa.
+        """
+        other = Table.__new__(Table)
+        other.name = self.name
+        other.columns = list(self.columns)
+        other.bats = dict(self.bats)
+        return other
+
     def append_rows(self, columns: dict[str, Column]) -> int:
         """Bulk-append aligned columns; missing attributes get defaults."""
         lengths = {len(c) for c in columns.values()}
@@ -247,6 +261,20 @@ class Array:
             self.bats[attribute.name] = BAT(
                 filler_column(count, default, attribute.atom)
             )
+
+    def clone(self) -> "Array":
+        """Structural copy sharing the (immutable) storage BATs.
+
+        Same copy-on-write contract as :meth:`Table.clone`; dimension
+        and attribute definition lists are copied so ``alter_dimension``
+        on the clone never reshapes the original.
+        """
+        other = Array.__new__(Array)
+        other.name = self.name
+        other.dimensions = list(self.dimensions)
+        other.attributes = list(self.attributes)
+        other.bats = dict(self.bats)
+        return other
 
     # ------------------------------------------------------------------
     # schema access

@@ -36,7 +36,14 @@ class ArrayHandle:
     def __init__(self, connection: "Connection", name: str):
         self.connection = connection
         self.name = name.lower()
-        self._array = connection.catalog.get_array(self.name)
+        self._array  # resolve eagerly so a bad name fails at handle creation
+
+    @property
+    def _array(self):
+        # Re-resolve on every access: committed writes publish a *new*
+        # catalog version with fresh object descriptors, so a cached
+        # reference would read the pre-write snapshot forever.
+        return self.connection.catalog.get_array(self.name)
 
     # ------------------------------------------------------------------
     # construction
@@ -93,7 +100,11 @@ class ArrayHandle:
         handle = cls(connection, name)
         flat = np.ascontiguousarray(data).reshape(-1)
         oids = np.arange(flat.size, dtype=np.int64)
-        handle._array.replace_values(attribute, oids, Column(atom, flat))
+        # Stage the bulk load transactionally: the direct storage write
+        # lands in the transaction fork and publishes atomically.
+        with connection.staging() as txn:
+            handle._array.replace_values(attribute, oids, Column(atom, flat))
+            txn.note_write(handle.name)
         return handle
 
     # ------------------------------------------------------------------

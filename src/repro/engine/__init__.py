@@ -1,7 +1,17 @@
-"""Execution engine: connections, cursors, prepared statements, results."""
+"""Execution engine: the shared database, sessions, cursors, results."""
 
 from repro.engine.connection import Connection, PreparedStatement, connect
 from repro.engine.cursor import Cursor
+from repro.engine.database import CatalogVersion, Database, Transaction
 from repro.engine.result import Result
 
-__all__ = ["Connection", "Cursor", "PreparedStatement", "Result", "connect"]
+__all__ = [
+    "CatalogVersion",
+    "Connection",
+    "Cursor",
+    "Database",
+    "PreparedStatement",
+    "Result",
+    "Transaction",
+    "connect",
+]

@@ -1,32 +1,48 @@
-"""The public entry point: a DB-API 2.0 connection executing SQL/SciQL.
+"""The public entry point: DB-API 2.0 sessions over a shared Database.
 
-A connection drives the full Figure 2 pipeline for every *new*
-statement text:
+A :class:`Connection` is one *session* against a shared
+:class:`~repro.engine.database.Database` engine.  The engine owns the
+committed catalog versions, the global dataflow scheduler and the
+cross-session plan cache; the session owns its transaction state, its
+execution knobs and its observability counters.  Every statement still
+drives the full Figure 2 pipeline for *new* statement text:
 
     parse → bind/compile → MAL generation → MAL optimization →
     MAL interpretation → result
 
-Compiled plans are cached in an LRU statement cache keyed on the SQL
-text, so repeated :meth:`Connection.execute` calls — and every
-re-execution of a :class:`PreparedStatement` — skip straight from
-parameter binding to MAL interpretation.  DDL bumps an internal schema
-version, which lazily invalidates every cached (and prepared) plan.
+Compiled plans live in the **shared** LRU statement cache keyed on the
+SQL text, the session knobs and the schema version of the snapshot the
+plan was compiled against, so repeated :meth:`Connection.execute` calls
+— from any session — and every re-execution of a
+:class:`PreparedStatement` skip straight from parameter binding to MAL
+interpretation.  Committed DDL advances the schema version, which
+lazily retires every stale entry.
 
-PEP 249 surface: :func:`connect` / :meth:`Connection.cursor` /
-``commit`` / ``close``, ``qmark`` (``?``) and named (``:name``)
-parameter binding, and the module-level exception hierarchy re-exported
-as ``Connection`` class attributes.  Engine extensions on top:
-``execute`` returning the rich :class:`Result`, ``prepare`` for
-explicit prepared statements, ``register_array`` for zero-copy NumPy
-array ingestion, ``explain`` / ``explain_unoptimized``, and ``save`` /
-``open`` persistence.
+Transactions (snapshot isolation):
+
+* Autocommit is the default — each statement is its own transaction,
+  exactly like the engine behaved before sessions existed.
+* ``BEGIN`` / :meth:`Connection.begin` opens an explicit transaction: a
+  copy-on-write fork of the committed snapshot.  Reads inside the
+  transaction see the fork (their own staged writes included), readers
+  elsewhere keep seeing committed state only.
+* ``COMMIT`` publishes the fork atomically; the first committer wins —
+  if a concurrent commit modified an object this transaction wrote,
+  commit raises :class:`~repro.errors.OperationalError`.
+* ``ROLLBACK`` discards the fork; catalog and storage are restored
+  byte-identically because the committed snapshot was never touched.
+
+Sessions are safe to share between threads (PEP 249
+``threadsafety == 2``): statements on one session serialise on a
+session lock, different sessions execute concurrently on the shared
+scheduler.
 """
 
 from __future__ import annotations
 
-import math
-import os
-from collections import OrderedDict
+import re
+import threading
+from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Iterable, Mapping, Optional, Sequence, Union
@@ -34,12 +50,7 @@ from typing import Any, Iterable, Mapping, Optional, Sequence, Union
 import numpy as np
 
 from repro import errors
-from repro.errors import (
-    InterfaceError,
-    NotSupportedError,
-    ProgrammingError,
-    SciQLError,
-)
+from repro.errors import InterfaceError, ProgrammingError
 from repro.catalog import Catalog
 from repro.catalog.objects import Array, ColumnDef, DimensionDef
 from repro.gdk.atoms import Atom
@@ -48,16 +59,23 @@ from repro.gdk.column import Column
 from repro.algebra import nodes
 from repro.algebra.compiler import plan_statement
 from repro.algebra.malgen import MALGenerator
-from repro.mal.interpreter import ExecutionStats, Interpreter
-from repro.mal.optimizer import DEFAULT_PIPELINE, build_pipeline, optimize
+from repro.mal.interpreter import ExecutionStats
+from repro.mal.optimizer import optimize
 from repro.mal.program import MALProgram
 from repro.semantic.binder import Parameter
 from repro.sql import ast_nodes as ast
 from repro.sql.parser import Parser, parse
 from repro.engine.cursor import Cursor, Params
+from repro.engine.database import (
+    DEFAULT_STATEMENT_CACHE_SIZE,
+    Database,
+    Transaction,
+    resolve_fragment_rows,
+    resolve_nr_threads,
+)
 from repro.engine.result import Result
 
-#: statements whose execution changes the schema (invalidates plans).
+#: statements whose execution changes the schema (bumps the version).
 _DDL_NODES = (
     ast.CreateTable,
     ast.CreateArray,
@@ -65,59 +83,13 @@ _DDL_NODES = (
     ast.AlterArrayDimension,
 )
 
-#: default capacity of the per-connection LRU statement cache.
-DEFAULT_STATEMENT_CACHE_SIZE = 128
-
-#: cap on the automatic worker-thread count.
-MAX_AUTO_THREADS = 8
-
-
-def _resolve_nr_threads(value: Optional[int]) -> int:
-    """Worker count: explicit knob > ``REPRO_NR_THREADS`` > cpu count."""
-    source = "nr_threads"
-    if value is None:
-        env = os.environ.get("REPRO_NR_THREADS")
-        if env:
-            value = env
-            source = "REPRO_NR_THREADS"
-    if value is None:
-        value = min(os.cpu_count() or 1, MAX_AUTO_THREADS)
-    try:
-        return max(1, int(value))
-    except (TypeError, ValueError):
-        raise ProgrammingError(
-            f"invalid {source} value {value!r}: expected an integer"
-        ) from None
-
-
-def _resolve_fragment_rows(value) -> Optional[float]:
-    """Fragment size: ``None`` = auto, ``math.inf`` = fragmentation off.
-
-    Accepts ints, ``float('inf')``, and the ``REPRO_FRAGMENT_ROWS``
-    environment override (``"inf"``/``"off"``/``"0"`` disable).
-    """
-    source = "fragment_rows"
-    if value is None:
-        env = os.environ.get("REPRO_FRAGMENT_ROWS")
-        if env is not None:
-            value = env
-            source = "REPRO_FRAGMENT_ROWS"
-    if value is None:
-        return None
-    try:
-        if isinstance(value, str):
-            lowered = value.strip().lower()
-            if lowered in ("", "inf", "off", "none", "auto"):
-                return math.inf if lowered != "auto" else None
-        value = float(value)
-    except (TypeError, ValueError):
-        raise ProgrammingError(
-            f"invalid {source} value {value!r}: expected a row count, "
-            "'inf'/'off' or 'auto'"
-        ) from None
-    if math.isinf(value) or value <= 0:
-        return math.inf
-    return int(value)
+#: transaction-control statements intercepted before the SQL parser
+#: (``BEGIN`` / ``START TRANSACTION`` / ``COMMIT`` / ``ROLLBACK``).
+_TXN_COMMAND = re.compile(
+    r"^\s*(?:(?P<begin>BEGIN|START\s+TRANSACTION)|(?P<commit>COMMIT)"
+    r"|(?P<rollback>ROLLBACK))(?:\s+(?:TRANSACTION|WORK))?\s*;?\s*$",
+    re.IGNORECASE,
+)
 
 
 @dataclass
@@ -129,10 +101,20 @@ class CompiledStatement:
     param_keys: tuple
     is_explain: bool
     is_ddl: bool
-    schema_version: int
+    #: plan-validity token of the snapshot this was compiled against:
+    #: the committed schema version (int) or a transaction-private tuple.
+    schema_token: Any
     #: InsertValuesPlan for the executemany bulk-ingestion fast path
     #: (single parameterized VALUES row), else None.
     bulk_insert: Optional[nodes.InsertValuesPlan] = None
+    #: lowercased catalog objects the program mutates (empty = read-only).
+    write_targets: frozenset = frozenset()
+    #: the parsed AST when the entry came from a script (no SQL text).
+    statement: Any = None
+
+    @property
+    def is_write(self) -> bool:
+        return bool(self.write_targets)
 
 
 def _normalize_value(value: Any) -> Any:
@@ -218,7 +200,7 @@ _DEFAULT_DIMENSION_NAMES = ("x", "y", "z", "w")
 
 
 class Connection:
-    """A single-user session against an in-memory (or loaded) database."""
+    """One transactional session against a shared :class:`Database`."""
 
     # PEP 249: exceptions available as Connection attributes.
     Warning = errors.Warning
@@ -239,45 +221,95 @@ class Connection:
         statement_cache_size: int = DEFAULT_STATEMENT_CACHE_SIZE,
         nr_threads: Optional[int] = None,
         fragment_rows: Optional[float] = None,
+        database: Optional[Database] = None,
     ):
-        self.catalog = catalog if catalog is not None else Catalog()
+        if database is None:
+            # Single-session shorthand: a private engine this session
+            # owns (closing the session closes the engine).
+            database = Database(
+                catalog=catalog,
+                optimize=optimize,
+                statement_cache_size=statement_cache_size,
+                nr_threads=nr_threads,
+                fragment_rows=fragment_rows,
+            )
+            self._owns_database = True
+        else:
+            if catalog is not None:
+                raise ProgrammingError(
+                    "pass either a catalog or a database, not both"
+                )
+            self._owns_database = False
+        self._database = database
         #: execution knobs: worker threads for the dataflow scheduler and
         #: the mitosis fragment size.  ``nr_threads=1, fragment_rows=inf``
         #: reproduces the sequential engine exactly (plans included).
-        self._nr_threads = _resolve_nr_threads(nr_threads)
-        self._fragment_rows = _resolve_fragment_rows(fragment_rows)
-        self.interpreter = Interpreter(self.catalog, self._nr_threads)
+        self._nr_threads = (
+            database._nr_threads
+            if nr_threads is None
+            else resolve_nr_threads(nr_threads)
+        )
+        self._fragment_rows = (
+            database._fragment_rows
+            if fragment_rows is None
+            else resolve_fragment_rows(fragment_rows)
+        )
         self.optimize_programs = optimize
-        self.pipeline = self._build_pipeline()
+        self.pipeline = database.pipeline_for(
+            self._nr_threads, self._fragment_rows
+        )
         #: statistics of the last executed statement (instruction counts).
         self.last_stats: Optional[ExecutionStats] = None
-        #: LRU capacity of the compiled-plan cache (0 disables caching).
-        self.statement_cache_size = statement_cache_size
-        self._plan_cache: OrderedDict[tuple, CompiledStatement] = OrderedDict()
-        self._schema_version = 0
-        self._closed = False
-        #: observability: full front-end compiles / plan-cache traffic.
+        #: session-accurate observability counters (updated race-free
+        #: under the engine's cache lock).
         self.compile_count = 0
         self.cache_hits = 0
         self.cache_misses = 0
+        self._txn: Optional[Transaction] = None
+        self._lock = threading.RLock()
+        self._closed = False
+        database._register_session(self)
+
+    # ------------------------------------------------------------------
+    # shared-engine accessors
+    # ------------------------------------------------------------------
+    @property
+    def database(self) -> Database:
+        """The shared engine this session talks to."""
+        return self._database
+
+    @property
+    def catalog(self) -> Catalog:
+        """The catalog this session currently sees.
+
+        Inside a transaction: the transaction's private fork (staged
+        writes included).  Otherwise: the committed head snapshot.
+        Direct mutation through this property bypasses write tracking —
+        inside a transaction, pair it with
+        :meth:`Transaction.note_write` (see :meth:`transaction`).
+        """
+        txn = self._txn
+        if txn is not None:
+            return txn.catalog
+        return self._database.head().catalog
+
+    @property
+    def interpreter(self):
+        """The shared dataflow scheduler (binds against the live head)."""
+        return self._database.interpreter
+
+    @property
+    def statement_cache_size(self) -> int:
+        """Capacity of the engine-wide plan cache (0 disables caching)."""
+        return self._database.statement_cache_size
+
+    @statement_cache_size.setter
+    def statement_cache_size(self, value: int) -> None:
+        self._database.statement_cache_size = value
 
     # ------------------------------------------------------------------
     # execution knobs (parallel fragmented execution)
     # ------------------------------------------------------------------
-    def _build_pipeline(self) -> tuple:
-        fragmented = self._fragment_rows is not None and not (
-            isinstance(self._fragment_rows, float)
-            and math.isinf(self._fragment_rows)
-        )
-        if self._fragment_rows is None and self._nr_threads > 1:
-            fragmented = True  # auto mode sizes fragments per thread
-        if not fragmented:
-            return DEFAULT_PIPELINE
-        rows = None if self._fragment_rows is None else int(self._fragment_rows)
-        return build_pipeline(
-            self.catalog, rows, self._nr_threads, fragmented=True
-        )
-
     @property
     def nr_threads(self) -> int:
         """Dataflow worker threads (1 = the sequential interpreter)."""
@@ -285,9 +317,19 @@ class Connection:
 
     @nr_threads.setter
     def nr_threads(self, value: Optional[int]) -> None:
-        self._nr_threads = _resolve_nr_threads(value)
-        self.interpreter.set_threads(self._nr_threads)
-        self.pipeline = self._build_pipeline()
+        self._nr_threads = resolve_nr_threads(value)
+        database = self._database
+        if self._nr_threads > database.interpreter.nr_threads:
+            # Growing the pool tears the executor down, which is only
+            # safe while no other session can be mid-execution on it.
+            # With co-resident sessions the pool keeps its size: this
+            # session still schedules dataflow, just on fewer workers.
+            with database._writer_lock:
+                if len(database._sessions) <= 1:
+                    database.interpreter.set_threads(self._nr_threads)
+        self.pipeline = database.pipeline_for(
+            self._nr_threads, self._fragment_rows
+        )
 
     @property
     def fragment_rows(self):
@@ -296,8 +338,10 @@ class Connection:
 
     @fragment_rows.setter
     def fragment_rows(self, value) -> None:
-        self._fragment_rows = _resolve_fragment_rows(value)
-        self.pipeline = self._build_pipeline()
+        self._fragment_rows = resolve_fragment_rows(value)
+        self.pipeline = self._database.pipeline_for(
+            self._nr_threads, self._fragment_rows
+        )
 
     def last_profile(self) -> list[dict]:
         """Per-operation profile of the last ``collect_stats`` execution.
@@ -328,26 +372,35 @@ class Connection:
     def _check_open(self) -> None:
         if self._closed:
             raise InterfaceError("connection is closed")
+        if self._database.closed:
+            raise InterfaceError("database is closed")
+
+    @property
+    def closed(self) -> bool:
+        return self._closed or self._database.closed
 
     def cursor(self) -> Cursor:
-        """A new DB-API cursor over this connection."""
+        """A new DB-API cursor over this session."""
         self._check_open()
         return Cursor(self)
 
+    def _close_session(self) -> None:
+        """Close this session only (rolls back any open transaction)."""
+        with self._lock:
+            self._txn = None
+            self._closed = True
+
     def close(self) -> None:
-        """Close the connection; further operations raise InterfaceError."""
-        self._plan_cache.clear()
-        self.interpreter.close()
-        self._closed = True
+        """Close the session; further operations raise InterfaceError.
 
-    def commit(self) -> None:
-        """PEP 249 commit: a no-op — every statement is applied directly."""
-        self._check_open()
-
-    def rollback(self) -> None:
-        """PEP 249 rollback: unsupported, the engine has no transactions."""
-        self._check_open()
-        raise NotSupportedError("the engine does not support transactions")
+        A session created by ``repro.connect()`` owns its private
+        engine, so closing it also shuts the engine down (scheduler
+        pool included).  Sessions from :meth:`Database.connect` leave
+        the shared engine running.
+        """
+        self._close_session()
+        if self._owns_database:
+            self._database.close()
 
     def __enter__(self) -> "Connection":
         return self
@@ -356,38 +409,146 @@ class Connection:
         self.close()
 
     # ------------------------------------------------------------------
-    # compilation + statement cache
+    # transactions
     # ------------------------------------------------------------------
-    def _compile_plan(self, plan: nodes.StatementPlan) -> MALProgram:
-        self.compile_count += 1
-        program = MALGenerator(self.catalog).generate(plan)
+    @property
+    def in_transaction(self) -> bool:
+        """True while an explicit transaction is open."""
+        return self._txn is not None
+
+    def begin(self) -> None:
+        """Open an explicit transaction on the current committed snapshot.
+
+        All statements until :meth:`commit` / :meth:`rollback` execute
+        against a private copy-on-write fork (snapshot isolation).
+        """
+        with self._lock:
+            self._check_open()
+            if self._txn is not None:
+                raise ProgrammingError("a transaction is already active")
+            self._txn = self._database.begin_transaction()
+
+    def commit(self) -> None:
+        """Publish the open transaction atomically (PEP 249 commit).
+
+        First committer wins: raises :class:`OperationalError` when a
+        concurrent commit modified an object this transaction wrote
+        (the transaction is rolled back in that case).  Outside a
+        transaction this is a no-op — the session autocommits.
+        """
+        with self._lock:
+            self._check_open()
+            txn, self._txn = self._txn, None
+            if txn is not None and txn.dirty:
+                self._database.commit_transaction(txn)
+
+    def rollback(self) -> None:
+        """Discard the open transaction (PEP 249 rollback).
+
+        The committed snapshot was never touched, so catalog and
+        storage are restored exactly.  Outside a transaction this is a
+        no-op.
+        """
+        with self._lock:
+            self._check_open()
+            self._txn = None
+
+    @contextmanager
+    def transaction(self):
+        """``with conn.transaction() as txn:`` — begin/commit/rollback.
+
+        Commits on clean exit, rolls back when the block raises.  The
+        yielded :class:`Transaction` exposes
+        :meth:`~Transaction.note_write` for code that stages changes by
+        mutating ``conn.catalog`` objects directly instead of executing
+        SQL (the bulk-ingestion helpers do this).
+        """
+        # Hold the session lock for the whole span so the begin → body
+        # → commit sequence is atomic with respect to other threads
+        # sharing this session (their statements queue until the block
+        # finishes; the lock is reentrant for the body's own calls).
+        with self._lock:
+            self.begin()
+            try:
+                yield self._txn
+            except BaseException:
+                self.rollback()
+                raise
+            else:
+                self.commit()
+
+    @contextmanager
+    def staging(self):
+        """A transaction to stage direct catalog writes into.
+
+        Yields the session's open transaction when one is active (and
+        leaves it open), otherwise wraps the block in a private
+        transaction that commits on exit.  The bulk-ingestion helpers
+        (CSV import, ``ArrayHandle.from_numpy``, the demo apps) use
+        this so their direct storage writes publish atomically and are
+        tracked for conflict detection via
+        :meth:`Transaction.note_write`.  The session lock is held for
+        the whole block, so concurrent threads sharing the session can
+        neither interleave statements nor roll the transaction back
+        underneath the staged writes.
+        """
+        with self._lock:
+            if self._txn is not None:
+                yield self._txn
+            else:
+                with self.transaction() as txn:
+                    yield txn
+
+    # ------------------------------------------------------------------
+    # compilation + the shared statement cache
+    # ------------------------------------------------------------------
+    def _schema_token(self):
+        """Plan-validity token of the snapshot this session executes on."""
+        txn = self._txn
+        if txn is not None:
+            return txn.schema_token
+        return self._database.head().schema_version
+
+    def _exec_catalog(self) -> Catalog:
+        txn = self._txn
+        if txn is not None:
+            return txn.catalog
+        return self._database.head().catalog
+
+    def _compile_plan(self, plan: nodes.StatementPlan, catalog: Catalog) -> MALProgram:
+        self._database.note_compile(self)
+        program = MALGenerator(catalog).generate(plan)
         if self.optimize_programs:
             program = optimize(program, self.pipeline)
         return program
 
-    def _compile_statement(self, statement) -> MALProgram:
-        return self._compile_plan(plan_statement(statement, self.catalog))
-
     def _cache_key(self, sql: str) -> tuple:
         # The optimizer settings are part of the identity: benchmarks
-        # flip them per-connection, ablation runs swap pipelines, and
-        # the fragmentation knobs change the compiled plan shape.
+        # flip them per-session, ablation runs swap pipelines, and the
+        # fragmentation knobs change the compiled plan shape.  The
+        # schema token makes entries snapshot-valid: committed DDL
+        # mints keys no stale entry can match.
         return (
             sql,
             self.optimize_programs,
             self.pipeline,
             self._nr_threads,
             self._fragment_rows,
+            self._schema_token(),
         )
 
-    def _compile_sql(self, sql: str) -> CompiledStatement:
-        parser = Parser(sql)
-        statement = parser.parse_statement()
-        param_keys = tuple(parser.parameters)
+    def _build_entry(
+        self,
+        statement,
+        param_keys: tuple,
+        sql: str,
+        token,
+        catalog: Catalog,
+    ) -> CompiledStatement:
         is_explain = isinstance(statement, ast.Explain)
         inner = statement.statement if is_explain else statement
-        plan = plan_statement(inner, self.catalog)
-        program = self._compile_plan(plan)
+        plan = plan_statement(inner, catalog)
+        program = self._compile_plan(plan, catalog)
         program.param_keys = param_keys
         bulk = None
         if isinstance(plan, nodes.InsertValuesPlan) and len(plan.rows) == 1:
@@ -398,37 +559,51 @@ class Connection:
             param_keys,
             is_explain,
             isinstance(inner, _DDL_NODES),
-            self._schema_version,
+            token,
             bulk,
+            frozenset() if is_explain else program.write_targets(),
+            None if sql else statement,
+        )
+
+    def _compile_sql(self, sql: str, token) -> CompiledStatement:
+        parser = Parser(sql)
+        statement = parser.parse_statement()
+        return self._build_entry(
+            statement, tuple(parser.parameters), sql, token, self._exec_catalog()
         )
 
     def _compiled(self, sql: str) -> CompiledStatement:
-        """Cache lookup or full compile of one statement text."""
+        """Shared-cache lookup or full compile of one statement text."""
         self._check_open()
-        key = self._cache_key(sql)
-        entry = self._plan_cache.get(key)
-        if entry is not None:
-            if entry.schema_version == self._schema_version:
-                self._plan_cache.move_to_end(key)
-                self.cache_hits += 1
+        token = self._schema_token()
+        database = self._database
+        cacheable = (
+            isinstance(token, int) and database.statement_cache_size > 0
+        )
+        if cacheable:
+            key = self._cache_key(sql)
+            entry = database.lookup_plan(key, self)
+            if entry is not None:
                 return entry
-            del self._plan_cache[key]  # stale: schema changed since
-        self.cache_misses += 1
-        entry = self._compile_sql(sql)
-        if self.statement_cache_size > 0:
-            self._plan_cache[key] = entry
-            while len(self._plan_cache) > self.statement_cache_size:
-                self._plan_cache.popitem(last=False)
-        return entry
+            entry = self._compile_sql(sql, token)
+            database.store_plan(key, entry)
+            return entry
+        database.note_uncached_miss(self)
+        return self._compile_sql(sql, token)
 
     def _refresh(self, entry: CompiledStatement) -> CompiledStatement:
-        """Re-validate a compiled statement against the current schema."""
-        if entry.schema_version == self._schema_version:
+        """Re-validate a compiled statement against the current snapshot."""
+        if entry.schema_token == self._schema_token():
             return entry
-        return self._compiled(entry.sql)
-
-    def _note_schema_change(self) -> None:
-        self._schema_version += 1
+        if entry.sql:
+            return self._compiled(entry.sql)
+        return self._build_entry(  # script entry: recompile from the AST
+            entry.statement,
+            entry.param_keys,
+            "",
+            self._schema_token(),
+            self._exec_catalog(),
+        )
 
     def compile(self, sql: str) -> MALProgram:
         """Compile one statement down to (optimized) MAL."""
@@ -449,8 +624,23 @@ class Connection:
         ``params`` binds ``?`` (sequence) or ``:name`` (mapping)
         placeholders.  ``EXPLAIN <statement>`` returns the optimized
         MAL program text as a one-column result instead of executing
-        the statement.
+        the statement.  ``BEGIN`` / ``COMMIT`` / ``ROLLBACK`` control
+        the session transaction.
         """
+        command = _TXN_COMMAND.match(sql)
+        if command is not None:
+            self._check_open()
+            if params:
+                raise ProgrammingError(
+                    "transaction control statements take no parameters"
+                )
+            if command.group("begin"):
+                self.begin()
+            elif command.group("commit"):
+                self.commit()
+            else:
+                self.rollback()
+            return Result()
         return self._run_compiled(self._compiled(sql), params, collect_stats)
 
     def _explain_result(self, program: MALProgram) -> Result:
@@ -462,6 +652,39 @@ class Connection:
             {"dims": [], "atoms": [Atom.STR.value]},
         )
 
+    def _execute_on(
+        self,
+        catalog: Catalog,
+        entry: CompiledStatement,
+        bindings: dict,
+        collect_stats: bool,
+    ) -> Result:
+        context, stats = self._database.interpreter.run(
+            entry.program,
+            collect_stats,
+            bindings,
+            catalog=catalog,
+            nr_threads=self._nr_threads,
+        )
+        self.last_stats = stats if collect_stats else None
+        if context.result is not None:
+            return Result.from_internal(context.result, context.affected)
+        return Result(affected=context.affected)
+
+    def _apply_entry(
+        self,
+        txn: Transaction,
+        entry: CompiledStatement,
+        bindings: dict,
+        collect_stats: bool,
+    ) -> Result:
+        # Track targets before running so a half-failed statement still
+        # conflicts correctly at commit time.
+        txn.writes.update(entry.write_targets)
+        if entry.is_ddl:
+            txn.note_schema_change()
+        return self._execute_on(txn.catalog, entry, bindings, collect_stats)
+
     def _run_compiled(
         self,
         entry: CompiledStatement,
@@ -472,15 +695,26 @@ class Connection:
         if entry.is_explain:
             return self._explain_result(entry.program)
         bindings = bind_parameters(entry.param_keys, params)
-        context, stats = self.interpreter.run(
-            entry.program, collect_stats, bindings
-        )
-        self.last_stats = stats if collect_stats else None
-        if entry.is_ddl:
-            self._note_schema_change()
-        if context.result is not None:
-            return Result.from_internal(context.result, context.affected)
-        return Result(affected=context.affected)
+        with self._lock:
+            txn = self._txn
+            if txn is not None:
+                return self._apply_entry(txn, entry, bindings, collect_stats)
+            if not entry.is_write:
+                # Read-only autocommit: bind against the committed head
+                # snapshot — never blocks on, nor observes, writers.
+                return self._execute_on(
+                    self._database.head().catalog, entry, bindings, collect_stats
+                )
+            # Autocommit write: fork, execute, publish — all under the
+            # writer lock, so concurrent autocommit writers serialise
+            # instead of conflicting.
+            database = self._database
+            with database._writer_lock:
+                entry = self._refresh(entry)
+                txn = database.begin_transaction()
+                result = self._apply_entry(txn, entry, bindings, collect_stats)
+                database.commit_transaction(txn)
+                return result
 
     def executemany(
         self, sql: str, seq_of_params: Iterable[Params]
@@ -497,17 +731,58 @@ class Connection:
     def _executemany_compiled(
         self, entry: CompiledStatement, seq_of_params: Iterable[Params]
     ) -> Result:
+        self._check_open()
         if entry.is_explain:
             raise ProgrammingError("cannot executemany an EXPLAIN statement")
         seq = list(seq_of_params)
         if entry.bulk_insert is not None and entry.param_keys and seq:
-            return Result(affected=self._bulk_insert(entry, seq))
+            with self._lock:
+                txn = self._txn
+                if txn is not None:
+                    txn.writes.update(entry.write_targets)
+                    return Result(
+                        affected=self._bulk_insert(txn.catalog, entry, seq)
+                    )
+                database = self._database
+                with database._writer_lock:
+                    entry = self._refresh(entry)
+                    txn = database.begin_transaction()
+                    txn.writes.update(entry.write_targets)
+                    result = Result(
+                        affected=self._bulk_insert(txn.catalog, entry, seq)
+                    )
+                    database.commit_transaction(txn)
+                    return result
+        if entry.is_write:
+            # One implicit transaction for the whole batch: a single
+            # fork + publish instead of one per parameter row, and the
+            # batch becomes atomic (all rows or none).
+            with self._lock:
+                if self._txn is not None:
+                    total = 0
+                    for params in seq:
+                        total += self._run_compiled(entry, params).affected
+                    return Result(affected=total)
+                database = self._database
+                with database._writer_lock:
+                    entry = self._refresh(entry)
+                    txn = database.begin_transaction()
+                    total = 0
+                    for params in seq:
+                        total += self._apply_entry(
+                            txn, entry, bind_parameters(entry.param_keys, params),
+                            False,
+                        ).affected
+                    database.commit_transaction(txn)
+                    return Result(affected=total)
         total = 0
         for params in seq:
             total += self._run_compiled(entry, params).affected
         return Result(affected=total)
 
-    def _bulk_insert(self, entry: CompiledStatement, seq: list) -> int:
+    def _bulk_insert(
+        self, catalog: Catalog, entry: CompiledStatement, seq: list
+    ) -> int:
         """Columnar ingestion of many parameter sets for one VALUES row."""
         plan = entry.bulk_insert
         bound = [bind_parameters(entry.param_keys, params) for params in seq]
@@ -518,14 +793,14 @@ class Connection:
             else:
                 per_column[column] = [template] * len(seq)
         if plan.target_kind == "table":
-            table = self.catalog.get_table(plan.target)
+            table = catalog.get_table(plan.target)
             return table.append_rows(
                 {
                     name: Column.from_pylist(table.column_def(name).atom, values)
                     for name, values in per_column.items()
                 }
             )
-        array = self.catalog.get_array(plan.target)
+        array = catalog.get_array(plan.target)
         coordinates = []
         valid_rows = np.ones(len(seq), dtype=np.bool_)
         for dimension in array.dimensions:
@@ -547,28 +822,27 @@ class Connection:
             array.replace_values(column, oids[keep], values.take(positions))
         return int(keep.sum())
 
-    def _execute_statement(self, statement: ast.Statement) -> Result:
-        """Compile and run one already-parsed statement (script path)."""
-        if isinstance(statement, ast.Explain):
-            return self._explain_result(
-                self._compile_statement(statement.statement)
-            )
-        program = self._compile_statement(statement)
-        context, _ = self.interpreter.run(program)
-        if isinstance(statement, _DDL_NODES):
-            self._note_schema_change()
-        if context.result is not None:
-            return Result.from_internal(context.result, context.affected)
-        return Result(affected=context.affected)
-
     def execute_script(self, sql: str) -> list[Result]:
-        """Execute a ``;``-separated script; returns one result each."""
+        """Execute a ``;``-separated script; returns one result each.
+
+        Each statement autocommits, or stages into the session's open
+        transaction.  Transaction-control statements
+        (``BEGIN``/``COMMIT``/``ROLLBACK``) are not part of the script
+        grammar — open a transaction around the call instead
+        (``with conn.transaction(): conn.execute_script(...)``).
+        """
         self._check_open()
         parser = Parser(sql)
         statements = parser.parse_script()
         if parser.parameters:
             raise ProgrammingError("bind parameters are not allowed in scripts")
-        return [self._execute_statement(statement) for statement in statements]
+        results = []
+        for statement in statements:
+            entry = self._build_entry(
+                statement, (), "", self._schema_token(), self._exec_catalog()
+            )
+            results.append(self._run_compiled(entry))
+        return results
 
     # ------------------------------------------------------------------
     # plan inspection
@@ -579,11 +853,13 @@ class Connection:
 
     def explain_unoptimized(self, sql: str) -> str:
         """The MAL program before the optimizer pipeline runs."""
+        self._check_open()
         statement = parse(sql)
         if isinstance(statement, ast.Explain):
             statement = statement.statement
-        plan = plan_statement(statement, self.catalog)
-        return MALGenerator(self.catalog).generate(plan).to_text()
+        catalog = self._exec_catalog()
+        plan = plan_statement(statement, catalog)
+        return MALGenerator(catalog).generate(plan).to_text()
 
     # ------------------------------------------------------------------
     # NumPy array ingestion
@@ -602,7 +878,9 @@ class Connection:
         axis becomes an INT dimension ``[0:1:size]`` named after
         ``dims`` (default ``x``, ``y``, ``z``, ``w``, then ``d4``...).
         Float NaNs and object-array ``None`` entries become NULL cells,
-        so round-tripping through ``Result.grid()`` is exact.
+        so round-tripping through ``Result.grid()`` is exact.  The
+        installation is transactional DDL: it stages into an open
+        transaction, or publishes immediately under autocommit.
         """
         self._check_open()
         if isinstance(values, Mapping):
@@ -638,19 +916,42 @@ class Connection:
             attr: _atom_for_dtype(array.dtype) for attr, array in arrays.items()
         }
         attributes = [ColumnDef(attr, atoms[attr]) for attr in arrays]
-        array_obj = self.catalog.create_array(name, dimensions, attributes)
+        with self._lock:
+            txn = self._txn
+            if txn is not None:
+                return self._install_array(
+                    txn, name, dimensions, attributes, arrays, atoms
+                )
+            database = self._database
+            with database._writer_lock:
+                txn = database.begin_transaction()
+                array_obj = self._install_array(
+                    txn, name, dimensions, attributes, arrays, atoms
+                )
+                database.commit_transaction(txn)
+                return array_obj
+
+    def _install_array(
+        self, txn: Transaction, name, dimensions, attributes, arrays, atoms
+    ) -> Array:
+        array_obj = txn.catalog.create_array(name, dimensions, attributes)
         for attr, array in arrays.items():
             array_obj.bats[attr] = BAT(_ingest_column(array, atoms[attr]))
-        self._note_schema_change()
+        txn.note_write(name)
+        txn.note_schema_change()
         return array_obj
 
     # ------------------------------------------------------------------
     # persistence
     # ------------------------------------------------------------------
     def save(self, directory: str | Path) -> None:
-        """Persist the whole database under *directory* (the "farm")."""
+        """Persist the committed database under *directory* (the "farm").
+
+        The farm swap is atomic; staged (uncommitted) transaction state
+        is not included.
+        """
         self._check_open()
-        self.catalog.save(Path(directory))
+        self._database.save(directory)
 
     @classmethod
     def open(
@@ -659,14 +960,25 @@ class Connection:
         optimize: bool = True,
         nr_threads: Optional[int] = None,
         fragment_rows: Optional[float] = None,
+        statement_cache_size: int = DEFAULT_STATEMENT_CACHE_SIZE,
+        durable: bool = False,
     ) -> "Connection":
-        """Open a database previously written by :meth:`save`."""
-        return cls(
-            Catalog.load(Path(directory)),
-            optimize,
+        """Open a database previously written by :meth:`save`.
+
+        Returns an owning session of a freshly loaded engine; pass
+        ``durable=True`` to re-publish the farm on every commit.
+        """
+        database = Database.open(
+            directory,
+            optimize=optimize,
+            statement_cache_size=statement_cache_size,
             nr_threads=nr_threads,
             fragment_rows=fragment_rows,
+            durable=durable,
         )
+        connection = database.connect()
+        connection._owns_database = True
+        return connection
 
 
 class PreparedStatement:
@@ -721,8 +1033,14 @@ def connect(
     statement_cache_size: int = DEFAULT_STATEMENT_CACHE_SIZE,
     nr_threads: Optional[int] = None,
     fragment_rows: Optional[float] = None,
+    durable: bool = False,
 ) -> Connection:
-    """Create a connection: in-memory by default, or load a saved farm.
+    """Create a session: in-memory by default, or load a saved farm.
+
+    The returned :class:`Connection` owns a private
+    :class:`Database`; use ``conn.database.connect()`` (or build a
+    :class:`Database` directly) for additional concurrent sessions
+    against the same store.
 
     ``nr_threads`` sizes the dataflow scheduler's worker pool (default:
     auto from ``os.cpu_count()``, capped at 8; 1 keeps the sequential
@@ -730,7 +1048,8 @@ def connect(
     (default: auto — roughly one fragment per worker for large scans;
     ``float('inf')`` disables fragmentation).  Both accept
     ``REPRO_NR_THREADS`` / ``REPRO_FRAGMENT_ROWS`` environment
-    overrides when not given explicitly.
+    overrides when not given explicitly.  ``durable=True`` (with a
+    *path*) republishes the farm atomically on every commit.
     """
     if path is None:
         return Connection(
@@ -739,11 +1058,11 @@ def connect(
             nr_threads=nr_threads,
             fragment_rows=fragment_rows,
         )
-    path = Path(path)
-    if path.exists():
-        connection = Connection.open(
-            path, optimize, nr_threads=nr_threads, fragment_rows=fragment_rows
-        )
-        connection.statement_cache_size = statement_cache_size
-        return connection
-    raise SciQLError(f"no database at {path}; use connect() and save()")
+    return Connection.open(
+        Path(path),
+        optimize=optimize,
+        nr_threads=nr_threads,
+        fragment_rows=fragment_rows,
+        statement_cache_size=statement_cache_size,
+        durable=durable,
+    )

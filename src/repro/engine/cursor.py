@@ -55,6 +55,10 @@ class Cursor:
             raise InterfaceError("cursor is closed")
         self.connection._check_open()
 
+    @property
+    def closed(self) -> bool:
+        return self._closed or self.connection.closed
+
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
@@ -97,6 +101,7 @@ class Cursor:
     @property
     def description(self) -> Optional[list[tuple]]:
         """PEP 249 column descriptions, or None for non-query statements."""
+        self._check_open()
         if self._result is None or not self._result.is_query:
             return None
         return self._result.description
@@ -104,17 +109,20 @@ class Cursor:
     @property
     def rowcount(self) -> int:
         """Rows in the result set (queries) or affected rows (DML)."""
+        self._check_open()
         if self._result is None:
             return -1
         if self._result.is_query:
             return self._result.row_count
         return self._result.affected
 
-    def setinputsizes(self, sizes) -> None:  # pragma: no cover - PEP 249 no-op
+    def setinputsizes(self, sizes) -> None:
         """PEP 249 no-op (sizes are never predeclared here)."""
+        self._check_open()
 
-    def setoutputsize(self, size, column=None) -> None:  # pragma: no cover
+    def setoutputsize(self, size, column=None) -> None:
         """PEP 249 no-op (results are materialised columns already)."""
+        self._check_open()
 
     # ------------------------------------------------------------------
     # fetching

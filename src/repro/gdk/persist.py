@@ -4,13 +4,18 @@ MonetDB stores each BAT as memory-mapped files inside a *farm*
 directory.  We reproduce the idea with one ``.npy`` file per column
 payload (plus one for the null mask when present) and a JSON descriptor
 per BAT.  The catalog layer composes these into whole-database
-snapshots (see :mod:`repro.catalog`).
+snapshots (see :mod:`repro.catalog`); :func:`publish_farm` swaps a
+freshly written snapshot in atomically, which is what commit-time
+durability of the engine's :class:`~repro.engine.database.Database`
+builds on.
 """
 
 from __future__ import annotations
 
 import json
+import shutil
 from pathlib import Path
+from typing import Callable
 
 import numpy as np
 
@@ -20,6 +25,34 @@ from repro.gdk.bat import BAT
 from repro.gdk.column import Column
 
 _DESCRIPTOR_SUFFIX = ".bat.json"
+
+
+def publish_farm(directory: Path, write: Callable[[Path], None]) -> None:
+    """Atomically replace *directory* with a farm produced by *write*.
+
+    ``write(staging_dir)`` fills a staging sibling; only after it
+    returns successfully is the staging directory swapped in (old farm
+    renamed aside, staging renamed into place, old farm removed).  A
+    failure while writing leaves the previous farm untouched; a crash
+    between the two renames leaves the old farm recoverable under
+    ``<name>.retired``.
+    """
+    directory = Path(directory)
+    staging = directory.with_name(directory.name + ".staging")
+    retired = directory.with_name(directory.name + ".retired")
+    for leftover in (staging, retired):
+        if leftover.exists():
+            shutil.rmtree(leftover)
+    staging.mkdir(parents=True)
+    try:
+        write(staging)
+    except BaseException:
+        shutil.rmtree(staging, ignore_errors=True)
+        raise
+    if directory.exists():
+        directory.rename(retired)
+    staging.rename(directory)
+    shutil.rmtree(retired, ignore_errors=True)
 
 
 def save_bat(bat: BAT, directory: Path, name: str) -> None:

@@ -137,24 +137,25 @@ def import_csv(
             specs.append(f"{name} {_infer_column_type(samples)}")
         connection.execute(f"CREATE TABLE {table} ({', '.join(specs)})")
 
-    target = connection.catalog.get_table(table)
-    atoms = []
-    for name in names:
-        atoms.append(target.column_def(name).atom)
-
     from repro.gdk.column import Column
 
+    # Stage the whole load as one transaction: concurrent readers see
+    # either no rows or all of them, never a half-loaded table.
     loaded = 0
-    for start in range(0, len(data), batch_rows):
-        batch = data[start : start + batch_rows]
-        columns: dict[str, Column] = {}
-        for index, (name, atom) in enumerate(zip(names, atoms)):
-            items = [
-                _parse_typed(row[index] if index < len(row) else "", atom)
-                for row in batch
-            ]
-            columns[name] = Column.from_pylist(atom, items)
-        loaded += target.append_rows(columns)
+    with connection.staging() as txn:
+        target = connection.catalog.get_table(table)
+        txn.note_write(table)
+        atoms = [target.column_def(name).atom for name in names]
+        for start in range(0, len(data), batch_rows):
+            batch = data[start : start + batch_rows]
+            columns: dict[str, Column] = {}
+            for index, (name, atom) in enumerate(zip(names, atoms)):
+                items = [
+                    _parse_typed(row[index] if index < len(row) else "", atom)
+                    for row in batch
+                ]
+                columns[name] = Column.from_pylist(atom, items)
+            loaded += target.append_rows(columns)
     return loaded
 
 
@@ -196,16 +197,25 @@ def import_array_csv(
         np.array([int(row[i]) for row in rows], dtype=np.int64)
         for i in range(ndims)
     ]
-    oids = target.cell_oids(coordinates)
-    valid = oids >= 0
-    written = int(valid.sum())
-    for offset, attribute in enumerate(target.attributes):
-        items = [
-            _parse_typed(row[ndims + offset], attribute.atom)
-            for row, ok in zip(rows, valid.tolist())
-            if ok
-        ]
-        target.replace_values(
-            attribute.name, oids[valid], Column.from_pylist(attribute.atom, items)
-        )
+    with connection.staging() as txn:
+        # Resolve the target and its cell oids inside the staged fork:
+        # oids depend on the array shape, and a concurrent ALTER
+        # committed between lookup and write would silently scatter
+        # values into the wrong cells otherwise.
+        target = connection.catalog.get_array(array)
+        txn.note_write(array)
+        oids = target.cell_oids(coordinates)
+        valid = oids >= 0
+        written = int(valid.sum())
+        for offset, attribute in enumerate(target.attributes):
+            items = [
+                _parse_typed(row[ndims + offset], attribute.atom)
+                for row, ok in zip(rows, valid.tolist())
+                if ok
+            ]
+            target.replace_values(
+                attribute.name,
+                oids[valid],
+                Column.from_pylist(attribute.atom, items),
+            )
     return written

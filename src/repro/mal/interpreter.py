@@ -12,6 +12,13 @@ kernels release the GIL, so fragment-parallel select/calc/aggregate
 work scales on real cores).  Side-effecting instructions act as
 barriers, which preserves program order for catalog mutation and result
 delivery; ``nr_threads=1`` keeps the exact sequential behaviour.
+
+One interpreter (and its worker pool) is shared by every session of a
+:class:`~repro.engine.database.Database`: each :meth:`Interpreter.run`
+resolves catalog binds through the *catalog snapshot passed for that
+execution* — the session's transaction fork or the committed head —
+never through shared mutable state, so concurrent sessions schedule
+onto one pool without observing each other's uncommitted writes.
 """
 
 from __future__ import annotations
@@ -20,7 +27,8 @@ import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from threading import Lock
+from typing import Any, Callable, Optional, Union
 
 from repro.errors import MALError
 from repro.catalog import Catalog
@@ -87,37 +95,63 @@ class ExecutionStats:
 
 
 class Interpreter:
-    """Dispatching interpreter over the MAL module registry."""
+    """Dispatching interpreter over the MAL module registry.
 
-    def __init__(self, catalog: Catalog, nr_threads: int = 1):
+    ``catalog`` is the default bind target: either a
+    :class:`~repro.catalog.Catalog` or a zero-argument callable
+    returning one (a *provider* — the engine passes the database head
+    so raw ``interpreter.run(program)`` calls always see the latest
+    committed version).  Individual :meth:`run` calls override it with
+    the snapshot the statement must execute against.
+    """
+
+    def __init__(
+        self,
+        catalog: Union[Catalog, Callable[[], Catalog], None] = None,
+        nr_threads: int = 1,
+    ):
         load_all()
         self.catalog = catalog
         self.nr_threads = max(1, int(nr_threads))
         self._executor: Optional[ThreadPoolExecutor] = None
+        self._pool_lock = Lock()
 
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
         """Shut the worker pool down (idempotent)."""
-        if self._executor is not None:
-            self._executor.shutdown(wait=True)
-            self._executor = None
+        with self._pool_lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
 
     def set_threads(self, nr_threads: int) -> None:
-        """Change the worker count; tears down any existing pool."""
+        """Change the worker count; tears down any existing pool.
+
+        Not safe while other sessions are mid-execution on the shared
+        pool — resize at session-setup time.
+        """
         nr_threads = max(1, int(nr_threads))
         if nr_threads != self.nr_threads:
             self.close()
             self.nr_threads = nr_threads
 
     def _pool(self) -> ThreadPoolExecutor:
-        if self._executor is None:
-            self._executor = ThreadPoolExecutor(
-                max_workers=self.nr_threads,
-                thread_name_prefix="mal-dataflow",
-            )
-        return self._executor
+        with self._pool_lock:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.nr_threads,
+                    thread_name_prefix="mal-dataflow",
+                )
+            return self._executor
+
+    def _default_catalog(self) -> Catalog:
+        if callable(self.catalog):
+            return self.catalog()
+        if self.catalog is None:
+            raise MALError("interpreter has no catalog to execute against")
+        return self.catalog
 
     # ------------------------------------------------------------------
     # entry point
@@ -127,17 +161,26 @@ class Interpreter:
         program: MALProgram,
         collect_stats: bool = False,
         params: dict | None = None,
+        *,
+        catalog: Optional[Catalog] = None,
+        nr_threads: Optional[int] = None,
     ) -> tuple[ExecutionContext, ExecutionStats]:
         """Execute *program*; returns the final context and statistics.
 
         ``params`` supplies the values for any late-bound
         :class:`~repro.mal.program.Param` operands of the program
-        (prepared-statement re-execution).
+        (prepared-statement re-execution).  ``catalog`` is the snapshot
+        this execution binds against (default: the interpreter's own);
+        ``nr_threads`` lets a session request sequential execution (1)
+        or dataflow scheduling on the shared pool.
         """
-        context = ExecutionContext(self.catalog, params=params or {})
+        if catalog is None:
+            catalog = self._default_catalog()
+        threads = self.nr_threads if nr_threads is None else max(1, int(nr_threads))
+        context = ExecutionContext(catalog, params=params or {})
         stats = ExecutionStats()
-        if self.nr_threads > 1 and self._wants_dataflow(program):
-            self._run_dataflow(program, context, stats, collect_stats)
+        if threads > 1 and self._wants_dataflow(program):
+            self._run_dataflow(program, context, stats, collect_stats, threads)
         else:
             self._run_sequential(program, context, stats, collect_stats)
         return context, stats
@@ -202,7 +245,10 @@ class Interpreter:
         context: ExecutionContext,
         stats: ExecutionStats,
         collect_stats: bool,
+        nr_threads: Optional[int] = None,
     ) -> None:
+        if nr_threads is None:
+            nr_threads = self.nr_threads
         instructions = program.instructions
         deps = self._dependency_state(program)
         remaining = [set(edges) for edges in deps]
@@ -247,7 +293,7 @@ class Interpreter:
                 # small to amortise pool dispatch.
                 if (
                     (not ready and not in_flight)
-                    or len(in_flight) >= 2 * self.nr_threads
+                    or len(in_flight) >= 2 * nr_threads
                     or self._run_inline(instruction, env)
                 ):
                     try:

@@ -3,7 +3,16 @@
 These operators carry every side effect a query plan can have: binding
 persistent BATs, appending/updating/deleting, DDL, and delivering the
 result set.  They are the operators :data:`~repro.mal.program.SIDE_EFFECT_OPS`
-protects from dead-code elimination.
+protects from dead-code elimination, and the mutating subset
+(:data:`~repro.mal.program.WRITE_OPS`) is what routes a compiled
+program through a transaction.
+
+Snapshot contract: every operator resolves names through
+``ctx.catalog`` — the *execution context's* catalog, which the engine
+sets per run to the session's transaction fork or the committed head
+snapshot.  Nothing here touches global state, so one compiled program
+(shared through the cross-session plan cache) executes concurrently
+against any number of snapshots.
 """
 
 from __future__ import annotations

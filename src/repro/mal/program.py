@@ -118,6 +118,22 @@ SIDE_EFFECT_OPS = {
     ("language", "free"),
 }
 
+#: the subset of :data:`SIDE_EFFECT_OPS` that mutates catalog/storage
+#: state.  Their first argument is always the (constant) object name;
+#: the engine uses this to route a program through a transaction and to
+#: track which objects the transaction wrote (first-committer-wins
+#: conflict detection at commit).
+WRITE_OPS = {
+    ("sql", "append"),
+    ("sql", "update"),
+    ("sql", "delete"),
+    ("sql", "clear_table"),
+    ("sql", "createArray"),
+    ("sql", "createTable"),
+    ("sql", "dropObject"),
+    ("sql", "alterDimension"),
+}
+
 
 @dataclass
 class Instruction:
@@ -262,6 +278,21 @@ class MALProgram:
         for instruction in self.instructions:
             out.update(instruction.results)
         return out
+
+    def write_targets(self) -> frozenset[str]:
+        """Lowercased names of the catalog objects this program mutates.
+
+        Empty for pure queries; the engine runs any program with a
+        non-empty set inside a (possibly implicit) transaction.
+        """
+        targets: set[str] = set()
+        for instruction in self.instructions:
+            if (instruction.module, instruction.function) not in WRITE_OPS:
+                continue
+            first = instruction.args[0] if instruction.args else None
+            if isinstance(first, Constant) and isinstance(first.value, str):
+                targets.add(first.value.lower())
+        return frozenset(targets)
 
     # ------------------------------------------------------------------
     # dataflow graph

@@ -1,0 +1,278 @@
+"""Concurrency semantics of the shared Database engine.
+
+Property-style tests (seeded randomness, real threads): N writer
+sessions and M reader sessions on one :class:`repro.Database`.  The
+invariants pinned here are the acceptance criteria of the session
+split:
+
+* every reader observes a committed-snapshot-consistent state — never
+  a torn write, never a partially applied transaction;
+* a concurrent multi-session workload produces results byte-identical
+  to the same workload run sequentially;
+* sharing one session between threads is safe (PEP 249
+  ``threadsafety == 2``).
+"""
+
+import random
+import threading
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import OperationalError
+
+#: rows every writer transaction appends atomically.
+TXN_ROWS = 5
+
+
+def run_threads(workers):
+    failures = []
+
+    def wrap(fn):
+        def runner():
+            try:
+                fn()
+            except BaseException as exc:  # noqa: BLE001 - reported below
+                failures.append(exc)
+
+        return runner
+
+    threads = [threading.Thread(target=wrap(fn)) for fn in workers]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if failures:
+        raise failures[0]
+
+
+class TestReadersSeeCommittedSnapshots:
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_n_writers_m_readers_consistency(self, seed):
+        """Readers only ever see whole committed transactions.
+
+        Each writer appends blocks of TXN_ROWS rows ``(writer, seq)``
+        with contiguous ``seq`` per writer, one block per transaction.
+        Any snapshot-consistent state therefore satisfies, per writer:
+        ``count % TXN_ROWS == 0`` and ``max(seq) == count - 1``.
+        """
+        rng = random.Random(seed)
+        n_writers, m_readers, blocks = 3, 3, 8
+        database = repro.Database(nr_threads=1)
+        setup = database.connect()
+        setup.execute("CREATE TABLE log (writer INT, seq INT)")
+
+        def writer(writer_id):
+            def work():
+                conn = database.connect()
+                sequence = 0
+                for _ in range(blocks):
+                    use_sql_txn = rng.random() < 0.5
+                    conn.begin()
+                    for _ in range(TXN_ROWS):
+                        conn.execute(
+                            "INSERT INTO log VALUES (?, ?)",
+                            (writer_id, sequence),
+                        )
+                        sequence += 1
+                    if use_sql_txn:
+                        conn.execute("COMMIT")
+                    else:
+                        conn.commit()
+
+            return work
+
+        def reader():
+            def work():
+                conn = database.connect()
+                for _ in range(30):
+                    rows = conn.execute(
+                        "SELECT writer, COUNT(*), MAX(seq) FROM log "
+                        "GROUP BY writer"
+                    ).rows()
+                    for _, count, top in rows:
+                        assert count % TXN_ROWS == 0, (
+                            f"torn transaction visible: {count} rows"
+                        )
+                        assert top == count - 1, (
+                            f"non-contiguous snapshot: {count} rows, max {top}"
+                        )
+
+            return work
+
+        run_threads(
+            [writer(i) for i in range(n_writers)]
+            + [reader() for _ in range(m_readers)]
+        )
+        final = database.connect().execute(
+            "SELECT writer, COUNT(*) FROM log GROUP BY writer"
+        ).rows()
+        assert sorted(final) == [
+            (i, blocks * TXN_ROWS) for i in range(n_writers)
+        ]
+
+    def test_concurrent_equals_sequential_byte_identical(self):
+        """The same workload, concurrent vs sequential: identical bytes."""
+
+        def workload(database, concurrent):
+            setup = database.connect()
+            for worker_id in range(3):
+                setup.execute(f"CREATE TABLE w{worker_id} (k INT, v DOUBLE)")
+
+            def worker(worker_id):
+                def work():
+                    conn = database.connect()
+                    conn.executemany(
+                        f"INSERT INTO w{worker_id} VALUES (?, ?)",
+                        [(i % 7, float(i) / 3.0) for i in range(200)],
+                    )
+                    conn.execute(
+                        f"UPDATE w{worker_id} SET v = v * 2 WHERE k < 3"
+                    )
+                    conn.execute(f"DELETE FROM w{worker_id} WHERE k = 5")
+
+                return work
+
+            workers = [worker(i) for i in range(3)]
+            if concurrent:
+                run_threads(workers)
+            else:
+                for work in workers:
+                    work()
+            return {
+                worker_id: {
+                    name: (
+                        bat.tail.values.copy(),
+                        bat.tail.effective_mask().copy(),
+                    )
+                    for name, bat in database.catalog.get_table(
+                        f"w{worker_id}"
+                    ).bats.items()
+                }
+                for worker_id in range(3)
+            }
+
+        sequential = workload(repro.Database(nr_threads=1), concurrent=False)
+        concurrent = workload(repro.Database(nr_threads=1), concurrent=True)
+        for worker_id, columns in sequential.items():
+            for name, (values, mask) in columns.items():
+                got_values, got_mask = concurrent[worker_id][name]
+                np.testing.assert_array_equal(got_values, values)
+                np.testing.assert_array_equal(got_mask, mask)
+
+
+class TestSharedSessionsAndCaches:
+    def test_one_session_shared_between_threads(self):
+        """threadsafety == 2: threads may share a single connection."""
+        conn = repro.connect(nr_threads=1)
+        conn.execute("CREATE TABLE t (a INT)")
+
+        def work():
+            for i in range(20):
+                conn.execute("INSERT INTO t VALUES (?)", (i,))
+                conn.execute("SELECT COUNT(*) FROM t").scalar()
+
+        run_threads([work for _ in range(4)])
+        assert conn.execute("SELECT COUNT(*) FROM t").scalar() == 80
+
+    def test_counters_are_race_free_and_per_session_accurate(self):
+        """Satellite: cache counters survive hammering from threads.
+
+        Every session executes the same cached statement; across all
+        sessions exactly one compile may happen per distinct statement,
+        and hits + misses must equal the number of lookups issued.
+        """
+        database = repro.Database(nr_threads=1)
+        setup = database.connect()
+        setup.execute("CREATE TABLE t (a INT)")
+        setup.execute("INSERT INTO t VALUES (1), (2)")
+        sessions = [database.connect() for _ in range(4)]
+        lookups_per_session = 25
+
+        def work(conn):
+            def run():
+                for _ in range(lookups_per_session):
+                    conn.execute("SELECT a FROM t WHERE a = ?", (1,))
+
+            return run
+
+        run_threads([work(conn) for conn in sessions])
+        for conn in sessions:
+            assert conn.cache_hits + conn.cache_misses == lookups_per_session
+        total_hits = sum(conn.cache_hits for conn in sessions)
+        total_misses = sum(conn.cache_misses for conn in sessions)
+        assert total_hits + total_misses == 4 * lookups_per_session
+        assert database.cache_hits >= total_hits
+        assert database.cache_misses <= total_misses + 2  # setup lookups
+        # The statement compiled at most once per session (and usually
+        # exactly once across the database: the cache is shared).
+        assert database.compile_count <= 2 + len(sessions)
+
+    def test_conflicting_commits_exactly_one_winner(self):
+        database = repro.Database(nr_threads=1)
+        setup = database.connect()
+        setup.execute("CREATE TABLE c (v INT)")
+        setup.execute("INSERT INTO c VALUES (0)")
+        barrier = threading.Barrier(2)
+        outcomes = []
+
+        def contender(value):
+            def work():
+                conn = database.connect()
+                conn.begin()
+                conn.execute("UPDATE c SET v = ?", (value,))
+                barrier.wait()  # both staged before either commits
+                try:
+                    conn.commit()
+                    outcomes.append(("ok", value))
+                except OperationalError:
+                    outcomes.append(("conflict", value))
+
+            return work
+
+        run_threads([contender(1), contender(2)])
+        assert sorted(kind for kind, _ in outcomes) == ["conflict", "ok"]
+        winner = next(value for kind, value in outcomes if kind == "ok")
+        assert database.connect().execute("SELECT v FROM c").scalar() == winner
+
+
+class TestStressSmoke:
+    def test_mixed_stress(self):
+        """The CI concurrency leg's smoke test: sessions doing a bit of
+        everything at once — reads, bulk writes, transactions,
+        rollbacks, DDL — must neither deadlock nor corrupt state."""
+        database = repro.Database()
+        setup = database.connect()
+        setup.execute("CREATE TABLE base (k INT, v DOUBLE)")
+        setup.executemany(
+            "INSERT INTO base VALUES (?, ?)",
+            [(i % 5, float(i)) for i in range(100)],
+        )
+
+        def churner(worker_id):
+            def work():
+                conn = database.connect()
+                for round_no in range(6):
+                    conn.execute(
+                        "SELECT k, SUM(v) FROM base GROUP BY k"
+                    ).rows()
+                    with conn.transaction():
+                        conn.execute(
+                            "INSERT INTO base VALUES (?, ?)",
+                            (worker_id, float(round_no)),
+                        )
+                    conn.begin()
+                    conn.execute("DELETE FROM base WHERE k = ?", (worker_id,))
+                    conn.rollback()
+                    name = f"scratch_{worker_id}_{round_no}"
+                    conn.execute(f"CREATE TABLE {name} (x INT)")
+                    conn.execute(f"DROP TABLE {name}")
+
+            return work
+
+        run_threads([churner(i) for i in range(4)])
+        total = database.connect().execute(
+            "SELECT COUNT(*) FROM base"
+        ).scalar()
+        assert total == 100 + 4 * 6

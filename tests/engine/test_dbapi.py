@@ -91,12 +91,18 @@ class TestConnection:
     def test_cursor_factory(self, tconn):
         assert tconn.cursor() is not tconn.cursor()
 
-    def test_commit_is_noop(self, tconn):
+    def test_commit_outside_transaction_is_noop(self, tconn):
         tconn.commit()
 
-    def test_rollback_not_supported(self, tconn):
-        with pytest.raises(NotSupportedError):
-            tconn.rollback()
+    def test_rollback_outside_transaction_is_noop(self, tconn):
+        tconn.rollback()
+
+    def test_rollback_discards_staged_writes(self, tconn):
+        tconn.begin()
+        tconn.execute("DELETE FROM people WHERE id = 1")
+        assert tconn.execute("SELECT COUNT(*) FROM people").scalar() == 2
+        tconn.rollback()
+        assert tconn.execute("SELECT COUNT(*) FROM people").scalar() == 3
 
     def test_close_then_use_raises(self):
         conn = repro.connect()
