@@ -73,3 +73,28 @@ def test_numpy_reference_generation(benchmark, size):
 def test_sciql_ten_generations(benchmark):
     game = seeded_sciql(24)
     benchmark(game.run, 10)
+
+
+@pytest.mark.benchmark(group="E7-life-larger")
+def test_larger_than_life_radius3(benchmark):
+    """A radius-3 (7×7 neighbourhood) rule — 49 tile cells per anchor.
+
+    Under the seed's shifted scans this cost ~5.4x a Conway step; the
+    prefix-sum kernel makes the radius free.
+    """
+    conn = repro.connect()
+    game = GameOfLife(
+        conn, 48, 48, radius=3, birth=(14, 19), survive=(12, 22)
+    )
+    game.seed_random(density=0.35, seed=42)
+    reference = numpy_life_step(
+        game.board(), radius=3, birth=(14, 19), survive=(12, 22)
+    )
+    benchmark(game.step)
+    check = repro.connect()
+    verify = GameOfLife(
+        check, 48, 48, radius=3, birth=(14, 19), survive=(12, 22)
+    )
+    verify.seed_random(density=0.35, seed=42)
+    verify.step()
+    assert np.array_equal(verify.board(), reference)

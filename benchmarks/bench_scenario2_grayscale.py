@@ -43,6 +43,32 @@ def test_smooth(benchmark, processor):
 
 
 @pytest.mark.benchmark(group="E8-grayscale")
+def test_smooth_radius8(benchmark, processor):
+    """17×17 box blur — tile-size-independent kernels keep this flat."""
+    proc, image = processor
+    result = benchmark(proc.smooth, 8)
+    assert np.allclose(result.grid(), imaging.reference_smooth(image, 8))
+
+
+@pytest.mark.benchmark(group="E8-grayscale")
+def test_erode(benchmark, processor):
+    proc, image = processor
+    result = benchmark(proc.erode, 2)
+    assert np.array_equal(
+        imaging.result_to_image(result), imaging.reference_erode(image, 2)
+    )
+
+
+@pytest.mark.benchmark(group="E8-grayscale")
+def test_dilate(benchmark, processor):
+    proc, image = processor
+    result = benchmark(proc.dilate, 2)
+    assert np.array_equal(
+        imaging.result_to_image(result), imaging.reference_dilate(image, 2)
+    )
+
+
+@pytest.mark.benchmark(group="E8-grayscale")
 def test_reduce_resolution(benchmark, processor):
     proc, image = processor
     result = benchmark(proc.reduce_resolution, 2)

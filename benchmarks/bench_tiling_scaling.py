@@ -1,17 +1,31 @@
-"""E11: tiling cost scales with tile size × array size (ablation).
+"""E11/E19: tiling cost versus tile size × array size.
 
-The structural-grouping kernel does one shifted scan per tile cell, so
-cost should grow linearly in ``|tile|`` for a fixed array, and linearly
-in cell count for a fixed tile — unlike the join formulation, whose
-intermediate result explodes with both.
+E11 tracks the structural-grouping scaling story.  The seed engine did
+one shifted scan per tile cell, so cost grew linearly in ``|tile|``;
+the prefix-sum / van Herk–Gil-Werman kernels are tile-size-independent
+(O(|array|)), so the tile sweep — now extended to 8/16/32 — should be
+near flat.
+
+E19 pits the tile-size-independent kernels directly against the
+shifted-scan baseline (``shifted_scan_tile_aggregate``, the vectorized
+sibling of the brute-force oracle) on a 512×512 array with an 8×8
+tile, per aggregate.  Every benchmark asserts its result against the
+other engine so a regression can never hide behind a fast wrong
+answer.
 """
 
+import numpy as np
 import pytest
 
 import repro
 from repro.gdk.atoms import Atom
 from repro.gdk.column import Column
-from repro.core.tiling import TileSpec, tile_aggregate
+from repro.core.tiling import (
+    TileSpec,
+    shifted_scan_tile_aggregate,
+    tile_aggregate,
+)
+from repro.apps.rasters import ramp_image
 
 
 def build_array(conn, size):
@@ -22,7 +36,7 @@ def build_array(conn, size):
 
 
 @pytest.mark.benchmark(group="E11-tile-size")
-@pytest.mark.parametrize("tile", [2, 3, 4, 5])
+@pytest.mark.parametrize("tile", [2, 3, 4, 5, 8, 16, 32])
 def test_tile_size_scaling(benchmark, conn, tile):
     build_array(conn, 64)
     query = (
@@ -43,7 +57,7 @@ def test_array_size_scaling(benchmark, conn, size):
 
 
 @pytest.mark.benchmark(group="E11-kernel-only")
-@pytest.mark.parametrize("tile", [2, 4, 8])
+@pytest.mark.parametrize("tile", [2, 4, 8, 16, 32])
 def test_raw_kernel_tile_scaling(benchmark, tile):
     """The tiling kernel alone, without SQL overhead."""
     size = 128
@@ -51,3 +65,46 @@ def test_raw_kernel_tile_scaling(benchmark, tile):
     spec = TileSpec.from_ranges([(0, tile), (0, tile)])
     out = benchmark(tile_aggregate, values, (size, size), spec, "sum")
     assert out.get(0) == tile * tile
+
+
+# ----------------------------------------------------------------------
+# E19: new kernels vs. the shifted-scan baseline
+# ----------------------------------------------------------------------
+E19_SIZE = 512
+E19_TILE = 8
+
+
+def _e19_values() -> Column:
+    """512×512 deterministic ramp with a sprinkle of holes."""
+    flat = ramp_image(E19_SIZE).reshape(-1)
+    mask = (np.arange(flat.size) % 97) == 0
+    return Column(Atom.LNG, flat, mask)
+
+
+@pytest.fixture(scope="module")
+def e19_values():
+    return _e19_values()
+
+
+@pytest.fixture(scope="module")
+def e19_spec():
+    return TileSpec.from_ranges([(0, E19_TILE), (0, E19_TILE)])
+
+
+@pytest.mark.benchmark(group="E19-tiling")
+@pytest.mark.parametrize("aggregate", ["sum", "avg", "min", "max", "count"])
+def test_e19_fast_kernel(benchmark, e19_values, e19_spec, aggregate):
+    shape = (E19_SIZE, E19_SIZE)
+    out = benchmark(tile_aggregate, e19_values, shape, e19_spec, aggregate)
+    expected = shifted_scan_tile_aggregate(e19_values, shape, e19_spec, aggregate)
+    assert out.to_pylist()[: 4 * E19_SIZE] == expected.to_pylist()[: 4 * E19_SIZE]
+
+
+@pytest.mark.benchmark(group="E19-tiling")
+@pytest.mark.parametrize("aggregate", ["sum", "avg", "min", "max", "count"])
+def test_e19_shifted_scan_baseline(benchmark, e19_values, e19_spec, aggregate):
+    shape = (E19_SIZE, E19_SIZE)
+    out = benchmark(
+        shifted_scan_tile_aggregate, e19_values, shape, e19_spec, aggregate
+    )
+    assert len(out) == E19_SIZE * E19_SIZE

@@ -25,11 +25,16 @@ import sys
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
-#: suites that define the tracked GDK perf trajectory.
+#: suites that define the tracked GDK perf trajectory.  The tiling
+#: suite carries E11 (tile/array-size scaling) and E19 (prefix-sum /
+#: sliding-window kernels vs the shifted-scan baseline); the scenario
+#: suites track the Game of Life and grey-scale pipelines end to end.
 DEFAULT_SUITES = [
     "benchmarks/bench_gdk_kernels.py",
     "benchmarks/bench_fig1_array_ops.py",
     "benchmarks/bench_tiling_scaling.py",
+    "benchmarks/bench_scenario1_life.py",
+    "benchmarks/bench_scenario2_grayscale.py",
     "benchmarks/bench_prepared.py",
     "benchmarks/bench_parallel.py",
     "benchmarks/bench_concurrency.py",

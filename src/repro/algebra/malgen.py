@@ -9,9 +9,12 @@ linear MAL program.  Conventions:
 * predicates become ``bit`` BATs followed by ``algebra.select`` into a
   candidate list, then ``algebra.projection`` of every column —
   MonetDB's classic select/project dance;
-* structural grouping lowers to ``array.tileagg`` per aggregate, i.e.
-  one shifted scan per tile cell — no join is ever built (the whole
-  point of the paper's Scenario I comparison);
+* structural grouping lowers to ``array.tileagg`` per aggregate — a
+  tile-size-independent prefix-sum/sliding-window kernel; no join is
+  ever built (the whole point of the paper's Scenario I comparison).
+  Each tiling op carries a JSON tile-spec metadata constant so the
+  optimizer passes can compute halo extents and split the op into
+  fragment-parallel ``array.tilepart`` calls;
 * DML lowers to ``sql.update`` / ``sql.append`` / ``sql.delete`` with
   SciQL cell semantics preserved for arrays (DELETE punches holes,
   INSERT overwrites cells in place).
@@ -707,9 +710,15 @@ class MALGenerator:
     def _emit_tile(self, node: nodes.TileProject) -> list[str]:
         binding = self._emit_relational(node.child)
         array = self.catalog.get_array(node.array_name)
-        shape_json = json.dumps(list(array.shape()))
-        offsets_json = json.dumps([list(o) for o in node.spec.offsets])
-        tile = _TileContext(self, binding, shape_json, offsets_json)
+        # One canonical metadata constant per tiling op: the optimizer
+        # passes (mitosis/mergetable) parse it to size halo fragments.
+        meta_json = json.dumps(
+            {
+                "shape": list(array.shape()),
+                "offsets": [list(o) for o in node.spec.offsets],
+            }
+        )
+        tile = _TileContext(self, binding, meta_json)
         output = [
             tile.force_bat(tile.eval(item.expression), item.atom)
             for item in node.items
@@ -1390,13 +1399,11 @@ class _TileContext:
         self,
         generator: MALGenerator,
         binding: Binding,
-        shape_json: str,
-        offsets_json: str,
+        meta_json: str,
     ):
         self.generator = generator
         self.binding = binding
-        self.shape_json = shape_json
-        self.offsets_json = offsets_json
+        self.meta_json = meta_json
 
     def group_ref(self) -> str:
         return self.binding.ref
@@ -1411,8 +1418,7 @@ class _TileContext:
             if expression.star:
                 var = program.emit1(
                     "array", "tileagg",
-                    [Var(self.binding.ref), "count_star", self.shape_json,
-                     self.offsets_json],
+                    [Var(self.binding.ref), "count_star", self.meta_json],
                     bat_type(Atom.LNG),
                 )
                 return EvalResult(_BAT, Var(var), Atom.LNG)
@@ -1422,7 +1428,7 @@ class _TileContext:
             atom = infer_atom(expression)
             var = program.emit1(
                 "array", "tileagg",
-                [Var(value), name, self.shape_json, self.offsets_json],
+                [Var(value), name, self.meta_json],
                 bat_type(atom or Atom.DBL),
             )
             return EvalResult(_BAT, Var(var), atom)

@@ -36,8 +36,40 @@ GROUP BY {name}[x-1:x+2][y-1:y+2]
 """
 
 
+def next_generation_query(
+    name: str,
+    radius: int = 1,
+    birth: tuple[int, int] = (3, 3),
+    survive: tuple[int, int] = (2, 3),
+) -> str:
+    """The generation rule for a radius-*r* Moore neighbourhood.
+
+    ``radius=1`` with the default birth/survive intervals is Conway's
+    game; larger radii give the "Larger than Life" family (the
+    neighbour count is the sum over a ``(2r+1)²`` tile minus the cell
+    itself) — affordable at any radius now that the tiling kernels are
+    tile-size-independent.
+    """
+    if radius == 1 and birth == (3, 3) and survive == (2, 3):
+        return NEXT_GENERATION_QUERY.format(name=name)
+    return (
+        f"INSERT INTO {name} "
+        f"SELECT [x], [y], "
+        f"CASE WHEN (v = 0 AND SUM(v) - v BETWEEN {birth[0]} AND {birth[1]}) "
+        f"OR (v = 1 AND SUM(v) - v BETWEEN {survive[0]} AND {survive[1]}) "
+        f"THEN 1 ELSE 0 END "
+        f"FROM {name} "
+        f"GROUP BY {name}[x-{radius}:x+{radius + 1}][y-{radius}:y+{radius + 1}]"
+    )
+
+
 class GameOfLife:
-    """The SciQL Game of Life on an ``width × height`` array board."""
+    """The SciQL Game of Life on an ``width × height`` array board.
+
+    ``radius``/``birth``/``survive`` select a rule from the "Larger
+    than Life" family; the defaults are Conway's classic game, stepped
+    with the paper's 3×3 structural-grouping query.
+    """
 
     def __init__(
         self,
@@ -45,13 +77,22 @@ class GameOfLife:
         width: int,
         height: int,
         name: str = "life",
+        radius: int = 1,
+        birth: tuple[int, int] = (3, 3),
+        survive: tuple[int, int] = (2, 3),
     ):
-        if width < 3 or height < 3:
-            raise SciQLError("the board needs at least 3x3 cells")
+        if radius < 1:
+            raise SciQLError("the neighbourhood radius must be at least 1")
+        if width < 2 * radius + 1 or height < 2 * radius + 1:
+            raise SciQLError(
+                f"the board needs at least {2 * radius + 1}x{2 * radius + 1} cells"
+            )
         self.connection = connection
         self.name = name
         self.width = width
         self.height = height
+        self.radius = radius
+        self._step_query = next_generation_query(name, radius, birth, survive)
         connection.execute(
             f"CREATE ARRAY {name} (x INT DIMENSION[0:1:{width}], "
             f"y INT DIMENSION[0:1:{height}], v INT DEFAULT 0)"
@@ -95,7 +136,7 @@ class GameOfLife:
     # ------------------------------------------------------------------
     def step(self) -> None:
         """Advance one generation (a single structural-grouping query)."""
-        self.connection.execute(NEXT_GENERATION_QUERY.format(name=self.name))
+        self.connection.execute(self._step_query)
 
     def run(self, generations: int) -> None:
         """Advance several generations."""
@@ -217,21 +258,27 @@ class SQLGameOfLife:
         )
 
 
-def numpy_life_step(board: np.ndarray) -> np.ndarray:
+def numpy_life_step(
+    board: np.ndarray,
+    radius: int = 1,
+    birth: tuple[int, int] = (3, 3),
+    survive: tuple[int, int] = (2, 3),
+) -> np.ndarray:
     """Reference next-generation (dead borders), for verification."""
-    padded = np.pad(board, 1)
+    padded = np.pad(board, radius)
     neighbours = np.zeros_like(board)
-    for dx in (-1, 0, 1):
-        for dy in (-1, 0, 1):
+    span = range(-radius, radius + 1)
+    for dx in span:
+        for dy in span:
             if (dx, dy) == (0, 0):
                 continue
             neighbours += padded[
-                1 + dx : 1 + dx + board.shape[0],
-                1 + dy : 1 + dy + board.shape[1],
+                radius + dx : radius + dx + board.shape[0],
+                radius + dy : radius + dy + board.shape[1],
             ]
-    return ((neighbours == 3) | ((neighbours == 2) & (board == 1))).astype(
-        board.dtype
-    )
+    born = (board == 0) & (neighbours >= birth[0]) & (neighbours <= birth[1])
+    stays = (board == 1) & (neighbours >= survive[0]) & (neighbours <= survive[1])
+    return (born | stays).astype(board.dtype)
 
 
 #: Well-known starting patterns, as (x, y) offsets.

@@ -96,6 +96,19 @@ def checkerboard(size: int = 16, tile: int = 2) -> np.ndarray:
     return np.where((x + y) % 2 == 0, MAX_INTENSITY, 0).astype(np.int64)
 
 
+def ramp_image(size: int = 64) -> np.ndarray:
+    """A deterministic diagonal intensity ramp.
+
+    Cheap to build at any size (no smoothing passes) and fully
+    reproducible without a seed — the input of the tiling-kernel
+    benchmarks and property fixtures, where data content must not
+    influence the measured kernels.
+    """
+    x = np.arange(size)[:, None]
+    y = np.arange(size)[None, :]
+    return ((x * 7 + y * 13) % (MAX_INTENSITY + 1)).astype(np.int64)
+
+
 # ----------------------------------------------------------------------
 # portable grey-map (PGM) I/O — the file-exchange stand-in for GeoTIFF
 # ----------------------------------------------------------------------

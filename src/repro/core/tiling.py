@@ -16,17 +16,42 @@ Two semantics from the paper drive this module:
   entirely of holes/out-of-range cells aggregates to NULL.
 
 The engine works on the dense cell order used for array storage
-(first-declared dimension varies slowest) and evaluates one shifted
-scan per tile cell: ``O(|tile| * |array|)`` — the columnar equivalent
-of MonetDB's implementation, and the reason tiling beats the N-way
-self-join formulation that plain SQL would need (Scenario I).
+(first-declared dimension varies slowest).  Three kernel families back
+:func:`tile_aggregate`, picked per (tile spec, aggregate):
+
+* **prefix-sum sliding windows** — for ``sum``/``count``/``avg`` over
+  *dense* rectangular specs (per dimension, a contiguous offset range)
+  the window sum along each axis is one cumulative sum plus one clipped
+  difference, applied axis by axis: ``O(|array| · ndim)`` regardless of
+  tile size.  Integer inputs accumulate in int64 (wrapping arithmetic
+  is exact mod 2^64, so any per-tile sum representable in int64 comes
+  out exact — no float64 round-trip);
+* **van Herk–Gil-Werman sliding extrema** — ``min``/``max`` over dense
+  specs run the classic two-accumulation-sweeps-per-axis algorithm:
+  ``O(|array| · ndim)`` independent of window length;
+* **vectorized shifted scans** — the columnar equivalent of MonetDB's
+  implementation (one shifted full-array pass per tile cell,
+  ``O(|tile| · |array|)``) survives as the fallback for sparse specs
+  and for ``prod``, and as the benchmark baseline
+  :func:`shifted_scan_tile_aggregate`.
+
+NULLs travel as explicit boolean masks end to end; no kernel widens
+integer payloads through NaN-tagged float64 anymore.
+
+:func:`tile_aggregate_fragment` computes one *halo fragment* of the
+result: anchors ``[start, stop)`` of the linear cell order (the same
+bounds ``mat.partition`` uses), evaluated over an input slab widened by
+the tile's dim-0 offset extent.  Because every in-bounds tile cell of
+the fragment's anchors lies inside the slab — and slab-edge clipping
+coincides with array-edge clipping for exactly those anchors — packing
+the fragments reproduces the sequential result byte for byte.
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Iterator, Optional
 
 import numpy as np
 
@@ -36,6 +61,15 @@ from repro.gdk.column import Column
 
 #: aggregates the tiling engine supports.
 TILE_AGGREGATES = ("sum", "avg", "min", "max", "count", "prod", "count_star")
+
+#: tiles at or below this many cells stay on the shifted-scan path —
+#: a 2×2 scan is fewer array passes than the prefix-sum machinery.
+#: sliding extrema amortise later than sliding sums (vHGW runs ~3
+#: accumulation passes per axis), hence the higher extrema cutoff.
+#: Dispatch depends only on (spec, aggregate), never on the data, so
+#: halo fragments and whole-array runs always pick the same kernel.
+SCAN_CUTOFF_SUMS = 4
+SCAN_CUTOFF_EXTREMA = 9
 
 
 @dataclass(frozen=True)
@@ -72,6 +106,26 @@ class TileSpec:
         """All relative cell positions (cross product of offsets)."""
         return itertools.product(*self.offsets)
 
+    def dense_ranges(self) -> Optional[list[tuple[int, int]]]:
+        """Per-dimension ``(lo, hi)`` when every dimension's offsets form
+        a contiguous integer range — the precondition of the separable
+        prefix-sum / sliding-extrema kernels.  ``None`` for sparse specs
+        (hand-built offset lists with gaps), which keep the shifted-scan
+        path."""
+        out: list[tuple[int, int]] = []
+        for per_dim in self.offsets:
+            lo, hi = min(per_dim), max(per_dim)
+            if hi - lo + 1 != len(set(per_dim)) or len(set(per_dim)) != len(per_dim):
+                return None
+            out.append((lo, hi))
+        return out
+
+    def halo(self, dim: int = 0) -> tuple[int, int]:
+        """Offset extent ``(lo, hi)`` of one dimension — the halo a
+        fragment must widen its slab by along that axis."""
+        per_dim = self.offsets[dim]
+        return min(per_dim), max(per_dim)
+
     @classmethod
     def from_ranges(
         cls, ranges: list[tuple[int, int]], steps: list[int] | None = None
@@ -101,32 +155,262 @@ class TileSpec:
 
 
 def shifted(grid: np.ndarray, deltas: tuple[int, ...]) -> np.ndarray:
-    """Grid where entry *a* holds ``grid[a + deltas]``; NaN outside."""
+    """Grid where entry *a* holds ``grid[a + deltas]``; NaN outside.
+
+    Retained for tests/introspection; the production kernels shift
+    values and validity masks separately (:func:`_shift_masked`)."""
     out = np.full(grid.shape, np.nan)
+    window = _shift_slices(grid.shape, deltas)
+    if window is not None:
+        src, dst = window
+        out[dst] = grid[src]
+    return out
+
+
+def _shift_slices(shape, deltas):
+    """(src, dst) slice tuples realising a clipped shift; None if empty."""
     src: list[slice] = []
     dst: list[slice] = []
-    for size, delta in zip(grid.shape, deltas):
+    for size, delta in zip(shape, deltas):
         if delta >= 0:
             if delta >= size:
-                return out
+                return None
             src.append(slice(delta, size))
             dst.append(slice(0, size - delta))
         else:
             if -delta >= size:
-                return out
+                return None
             src.append(slice(0, size + delta))
             dst.append(slice(-delta, size))
-    out[tuple(dst)] = grid[tuple(src)]
-    return out
+    return tuple(src), tuple(dst)
+
+
+def _shift_masked(
+    grid: np.ndarray, valid: np.ndarray, deltas: tuple[int, ...]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Dtype-preserving shift: (shifted values, shifted validity).
+
+    Cells whose source falls outside the array come back invalid; the
+    payload dtype is never widened."""
+    out = np.zeros_like(grid)
+    ok = np.zeros(grid.shape, dtype=np.bool_)
+    window = _shift_slices(grid.shape, deltas)
+    if window is not None:
+        src, dst = window
+        out[dst] = grid[src]
+        ok[dst] = valid[src]
+    return out, ok
 
 
 def in_bounds_count(shape: tuple[int, ...], spec: TileSpec) -> np.ndarray:
-    """Per-anchor number of tile cells inside the array bounds."""
+    """Per-anchor number of tile cells inside the array bounds.
+
+    The tile is a cross product of per-dimension offset lists, so the
+    count factors into a product of 1-D per-axis counts — ``O(Σ n_i)``
+    work instead of one shifted scan per tile cell (closed form for
+    contiguous offset ranges, one pass per offset otherwise)."""
+    counts: np.ndarray | None = None
+    for axis, (size, per_dim) in enumerate(zip(shape, spec.offsets)):
+        positions = np.arange(size, dtype=np.int64)
+        lo, hi = min(per_dim), max(per_dim)
+        if hi - lo + 1 == len(set(per_dim)) == len(per_dim):
+            clipped_hi = np.minimum(positions + hi, size - 1)
+            clipped_lo = np.maximum(positions + lo, 0)
+            axis_count = np.maximum(clipped_hi - clipped_lo + 1, 0)
+        else:
+            axis_count = np.zeros(size, dtype=np.int64)
+            for delta in per_dim:
+                axis_count += (positions + delta >= 0) & (positions + delta < size)
+        view = [1] * len(shape)
+        view[axis] = size
+        axis_count = axis_count.reshape(view)
+        counts = axis_count if counts is None else counts * axis_count
+    assert counts is not None
+    return np.broadcast_to(counts, shape).copy() if counts.shape != shape else counts
+
+
+# ----------------------------------------------------------------------
+# separable per-axis kernels (dense rectangular specs)
+# ----------------------------------------------------------------------
+def _sliding_sum_axis(arr: np.ndarray, lo: int, hi: int, axis: int) -> np.ndarray:
+    """Clipped sliding-window sum ``out[i] = Σ arr[i+lo .. i+hi]`` along
+    *axis* via one cumulative sum — O(n), window-size-independent.
+
+    Integer arrays stay integer: int64 wraps mod 2^64, so the windowed
+    difference is exact whenever the true window sum fits in int64."""
+    arr = np.moveaxis(arr, axis, -1)
+    n = arr.shape[-1]
+    prefix = np.zeros(arr.shape[:-1] + (n + 1,), dtype=arr.dtype)
+    np.cumsum(arr, axis=-1, out=prefix[..., 1:])
+    upper = np.clip(np.arange(n) + hi + 1, 0, n)
+    lower = np.clip(np.arange(n) + lo, 0, n)
+    out = prefix[..., upper] - prefix[..., lower]
+    return np.moveaxis(out, -1, axis)
+
+
+def _extremum_identity(dtype: np.dtype, maximum: bool):
+    if dtype == np.float64:
+        return -np.inf if maximum else np.inf
+    info = np.iinfo(dtype)
+    return info.min if maximum else info.max
+
+
+def _sliding_extremum_axis(
+    arr: np.ndarray, lo: int, hi: int, axis: int, maximum: bool
+) -> np.ndarray:
+    """Clipped sliding min/max along *axis* — van Herk–Gil-Werman.
+
+    Two accumulation sweeps over blocks of the window length give every
+    window extremum in O(n) regardless of the window size: partition
+    the (identity-padded) axis into blocks of ``w``, take running
+    extrema forward (``fwd``) and backward (``bwd``) within each block;
+    the window ``[j, j+w)`` spans at most two blocks, so its extremum
+    is ``op(bwd[j], fwd[j+w-1])``."""
+    arr = np.moveaxis(arr, axis, -1)
+    n = arr.shape[-1]
+    w = hi - lo + 1
+    ident = _extremum_identity(arr.dtype, maximum)
+    # Window k of the padded index space reads arr[k+lo .. k+hi].
+    span = n + w - 1
+    blocks = -(-span // w)
+    padded = np.full(arr.shape[:-1] + (blocks * w,), ident, dtype=arr.dtype)
+    k0, k1 = max(0, -lo), min(span, n - lo)
+    if k1 > k0:
+        padded[..., k0:k1] = arr[..., k0 + lo : k1 + lo]
+    if w == 1:
+        out = padded[..., :n]
+        return np.moveaxis(out, -1, axis)
+    op = np.maximum if maximum else np.minimum
+    shaped = padded.reshape(arr.shape[:-1] + (blocks, w))
+    fwd = op.accumulate(shaped, axis=-1).reshape(padded.shape)
+    bwd = (
+        op.accumulate(shaped[..., ::-1], axis=-1)[..., ::-1].reshape(padded.shape)
+    )
+    out = op(bwd[..., :n], fwd[..., w - 1 : w - 1 + n])
+    return np.moveaxis(out, -1, axis)
+
+
+# ----------------------------------------------------------------------
+# the tiling engine
+# ----------------------------------------------------------------------
+def _numeric_grid(
+    values: Column, shape: tuple[int, ...]
+) -> tuple[np.ndarray, np.ndarray]:
+    """(values grid in its working dtype, validity grid)."""
+    atom = values.atom
+    if atom is Atom.DBL:
+        work = values.values
+    elif atom in (Atom.INT, Atom.LNG, Atom.OID, Atom.BIT):
+        work = values.values.astype(np.int64, copy=False)
+    else:
+        raise GDKError(f"tiling needs numeric cells, not {atom.value}")
+    return work.reshape(shape), values.validity().reshape(shape)
+
+
+def _validate(values: Column, shape: tuple[int, ...], spec: TileSpec, aggregate: str):
+    if aggregate not in TILE_AGGREGATES:
+        raise GDKError(f"unsupported tile aggregate {aggregate!r}")
+    cell_count = int(np.prod(shape)) if shape else 0
+    if len(values) != cell_count:
+        raise DimensionError(
+            f"values length {len(values)} != cell count {cell_count}"
+        )
+    if spec.ndim != len(shape):
+        raise DimensionError("tile dimensionality differs from array")
+
+
+def _finalize(
+    acc: np.ndarray, counts: np.ndarray, aggregate: str, input_atom: Atom
+) -> Column:
+    """Shared epilogue: NULL anchors (no contributing cell), atom choice."""
+    empty = counts == 0
+    if aggregate == "avg":
+        with np.errstate(invalid="ignore", divide="ignore"):
+            result = acc / counts
+        result = np.where(empty, 0.0, result)
+        return Column(Atom.DBL, result.reshape(-1), empty.reshape(-1))
+    result = np.where(empty, acc.dtype.type(0), acc)
+    out_atom = _result_atom(input_atom, aggregate)
+    flat = result.reshape(-1)
+    if out_atom is Atom.DBL and flat.dtype != np.float64:
+        flat = flat.astype(np.float64)
+    return Column(out_atom, flat, empty.reshape(-1))
+
+
+def _dense_tile_aggregate(
+    grid: np.ndarray,
+    valid: np.ndarray,
+    has_nulls: bool,
+    shape: tuple[int, ...],
+    ranges: list[tuple[int, int]],
+    spec: TileSpec,
+    aggregate: str,
+    input_atom: Atom,
+) -> Column:
+    """Separable per-axis passes: O(|array| · ndim), tile-size-free."""
+    if has_nulls:
+        counts = valid.astype(np.int64)
+        for axis, (lo, hi) in enumerate(ranges):
+            counts = _sliding_sum_axis(counts, lo, hi, axis)
+    else:
+        counts = in_bounds_count(shape, spec)
+    if aggregate == "count":
+        return Column(Atom.LNG, counts.reshape(-1))
+    if aggregate in ("sum", "avg"):
+        acc = np.where(valid, grid, grid.dtype.type(0)) if has_nulls else grid
+        for axis, (lo, hi) in enumerate(ranges):
+            acc = _sliding_sum_axis(acc, lo, hi, axis)
+        return _finalize(acc, counts, aggregate, input_atom)
+    # min / max
+    maximum = aggregate == "max"
+    ident = _extremum_identity(grid.dtype, maximum)
+    acc = np.where(valid, grid, ident) if has_nulls else grid
+    for axis, (lo, hi) in enumerate(ranges):
+        acc = _sliding_extremum_axis(acc, lo, hi, axis, maximum)
+    return _finalize(acc, counts, aggregate, input_atom)
+
+
+def _scan_tile_aggregate(
+    grid: np.ndarray,
+    valid: np.ndarray,
+    shape: tuple[int, ...],
+    spec: TileSpec,
+    aggregate: str,
+    input_atom: Atom,
+) -> Column:
+    """One shifted pass per tile cell — O(|tile| · |array|).
+
+    The vectorized sibling of :func:`brute_force_tile_aggregate`:
+    fallback for sparse specs and ``prod``, and the baseline the E19
+    benchmarks pit the prefix-sum/sliding kernels against.  Mask-based,
+    so integer aggregates stay integer-exact here too."""
+    if aggregate == "count_star":
+        counts = np.zeros(shape, dtype=np.int64)
+        ones = np.ones(shape, dtype=np.bool_)
+        for deltas in spec.deltas():
+            counts += _shift_masked(ones, ones, deltas)[1]
+        return Column(Atom.LNG, counts.reshape(-1))
     counts = np.zeros(shape, dtype=np.int64)
-    ones = np.ones(shape, dtype=np.float64)
+    acc: np.ndarray | None = None
+    maximum = aggregate == "max"
     for deltas in spec.deltas():
-        counts += np.isfinite(shifted(ones, deltas)).astype(np.int64)
-    return counts
+        layer, ok = _shift_masked(grid, valid, deltas)
+        counts += ok
+        if aggregate in ("sum", "avg"):
+            term = np.where(ok, layer, grid.dtype.type(0))
+            acc = term if acc is None else acc + term
+        elif aggregate == "prod":
+            term = np.where(ok, layer, grid.dtype.type(1))
+            acc = term if acc is None else acc * term
+        elif aggregate in ("min", "max"):
+            ident = _extremum_identity(grid.dtype, maximum)
+            term = np.where(ok, layer, ident)
+            op = np.maximum if maximum else np.minimum
+            acc = term if acc is None else op(acc, term)
+    if aggregate == "count":
+        return Column(Atom.LNG, counts.reshape(-1))
+    assert acc is not None
+    return _finalize(acc, counts, aggregate, input_atom)
 
 
 def tile_aggregate(
@@ -136,63 +420,47 @@ def tile_aggregate(
 
     The returned column has one entry per cell (anchor); anchors whose
     tile contains no aggregatable cell are NULL.  ``count``/``count_star``
-    return 0 instead of NULL for such anchors only when at least one
-    tile cell is *in bounds* (matching COUNT over an empty-but-existing
-    group); anchors are always valid, so counts never go NULL.
+    return 0 instead of NULL for such anchors (anchors are always
+    valid, so counts never go NULL).
+
+    Kernel choice: dense rectangular specs take the separable
+    prefix-sum (``sum``/``count``/``avg``) or van Herk–Gil-Werman
+    (``min``/``max``) path, O(|array|) regardless of tile size;
+    ``count_star`` is computed analytically from the shape alone;
+    sparse specs and ``prod`` fall back to the vectorized shifted scan.
     """
     aggregate = aggregate.lower()
-    if aggregate not in TILE_AGGREGATES:
-        raise GDKError(f"unsupported tile aggregate {aggregate!r}")
-    cell_count = int(np.prod(shape))
-    if len(values) != cell_count:
-        raise DimensionError(
-            f"values length {len(values)} != cell count {cell_count}"
-        )
-    if spec.ndim != len(shape):
-        raise DimensionError("tile dimensionality differs from array")
-
+    _validate(values, shape, spec, aggregate)
     if aggregate == "count_star":
-        counts = in_bounds_count(shape, spec).reshape(-1)
-        return Column(Atom.LNG, counts)
+        return Column(Atom.LNG, in_bounds_count(shape, spec).reshape(-1))
+    grid, valid = _numeric_grid(values, shape)
+    ranges = spec.dense_ranges()
+    cutoff = (
+        SCAN_CUTOFF_EXTREMA if aggregate in ("min", "max") else SCAN_CUTOFF_SUMS
+    )
+    if ranges is not None and aggregate != "prod" and spec.cells_per_tile > cutoff:
+        return _dense_tile_aggregate(
+            grid, valid, values.has_nulls, shape, ranges, spec, aggregate,
+            values.atom,
+        )
+    return _scan_tile_aggregate(grid, valid, shape, spec, aggregate, values.atom)
 
-    grid = values.to_numpy().reshape(shape)  # NaN marks holes
 
-    if aggregate == "count":
-        counts = np.zeros(shape, dtype=np.int64)
-        for deltas in spec.deltas():
-            counts += np.isfinite(shifted(grid, deltas)).astype(np.int64)
-        return Column(Atom.LNG, counts.reshape(-1))
+def shifted_scan_tile_aggregate(
+    values: Column, shape: tuple[int, ...], spec: TileSpec, aggregate: str
+) -> Column:
+    """The shifted-scan engine, unconditionally — one pass per tile cell.
 
-    acc: np.ndarray | None = None
-    contributions = np.zeros(shape, dtype=np.int64)
-    for deltas in spec.deltas():
-        layer = shifted(grid, deltas)
-        present = np.isfinite(layer)
-        contributions += present.astype(np.int64)
-        if aggregate in ("sum", "avg"):
-            term = np.where(present, layer, 0.0)
-            acc = term if acc is None else acc + term
-        elif aggregate == "prod":
-            term = np.where(present, layer, 1.0)
-            acc = term if acc is None else acc * term
-        elif aggregate == "min":
-            acc = layer if acc is None else np.fmin(acc, layer)
-        else:  # max
-            acc = layer if acc is None else np.fmax(acc, layer)
-    assert acc is not None
-    empty = contributions == 0
-    if aggregate == "avg":
-        with np.errstate(invalid="ignore", divide="ignore"):
-            result = acc / contributions
-        result = np.where(empty, 0.0, result)
-        return Column(Atom.DBL, result.reshape(-1), empty.reshape(-1))
-
-    result = np.where(empty, 0.0, np.where(np.isfinite(acc), acc, 0.0))
-    out_atom = _result_atom(values.atom, aggregate)
-    flat = result.reshape(-1)
-    if out_atom is Atom.DBL:
-        return Column(Atom.DBL, flat, empty.reshape(-1))
-    return Column(out_atom, np.round(flat).astype(np.int64), empty.reshape(-1))
+    Kept public as the oracle's vectorized sibling and the benchmark
+    baseline the tile-size-independent kernels are measured against."""
+    aggregate = aggregate.lower()
+    _validate(values, shape, spec, aggregate)
+    if aggregate == "count_star":
+        grid = np.zeros(shape, dtype=np.int64)
+        valid = np.ones(shape, dtype=np.bool_)
+        return _scan_tile_aggregate(grid, valid, shape, spec, aggregate, values.atom)
+    grid, valid = _numeric_grid(values, shape)
+    return _scan_tile_aggregate(grid, valid, shape, spec, aggregate, values.atom)
 
 
 def _result_atom(input_atom: Atom, aggregate: str) -> Atom:
@@ -203,6 +471,73 @@ def _result_atom(input_atom: Atom, aggregate: str) -> Atom:
     if aggregate in ("count", "count_star"):
         return Atom.LNG
     return input_atom  # min/max preserve the input type
+
+
+# ----------------------------------------------------------------------
+# halo fragments (fragment-parallel tiling)
+# ----------------------------------------------------------------------
+def _column_view(column: Column, start: int, stop: int) -> Column:
+    """Zero-copy sub-column (kernels never mutate their inputs)."""
+    mask = column.mask[start:stop] if column.mask is not None else None
+    return Column(column.atom, column.values[start:stop], mask)
+
+
+def tile_fragment_bounds(
+    cells: int,
+    shape: tuple[int, ...],
+    spec: TileSpec,
+    start: int,
+    stop: int,
+) -> tuple[int, int]:
+    """Dim-0 slab ``[slab_lo, slab_hi)`` covering anchors ``[start, stop)``
+    plus their halo.
+
+    The slab holds whole dim-0 rows, widened by the tile's dim-0 offset
+    extent and clipped to the array.  Every in-bounds tile cell of the
+    fragment's anchors lies inside the slab, and slab-edge clipping
+    coincides with array-edge clipping for those anchors — so the
+    fragment result equals the matching slice of the whole-array result
+    byte for byte.
+    """
+    stride0 = cells // shape[0]
+    row_lo = start // stride0
+    row_hi = (stop - 1) // stride0
+    lo0, hi0 = spec.halo(0)
+    slab_lo = max(0, row_lo + min(lo0, 0))
+    slab_hi = min(shape[0], row_hi + max(hi0, 0) + 1)
+    return slab_lo, slab_hi
+
+
+def tile_aggregate_fragment(
+    values: Column,
+    shape: tuple[int, ...],
+    spec: TileSpec,
+    aggregate: str,
+    start: int,
+    stop: int,
+) -> Column:
+    """Tile aggregate of the anchors ``[start, stop)`` only.
+
+    *values* is the whole cell-aligned column; the kernel reads just
+    the halo slab (a zero-copy view) and returns one result entry per
+    anchor in the range, identical to
+    ``tile_aggregate(...)[start:stop]``.
+    """
+    aggregate = aggregate.lower()
+    _validate(values, shape, spec, aggregate)
+    cells = len(values)
+    if not 0 <= start <= stop <= cells:
+        raise DimensionError(f"anchor range [{start}, {stop}) outside 0..{cells}")
+    out_atom = _result_atom(values.atom, aggregate)
+    if start == stop:
+        return Column.empty(out_atom)
+    slab_lo, slab_hi = tile_fragment_bounds(cells, shape, spec, start, stop)
+    stride0 = cells // shape[0]
+    slab = _column_view(values, slab_lo * stride0, slab_hi * stride0)
+    sub_shape = (slab_hi - slab_lo,) + tuple(shape[1:])
+    whole = tile_aggregate(slab, sub_shape, spec, aggregate)
+    offset = start - slab_lo * stride0
+    return whole.slice(offset, offset + (stop - start))
 
 
 def tile_members(

@@ -65,9 +65,12 @@ class ExecutionStats:
     instruction; ``rows_per_operation`` breaks that down per MAL
     operation.  ``seconds_per_operation`` / ``instruction_timings``
     hold per-instruction wall-clock time (collected under
-    ``collect_stats``), and ``parallel_batches`` counts the dataflow
+    ``collect_stats``), ``parallel_batches`` counts the dataflow
     scheduling waves that dispatched more than one instruction
-    concurrently — 0 for a fully sequential run.
+    concurrently — 0 for a fully sequential run — and
+    ``halo_fragments`` counts the ``array.tilepart`` halo-fragment
+    evaluations a fragmented tiling plan executed (0 when tiling ran
+    whole-array).
     """
 
     instructions_executed: int = 0
@@ -81,6 +84,8 @@ class ExecutionStats:
     instruction_timings: list[tuple[int, str, float]] = field(default_factory=list)
     #: dataflow waves with >= 2 instructions in flight.
     parallel_batches: int = 0
+    #: halo-fragment tiling kernels executed (array.tilepart calls).
+    halo_fragments: int = 0
 
     def record(self, index: int, instruction: Instruction, rows: int, seconds: float) -> None:
         key = f"{instruction.module}.{instruction.function}"
@@ -91,6 +96,8 @@ class ExecutionStats:
         self.seconds_per_operation[key] = (
             self.seconds_per_operation.get(key, 0.0) + seconds
         )
+        if key == "array.tilepart":
+            self.halo_fragments += 1
         self.instruction_timings.append((index, key, seconds))
 
 

@@ -7,9 +7,14 @@ materialisation, reproduced here with their signatures:
         :bat[:oid,:int]
     pattern array.filler(cnt:lng, v:any_1) :bat[:oid,:any_1]
 
-plus the tiling kernel the structural GROUP BY compiles into
-(``array.tileagg``) and a relative-cell-access gather
-(``array.shift``) used for expressions like ``A[x-1][y]``.
+plus the tiling kernels the structural GROUP BY compiles into
+(``array.tileagg`` and its halo-fragment sibling ``array.tilepart``)
+and a relative-cell-access gather (``array.shift``) used for
+expressions like ``A[x-1][y]``.
+
+Tiling ops carry one JSON metadata constant ``{"shape": [...],
+"offsets": [[...], ...]}`` — the tile spec the optimizer passes read to
+compute halo extents and fragment viability.
 """
 
 from __future__ import annotations
@@ -21,9 +26,9 @@ import numpy as np
 
 from repro.errors import GDKError, MALError
 from repro.gdk.atoms import Atom, atom_for_python, coerce_scalar
-from repro.gdk.bat import BAT
+from repro.gdk.bat import BAT, partition_bounds
 from repro.gdk.column import Column
-from repro.core.tiling import TileSpec, tile_aggregate
+from repro.core.tiling import TileSpec, tile_aggregate, tile_aggregate_fragment
 from repro.mal.modules import cached_loads, mal_op
 
 
@@ -68,19 +73,47 @@ def _filler(ctx, count, value, atom_name=None):
     return BAT(filler_column(int(count), value, atom))
 
 
+def _tile_meta(meta_json: str) -> tuple[tuple[int, ...], TileSpec]:
+    """Decode the tile metadata constant malgen puts on tiling ops."""
+    meta = cached_loads(meta_json)
+    shape = tuple(meta["shape"])
+    spec = TileSpec(tuple(tuple(per_dim) for per_dim in meta["offsets"]))
+    return shape, spec
+
+
 @mal_op("array", "tileagg")
-def _tileagg(ctx, values: BAT, aggregate: str, shape_json: str, offsets_json: str):
+def _tileagg(ctx, values: BAT, aggregate: str, meta_json: str):
     """Aggregate every anchor's tile over a cell-aligned value BAT.
 
-    ``shape_json`` holds the dimension sizes, ``offsets_json`` the
-    per-dimension rank offsets of the tile pattern.
+    ``meta_json`` holds the dimension sizes (``shape``) and the tile
+    pattern's per-dimension rank offsets (``offsets``).
     """
     if not isinstance(values, BAT):
         raise MALError("array.tileagg expects a BAT of cell values")
-    shape = tuple(cached_loads(shape_json))
-    offsets = tuple(tuple(per_dim) for per_dim in cached_loads(offsets_json))
-    spec = TileSpec(offsets)
+    shape, spec = _tile_meta(meta_json)
     return BAT(tile_aggregate(values.tail, shape, spec, aggregate))
+
+
+@mal_op("array", "tilepart")
+def _tilepart(ctx, values: BAT, aggregate: str, meta_json: str, index, pieces):
+    """Halo fragment *index* of *pieces* of a tile aggregate.
+
+    Takes the *whole* cell-aligned value BAT and computes the aggregate
+    for the anchors of fragment ``index`` only — the same runtime
+    ``[start, stop)`` bounds ``mat.partition`` assigns, so tilepart
+    results live in the fragmented source's row space and rejoin with a
+    plain ``mat.pack``.  The kernel reads a zero-copy slab widened by
+    the tile's dim-0 halo, making per-fragment results byte-identical
+    to the matching slice of the sequential aggregate.
+    """
+    if not isinstance(values, BAT):
+        raise MALError("array.tilepart expects a BAT of cell values")
+    shape, spec = _tile_meta(meta_json)
+    start, stop = partition_bounds(len(values), int(index), int(pieces))
+    fragment = tile_aggregate_fragment(
+        values.tail, shape, spec, aggregate, start, stop
+    )
+    return BAT(fragment, hseqbase=values.hseqbase + start)
 
 
 @mal_op("array", "shift")

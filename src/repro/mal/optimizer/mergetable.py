@@ -21,6 +21,16 @@ mergetable optimizer:
   (``aggr.mergesum``/…/``mergeavg``) — global group ids come out in
   first-appearance order, so results are byte-identical to the
   sequential plan;
+* ``array.tileagg`` over a fragmented cell source becomes one
+  ``array.tilepart`` *halo fragment* per source fragment: each reads
+  the whole value BAT but computes only its own anchor range over a
+  slab widened by the tile's dim-0 offset extent.  Fragments use the
+  ``mat.partition`` bounds, so results stay in the source's row space
+  and downstream element-wise consumers keep running per fragment.
+  Only byte-exact combinations fragment (``count``/``count_star``/
+  ``min``/``max`` always; ``sum``/``prod``/``avg`` for integer cells,
+  where int64 wrapping arithmetic is exact) — float prefix sums would
+  drift a ulp between slab and whole-array evaluation;
 * every other consumer forces materialisation: fragments re-merge
   (``mat.pack`` / ``bat.mergecand`` / partial merges) right before the
   unsupported instruction, which keeps the pass semantics-preserving
@@ -32,6 +42,7 @@ fragmented plan returns *byte-identical* results to the sequential one.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
@@ -73,6 +84,14 @@ DECOMPOSABLE = {"sum", "prod", "min", "max", "count"}
 #: (partials are exact integers) but a ulp off for floats, so floating
 #: point inputs take the row-level path to stay byte-identical.
 REASSOCIATING = {"sum", "prod", "avg"}
+
+#: tiling aggregates whose halo-fragment evaluation is bit-exact for
+#: every cell atom (selection/counting — no re-associated float math).
+TILE_EXACT = {"count", "count_star", "min", "max"}
+
+#: cell atoms whose tiling sums/products are exact under fragmentation
+#: (int64 accumulation wraps mod 2^64 identically for slab and whole).
+TILE_INT_ATOMS = {Atom.INT, Atom.LNG, Atom.OID, Atom.BIT}
 
 
 class Space:
@@ -313,6 +332,8 @@ class _Mergetable:
             instruction, fragmented
         ):
             return
+        if key == ("array", "tileagg") and self._tileagg(instruction, fragmented):
+            return
         if key in (("group", "group"), ("group", "subgroup")):
             if self._group(instruction, fragmented):
                 return
@@ -529,6 +550,65 @@ class _Mergetable:
         if space is None or self._has_unfragmented_bat(instruction, fragmented):
             return False
         self._per_fragment(instruction, fragmented, space)
+        return True
+
+    def _tileagg(self, instruction, fragmented) -> bool:
+        """Split a tile aggregate into halo fragments (``array.tilepart``).
+
+        Every fragment consumes the *whole* value BAT (usually free —
+        the merged source var for mitosis packs) and computes only its
+        ``mat.partition`` anchor range over a halo-widened slab.  The
+        result fragments stay in the value's row space, so downstream
+        element-wise consumers (e.g. Life's ``SUM(v) - v``) keep
+        running per fragment.
+        """
+        entry = fragmented[0]
+        if (
+            entry is None
+            or entry.kind != "val"
+            or entry.space is None
+            or not entry.space.aligned
+            or any(e is not None for e in fragmented[1:])
+            or len(instruction.results) != 1
+            or len(instruction.args) != 3
+        ):
+            return False
+        agg_arg, meta_arg = instruction.args[1], instruction.args[2]
+        if not isinstance(agg_arg, Constant) or not isinstance(agg_arg.value, str):
+            return False
+        if not isinstance(meta_arg, Constant) or not isinstance(meta_arg.value, str):
+            return False
+        aggregate = agg_arg.value.lower()
+        if aggregate not in TILE_EXACT:
+            # Re-associating aggregate: fragment only integer cells,
+            # where slab evaluation is bit-exact (mod-2^64 arithmetic).
+            value_atom = self.type_of(instruction.args[0].name).atom
+            if value_atom not in TILE_INT_ATOMS:
+                return False
+        try:
+            meta = json.loads(meta_arg.value)
+            rows0 = int(meta["shape"][0])
+            offsets0 = [int(o) for o in meta["offsets"][0]]
+        except (ValueError, KeyError, IndexError, TypeError):
+            return False
+        pieces = len(entry.parts)
+        halo = max(offsets0) - min(offsets0)
+        if pieces < 2 or rows0 < pieces * (halo + 1):
+            return False  # halo would dominate the per-fragment slab
+        whole = self.resolve(instruction.args[0].name)
+        result = instruction.results[0]
+        mal_type = self.type_of(result)
+        parts = []
+        for index in range(pieces):
+            part = self.fresh(mal_type)
+            self.emit(
+                "array", "tilepart",
+                [part],
+                [Var(whole), agg_arg, meta_arg, Constant(index), Constant(pieces)],
+                instruction.comment,
+            )
+            parts.append(part)
+        self.entries[result] = Entry("val", parts=parts, space=entry.space)
         return True
 
     def _group(self, instruction, fragmented) -> bool:

@@ -27,6 +27,7 @@ fragment *count* is fixed at optimize time from the knobs.
 
 from __future__ import annotations
 
+import json
 import math
 from typing import Optional
 
@@ -39,6 +40,46 @@ MAX_FRAGMENTS = 64
 #: in auto mode (``fragment_rows=None``) only sources at least this
 #: large are fragmented, so small/interactive plans keep their shape.
 AUTO_MIN_ROWS = 32768
+
+#: a halo-fragmented tiling source keeps at least this many dim-0 rows
+#: per fragment *per halo row*, bounding the duplicated slab work.
+HALO_ROWS_FACTOR = 2
+
+
+def tiling_fragment_caps(program: MALProgram) -> dict[int, int]:
+    """Per-cell-count fragment caps derived from the plan's tiling ops.
+
+    ``array.tileagg`` carries its tile-spec metadata (shape + offsets)
+    as a JSON constant; a source feeding it can only run halo-parallel
+    (``array.tilepart``) when each fragment's dim-0 slab is not
+    dominated by the halo it duplicates.  For every tiling op this
+    derives ``max(1, rows0 // (HALO_ROWS_FACTOR * (halo + 1)))`` and
+    keys it by the op's cell count, so mitosis can cap exactly the
+    sources that are cell-aligned with a tiled array and leave every
+    other scan at full fragmentation.
+    """
+    caps: dict[int, int] = {}
+    for instruction in program.instructions:
+        if (instruction.module, instruction.function) != ("array", "tileagg"):
+            continue
+        meta_arg = instruction.args[2] if len(instruction.args) > 2 else None
+        if not isinstance(meta_arg, Constant) or not isinstance(meta_arg.value, str):
+            continue
+        try:
+            meta = json.loads(meta_arg.value)
+            shape = [int(s) for s in meta["shape"]]
+            offsets0 = [int(o) for o in meta["offsets"][0]]
+        except (ValueError, KeyError, IndexError, TypeError):
+            continue
+        cells = 1
+        for size in shape:
+            cells *= size
+        if cells <= 0 or not offsets0:
+            continue
+        halo = max(offsets0) - min(offsets0)
+        cap = max(1, shape[0] // (HALO_ROWS_FACTOR * (halo + 1)))
+        caps[cells] = min(caps.get(cells, cap), cap)
+    return caps
 
 
 def fragment_count(
@@ -86,6 +127,7 @@ def make_mitosis(catalog, fragment_rows: Optional[int], nr_threads: int):
     def mitosis(program: MALProgram) -> MALProgram:
         out: list[Instruction] = []
         renames: dict[str, str] = {}
+        halo_caps = tiling_fragment_caps(program)
         for instruction in program.instructions:
             if renames:
                 new_args = [
@@ -122,6 +164,10 @@ def make_mitosis(catalog, fragment_rows: Optional[int], nr_threads: int):
             if rows is None:
                 continue
             pieces = fragment_count(rows, fragment_rows, nr_threads)
+            if rows in halo_caps:
+                # The source is cell-aligned with a tiled array: keep
+                # fragments wide enough that halo tiling stays viable.
+                pieces = min(pieces, halo_caps[rows])
             if pieces < 2:
                 continue
             source = instruction.results[0]

@@ -11,7 +11,10 @@ from repro.core.tiling import (
     brute_force_tile_aggregate,
     in_bounds_count,
     shifted,
+    shifted_scan_tile_aggregate,
     tile_aggregate,
+    tile_aggregate_fragment,
+    tile_fragment_bounds,
     tile_members,
 )
 
@@ -196,3 +199,155 @@ class TestMembersAndBruteForce:
         assert counts[1, 1] == 9
         assert counts[0, 0] == 4
         assert counts[0, 1] == 6
+
+
+class TestIntegerExactness:
+    """Integer sums/products must not round-trip through float64.
+
+    The seed kernel accumulated in NaN-tagged float64 and rounded back,
+    silently losing exactness above 2^53; the mask-based kernels
+    accumulate integer inputs in int64 end to end.
+    """
+
+    def test_sum_near_2_to_60(self):
+        base = 2**60
+        items = [base + 1, base + 3, None, base + 7]
+        values = Column.from_pylist(Atom.LNG, items)
+        spec = TileSpec.from_ranges([(0, 2), (0, 2)])
+        out = tile_aggregate(values, (2, 2), spec, "sum")
+        expected = brute_force_tile_aggregate(values, (2, 2), spec, "sum")
+        assert out.to_pylist() == expected
+        # the float64 path would have lost the +1/+3/+7 low bits
+        assert out.get(0) == 2 * base + base + 1 + 3 + 7
+
+    def test_sum_near_2_to_60_scan_path(self):
+        # sparse spec forces the shifted-scan fallback: same exactness
+        base = 2**60
+        values = Column.from_pylist(Atom.LNG, [base + 1, 0, base + 5, 0])
+        spec = TileSpec(((0, 2),))  # gap -> sparse
+        out = tile_aggregate(values, (4,), spec, "sum")
+        assert out.get(0) == 2 * base + 6
+
+    def test_prod_above_2_to_53(self):
+        # (2^27 + 1)^2 is not representable in float64
+        factor = 2**27 + 1
+        values = Column.from_pylist(Atom.LNG, [factor, factor])
+        spec = TileSpec.from_ranges([(0, 2)])
+        out = tile_aggregate(values, (2,), spec, "prod")
+        assert out.get(0) == factor * factor
+        assert float(factor) * float(factor) != factor * factor
+
+    def test_min_max_preserve_integer_values(self):
+        base = 2**60
+        values = Column.from_pylist(Atom.LNG, [base + 1, base + 2, base + 3, None])
+        spec = TileSpec.from_ranges([(-1, 2)])
+        out = tile_aggregate(values, (4,), spec, "max")
+        assert out.to_pylist() == [base + 2, base + 3, base + 3, base + 3]
+
+
+class TestKernelDispatch:
+    """Dense specs take the O(|array|) kernels; sparse specs fall back."""
+
+    def test_dense_ranges_detection(self):
+        assert TileSpec.from_ranges([(-1, 2), (0, 3)]).dense_ranges() == [
+            (-1, 1),
+            (0, 2),
+        ]
+        assert TileSpec(((0, 2),)).dense_ranges() is None
+        # step-2 dimensions still produce contiguous rank offsets
+        assert TileSpec.from_ranges([(0, 6)], steps=[2]).dense_ranges() == [(0, 2)]
+
+    def test_scan_engine_matches_dense_engine(self):
+        rng = np.random.default_rng(5)
+        items = [
+            None if rng.random() < 0.3 else int(rng.integers(-50, 50))
+            for _ in range(6 * 5)
+        ]
+        values = Column.from_pylist(Atom.INT, items)
+        for aggregate in ("sum", "avg", "min", "max", "count", "count_star"):
+            fast = tile_aggregate(
+                values, (6, 5), TileSpec.from_ranges([(-2, 3), (0, 4)]), aggregate
+            )
+            scan = shifted_scan_tile_aggregate(
+                values, (6, 5), TileSpec.from_ranges([(-2, 3), (0, 4)]), aggregate
+            )
+            assert fast.to_pylist() == pytest.approx(scan.to_pylist())
+
+    def test_window_larger_than_array(self):
+        values = Column.from_pylist(Atom.INT, [1, 2, 3])
+        spec = TileSpec.from_ranges([(-5, 6)])
+        assert tile_aggregate(values, (3,), spec, "sum").to_pylist() == [6, 6, 6]
+        assert tile_aggregate(values, (3,), spec, "max").to_pylist() == [3, 3, 3]
+
+    def test_one_sided_windows(self):
+        values = Column.from_pylist(Atom.INT, [1, 2, 3, 4, 5, 6])
+        ahead = TileSpec.from_ranges([(2, 7)])  # strictly to the right
+        out = tile_aggregate(values, (6,), ahead, "sum")
+        assert out.to_pylist() == [3 + 4 + 5 + 6, 4 + 5 + 6, 5 + 6, 6, None, None]
+        behind = TileSpec.from_ranges([(-6, 0)])  # strictly to the left
+        out = tile_aggregate(values, (6,), behind, "min")
+        assert out.to_pylist() == [None, 1, 1, 1, 1, 1]
+
+    def test_duplicate_offsets_count_each_occurrence(self):
+        # hand-built specs may repeat an offset; every occurrence is a
+        # tile cell, so counts must match the brute-force oracle
+        values = Column.from_pylist(Atom.INT, [1, 2, 3, 4])
+        spec = TileSpec(((0, 0, 1),))
+        for aggregate in ("count_star", "count", "sum"):
+            assert (
+                tile_aggregate(values, (4,), spec, aggregate).to_pylist()
+                == brute_force_tile_aggregate(values, (4,), spec, aggregate)
+            )
+
+    def test_string_cells_rejected(self):
+        values = Column.from_pylist(Atom.STR, ["a", "b"])
+        spec = TileSpec.from_ranges([(0, 2)])
+        with pytest.raises(GDKError):
+            tile_aggregate(values, (2,), spec, "min")
+
+
+class TestHaloFragments:
+    def test_fragment_bounds_cover_halo(self):
+        spec = TileSpec.from_ranges([(-1, 2), (-1, 2)])
+        # anchors 20..40 of an 8x8 grid live in rows 2..5 (inclusive)
+        assert tile_fragment_bounds(64, (8, 8), spec, 20, 40) == (1, 6)
+        # clipping at the array edges
+        assert tile_fragment_bounds(64, (8, 8), spec, 0, 8) == (0, 2)
+        assert tile_fragment_bounds(64, (8, 8), spec, 56, 64) == (6, 8)
+
+    def test_fragment_bounds_one_sided_halo(self):
+        ahead = TileSpec.from_ranges([(2, 4), (0, 1)])
+        # the slab must still include the anchors' own rows
+        assert tile_fragment_bounds(64, (8, 8), ahead, 0, 8) == (0, 4)
+        behind = TileSpec.from_ranges([(-3, -1), (0, 1)])
+        assert tile_fragment_bounds(64, (8, 8), behind, 56, 64) == (4, 8)
+
+    def test_fragments_pack_to_whole(self):
+        values = fig1c_values()
+        spec = TileSpec.from_ranges([(-1, 2), (0, 2)])
+        for aggregate in ("sum", "avg", "min", "max", "count", "count_star"):
+            whole = tile_aggregate(values, (4, 4), spec, aggregate)
+            for pieces in (1, 2, 3, 5, 16):
+                packed: list = []
+                for index in range(pieces):
+                    start = 16 * index // pieces
+                    stop = 16 * (index + 1) // pieces
+                    packed.extend(
+                        tile_aggregate_fragment(
+                            values, (4, 4), spec, aggregate, start, stop
+                        ).to_pylist()
+                    )
+                assert packed == whole.to_pylist(), (aggregate, pieces)
+
+    def test_empty_fragment(self):
+        values = fig1c_values()
+        spec = TileSpec.from_ranges([(0, 2), (0, 2)])
+        out = tile_aggregate_fragment(values, (4, 4), spec, "sum", 7, 7)
+        assert len(out) == 0
+        assert out.atom is Atom.LNG
+
+    def test_fragment_range_validated(self):
+        values = fig1c_values()
+        spec = TileSpec.from_ranges([(0, 2), (0, 2)])
+        with pytest.raises(DimensionError):
+            tile_aggregate_fragment(values, (4, 4), spec, "sum", 4, 99)

@@ -73,6 +73,20 @@ class TestGameOfLifeSciQL:
         art = game.render()
         assert art.splitlines()[-1][0] == "#"
 
+    def test_larger_than_life_matches_reference(self, conn):
+        rule = dict(radius=2, birth=(7, 11), survive=(5, 13))
+        game = GameOfLife(conn, 14, 14, **rule)
+        game.seed_random(density=0.4, seed=3)
+        board = game.board()
+        for _ in range(3):
+            board = numpy_life_step(board, **rule)
+            game.step()
+            assert np.array_equal(game.board(), board)
+
+    def test_larger_than_life_radius_needs_bigger_board(self, conn):
+        with pytest.raises(Exception):
+            GameOfLife(conn, 4, 4, radius=2)
+
     def test_board_too_small_rejected(self, conn):
         with pytest.raises(Exception):
             GameOfLife(conn, 2, 2)
@@ -122,6 +136,38 @@ class TestImagingScenario:
         conn, image = building
         processor = imaging.ImageProcessor(conn, "building")
         assert np.allclose(processor.smooth().grid(), imaging.reference_smooth(image))
+
+    def test_smooth_large_radius(self, building):
+        conn, image = building
+        processor = imaging.ImageProcessor(conn, "building")
+        assert np.allclose(
+            processor.smooth(5).grid(), imaging.reference_smooth(image, 5)
+        )
+
+    def test_erode_dilate(self, building):
+        conn, image = building
+        processor = imaging.ImageProcessor(conn, "building")
+        assert np.array_equal(
+            imaging.result_to_image(processor.erode(2)),
+            imaging.reference_erode(image, 2),
+        )
+        assert np.array_equal(
+            imaging.result_to_image(processor.dilate(3)),
+            imaging.reference_dilate(image, 3),
+        )
+
+    def test_dilate_of_erode_is_opening(self, building):
+        conn, image = building
+        processor = imaging.ImageProcessor(conn, "building")
+        eroded = imaging.result_to_image(processor.erode(1))
+        conn.execute("DROP ARRAY IF EXISTS opened")
+        imaging.load_image(conn, "opened", eroded)
+        opened = imaging.result_to_image(
+            imaging.ImageProcessor(conn, "opened").dilate(1)
+        )
+        # morphological opening never brightens a pixel
+        assert (opened <= imaging.reference_dilate(eroded, 1)).all()
+        assert (eroded <= image).all()
 
     def test_reduce_resolution(self, building):
         conn, image = building

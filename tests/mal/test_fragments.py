@@ -212,6 +212,95 @@ class TestFragmentedPlans:
         assert conn.execute(sql).rows() == fragmented
 
 
+class TestHaloTiling:
+    """Structural grouping through mitosis/mergetable: halo fragments."""
+
+    SMOOTH = "SELECT [x], [y], SUM(v) FROM g GROUP BY g[x-1:x+2][y-1:y+2]"
+
+    def tiled_connection(self, side=32, attribute="v INT DEFAULT 1", **knobs):
+        conn = repro.connect(**knobs)
+        conn.execute(
+            f"CREATE ARRAY g (x INT DIMENSION[0:1:{side}], "
+            f"y INT DIMENSION[0:1:{side}], {attribute})"
+        )
+        return conn
+
+    def test_tiling_plan_uses_halo_fragments(self):
+        conn = self.tiled_connection(nr_threads=1, fragment_rows=64)
+        plan = conn.explain(self.SMOOTH)
+        assert "array.tilepart" in plan
+        assert "array.tileagg" not in plan
+        # the result stays fragmented through the SUM(v)-independent
+        # output columns and rejoins once
+        assert "mat.pack" in plan
+
+    def test_mitosis_caps_fragments_to_halo_viability(self):
+        # 32 rows, halo 2: cap = 32 // (2*(2+1)) = 5 fragments, even
+        # though fragment_rows=7 asks for ceil(1024/7)=147.
+        conn = self.tiled_connection(nr_threads=1, fragment_rows=7)
+        plan = conn.explain(self.SMOOTH)
+        assert plan.count("array.tilepart") == 5
+
+    def test_halo_results_byte_identical(self):
+        import numpy as np
+
+        rng = np.random.default_rng(11)
+        cells = [
+            (int(x), int(y), int(rng.integers(0, 100)))
+            for x in range(24)
+            for y in range(24)
+            if rng.random() > 0.2
+        ]
+        queries = [
+            self.SMOOTH,
+            "SELECT [x], [y], AVG(v), COUNT(*) FROM g GROUP BY g[x:x+3][y:y+3]",
+            "SELECT [x], [y], MIN(v), MAX(v) FROM g GROUP BY g[x-2:x+3][y-2:y+3]",
+        ]
+        reference = self.tiled_connection(
+            side=24, attribute="v INT", nr_threads=1, fragment_rows=math.inf
+        )
+        reference.executemany("INSERT INTO g VALUES (?, ?, ?)", cells)
+        expected = {sql: reference.execute(sql).rows() for sql in queries}
+        for threads in (1, 4):
+            conn = self.tiled_connection(
+                side=24, attribute="v INT", nr_threads=threads, fragment_rows=32
+            )
+            conn.executemany("INSERT INTO g VALUES (?, ?, ?)", cells)
+            for sql in queries:
+                assert "array.tilepart" in conn.explain(sql), sql
+                assert conn.execute(sql).rows() == expected[sql], sql
+            conn.close()
+
+    def test_double_sum_does_not_fragment(self):
+        # float prefix sums drift between slab and whole-array runs;
+        # byte-identity keeps DOUBLE sums/avgs on the whole-array kernel.
+        conn = self.tiled_connection(
+            attribute="v DOUBLE", nr_threads=1, fragment_rows=64
+        )
+        plan = conn.explain(
+            "SELECT [x], [y], AVG(v) FROM g GROUP BY g[x-1:x+2][y-1:y+2]"
+        )
+        assert "array.tilepart" not in plan
+        assert "array.tileagg" in plan
+        # selection-exact aggregates still fragment for DOUBLE cells
+        plan = conn.explain(
+            "SELECT [x], [y], MAX(v) FROM g GROUP BY g[x-1:x+2][y-1:y+2]"
+        )
+        assert "array.tilepart" in plan
+
+    def test_halo_fragments_counted_in_stats(self):
+        conn = self.tiled_connection(nr_threads=1, fragment_rows=64)
+        result = conn.execute(self.SMOOTH, collect_stats=True)
+        assert result.rows()
+        assert conn.last_stats.halo_fragments == 5
+
+    def test_sequential_knobs_keep_whole_array_tiling(self):
+        conn = self.tiled_connection(nr_threads=1, fragment_rows=math.inf)
+        plan = conn.explain(self.SMOOTH)
+        assert "array.tilepart" not in plan
+        assert "array.tileagg" in plan
+
+
 class TestDataflowScheduler:
     def test_error_propagates(self):
         catalog = Catalog()

@@ -103,7 +103,8 @@ class TestArrayShiftAndCellIndex:
         v = program.emit1("bat", "pack", [1, 2, 3, 4], bat_type(None))
         agg = program.emit1(
             "array", "tileagg",
-            [Var(v), "sum", json.dumps([2, 2]), json.dumps([[0, 1], [0, 1]])],
+            [Var(v), "sum",
+             json.dumps({"shape": [2, 2], "offsets": [[0, 1], [0, 1]]})],
             bat_type(Atom.LNG),
         )
         program.emit(

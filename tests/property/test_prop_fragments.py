@@ -58,6 +58,19 @@ ARRAY_QUERIES = [
     "SELECT x / 3, AVG(v) FROM a GROUP BY x / 3",
 ]
 
+#: structural grouping over a 2-D array: halo-fragment tiling
+#: (array.tilepart) must be byte-identical to the sequential kernels
+#: across every knob combination, including aggregates the optimizer
+#: refuses to fragment (scan fallback) and expressions over the result.
+TILING_QUERIES = [
+    "SELECT [x], [y], SUM(v) FROM g GROUP BY g[x:x+2][y:y+2]",
+    "SELECT [x], [y], AVG(v), COUNT(v), COUNT(*) FROM g "
+    "GROUP BY g[x-1:x+2][y-1:y+2]",
+    "SELECT [x], [y], MIN(v), MAX(v) FROM g GROUP BY g[x-2:x+1][y:y+3]",
+    "SELECT [x], [y], SUM(v) - v FROM g GROUP BY g[x-1:x+2][y-1:y+2]",
+    "SELECT [x], [y], PROD(v) FROM g GROUP BY g[x:x+2][y:y+2]",
+]
+
 
 def _make_connection(nr_threads, fragment_rows):
     return repro.connect(nr_threads=nr_threads, fragment_rows=fragment_rows)
@@ -80,6 +93,20 @@ def _load_array(conn, cells):
         "INSERT INTO a (x, v) VALUES (?, ?)",
         [(x, v) for x, v in enumerate(cells)],
     )
+
+
+def _load_grid(conn, side, cells):
+    conn.execute(
+        f"CREATE ARRAY g (x INT DIMENSION[0:1:{side}], "
+        f"y INT DIMENSION[0:1:{side}], v INT)"
+    )
+    rows = [
+        (i // side, i % side, v)
+        for i, v in enumerate(cells)
+        if v is not None
+    ]
+    if rows:
+        conn.executemany("INSERT INTO g (x, y, v) VALUES (?, ?, ?)", rows)
 
 
 @st.composite
@@ -129,6 +156,35 @@ class TestFragmentedEquivalence:
                     fragment_rows,
                 )
             conn.close()
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        st.integers(5, 9),
+        st.data(),
+    )
+    def test_tiling_queries(self, side, data):
+        """Halo-fragment tiling == sequential tiling, byte for byte."""
+        cells = data.draw(
+            st.lists(
+                st.one_of(st.none(), st.integers(-9, 9)),
+                min_size=side * side,
+                max_size=side * side,
+            )
+        )
+        baseline = _make_connection(1, math.inf)
+        _load_grid(baseline, side, cells)
+        expected = {sql: baseline.execute(sql).rows() for sql in TILING_QUERIES}
+        for nr_threads, fragment_rows in KNOBS[:2] + KNOBS[3:]:
+            conn = _make_connection(nr_threads, fragment_rows)
+            _load_grid(conn, side, cells)
+            for sql in TILING_QUERIES:
+                assert conn.execute(sql).rows() == expected[sql], (
+                    sql,
+                    nr_threads,
+                    fragment_rows,
+                )
+            conn.close()
+        baseline.close()
 
     @settings(max_examples=15, deadline=None)
     @given(

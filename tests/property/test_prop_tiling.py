@@ -1,0 +1,173 @@
+"""Property tests for the tile-size-independent tiling kernels.
+
+Three engines must agree on randomized inputs:
+
+* :func:`brute_force_tile_aggregate` — the O(anchors × tile) Python
+  oracle;
+* :func:`shifted_scan_tile_aggregate` — the vectorized shifted-scan
+  sibling (the seed algorithm, now mask-based);
+* :func:`tile_aggregate` — the production dispatcher (prefix-sum
+  sliding windows, van Herk–Gil-Werman extrema, analytic count_star,
+  scan fallback for sparse specs).
+
+The randomized matrix covers aggregate × ndim (1–3) × tile shape
+(negative offsets, step>1 dimensions, sparse hand-built offset lists)
+× NULL density, plus the halo-fragment decomposition: packing
+:func:`tile_aggregate_fragment` pieces must reproduce the whole-array
+result — byte-identically for the combinations the optimizer actually
+fragments (counting/extrema always; sums over integer cells).
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gdk.atoms import Atom
+from repro.gdk.column import Column
+from repro.core.tiling import (
+    TILE_AGGREGATES,
+    TileSpec,
+    brute_force_tile_aggregate,
+    shifted_scan_tile_aggregate,
+    tile_aggregate,
+    tile_aggregate_fragment,
+)
+
+
+@st.composite
+def tiling_case(draw, atom=Atom.INT):
+    """(values column, shape, spec) with randomized holes."""
+    ndim = draw(st.integers(1, 3))
+    shape = tuple(draw(st.integers(1, 5)) for _ in range(ndim))
+    per_dim = []
+    for _ in range(ndim):
+        if draw(st.booleans()):
+            # dense range built like the SQL surface: [x+lo : x+hi) / step
+            lo = draw(st.integers(-3, 2))
+            width = draw(st.integers(1, 4))
+            step = draw(st.sampled_from([1, 1, 1, 2]))
+            ranks = tuple(
+                delta // step
+                for delta in range(lo, lo + width)
+                if delta % step == 0
+            )
+            if not ranks:
+                ranks = (lo // step,)
+            per_dim.append(ranks)
+        else:
+            # sparse hand-built offsets (gaps force the scan fallback)
+            offsets = draw(
+                st.lists(st.integers(-4, 4), min_size=1, max_size=3, unique=True)
+            )
+            per_dim.append(tuple(sorted(offsets)))
+    spec = TileSpec(tuple(per_dim))
+    cells = math.prod(shape)
+    null_density = draw(st.sampled_from([0.0, 0.2, 0.9]))
+    if atom is Atom.DBL:
+        value = st.floats(-100, 100, allow_nan=False).map(lambda f: f / 7.0)
+    else:
+        value = st.integers(-30, 30)
+    items = draw(
+        st.lists(
+            st.one_of(st.none(), value) if null_density else value,
+            min_size=cells,
+            max_size=cells,
+        )
+        if null_density != 0.9
+        else st.lists(
+            st.one_of(st.none(), st.none(), st.none(), value),
+            min_size=cells,
+            max_size=cells,
+        )
+    )
+    return Column.from_pylist(atom, items), shape, spec
+
+
+def assert_matches(column: Column, reference: list, float_ok: bool) -> None:
+    produced = column.to_pylist()
+    assert len(produced) == len(reference)
+    for got, want in zip(produced, reference):
+        if want is None:
+            assert got is None
+        elif float_ok and isinstance(want, float):
+            assert got == pytest.approx(want, rel=1e-9, abs=1e-9)
+        else:
+            assert got == want
+
+
+class TestKernelsMatchOracle:
+    @settings(max_examples=120, deadline=None)
+    @given(tiling_case())
+    def test_int_kernels_match_brute_force(self, case):
+        values, shape, spec = case
+        for aggregate in TILE_AGGREGATES:
+            expected = brute_force_tile_aggregate(values, shape, spec, aggregate)
+            assert_matches(
+                tile_aggregate(values, shape, spec, aggregate),
+                expected,
+                float_ok=(aggregate == "avg"),
+            )
+            assert_matches(
+                shifted_scan_tile_aggregate(values, shape, spec, aggregate),
+                expected,
+                float_ok=(aggregate == "avg"),
+            )
+
+    @settings(max_examples=60, deadline=None)
+    @given(tiling_case(atom=Atom.DBL))
+    def test_double_kernels_match_brute_force(self, case):
+        values, shape, spec = case
+        for aggregate in ("sum", "avg", "min", "max", "count"):
+            expected = brute_force_tile_aggregate(values, shape, spec, aggregate)
+            assert_matches(
+                tile_aggregate(values, shape, spec, aggregate),
+                expected,
+                float_ok=True,
+            )
+
+
+class TestHaloFragments:
+    """Packing halo fragments reproduces the whole-array result."""
+
+    #: the combinations mergetable fragments must be *byte*-identical.
+    EXACT = ("count", "count_star", "min", "max", "sum", "prod", "avg")
+
+    @settings(max_examples=80, deadline=None)
+    @given(tiling_case(), st.integers(1, 6))
+    def test_int_fragments_pack_exactly(self, case, pieces):
+        values, shape, spec = case
+        cells = len(values)
+        for aggregate in self.EXACT:
+            whole = tile_aggregate(values, shape, spec, aggregate)
+            packed: list = []
+            for index in range(pieces):
+                start = cells * index // pieces
+                stop = cells * (index + 1) // pieces
+                fragment = tile_aggregate_fragment(
+                    values, shape, spec, aggregate, start, stop
+                )
+                assert len(fragment) == stop - start
+                packed.extend(fragment.to_pylist())
+            assert packed == whole.to_pylist(), (aggregate, shape, spec)
+
+    @settings(max_examples=40, deadline=None)
+    @given(tiling_case(atom=Atom.DBL), st.integers(2, 4))
+    def test_double_extrema_fragments_pack_exactly(self, case, pieces):
+        """min/max/count are selection-exact even for float cells —
+        the combinations the optimizer halo-fragments for DOUBLE."""
+        values, shape, spec = case
+        cells = len(values)
+        for aggregate in ("min", "max", "count", "count_star"):
+            whole = tile_aggregate(values, shape, spec, aggregate)
+            packed: list = []
+            for index in range(pieces):
+                start = cells * index // pieces
+                stop = cells * (index + 1) // pieces
+                packed.extend(
+                    tile_aggregate_fragment(
+                        values, shape, spec, aggregate, start, stop
+                    ).to_pylist()
+                )
+            assert packed == whole.to_pylist(), (aggregate, shape, spec)
