@@ -38,6 +38,7 @@ DEFAULT_SUITES = [
     "benchmarks/bench_prepared.py",
     "benchmarks/bench_parallel.py",
     "benchmarks/bench_concurrency.py",
+    "benchmarks/bench_durability.py",
 ]
 
 

@@ -19,12 +19,43 @@ from typing import Iterator, Optional
 
 from repro.errors import CatalogError, PersistenceError
 from repro.gdk.atoms import Atom
-from repro.gdk.persist import load_bat, publish_farm, save_bat
+from repro.gdk.persist import (
+    atomic_write_bytes,
+    load_bat,
+    publish_farm,
+    recover_farm,
+    save_bat,
+)
 from repro.catalog.objects import Array, ColumnDef, DimensionDef, Table
 
 SchemaObject = Table | Array
 
 _CATALOG_FILE = "catalog.json"
+
+#: manifest layout revision; bumped with the checksum/version fields.
+_FARM_FORMAT = 2
+
+
+def read_manifest(directory: Path) -> dict:
+    """Parse a farm's ``catalog.json``; raises :class:`PersistenceError`."""
+    manifest_path = Path(directory) / _CATALOG_FILE
+    if not manifest_path.exists():
+        raise PersistenceError(f"no catalog manifest in {directory}")
+    try:
+        return json.loads(manifest_path.read_text())
+    except ValueError as exc:
+        raise PersistenceError(
+            f"corrupt catalog manifest {manifest_path}: {exc}"
+        ) from exc
+
+
+def farm_versions(directory: Path) -> tuple[int, int]:
+    """(commit version, schema version) recorded in a farm's manifest.
+
+    Farms written before the versioned manifest report ``(0, 0)``.
+    """
+    manifest = read_manifest(directory)
+    return int(manifest.get("version", 0)), int(manifest.get("schema_version", 0))
 
 
 class Catalog:
@@ -151,18 +182,33 @@ class Catalog:
     # ------------------------------------------------------------------
     # persistence (the database "farm")
     # ------------------------------------------------------------------
-    def save(self, directory: Path) -> None:
+    def save(
+        self, directory: Path, version: int = 0, schema_version: int = 0
+    ) -> None:
         """Publish the whole database under *directory* atomically.
 
         The farm is written to a staging sibling and swapped in, so a
         crash mid-save never leaves a half-written farm behind and a
         concurrent :meth:`load` sees either the old or the new version.
+        *version*/*schema_version* are the engine's commit counters at
+        the time of the snapshot; recovery replays only write-ahead-log
+        records younger than the farm's recorded version.
         """
-        publish_farm(Path(directory), self._write_farm)
+        publish_farm(
+            Path(directory),
+            lambda staging: self._write_farm(staging, version, schema_version),
+        )
 
-    def _write_farm(self, directory: Path) -> None:
+    def _write_farm(
+        self, directory: Path, version: int = 0, schema_version: int = 0
+    ) -> None:
         """Write manifest + BATs into an (existing, empty) directory."""
-        manifest: dict = {"objects": []}
+        manifest: dict = {
+            "format": _FARM_FORMAT,
+            "version": version,
+            "schema_version": schema_version,
+            "objects": [],
+        }
         for name, obj in sorted(self._objects.items()):
             entry: dict = {"name": name, "kind": obj.kind}
             if isinstance(obj, Table):
@@ -199,16 +245,22 @@ class Catalog:
             subdir = directory / name
             for column, bat in obj.bats.items():
                 save_bat(bat, subdir, column)
-        (directory / _CATALOG_FILE).write_text(json.dumps(manifest, indent=1))
+        atomic_write_bytes(
+            directory / _CATALOG_FILE, json.dumps(manifest, indent=1).encode()
+        )
 
     @classmethod
     def load(cls, directory: Path) -> "Catalog":
-        """Read a database previously written by :meth:`save`."""
+        """Read a database previously written by :meth:`save`.
+
+        Adopts a stranded ``<name>.retired`` farm first (a crash
+        between the two renames of a publish can leave the retired
+        copy as the only farm on disk), so a bare :meth:`load` is as
+        crash-tolerant as the engine's recovery path.
+        """
         directory = Path(directory)
-        manifest_path = directory / _CATALOG_FILE
-        if not manifest_path.exists():
-            raise PersistenceError(f"no catalog manifest in {directory}")
-        manifest = json.loads(manifest_path.read_text())
+        recover_farm(directory)
+        manifest = read_manifest(directory)
         catalog = cls()
         for entry in manifest["objects"]:
             name = entry["name"]

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Optional
 
 import numpy as np
 
@@ -91,7 +91,55 @@ class DimensionDef:
         return f"[{self.start}:{self.step}:{self.stop}]"
 
 
-class Table:
+class _DeltaJournal:
+    """Mix-in: record logical mutations for O(delta) durable commits.
+
+    A transaction fork arms each cloned object with an empty journal
+    (:meth:`_arm_journal`); every mutating method then appends one
+    ``(method, payload)`` entry describing its *inputs* — the logical
+    delta — and snapshots the resulting BAT bindings.  At commit time
+    the WAL (:mod:`repro.engine.wal`) replays exactly these entries, so
+    a durable commit costs O(changed rows), not O(database).
+
+    The BAT-binding snapshot is the faithfulness check: code that
+    assigns ``obj.bats[...]`` directly (bypassing the journaled
+    methods) leaves the snapshot stale, and the WAL falls back to
+    logging the object's full state instead of an incomplete delta.
+    Objects built outside a fork carry ``journal = None`` and pay
+    nothing.
+    """
+
+    journal: Optional[list] = None
+    _journal_bats: Optional[dict] = None
+    _journal_base: Optional[object] = None
+
+    def _arm_journal(self, base: Optional[object] = None) -> None:
+        self.journal = []
+        self._journal_bats = dict(self.bats)
+        self._journal_base = base
+
+    def _disarm_journal(self) -> None:
+        self.journal = None
+        self._journal_bats = None
+        self._journal_base = None
+
+    def _journal_op(self, method: str, payload: dict) -> None:
+        if self.journal is not None:
+            self.journal.append((method, payload))
+            self._journal_bats = dict(self.bats)
+
+    def journal_faithful(self) -> bool:
+        """True when the journal provably covers every BAT rebinding."""
+        if self.journal is None or self._journal_bats is None:
+            return False
+        if self._journal_bats.keys() != self.bats.keys():
+            return False
+        return all(
+            self.bats[name] is bat for name, bat in self._journal_bats.items()
+        )
+
+
+class Table(_DeltaJournal):
     """A relational table: a bag of tuples stored column-wise in BATs."""
 
     kind = "table"
@@ -142,6 +190,7 @@ class Table:
         other.name = self.name
         other.columns = list(self.columns)
         other.bats = dict(self.bats)
+        other._arm_journal(self)
         return other
 
     def append_rows(self, columns: dict[str, Column]) -> int:
@@ -160,6 +209,7 @@ class Table:
             else:
                 incoming = Column.nulls(cdef.atom, n)
             self.bats[cdef.name] = self.bats[cdef.name].append(BAT(incoming))
+        self._journal_op("append_rows", {"columns": dict(columns)})
         return n
 
     def replace_values(self, column: str, oids: np.ndarray, values: Column) -> None:
@@ -168,6 +218,14 @@ class Table:
         if values.atom is not cdef.atom:
             values = values.cast(cdef.atom)
         self.bats[column] = self.bats[column].replace(oids, values)
+        self._journal_op(
+            "replace_values",
+            {
+                "column": column,
+                "oids": np.asarray(oids, dtype=np.int64),
+                "values": values,
+            },
+        )
 
     def delete_rows(self, oids: np.ndarray) -> int:
         """Physically remove rows (tables are bags; arrays never do this)."""
@@ -176,15 +234,19 @@ class Table:
         )
         for name, bat in self.bats.items():
             self.bats[name] = BAT(bat.tail.take(keep), 0)
+        self._journal_op(
+            "delete_rows", {"oids": np.asarray(oids, dtype=np.int64)}
+        )
         return self.count
 
     def clear(self) -> None:
         """Remove all tuples."""
         for cdef in self.columns:
             self.bats[cdef.name] = BAT.empty(cdef.atom)
+        self._journal_op("clear", {})
 
 
-class Array:
+class Array(_DeltaJournal):
     """A SciQL array: dimensions + cell attributes, fully materialised.
 
     Cells are stored in *dimension-major* order: the first declared
@@ -274,6 +336,7 @@ class Array:
         other.dimensions = list(self.dimensions)
         other.attributes = list(self.attributes)
         other.bats = dict(self.bats)
+        other._arm_journal(self)
         return other
 
     # ------------------------------------------------------------------
@@ -365,12 +428,23 @@ class Array:
         if values.atom is not adef.atom:
             values = values.cast(adef.atom)
         self.bats[attribute] = self.bats[attribute].replace(oids, values)
+        self._journal_op(
+            "replace_values",
+            {
+                "column": attribute,
+                "oids": np.asarray(oids, dtype=np.int64),
+                "values": values,
+            },
+        )
 
     def delete_cells(self, oids: np.ndarray) -> None:
         """DELETE "creates holes by assigning NULL" to every attribute."""
         for attribute in self.attributes:
             nulls = Column.nulls(attribute.atom, len(oids))
             self.bats[attribute.name] = self.bats[attribute.name].replace(oids, nulls)
+        self._journal_op(
+            "delete_cells", {"oids": np.asarray(oids, dtype=np.int64)}
+        )
 
     def alter_dimension(self, name: str, start: int, step: int, stop: int) -> None:
         """ALTER ARRAY ... ALTER DIMENSION ... SET RANGE (Figure 1(f)).
@@ -404,3 +478,7 @@ class Array:
             self.bats[attribute.name] = self.bats[attribute.name].replace(
                 targets, source.take(keep_positions)
             )
+        self._journal_op(
+            "alter_dimension",
+            {"dimension": name, "start": start, "step": step, "stop": stop},
+        )

@@ -961,12 +961,15 @@ class Connection:
         nr_threads: Optional[int] = None,
         fragment_rows: Optional[float] = None,
         statement_cache_size: int = DEFAULT_STATEMENT_CACHE_SIZE,
-        durable: bool = False,
+        durable: bool | str = False,
     ) -> "Connection":
         """Open a database previously written by :meth:`save`.
 
-        Returns an owning session of a freshly loaded engine; pass
-        ``durable=True`` to re-publish the farm on every commit.
+        Opening runs crash recovery (checkpoint + write-ahead-log
+        replay; see :meth:`Database.open`).  Returns an owning session
+        of the freshly loaded engine; ``durable=True`` keeps every
+        commit durable via the WAL, ``durable="full"`` republishes the
+        whole farm per commit instead.
         """
         database = Database.open(
             directory,
@@ -1033,7 +1036,7 @@ def connect(
     statement_cache_size: int = DEFAULT_STATEMENT_CACHE_SIZE,
     nr_threads: Optional[int] = None,
     fragment_rows: Optional[float] = None,
-    durable: bool = False,
+    durable: bool | str = False,
 ) -> Connection:
     """Create a session: in-memory by default, or load a saved farm.
 
@@ -1049,7 +1052,11 @@ def connect(
     ``float('inf')`` disables fragmentation).  Both accept
     ``REPRO_NR_THREADS`` / ``REPRO_FRAGMENT_ROWS`` environment
     overrides when not given explicitly.  ``durable=True`` (with a
-    *path*) republishes the farm atomically on every commit.
+    *path*) makes every commit crash-safe: the commit's logical delta
+    is fsync'd to a write-ahead log (``<path>.wal``) before the commit
+    returns, and checkpoints fold the log into the farm; reopening the
+    path replays the log automatically.  ``durable="full"`` keeps the
+    legacy mode of republishing the whole farm per commit.
     """
     if path is None:
         return Connection(

@@ -52,14 +52,63 @@ from repro.errors import (
     SciQLError,
 )
 from repro.catalog import Catalog
+from repro.catalog.catalog import farm_versions
+from repro.engine import wal as wal_mod
+from repro.gdk.persist import recover_farm
 from repro.mal.interpreter import Interpreter
 from repro.mal.optimizer import DEFAULT_PIPELINE, build_pipeline
+from repro.testing.faultpoints import crash_point
 
 #: default capacity of the shared LRU statement cache.
 DEFAULT_STATEMENT_CACHE_SIZE = 128
 
 #: cap on the automatic worker-thread count.
 MAX_AUTO_THREADS = 8
+
+#: checkpoint when the WAL grows past this many bytes...
+DEFAULT_CHECKPOINT_BYTES = 64 * 1024 * 1024
+#: ... or this many commit records, whichever comes first.
+DEFAULT_CHECKPOINT_RECORDS = 1024
+
+
+def resolve_durable_mode(value, path) -> Optional[str]:
+    """Normalise the ``durable`` knob: None, ``"wal"`` or ``"full"``.
+
+    ``True`` (and ``"wal"``) selects write-ahead logging — commits
+    append fsync'd deltas to ``<farm>.wal`` and checkpoints fold them
+    into the farm.  ``"full"`` keeps the legacy behaviour of
+    republishing the whole farm on every commit (the benchmark
+    baseline).  Durability requires a farm *path*.
+    """
+    if value is None or value is False:
+        return None
+    if value is True:
+        mode = "wal"
+    elif isinstance(value, str) and value.lower() in ("wal", "full"):
+        mode = value.lower()
+    elif isinstance(value, str) and value.lower() in ("off", "none", ""):
+        return None
+    else:
+        raise ProgrammingError(
+            f"invalid durable value {value!r}: expected a bool, 'wal' or 'full'"
+        )
+    if path is None:
+        # Matches the historical behaviour: durability silently requires
+        # a farm path (an in-memory database has nowhere to log to).
+        return None
+    return mode
+
+
+def _resolve_checkpoint_threshold(env_name: str, default: int) -> int:
+    value = os.environ.get(env_name)
+    if not value:
+        return default
+    try:
+        return max(1, int(value))
+    except ValueError:
+        raise ProgrammingError(
+            f"invalid {env_name} value {value!r}: expected an integer"
+        ) from None
 
 
 def resolve_nr_threads(value: Optional[int]) -> int:
@@ -211,7 +260,7 @@ class Database:
         nr_threads: Optional[int] = None,
         fragment_rows: Optional[float] = None,
         path: Optional[str | Path] = None,
-        durable: bool = False,
+        durable: bool | str = False,
     ):
         self._head = CatalogVersion(
             catalog if catalog is not None else Catalog(), 0, 0
@@ -234,10 +283,20 @@ class Database:
         self._sessions: weakref.WeakSet = weakref.WeakSet()
         self._txn_serial = 0
         self._closed = False
-        #: commit-time durability: when set, every committed version is
-        #: also published to the farm directory atomically.
+        #: commit-time durability.  ``durable_mode`` is ``"wal"`` (append
+        #: fsync'd logical deltas to ``<farm>.wal``, checkpoint on
+        #: thresholds), ``"full"`` (legacy: republish the whole farm per
+        #: commit) or ``None``; ``durable`` keeps the boolean view.
         self.path = Path(path) if path is not None else None
-        self.durable = bool(durable) and self.path is not None
+        self.durable_mode = resolve_durable_mode(durable, self.path)
+        self.durable = self.durable_mode is not None
+        self._wal: Optional[wal_mod.WriteAheadLog] = None
+        self.checkpoint_bytes = _resolve_checkpoint_threshold(
+            "REPRO_WAL_CHECKPOINT_BYTES", DEFAULT_CHECKPOINT_BYTES
+        )
+        self.checkpoint_records = _resolve_checkpoint_threshold(
+            "REPRO_WAL_CHECKPOINT_RECORDS", DEFAULT_CHECKPOINT_RECORDS
+        )
         #: aggregate observability across all sessions.
         self.compile_count = 0
         self.cache_hits = 0
@@ -263,6 +322,9 @@ class Database:
             session._close_session()
         with self._cache_lock:
             self._plan_cache.clear()
+        if self._wal is not None:
+            self._wal.close()
+            self._wal = None
         self.interpreter.close()
 
     def __enter__(self) -> "Database":
@@ -367,9 +429,30 @@ class Database:
                 head.version + 1,
                 head.schema_version + txn.schema_changes,
             )
+            if self.durable_mode == "wal":
+                # Write-ahead: the logical delta must be on stable
+                # storage *before* the commit is visible or acknowledged.
+                changes = wal_mod.extract_changes(txn)
+                self._ensure_wal().append_commit(
+                    published.version, published.schema_version, changes
+                )
             self._head = published
-            if self.durable:
-                catalog.save(self.path)
+            crash_point("commit.published")
+            if self.durable_mode == "full":
+                catalog.save(
+                    self.path, published.version, published.schema_version
+                )
+            for name in txn.writes:
+                obj = catalog.entry(name)
+                if obj is not None:
+                    obj._disarm_journal()
+            if self.durable_mode == "wal":
+                log = self._wal
+                if (
+                    log.record_count >= self.checkpoint_records
+                    or log.size >= self.checkpoint_bytes
+                ):
+                    self._checkpoint_locked()
             return published
 
     # ------------------------------------------------------------------
@@ -441,16 +524,62 @@ class Database:
     # ------------------------------------------------------------------
     # persistence
     # ------------------------------------------------------------------
+    def _ensure_wal(self) -> wal_mod.WriteAheadLog:
+        """The open WAL, bootstrapping farm + log on first durable commit.
+
+        Called under the writer lock.  A database that was *not* opened
+        from its farm (fresh engine handed a path) first publishes a
+        full checkpoint of the current head, so WAL replay always has
+        the matching base state to build on; any stale log from an
+        earlier incarnation is truncated at the same time.
+        """
+        if self._wal is None:
+            head = self._head
+            head.catalog.save(self.path, head.version, head.schema_version)
+            self._wal = wal_mod.WriteAheadLog(wal_mod.wal_path_for(self.path))
+            self._wal.reset()
+        return self._wal
+
+    def checkpoint(self) -> None:
+        """Fold the write-ahead log into the farm (atomic swap).
+
+        Publishes the committed head as a full farm snapshot and then
+        truncates the WAL.  A crash between the two steps is safe:
+        replay skips records no younger than the farm's recorded
+        version.  Automatic checkpoints run inside the commit path when
+        the WAL passes the size/record thresholds
+        (``REPRO_WAL_CHECKPOINT_BYTES`` / ``REPRO_WAL_CHECKPOINT_RECORDS``).
+        """
+        self._check_open()
+        if self.path is None:
+            raise ProgrammingError("checkpoint needs a database path")
+        with self._writer_lock:
+            self._checkpoint_locked()
+
+    def _checkpoint_locked(self) -> None:
+        head = self._head
+        crash_point("checkpoint.before_publish")
+        head.catalog.save(self.path, head.version, head.schema_version)
+        crash_point("checkpoint.before_reset")
+        if self._wal is not None:
+            self._wal.reset()
+
     def save(self, directory: str | Path) -> None:
         """Publish the committed head under *directory* (atomic swap).
 
         The writer lock is held across the publish so a concurrent
         durable commit never races this save on the same farm's
-        staging directories.
+        staging directories.  Saving onto the database's own farm path
+        doubles as a checkpoint: the WAL is truncated once the snapshot
+        is on disk.
         """
         self._check_open()
+        directory = Path(directory)
         with self._writer_lock:
-            self._head.catalog.save(Path(directory))
+            head = self._head
+            head.catalog.save(directory, head.version, head.schema_version)
+            if self._wal is not None and directory == self.path:
+                self._wal.reset()
 
     @classmethod
     def open(
@@ -460,21 +589,43 @@ class Database:
         statement_cache_size: int = DEFAULT_STATEMENT_CACHE_SIZE,
         nr_threads: Optional[int] = None,
         fragment_rows: Optional[float] = None,
-        durable: bool = False,
+        durable: bool | str = False,
     ) -> "Database":
         """Open a database farm previously written by :meth:`save`.
 
-        With ``durable=True`` every subsequent commit re-publishes the
-        farm atomically, so the directory always holds the latest
-        committed version.
+        Runs crash recovery: adopts a stranded ``.retired`` farm when a
+        publish was interrupted mid-swap, loads the last checkpoint,
+        replays any write-ahead-log records younger than it through the
+        normal catalog mutation code, and truncates a torn final WAL
+        record (an unacknowledged in-flight commit) with a
+        :class:`~repro.errors.RecoveryWarning`.  The recovered state is
+        therefore exactly the last acknowledged commit (plus at most
+        one fully-logged in-flight commit that crashed before its ack).
+
+        ``durable=True`` (or ``"wal"``) keeps subsequent commits
+        durable via the WAL; ``durable="full"`` republishes the whole
+        farm per commit instead.
         """
         directory = Path(directory)
+        recover_farm(directory)
         if not directory.exists():
             raise SciQLError(
                 f"no database at {directory}; use connect() and save()"
             )
-        return cls(
-            Catalog.load(directory),
+        catalog = Catalog.load(directory)
+        version, schema_version = farm_versions(directory)
+        wal_path = wal_mod.wal_path_for(directory)
+        records: list = []
+        if wal_path.exists():
+            records = wal_mod.load_records(wal_path, repair=True)
+            for record in records:
+                if record["version"] <= version:
+                    continue  # already folded into the checkpoint
+                wal_mod.apply_record(catalog, record)
+                version = record["version"]
+                schema_version = record["schema_version"]
+        database = cls(
+            catalog,
             optimize=optimize,
             statement_cache_size=statement_cache_size,
             nr_threads=nr_threads,
@@ -482,3 +633,10 @@ class Database:
             path=directory,
             durable=durable,
         )
+        database._head = CatalogVersion(catalog, version, schema_version)
+        if database.durable_mode == "wal":
+            log = wal_mod.WriteAheadLog(wal_path)
+            log.open()
+            log.record_count = len(records)
+            database._wal = log
+        return database

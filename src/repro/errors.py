@@ -115,3 +115,23 @@ class CoercionError(DataError):
 
 class PersistenceError(OperationalError):
     """Raised when loading or saving a database farm directory fails."""
+
+
+class CorruptionError(PersistenceError):
+    """A stored file failed its checksum (or structural) verification.
+
+    The damaged file is quarantined (renamed to ``<file>.corrupt``)
+    before this is raised, so a retried load fails fast instead of
+    silently returning garbage; the message names the file and the
+    recovery options.
+    """
+
+
+class RecoveryWarning(UserWarning):
+    """Issued when opening a database required crash recovery.
+
+    Emitted for graceful degradation the user should know about:
+    a stranded ``.retired`` farm was adopted because the main farm
+    directory vanished mid-swap, or a torn write-ahead-log tail (an
+    unacknowledged in-flight commit) was truncated during replay.
+    """

@@ -5,26 +5,143 @@ directory.  We reproduce the idea with one ``.npy`` file per column
 payload (plus one for the null mask when present) and a JSON descriptor
 per BAT.  The catalog layer composes these into whole-database
 snapshots (see :mod:`repro.catalog`); :func:`publish_farm` swaps a
-freshly written snapshot in atomically, which is what commit-time
-durability of the engine's :class:`~repro.engine.database.Database`
-builds on.
+freshly written snapshot in atomically, which is what checkpointing of
+the engine's :class:`~repro.engine.database.Database` builds on.
+
+Crash-safety contract (tested by the fault-point matrix in
+``tests/engine/test_recovery.py``):
+
+* every farm file is written via :func:`atomic_write_bytes` — staged to
+  a ``.tmp`` sibling, fsync'd, renamed over the target, directory
+  fsync'd — so a crash never leaves a torn descriptor or payload under
+  the real name;
+* :func:`save_bat` records a CRC32 per payload/mask file in the
+  descriptor and :func:`load_bat` verifies it, quarantining damaged
+  files (``<file>.corrupt``) and raising
+  :class:`~repro.errors.CorruptionError` instead of loading garbage;
+* :func:`publish_farm` never deletes a leftover ``<name>.retired``
+  before confirming the main directory exists, and
+  :func:`recover_farm` adopts a stranded ``.retired`` copy when a
+  crash between the swap's two renames left it as the only farm.
 """
 
 from __future__ import annotations
 
+import io
 import json
+import os
 import shutil
+import warnings
+import zlib
 from pathlib import Path
-from typing import Callable
+from typing import Callable, Optional
 
 import numpy as np
 
-from repro.errors import PersistenceError
+from repro.errors import CorruptionError, PersistenceError, RecoveryWarning
 from repro.gdk.atoms import Atom
 from repro.gdk.bat import BAT
 from repro.gdk.column import Column
+from repro.testing.faultpoints import crash_point
 
 _DESCRIPTOR_SUFFIX = ".bat.json"
+
+
+# ----------------------------------------------------------------------
+# atomic file primitives
+# ----------------------------------------------------------------------
+def fsync_directory(directory: Path) -> None:
+    """Flush a directory's entry table (persists renames within it)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir-open
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - fs without dir fsync
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path: Path, data: bytes) -> None:
+    """Write *data* under *path* so a crash leaves old-or-new, never torn.
+
+    The bytes are staged to a ``.tmp`` sibling, fsync'd, renamed over
+    the target (atomic on POSIX), and the parent directory is fsync'd
+    so the rename itself survives a power cut.
+    """
+    path = Path(path)
+    staged = path.with_name(path.name + ".tmp")
+    with open(staged, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+    crash_point("persist.file_staged")
+    os.replace(staged, path)
+    fsync_directory(path.parent)
+
+
+def _read_checked(directory: Path, filename: str, checksums: Optional[dict]) -> bytes:
+    """Read one farm file, verifying its recorded CRC32 when present.
+
+    A mismatch quarantines the file (renames it to ``<file>.corrupt``)
+    and raises :class:`CorruptionError` naming the damaged file and the
+    recovery options — silently loading garbage is never an option.
+    """
+    path = directory / filename
+    data = path.read_bytes()
+    expected = (checksums or {}).get(filename)
+    if expected is not None and zlib.crc32(data) != expected:
+        quarantined = path.with_name(path.name + ".corrupt")
+        path.rename(quarantined)
+        raise CorruptionError(
+            f"checksum mismatch in {path}: the file is damaged and has "
+            f"been quarantined as {quarantined.name}. Recovery options: "
+            "restore the farm from a backup, re-run a checkpoint from a "
+            "healthy replica, or drop the containing object and reload "
+            "its data; replaying the write-ahead log (Database.open) "
+            "repairs the farm only when a checkpoint predates the damage."
+        )
+    return data
+
+
+# ----------------------------------------------------------------------
+# farm-level swap and crash recovery
+# ----------------------------------------------------------------------
+def recover_farm(directory: Path) -> Optional[str]:
+    """Repair the aftermath of a crash around :func:`publish_farm`.
+
+    * main directory missing but ``<name>.retired`` present — the crash
+      hit between the swap's two renames; the retired copy is the only
+      farm, so it is adopted (renamed back) with a
+      :class:`RecoveryWarning`;
+    * leftover ``.staging`` — an unfinished write, removed;
+    * leftover ``.retired`` next to an existing main directory — a
+      completed swap that crashed before cleanup, removed.
+
+    Returns a short description of the action taken, or ``None``.
+    """
+    directory = Path(directory)
+    staging = directory.with_name(directory.name + ".staging")
+    retired = directory.with_name(directory.name + ".retired")
+    action = None
+    if not directory.exists() and retired.exists():
+        retired.rename(directory)
+        fsync_directory(directory.parent)
+        action = "adopted-retired-farm"
+        warnings.warn(
+            f"farm directory {directory} was missing; adopted the "
+            f"stranded {retired.name} copy left by an interrupted "
+            "publish (state of the last completed checkpoint)",
+            RecoveryWarning,
+            stacklevel=2,
+        )
+    if staging.exists():
+        shutil.rmtree(staging)
+    if retired.exists() and directory.exists():
+        shutil.rmtree(retired)
+    return action
 
 
 def publish_farm(directory: Path, write: Callable[[Path], None]) -> None:
@@ -35,56 +152,100 @@ def publish_farm(directory: Path, write: Callable[[Path], None]) -> None:
     renamed aside, staging renamed into place, old farm removed).  A
     failure while writing leaves the previous farm untouched; a crash
     between the two renames leaves the old farm recoverable under
-    ``<name>.retired``.
+    ``<name>.retired``, which :func:`recover_farm` (and the next
+    publish) adopts — leftovers are only deleted once the main
+    directory is confirmed to exist.
     """
     directory = Path(directory)
     staging = directory.with_name(directory.name + ".staging")
     retired = directory.with_name(directory.name + ".retired")
-    for leftover in (staging, retired):
-        if leftover.exists():
-            shutil.rmtree(leftover)
+    if not directory.exists() and retired.exists():
+        # A previous publish crashed mid-swap: the retired copy is the
+        # only farm there is.  Adopt it before clearing anything.
+        retired.rename(directory)
+    if staging.exists():
+        shutil.rmtree(staging)
+    if retired.exists():
+        # The main directory exists, so the retired copy is a dead
+        # pre-swap snapshot from a crash after the swap completed.
+        shutil.rmtree(retired)
     staging.mkdir(parents=True)
     try:
         write(staging)
     except BaseException:
         shutil.rmtree(staging, ignore_errors=True)
         raise
+    crash_point("publish.staged")
     if directory.exists():
         directory.rename(retired)
+    crash_point("publish.retired")
     staging.rename(directory)
+    crash_point("publish.swapped")
+    fsync_directory(directory.parent)
     shutil.rmtree(retired, ignore_errors=True)
 
 
-def save_bat(bat: BAT, directory: Path, name: str) -> None:
-    """Write one BAT under *directory* as ``name.values.npy`` (+ mask, meta)."""
-    directory = Path(directory)
-    directory.mkdir(parents=True, exist_ok=True)
-    values_path = directory / f"{name}.values.npy"
+# ----------------------------------------------------------------------
+# single-BAT save/load
+# ----------------------------------------------------------------------
+def _values_payload(bat: BAT) -> tuple[str, bytes]:
+    """Serialized tail values: (filename suffix, bytes)."""
     if bat.atom is Atom.STR:
         # Object arrays do not round-trip via np.save without pickle;
         # store strings as JSON alongside an index-preserving layout.
         payload = {"strings": bat.tail.values.tolist()}
-        (directory / f"{name}.values.json").write_text(json.dumps(payload))
-        has_values_npy = False
-    else:
-        np.save(values_path, bat.tail.values, allow_pickle=False)
-        has_values_npy = True
+        return ".values.json", json.dumps(payload).encode()
+    buffer = io.BytesIO()
+    np.save(buffer, bat.tail.values, allow_pickle=False)
+    return ".values.npy", buffer.getvalue()
+
+
+def save_bat(bat: BAT, directory: Path, name: str) -> None:
+    """Write one BAT under *directory* as ``name.values.npy`` (+ mask, meta).
+
+    Every file lands atomically and the descriptor carries a CRC32 per
+    payload file, so :func:`load_bat` can prove integrity.  The
+    descriptor is written last: a crash mid-save leaves at worst
+    payload files without a descriptor, which :func:`list_bats` ignores.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    suffix, values_data = _values_payload(bat)
+    values_file = f"{name}{suffix}"
+    checksums = {values_file: zlib.crc32(values_data)}
+    atomic_write_bytes(directory / values_file, values_data)
     mask_file = None
     if bat.tail.mask is not None:
         mask_file = f"{name}.mask.npy"
-        np.save(directory / mask_file, bat.tail.mask, allow_pickle=False)
+        buffer = io.BytesIO()
+        np.save(buffer, bat.tail.mask, allow_pickle=False)
+        mask_data = buffer.getvalue()
+        checksums[mask_file] = zlib.crc32(mask_data)
+        atomic_write_bytes(directory / mask_file, mask_data)
     descriptor = {
         "atom": bat.atom.value,
         "hseqbase": bat.hseqbase,
         "count": len(bat),
-        "values": f"{name}.values.npy" if has_values_npy else f"{name}.values.json",
+        "values": values_file,
         "mask": mask_file,
+        "checksums": checksums,
     }
-    (directory / f"{name}{_DESCRIPTOR_SUFFIX}").write_text(json.dumps(descriptor, indent=1))
+    atomic_write_bytes(
+        directory / f"{name}{_DESCRIPTOR_SUFFIX}",
+        json.dumps(descriptor, indent=1).encode(),
+    )
 
 
 def load_bat(directory: Path, name: str) -> BAT:
-    """Read a BAT previously written by :func:`save_bat`."""
+    """Read a BAT previously written by :func:`save_bat`.
+
+    Payload and mask files are checksum-verified against the
+    descriptor (descriptors from older farms without checksums still
+    load).  Corrupt files are quarantined and raise
+    :class:`CorruptionError`; structural damage (unparseable
+    descriptor, missing files, count mismatches) raises
+    :class:`PersistenceError` naming the BAT.
+    """
     directory = Path(directory)
     descriptor_path = directory / f"{name}{_DESCRIPTOR_SUFFIX}"
     if not descriptor_path.exists():
@@ -92,19 +253,24 @@ def load_bat(directory: Path, name: str) -> BAT:
     try:
         descriptor = json.loads(descriptor_path.read_text())
         atom = Atom(descriptor["atom"])
+        checksums = descriptor.get("checksums")
         values_name = descriptor["values"]
+        values_data = _read_checked(directory, values_name, checksums)
         if values_name.endswith(".json"):
-            payload = json.loads((directory / values_name).read_text())
+            payload = json.loads(values_data.decode())
             values = np.array(payload["strings"], dtype=object)
         else:
-            values = np.load(directory / values_name, allow_pickle=False)
+            values = np.load(io.BytesIO(values_data), allow_pickle=False)
         mask = None
         if descriptor.get("mask"):
-            mask = np.load(directory / descriptor["mask"], allow_pickle=False)
+            mask_data = _read_checked(directory, descriptor["mask"], checksums)
+            mask = np.load(io.BytesIO(mask_data), allow_pickle=False)
         column = Column(atom, values, mask)
         if len(column) != descriptor["count"]:
             raise PersistenceError(f"BAT {name}: count mismatch on load")
         return BAT(column, descriptor["hseqbase"])
+    except CorruptionError:
+        raise
     except (OSError, ValueError, KeyError) as exc:
         raise PersistenceError(f"cannot load BAT {name}: {exc}") from exc
 

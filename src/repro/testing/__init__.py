@@ -1,0 +1,12 @@
+"""Test-support utilities shipped with the library.
+
+:mod:`repro.testing.faultpoints` is the deterministic crash-injection
+harness the durability suite drives; :mod:`repro.testing.verify` holds
+the canonical catalog digest used to assert byte-identical recovery.
+Both are import-light so production code can call
+:func:`~repro.testing.faultpoints.crash_point` unconditionally.
+"""
+
+from repro.testing.faultpoints import FaultInjected, activate, crash_point
+
+__all__ = ["FaultInjected", "activate", "crash_point"]

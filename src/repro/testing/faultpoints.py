@@ -1,0 +1,140 @@
+"""Deterministic fault injection for the durability/crash-recovery suite.
+
+The persistence and commit paths are threaded with *named fault
+points* — calls to :func:`crash_point` placed exactly between the
+steps whose ordering the crash-safety story depends on (WAL append vs
+fsync vs publish, the two renames of the farm swap, ...).  A fault
+point is free when inactive: one dict lookup plus one ``os.environ``
+lookup.
+
+Two activation styles:
+
+* **Subprocess crashes** — set ``REPRO_FAULTPOINT=<name>`` (or
+  ``<name>:<k>`` to crash on the k-th hit) in a child process'
+  environment.  When the named point is reached the process dies via
+  ``os._exit`` with exit code :data:`CRASH_EXIT_CODE` — no ``atexit``,
+  no buffer flushing, no destructors: the closest a test can get to
+  ``kill -9`` while staying deterministic about *where* execution
+  stopped.  The crash-matrix suite (``tests/engine/test_recovery.py``)
+  kills a workload at every registered point this way and asserts
+  recovery.
+
+* **In-process faults** — :func:`activate` arms a point inside the
+  current process and (by default) raises :class:`FaultInjected`
+  instead of exiting, for tests that want to assert "a failure *here*
+  leaves the farm untouched" without paying for a subprocess.
+
+Every point must be declared in :data:`REGISTERED_POINTS`; hitting an
+undeclared name raises, so the crash matrix provably covers every
+point that exists in the code.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import Counter
+from contextlib import contextmanager
+from typing import Callable, Iterator, Optional
+
+#: exit status of a process killed by an environment-armed fault point.
+CRASH_EXIT_CODE = 42
+
+#: environment variable arming a fault point: ``name`` or ``name:k``.
+ENV_VAR = "REPRO_FAULTPOINT"
+
+#: every fault point that exists in the code, in rough execution order
+#: of a durable commit.  tests/engine/test_recovery.py kills a workload
+#: at each of these and asserts exact recovery, so adding a point here
+#: (and a ``crash_point`` call in the code) automatically extends the
+#: crash matrix.
+REGISTERED_POINTS: tuple[str, ...] = (
+    # wal.py — inside WriteAheadLog.append_commit
+    "wal.before_append",    # commit record not yet written
+    "wal.record_written",   # record written, not yet fsync'd
+    "wal.synced",           # record durable, in-memory head not published
+    # database.py — commit/checkpoint driver
+    "commit.published",     # head published, commit not yet acknowledged
+    "checkpoint.before_publish",  # WAL full, farm not yet republished
+    "checkpoint.before_reset",    # farm republished, WAL not yet reset
+    # persist.py — file staging and the farm swap
+    "persist.file_staged",  # one farm file written to its .tmp sibling
+    "publish.staged",       # staging farm complete, swap not started
+    "publish.retired",      # old farm renamed aside, new not yet in place
+    "publish.swapped",      # new farm in place, old .retired not removed
+)
+
+#: per-point hit counters (shared by env and in-process activation).
+_hits: Counter = Counter()
+
+#: in-process activations: name -> (remaining_hits_before_fire, action).
+_armed: dict[str, tuple[int, Callable[[str], None]]] = {}
+
+
+class FaultInjected(RuntimeError):
+    """Raised by an in-process fault point armed via :func:`activate`."""
+
+
+def _hard_exit(name: str) -> None:
+    os._exit(CRASH_EXIT_CODE)
+
+
+def _raise_injected(name: str) -> None:
+    raise FaultInjected(f"injected fault at {name!r}")
+
+
+def crash_point(name: str) -> None:
+    """Declare that execution reached the fault point *name*.
+
+    No-op unless the point is armed via :data:`ENV_VAR` or
+    :func:`activate`.  Raises :class:`LookupError` for names missing
+    from :data:`REGISTERED_POINTS` — unregistered points would escape
+    the crash matrix.
+    """
+    if name not in REGISTERED_POINTS:
+        raise LookupError(f"unregistered fault point {name!r}")
+    armed = _armed.get(name)
+    if armed is not None:
+        _hits[name] += 1
+        remaining, action = armed
+        if _hits[name] >= remaining:
+            del _armed[name]
+            action(name)
+        return
+    spec = os.environ.get(ENV_VAR)
+    if not spec:
+        return
+    target, _, count = spec.partition(":")
+    if target != name:
+        return
+    _hits[name] += 1
+    if _hits[name] >= int(count or 1):
+        _hard_exit(name)
+
+
+@contextmanager
+def activate(
+    name: str,
+    hits: int = 1,
+    action: Optional[Callable[[str], None]] = None,
+) -> Iterator[None]:
+    """Arm fault point *name* inside this process for the block's span.
+
+    The *action* (default: raise :class:`FaultInjected`) fires on the
+    *hits*-th time the point is reached, then the point disarms itself.
+    Counters reset on entry so nesting/sequencing stays deterministic.
+    """
+    if name not in REGISTERED_POINTS:
+        raise LookupError(f"unregistered fault point {name!r}")
+    _hits[name] = 0
+    _armed[name] = (hits, action or _raise_injected)
+    try:
+        yield
+    finally:
+        _armed.pop(name, None)
+        _hits[name] = 0
+
+
+def reset() -> None:
+    """Clear all hit counters and in-process activations."""
+    _hits.clear()
+    _armed.clear()

@@ -1,0 +1,73 @@
+"""Deterministic mixed DML/DDL workload for the crash-recovery matrix.
+
+Shared between the parent test (which replays :data:`OPS` in memory to
+compute the expected catalog digest after every commit) and the child
+process (``python -m tests.engine._crash_workload <farm> <ack>``)
+that the matrix kills at an armed fault point.
+
+The child opens the pre-seeded farm with ``durable=True``, executes
+the ops one autocommit statement at a time, and appends one
+``<index> <digest>`` line to the ack file — fsync'd — after each
+commit returns.  The ack file is therefore the client's view of which
+commits were *acknowledged*; recovery must reproduce the digest of the
+last acked commit, or of the one unacknowledged in-flight commit that
+the crash interrupted after its WAL record was already durable.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+#: aggressive checkpointing so a short workload exercises the
+#: checkpoint and farm-swap fault points, not just the WAL ones.
+CHECKPOINT_RECORDS = "2"
+
+
+def build_seed(conn) -> None:
+    """The pre-crash database state (written by the parent, fault-free)."""
+    conn.execute("CREATE TABLE obs (a INT, s VARCHAR(16))")
+    conn.execute("INSERT INTO obs VALUES (0, 'seed'), (9, 'keep')")
+    conn.execute(
+        "CREATE ARRAY grid (x INT DIMENSION[0:1:4], v DOUBLE DEFAULT 0.0)"
+    )
+
+
+#: one committed statement per entry: appends, point updates, deletes,
+#: string data, bulk ingestion, and DDL (create/alter/drop).
+OPS = [
+    lambda c: c.execute("INSERT INTO obs VALUES (1, 'one'), (2, 'two')"),
+    lambda c: c.execute("UPDATE grid SET v = 1.5 WHERE x = 1"),
+    lambda c: c.execute("CREATE TABLE scratch (k BIGINT, t VARCHAR(8))"),
+    lambda c: c.executemany(
+        "INSERT INTO scratch VALUES (?, ?)", [(i, f"r{i}") for i in range(5)]
+    ),
+    lambda c: c.execute("DELETE FROM obs WHERE a = 1"),
+    lambda c: c.execute("UPDATE obs SET s = 'zero' WHERE a = 0"),
+    lambda c: c.execute("ALTER ARRAY grid ALTER DIMENSION x SET RANGE [0:1:6]"),
+    lambda c: c.execute("DELETE FROM grid WHERE x = 0"),
+    lambda c: c.execute("DROP TABLE scratch"),
+    lambda c: c.execute("INSERT INTO obs VALUES (5, 'five')"),
+]
+
+
+def main(argv: list[str]) -> int:
+    farm, ack_path = argv
+    import repro
+    from repro.testing.verify import catalog_digest
+
+    conn = repro.connect(farm, durable=True, nr_threads=1)
+    with open(ack_path, "ab") as ack:
+        for index, op in enumerate(OPS):
+            op(conn)
+            digest = catalog_digest(conn.database.catalog)
+            ack.write(f"{index} {digest}\n".encode())
+            ack.flush()
+            os.fsync(ack.fileno())
+    conn.close()
+    return 0
+
+
+if __name__ == "__main__":
+    os.environ.setdefault("REPRO_WAL_CHECKPOINT_RECORDS", CHECKPOINT_RECORDS)
+    sys.exit(main(sys.argv[1:]))

@@ -109,3 +109,82 @@ class TestPersistence:
     def test_load_missing(self, tmp_path):
         with pytest.raises(PersistenceError):
             persist.load_bat(tmp_path, "nothing")
+
+
+class TestPersistenceErrorPaths:
+    """Structural damage raises PersistenceError naming the BAT;
+    checksum damage quarantines the file and raises CorruptionError."""
+
+    def _save(self, tmp_path, items=(1, None, 3), atom=Atom.INT, name="b"):
+        bat = BAT.from_pylist(atom, list(items))
+        persist.save_bat(bat, tmp_path, name)
+        return bat
+
+    def test_corrupt_descriptor_json(self, tmp_path):
+        self._save(tmp_path)
+        (tmp_path / "b.bat.json").write_text("{not json")
+        with pytest.raises(PersistenceError, match="cannot load BAT b"):
+            persist.load_bat(tmp_path, "b")
+
+    def test_missing_values_file(self, tmp_path):
+        self._save(tmp_path)
+        (tmp_path / "b.values.npy").unlink()
+        with pytest.raises(PersistenceError, match="cannot load BAT b"):
+            persist.load_bat(tmp_path, "b")
+
+    def test_missing_mask_file(self, tmp_path):
+        self._save(tmp_path)
+        (tmp_path / "b.mask.npy").unlink()
+        with pytest.raises(PersistenceError, match="cannot load BAT b"):
+            persist.load_bat(tmp_path, "b")
+
+    def test_count_mismatch(self, tmp_path):
+        import json
+
+        self._save(tmp_path)
+        descriptor_path = tmp_path / "b.bat.json"
+        descriptor = json.loads(descriptor_path.read_text())
+        descriptor["count"] = 99
+        descriptor_path.write_text(json.dumps(descriptor))
+        with pytest.raises(PersistenceError, match="count mismatch"):
+            persist.load_bat(tmp_path, "b")
+
+    def test_checksum_mismatch_quarantines(self, tmp_path):
+        from repro.errors import CorruptionError
+
+        self._save(tmp_path)
+        values = tmp_path / "b.values.npy"
+        data = bytearray(values.read_bytes())
+        data[-1] ^= 0xFF
+        values.write_bytes(bytes(data))
+        with pytest.raises(CorruptionError, match="quarantined"):
+            persist.load_bat(tmp_path, "b")
+        assert not values.exists()
+        assert (tmp_path / "b.values.npy.corrupt").exists()
+        # The retried load fails fast on the now-missing file.
+        with pytest.raises(PersistenceError):
+            persist.load_bat(tmp_path, "b")
+
+    def test_string_bat_json_payload_roundtrip(self, tmp_path):
+        bat = self._save(
+            tmp_path, items=("x", None, "longer-string", ""), atom=Atom.STR,
+            name="words",
+        )
+        assert (tmp_path / "words.values.json").exists()
+        assert not (tmp_path / "words.values.npy").exists()
+        assert persist.load_bat(tmp_path, "words") == bat
+        assert persist.list_bats(tmp_path) == ["words"]
+
+    def test_list_bats_ignores_payloads_without_descriptor(self, tmp_path):
+        self._save(tmp_path, name="whole")
+        # A crash between payload staging and the descriptor write
+        # leaves payload files with no descriptor: invisible, not fatal.
+        (tmp_path / "half.values.npy").write_bytes(b"orphan")
+        assert persist.list_bats(tmp_path) == ["whole"]
+        with pytest.raises(PersistenceError):
+            persist.load_bat(tmp_path, "half")
+
+    def test_atomic_write_leaves_no_tmp_files(self, tmp_path):
+        self._save(tmp_path)
+        leftovers = list(tmp_path.glob("*.tmp"))
+        assert leftovers == []
