@@ -39,6 +39,7 @@ DEFAULT_SUITES = [
     "benchmarks/bench_parallel.py",
     "benchmarks/bench_concurrency.py",
     "benchmarks/bench_durability.py",
+    "benchmarks/bench_server.py",
 ]
 
 

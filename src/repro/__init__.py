@@ -19,6 +19,13 @@ catalog versions, the dataflow scheduler and the plan cache — and
     db = repro.Database()
     a, b = db.connect(), db.connect()   # independent concurrent sessions
 
+The engine also serves over TCP (:mod:`repro.net`): start a server
+with ``python -m repro.net.server`` (or ``ServerThread`` in-process)
+and connect by URL — the same DB-API surface, streamed in columnar
+batches over a checksummed wire protocol::
+
+    conn = repro.connect("repro://127.0.0.1:50123")
+
 Quickstart::
 
     import repro
@@ -45,18 +52,21 @@ from repro.engine import (
 from repro.errors import (
     DatabaseError,
     DataError,
+    DurabilityWarning,
     Error,
     IntegrityError,
     InterfaceError,
     InternalError,
+    NetworkError,
     NotSupportedError,
     OperationalError,
     ProgrammingError,
+    ProtocolError,
     SciQLError,
     Warning,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 # PEP 249 module globals.
 apilevel = "2.0"
@@ -80,6 +90,9 @@ __all__ = [
     "InternalError",
     "ProgrammingError",
     "NotSupportedError",
+    "NetworkError",
+    "ProtocolError",
+    "DurabilityWarning",
     "apilevel",
     "threadsafety",
     "paramstyle",

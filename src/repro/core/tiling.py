@@ -571,11 +571,22 @@ def tile_members(
     return members
 
 
+def _wrap_int64(value: int) -> int:
+    """Two's-complement wrap into int64 — the LNG accumulator semantics."""
+    return (value + 2**63) % 2**64 - 2**63
+
+
 def brute_force_tile_aggregate(
     values: Column, shape: tuple[int, ...], spec: TileSpec, aggregate: str
 ) -> list:
-    """O(anchors × tile) reference implementation for property tests."""
+    """O(anchors × tile) reference implementation for property tests.
+
+    Integer ``sum``/``prod`` results wrap into int64 exactly like the
+    vectorized kernels' LNG accumulators do, so an overflowing tile
+    product is still a three-way agreement, not an oracle mismatch.
+    """
     data = values.to_pylist()
+    integral = values.atom is not Atom.DBL
     out: list = []
     for anchor in itertools.product(*(range(size) for size in shape)):
         members = tile_members(shape, spec, anchor)
@@ -587,7 +598,8 @@ def brute_force_tile_aggregate(
         elif not cell_values:
             out.append(None)
         elif aggregate == "sum":
-            out.append(sum(cell_values))
+            total = sum(cell_values)
+            out.append(_wrap_int64(total) if integral else total)
         elif aggregate == "avg":
             out.append(sum(cell_values) / len(cell_values))
         elif aggregate == "min":
@@ -598,7 +610,7 @@ def brute_force_tile_aggregate(
             product = 1
             for value in cell_values:
                 product *= value
-            out.append(product)
+            out.append(_wrap_int64(product) if integral else product)
         else:
             raise GDKError(f"unsupported aggregate {aggregate!r}")
     return out

@@ -70,6 +70,7 @@ from repro.engine.database import (
     DEFAULT_STATEMENT_CACHE_SIZE,
     Database,
     Transaction,
+    resolve_durable_mode,
     resolve_fragment_rows,
     resolve_nr_threads,
 )
@@ -1057,8 +1058,23 @@ def connect(
     returns, and checkpoints fold the log into the farm; reopening the
     path replays the log automatically.  ``durable="full"`` keeps the
     legacy mode of republishing the whole farm per commit.
+
+    *path* may also be a ``repro://host:port`` URL, in which case the
+    call connects to a running :mod:`repro.net` server instead and
+    returns a :class:`~repro.net.client.RemoteConnection` with the
+    same DB-API surface (the remaining keyword arguments are
+    server-side concerns and are ignored for remote sessions).
+
+    ``durable`` without a *path* cannot be honoured — there is no farm
+    to log against — so it emits a :class:`DurabilityWarning` and
+    continues in memory.
     """
+    if isinstance(path, str) and path.startswith("repro://"):
+        from repro.net.client import connect_url
+
+        return connect_url(path)
     if path is None:
+        resolve_durable_mode(durable, None)
         return Connection(
             optimize=optimize,
             statement_cache_size=statement_cache_size,

@@ -40,12 +40,14 @@ from __future__ import annotations
 import math
 import os
 import threading
+import warnings
 import weakref
 from collections import OrderedDict
 from pathlib import Path
 from typing import Optional
 
 from repro.errors import (
+    DurabilityWarning,
     InterfaceError,
     OperationalError,
     ProgrammingError,
@@ -93,8 +95,16 @@ def resolve_durable_mode(value, path) -> Optional[str]:
             f"invalid durable value {value!r}: expected a bool, 'wal' or 'full'"
         )
     if path is None:
-        # Matches the historical behaviour: durability silently requires
-        # a farm path (an in-memory database has nowhere to log to).
+        # Durability requires a farm path (an in-memory database has
+        # nowhere to log to).  Historically this *silently* stayed
+        # in-memory; now the dropped request is loud.
+        warnings.warn(
+            f"durable={value!r} requested without a database path: an "
+            "in-memory database cannot be durable, continuing without "
+            "durability (pass a farm path to keep commits crash-safe)",
+            DurabilityWarning,
+            stacklevel=3,
+        )
         return None
     return mode
 
@@ -361,6 +371,37 @@ class Database:
 
     def _register_session(self, session) -> None:
         self._sessions.add(session)
+
+    @property
+    def session_count(self) -> int:
+        """Number of live (not-yet-closed) sessions on this engine."""
+        return sum(1 for session in self._sessions if not session._closed)
+
+    def stats(self) -> dict:
+        """Engine-level observability as one JSON-able snapshot.
+
+        The network server surfaces this through its STATS message;
+        in-process callers can poll it too.  All counters are the
+        database-wide aggregates (per-session counters live on each
+        :class:`~repro.engine.connection.Connection`).
+        """
+        self._check_open()
+        head = self._head
+        with self._cache_lock:
+            return {
+                "sessions": self.session_count,
+                "version": head.version,
+                "schema_version": head.schema_version,
+                "objects": len(head.catalog.names()),
+                "nr_threads": self._nr_threads,
+                "compile_count": self.compile_count,
+                "cache_hits": self.cache_hits,
+                "cache_misses": self.cache_misses,
+                "plan_cache_entries": len(self._plan_cache),
+                "plan_cache_capacity": self.statement_cache_size,
+                "durable_mode": self.durable_mode,
+                "path": str(self.path) if self.path is not None else None,
+            }
 
     # ------------------------------------------------------------------
     # catalog versions

@@ -113,6 +113,28 @@ class CoercionError(DataError):
     """Raised when a table cannot be coerced into an array (or vice versa)."""
 
 
+class NetworkError(OperationalError):
+    """A network-level failure while talking to a repro server.
+
+    Raised by the client driver when the TCP connection is refused,
+    times out, or drops mid-conversation (the server rolls the session
+    back in that case), and by the server when a client vanishes
+    mid-statement.  Derives from :class:`OperationalError`, so generic
+    PEP 249 retry logic applies unchanged.
+    """
+
+
+class ProtocolError(InterfaceError):
+    """The wire conversation itself is broken.
+
+    Raised when a frame fails its CRC32 check, is truncated, exceeds
+    the frame-size bound, announces an unknown message type, or the
+    handshake versions do not match.  Unlike :class:`NetworkError`
+    this is never worth retrying on the same byte stream — the
+    connection is out of sync and must be re-established.
+    """
+
+
 class PersistenceError(OperationalError):
     """Raised when loading or saving a database farm directory fails."""
 
@@ -124,6 +146,17 @@ class CorruptionError(PersistenceError):
     before this is raised, so a retried load fails fast instead of
     silently returning garbage; the message names the file and the
     recovery options.
+    """
+
+
+class DurabilityWarning(UserWarning):
+    """Durability was requested but cannot take effect.
+
+    Emitted by ``connect(durable=True)`` / ``Database(durable=True)``
+    when no farm *path* was given: an in-memory database has nowhere
+    to log to, so the session proceeds **without** durability instead
+    of silently pretending to have it.  Pass a path to make commits
+    crash-safe.
     """
 
 

@@ -1,0 +1,47 @@
+"""The network front door: socket server, wire protocol, client driver.
+
+MonetDB serves its shared kernel through the MAPI socket protocol —
+many clients, one engine, result sets streamed in chunks.  This
+package is the reproduction's equivalent layer on top of
+:class:`repro.Database`:
+
+* :mod:`repro.net.protocol` — a length-prefixed, CRC32-checksummed
+  binary framing with a columnar batch codec (raw dtype bytes + NULL
+  masks, the same representation the GDK kernel stores);
+* :mod:`repro.net.server` — an asyncio TCP server whose accept loop
+  hands each client a ``Database.connect()`` session and runs
+  statements on a thread pool, so the event loop never blocks on a
+  query; per-session admission control, bounded pipelining and
+  write-drain backpressure;
+* :mod:`repro.net.client` — a thin synchronous driver reusing the
+  PEP 249 ``Connection``/``Cursor`` surface, plus a small
+  connection pool.
+
+``repro.connect("repro://host:port")`` dispatches here.
+"""
+
+from repro.net.client import (
+    ConnectionPool,
+    RemoteConnection,
+    RemoteCursor,
+    RemotePreparedStatement,
+    connect_url,
+    parse_url,
+)
+from repro.net.protocol import DEFAULT_BATCH_ROWS, PROTOCOL_VERSION
+from repro.net.server import DEFAULT_PORT, ReproServer, ServerThread, serve
+
+__all__ = [
+    "ConnectionPool",
+    "DEFAULT_BATCH_ROWS",
+    "DEFAULT_PORT",
+    "PROTOCOL_VERSION",
+    "RemoteConnection",
+    "RemoteCursor",
+    "RemotePreparedStatement",
+    "ReproServer",
+    "ServerThread",
+    "connect_url",
+    "parse_url",
+    "serve",
+]

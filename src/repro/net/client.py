@@ -1,0 +1,780 @@
+"""The client driver: PEP 249 sessions over a ``repro://`` socket.
+
+``repro.connect("repro://host:port")`` returns a
+:class:`RemoteConnection` whose surface mirrors the in-process
+:class:`~repro.engine.connection.Connection`: cursors, ``?``/``:name``
+parameter binding, ``prepare()``, ``executemany`` bulk ingest,
+transactions (``begin``/``commit``/``rollback`` and the SQL
+statements), ``fetchnumpy`` — with byte-identical results, because
+batches arrive in the kernel's own columnar encoding and reassemble
+into the same :class:`Column`/:class:`Result` objects.
+
+Result sets **stream**: :meth:`RemoteCursor.execute` returns after
+the result header, and ``fetch*`` pulls columnar batches off the
+socket on demand — a 100M-row scan holds one batch client-side, and
+the un-read tail exerts TCP backpressure on the server.
+``RemoteConnection.execute`` (the convenience path) drains the stream
+into a regular :class:`Result` instead, exactly like the in-process
+method it mirrors.
+
+Errors map onto the PEP 249 hierarchy: server-side failures re-raise
+as their local class (``ProgrammingError``, ``OperationalError``
+first-committer-wins conflicts, ...), transport failures raise
+:class:`~repro.errors.NetworkError` (an ``OperationalError``), and
+framing violations raise :class:`~repro.errors.ProtocolError` (an
+``InterfaceError``).  A :class:`ConnectionPool` amortises connection
+setup for many short-lived sessions.
+"""
+
+from __future__ import annotations
+
+import queue as queue_mod
+import socket
+import threading
+from typing import Any, Iterable, Iterator, Optional
+from urllib.parse import parse_qsl, urlsplit
+
+import numpy as np
+
+from repro import errors
+from repro.engine.result import Result
+from repro.errors import (
+    InterfaceError,
+    NetworkError,
+    ProgrammingError,
+    ProtocolError,
+)
+from repro.gdk.atoms import Atom
+from repro.gdk.column import Column
+from repro.net import protocol
+from repro.net.protocol import Msg
+
+#: options a repro:// URL may carry in its query string.
+_URL_INT_OPTIONS = ("batch_rows", "pool_size")
+
+
+def parse_url(url: str) -> tuple[str, int, dict]:
+    """Split ``repro://host:port[?batch_rows=N]`` into (host, port, options)."""
+    parts = urlsplit(url)
+    if parts.scheme != "repro":
+        raise ProgrammingError(f"not a repro:// URL: {url!r}")
+    if not parts.hostname:
+        raise ProgrammingError(f"repro:// URL without a host: {url!r}")
+    from repro.net.server import DEFAULT_PORT
+
+    options: dict[str, Any] = {}
+    if parts.username:
+        options["user"] = parts.username
+    if parts.password:
+        options["password"] = parts.password
+    for key, value in parse_qsl(parts.query):
+        if key in _URL_INT_OPTIONS:
+            try:
+                options[key] = int(value)
+            except ValueError:
+                raise ProgrammingError(
+                    f"invalid {key} value {value!r} in {url!r}"
+                ) from None
+        else:
+            raise ProgrammingError(f"unknown URL option {key!r} in {url!r}")
+    return parts.hostname, parts.port or DEFAULT_PORT, options
+
+
+def connect_url(url: str, **kwargs) -> "RemoteConnection":
+    """Open a :class:`RemoteConnection` from a ``repro://`` URL."""
+    host, port, options = parse_url(url)
+    options.pop("pool_size", None)
+    options.update(kwargs)
+    return RemoteConnection(host, port, **options)
+
+
+def _concat_columns(batches: list[list[Column]]) -> list[Column]:
+    """Concatenate per-batch column slices into whole result columns."""
+    if not batches:
+        return []
+    out: list[Column] = []
+    for index, first in enumerate(batches[0]):
+        parts = [batch[index] for batch in batches]
+        values = np.concatenate([part.values for part in parts])
+        if any(part.mask is not None for part in parts):
+            mask = np.concatenate([part.effective_mask() for part in parts])
+        else:
+            mask = None
+        out.append(Column(first.atom, values, mask))
+    return out
+
+
+class RemoteConnection:
+    """One server session over TCP, with the PEP 249 surface."""
+
+    # PEP 249: exceptions available as Connection attributes.
+    Warning = errors.Warning
+    Error = errors.Error
+    InterfaceError = errors.InterfaceError
+    DatabaseError = errors.DatabaseError
+    DataError = errors.DataError
+    OperationalError = errors.OperationalError
+    IntegrityError = errors.IntegrityError
+    InternalError = errors.InternalError
+    ProgrammingError = errors.ProgrammingError
+    NotSupportedError = errors.NotSupportedError
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        user: Optional[str] = None,
+        password: Optional[str] = None,
+        batch_rows: Optional[int] = None,
+        timeout: Optional[float] = None,
+    ):
+        self.host = host
+        self.port = port
+        self._closed = False
+        #: serialises whole request/response conversations (PEP 249
+        #: threadsafety 2: threads may share the connection).
+        self._lock = threading.RLock()
+        #: guards raw socket writes so CANCEL can be sent mid-stream.
+        self._write_lock = threading.Lock()
+        self._active_cursor: Optional[RemoteCursor] = None
+        try:
+            self._sock = socket.create_connection((host, port), timeout=timeout)
+            self._sock.settimeout(timeout)
+        except OSError as exc:
+            raise NetworkError(
+                f"cannot connect to repro://{host}:{port}: {exc}"
+            ) from None
+        try:
+            self._send(
+                Msg.HELLO,
+                {
+                    "magic": protocol.CLIENT_MAGIC,
+                    "protocol": protocol.PROTOCOL_VERSION,
+                    "user": user,
+                    "password": password,
+                    "batch_rows": batch_rows,
+                },
+            )
+            msg, header, _ = self._expect(Msg.WELCOME)
+        except BaseException:
+            self._sock.close()
+            self._closed = True
+            raise
+        self.server_version = header.get("server_version")
+        self.batch_rows = header.get("batch_rows")
+        self._in_transaction = False
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+    def _read_exactly(self, n: int) -> bytes:
+        chunks = []
+        remaining = n
+        while remaining:
+            try:
+                chunk = self._sock.recv(min(remaining, 1 << 20))
+            except socket.timeout:
+                raise NetworkError(
+                    f"timed out reading from repro://{self.host}:{self.port}"
+                ) from None
+            except OSError as exc:
+                raise NetworkError(f"connection lost: {exc}") from None
+            if not chunk:
+                raise NetworkError(
+                    "connection closed by the server mid-frame"
+                )
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def _send(self, msg: Msg, header: dict, blobs=()) -> None:
+        frame = protocol.encode_frame(msg, header, blobs)
+        with self._write_lock:
+            try:
+                self._sock.sendall(frame)
+            except OSError as exc:
+                raise NetworkError(f"connection lost: {exc}") from None
+
+    def _read_frame(self) -> tuple[Msg, dict, bytes]:
+        return protocol.read_frame(self._read_exactly)
+
+    def _expect(self, *expected: Msg) -> tuple[Msg, dict, bytes]:
+        """Read one frame; raise mapped errors, enforce the expected type."""
+        msg, header, blob = self._read_frame()
+        if msg is Msg.ERROR:
+            protocol.raise_remote_error(header)
+        if expected and msg not in expected:
+            raise ProtocolError(
+                f"expected {'/'.join(e.name for e in expected)}, "
+                f"got {msg.name}"
+            )
+        return msg, header, blob
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def _check_open(self) -> None:
+        if self._closed:
+            raise InterfaceError("connection is closed")
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Send GOODBYE (best effort) and close the socket."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._send(Msg.GOODBYE, {})
+        except (NetworkError, InterfaceError):
+            pass
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "RemoteConnection":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # requests
+    # ------------------------------------------------------------------
+    def _drain_active(self) -> None:
+        """Materialise any still-streaming cursor before a new request.
+
+        The wire carries one result stream at a time; starting a new
+        statement first buffers the remaining batches of the active
+        one client-side (like MonetDB's driver does), so interleaved
+        cursor use stays correct — sequential streams stay O(batch).
+        """
+        cursor = self._active_cursor
+        if cursor is not None:
+            cursor._buffer_remaining()
+            self._active_cursor = None
+
+    def _request(self, msg: Msg, header: dict) -> tuple[Msg, dict, bytes]:
+        with self._lock:
+            self._check_open()
+            self._drain_active()
+            self._send(msg, header)
+            return self._expect()
+
+    def cancel(self) -> None:
+        """Ask the server to abandon the in-flight statement.
+
+        Safe to call from another thread while a statement streams;
+        the stream then terminates with an ``OperationalError``.
+        Best-effort: a statement that already completed is unaffected.
+        """
+        self._check_open()
+        self._send(Msg.CANCEL, {})
+
+    # ------------------------------------------------------------------
+    # PEP 249 connection surface
+    # ------------------------------------------------------------------
+    def cursor(self) -> "RemoteCursor":
+        self._check_open()
+        return RemoteCursor(self)
+
+    def execute(self, sql: str, params: Any = None) -> Result:
+        """Execute one statement; returns a fully materialised Result.
+
+        Mirrors the in-process ``Connection.execute``.  For scans too
+        large to hold, use a cursor — its ``fetch*`` methods consume
+        the stream incrementally.
+        """
+        cursor = self.cursor()
+        cursor.execute(sql, params)
+        return cursor._materialise()
+
+    def executemany(self, sql: str, seq_of_params: Iterable[Any]) -> Result:
+        """Bulk execution; single-row INSERTs take the server's
+        columnar ingest path, the Result totals affected rows."""
+        cursor = self.cursor()
+        cursor.executemany(sql, seq_of_params)
+        return cursor._materialise()
+
+    def prepare(self, sql: str) -> "RemotePreparedStatement":
+        """Compile once server-side; re-execute under fresh bindings."""
+        with self._lock:
+            msg, header, _ = self._request(Msg.PREPARE, {"sql": sql})
+            if msg is not Msg.PREPARED:
+                raise ProtocolError(f"expected PREPARED, got {msg.name}")
+            return RemotePreparedStatement(
+                self,
+                header["statement_id"],
+                sql,
+                tuple(header.get("parameters", ())),
+            )
+
+    def begin(self) -> None:
+        """Open an explicit transaction (snapshot isolation)."""
+        self._txn_command(Msg.BEGIN)
+
+    def commit(self) -> None:
+        """Publish the open transaction; first committer wins."""
+        self._txn_command(Msg.COMMIT)
+
+    def rollback(self) -> None:
+        """Discard the open transaction."""
+        self._txn_command(Msg.ROLLBACK)
+
+    def _txn_command(self, msg: Msg) -> None:
+        with self._lock:
+            _, header, _ = self._request(msg, {})
+            self._in_transaction = bool(header.get("in_transaction"))
+
+    @property
+    def in_transaction(self) -> bool:
+        """True after ``begin()`` until commit/rollback (as last acked)."""
+        return self._in_transaction
+
+    def stats(self) -> dict:
+        """Server + engine observability counters, one snapshot."""
+        with self._lock:
+            msg, header, _ = self._request(Msg.STATS, {})
+            if msg is not Msg.STATS_DATA:
+                raise ProtocolError(f"expected STATS_DATA, got {msg.name}")
+            return header
+
+
+class RemoteCursor:
+    """A PEP 249 cursor pulling columnar batches off the socket."""
+
+    def __init__(self, connection: RemoteConnection):
+        self.connection = connection
+        self.arraysize = 1
+        self._closed = False
+        self._reset()
+
+    def _reset(self) -> None:
+        self._header: Optional[dict] = None
+        self._affected = -1
+        #: batches already pulled off the wire but not yet consumed.
+        self._batches: list[list[Column]] = []
+        #: row offset into the first buffered batch.
+        self._offset = 0
+        self._exhausted = True
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if self._closed:
+            return
+        if self.connection._active_cursor is self and not self.connection.closed:
+            with self.connection._lock:
+                self.connection._drain_active()
+        self._closed = True
+        self._reset()
+
+    def __enter__(self) -> "RemoteCursor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise InterfaceError("cursor is closed")
+        self.connection._check_open()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed or self.connection.closed
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def execute(self, sql: str, params: Any = None) -> "RemoteCursor":
+        """Execute one statement; fetch methods stream the result.
+
+        Returns the cursor itself — unlike the in-process cursor,
+        which returns its (always fully materialised) Result.
+        Returning a Result here would force the whole stream into
+        memory up front; use :attr:`result` or
+        ``connection.execute(...)`` when that is what you want.
+        """
+        self._check_open()
+        self._start_request(
+            Msg.EXECUTE,
+            {"sql": sql, "params": protocol.jsonable_params(params)},
+        )
+        return self
+
+    def executemany(
+        self, sql: str, seq_of_params: Iterable[Any]
+    ) -> "RemoteCursor":
+        self._check_open()
+        self._start_request(
+            Msg.EXECUTEMANY,
+            {
+                "sql": sql,
+                "params_seq": [
+                    protocol.jsonable_params(params)
+                    for params in seq_of_params
+                ],
+            },
+        )
+        return self
+
+    def _start_request(self, msg: Msg, header: dict) -> None:
+        connection = self.connection
+        with connection._lock:
+            reply, reply_header, _ = connection._request(msg, header)
+            self._reset()
+            if reply is Msg.OK:
+                self._affected = reply_header.get("affected", 0)
+                connection._in_transaction = bool(
+                    reply_header.get("in_transaction")
+                )
+                return
+            if reply is not Msg.RESULT_HEADER:
+                raise ProtocolError(
+                    f"expected RESULT_HEADER or OK, got {reply.name}"
+                )
+            self._header = reply_header
+            self._affected = reply_header.get("affected", 0)
+            self._exhausted = False
+            connection._active_cursor = self
+
+    # ------------------------------------------------------------------
+    # streaming
+    # ------------------------------------------------------------------
+    def _pull_batch(self) -> bool:
+        """Read one more RESULT_BATCH into the buffer; False at DONE."""
+        if self._exhausted:
+            return False
+        connection = self.connection
+        with connection._lock:
+            if connection._active_cursor is not self:
+                # Another statement displaced us; everything left was
+                # buffered by _buffer_remaining already.
+                return False
+            try:
+                msg, header, blob = connection._expect(
+                    Msg.RESULT_BATCH, Msg.RESULT_DONE
+                )
+            except BaseException:
+                # Mid-stream failure (cancel, network, server error):
+                # the stream is over either way.
+                self._exhausted = True
+                connection._active_cursor = None
+                raise
+            if msg is Msg.RESULT_DONE:
+                self._exhausted = True
+                connection._active_cursor = None
+                return False
+            self._batches.append(protocol.decode_batch(header, blob))
+            return True
+
+    def _buffer_remaining(self) -> None:
+        """Pull every outstanding batch into the client-side buffer."""
+        while not self._exhausted:
+            if not self._pull_batch():
+                break
+
+    def _ensure_rows(self) -> bool:
+        """True when the buffer holds at least one unconsumed row."""
+        while True:
+            if self._batches:
+                first = self._batches[0]
+                if first and self._offset < len(first[0]):
+                    return True
+                self._batches.pop(0)
+                self._offset = 0
+                continue
+            if not self._pull_batch():
+                return False
+
+    def _require_result(self) -> dict:
+        self._check_open()
+        if self._header is None:
+            raise ProgrammingError(
+                "no result set to fetch from; execute a query first"
+            )
+        return self._header
+
+    # ------------------------------------------------------------------
+    # PEP 249 attributes
+    # ------------------------------------------------------------------
+    @property
+    def description(self) -> Optional[list[tuple]]:
+        """PEP 249 column descriptions, or None for non-query statements."""
+        self._check_open()
+        if self._header is None:
+            return None
+        names = self._header.get("names", [])
+        atoms = list((self._header.get("meta") or {}).get("atoms") or [])
+        atoms += [None] * (len(names) - len(atoms))
+        return [
+            (name, atom, None, None, None, None, True)
+            for name, atom in zip(names, atoms)
+        ]
+
+    @property
+    def rowcount(self) -> int:
+        """Result rows (queries, known from the header) or affected rows."""
+        self._check_open()
+        if self._header is not None:
+            return self._header.get("row_count", -1)
+        return self._affected
+
+    def setinputsizes(self, sizes) -> None:
+        self._check_open()
+
+    def setoutputsize(self, size, column=None) -> None:
+        self._check_open()
+
+    # ------------------------------------------------------------------
+    # fetching
+    # ------------------------------------------------------------------
+    def fetchone(self) -> Optional[tuple]:
+        """The next row, pulling a new batch off the wire when needed."""
+        self._require_result()
+        if not self._ensure_rows():
+            return None
+        columns = self._batches[0]
+        row = tuple(column.get(self._offset) for column in columns)
+        self._offset += 1
+        return row
+
+    def fetchmany(self, size: Optional[int] = None) -> list[tuple]:
+        self._require_result()
+        if size is None:
+            size = self.arraysize
+        out: list[tuple] = []
+        while len(out) < size:
+            row = self.fetchone()
+            if row is None:
+                break
+            out.append(row)
+        return out
+
+    def fetchall(self) -> list[tuple]:
+        self._require_result()
+        out: list[tuple] = []
+        while self._ensure_rows():
+            columns = self._batches.pop(0)
+            lists = [column.to_pylist()[self._offset :] for column in columns]
+            self._offset = 0
+            out.extend(zip(*lists))
+        return out
+
+    def _remaining_columns(self) -> list[Column]:
+        """All unconsumed rows as whole columns (drains the stream)."""
+        self._buffer_remaining()
+        if self._batches and self._offset:
+            self._batches[0] = [
+                column.slice(self._offset, len(column))
+                for column in self._batches[0]
+            ]
+            self._offset = 0
+        columns = _concat_columns(self._batches)
+        self._batches = []
+        header = self._header or {}
+        if not columns:
+            # Stream fully consumed (or empty): rebuild typed empty
+            # columns from the header so to_numpy stays shape-faithful.
+            atoms = list((header.get("meta") or {}).get("atoms") or [])
+            if len(atoms) == len(header.get("names", [])):
+                columns = [Column.empty(Atom(atom)) for atom in atoms]
+        return columns
+
+    def _materialise(self) -> Result:
+        """The whole remaining stream as an engine Result object."""
+        header = self._header
+        if header is None:
+            return Result(affected=max(self._affected, 0))
+        return Result(
+            header.get("kind", "table"),
+            list(header.get("names", [])),
+            self._remaining_columns(),
+            dict(header.get("meta") or {}),
+            header.get("affected", 0),
+        )
+
+    def fetchnumpy(self) -> dict[str, np.ndarray]:
+        """All remaining rows as columnar ndarrays (name -> array).
+
+        Identical semantics (and bytes) to the in-process
+        ``Cursor.fetchnumpy``: NULLs widen numerics to float64 NaN,
+        strings/bools become object arrays with ``None``.
+        """
+        self._require_result()
+        return self._materialise().to_numpy()
+
+    @property
+    def result(self) -> Optional[Result]:
+        """Materialise the remaining stream (DB-API extension)."""
+        self._check_open()
+        if self._header is None and self._affected < 0:
+            return None
+        return self._materialise()
+
+    def __iter__(self) -> Iterator[tuple]:
+        while True:
+            row = self.fetchone()
+            if row is None:
+                return
+            yield row
+
+
+class RemotePreparedStatement:
+    """A server-side compiled statement, addressed by id."""
+
+    def __init__(
+        self,
+        connection: RemoteConnection,
+        statement_id: int,
+        sql: str,
+        parameters: tuple,
+    ):
+        self.connection = connection
+        self.statement_id = statement_id
+        self.sql = sql
+        #: bind-parameter keys in occurrence order.
+        self.parameters = parameters
+        self._closed = False
+
+    def execute(self, params: Any = None) -> Result:
+        """Run the compiled plan under *params* (materialised Result)."""
+        self._check_open()
+        cursor = self.connection.cursor()
+        cursor._start_request(
+            Msg.EXECUTE_PREPARED,
+            {
+                "statement_id": self.statement_id,
+                "params": protocol.jsonable_params(params),
+            },
+        )
+        return cursor._materialise()
+
+    def executemany(self, seq_of_params: Iterable[Any]) -> Result:
+        self._check_open()
+        cursor = self.connection.cursor()
+        cursor._start_request(
+            Msg.EXECUTEMANY,
+            {
+                "statement_id": self.statement_id,
+                "params_seq": [
+                    protocol.jsonable_params(params)
+                    for params in seq_of_params
+                ],
+            },
+        )
+        return cursor._materialise()
+
+    def close(self) -> None:
+        """Release the server-side plan handle."""
+        if self._closed or self.connection.closed:
+            self._closed = True
+            return
+        self._closed = True
+        self.connection._request(
+            Msg.CLOSE_STATEMENT, {"statement_id": self.statement_id}
+        )
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise InterfaceError("prepared statement is closed")
+
+
+class ConnectionPool:
+    """A small client-side pool of :class:`RemoteConnection` objects.
+
+    ``with pool.acquire() as conn: ...`` hands out an idle connection
+    (creating one while under *size*) and returns it on exit; broken
+    connections are discarded, not recycled.  Intended for many
+    short-lived logical sessions over few TCP connections —
+    connection churn is the one cost the server cannot amortise.
+    """
+
+    def __init__(self, url: str, size: int = 4, **kwargs):
+        if size < 1:
+            raise ProgrammingError(f"pool size must be >= 1, got {size}")
+        self.url = url
+        self.size = size
+        self._kwargs = kwargs
+        self._idle: queue_mod.Queue = queue_mod.Queue()
+        self._lock = threading.Lock()
+        self._created = 0
+        self._closed = False
+
+    def _connect(self) -> RemoteConnection:
+        return connect_url(self.url, **self._kwargs)
+
+    def _checkout(self, timeout: Optional[float]) -> RemoteConnection:
+        if self._closed:
+            raise InterfaceError("connection pool is closed")
+        while True:
+            try:
+                conn = self._idle.get_nowait()
+            except queue_mod.Empty:
+                break
+            if not conn.closed:
+                return conn
+            with self._lock:
+                self._created -= 1
+        with self._lock:
+            if self._created < self.size:
+                self._created += 1
+                try:
+                    return self._connect()
+                except BaseException:
+                    self._created -= 1
+                    raise
+        try:
+            conn = self._idle.get(timeout=timeout)
+        except queue_mod.Empty:
+            raise NetworkError(
+                f"no pooled connection became free within {timeout}s"
+            ) from None
+        if conn.closed:
+            with self._lock:
+                self._created -= 1
+            return self._checkout(timeout)
+        return conn
+
+    def _checkin(self, conn: RemoteConnection) -> None:
+        if self._closed or conn.closed:
+            with self._lock:
+                self._created -= 1
+            conn.close()
+            return
+        self._idle.put(conn)
+
+    class _Lease:
+        def __init__(self, pool: "ConnectionPool", conn: RemoteConnection):
+            self._pool = pool
+            self.connection = conn
+
+        def __enter__(self) -> RemoteConnection:
+            return self.connection
+
+        def __exit__(self, *exc_info) -> None:
+            self._pool._checkin(self.connection)
+
+    def acquire(self, timeout: Optional[float] = 30.0) -> "_Lease":
+        """A context manager leasing one connection from the pool."""
+        return self._Lease(self, self._checkout(timeout))
+
+    def close(self) -> None:
+        """Close every idle connection; leased ones close on check-in."""
+        self._closed = True
+        while True:
+            try:
+                conn = self._idle.get_nowait()
+            except queue_mod.Empty:
+                break
+            conn.close()
+
+    def __enter__(self) -> "ConnectionPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,712 @@
+"""The asyncio socket server: many clients, one shared ``Database``.
+
+The accept loop hands every TCP client its own
+``Database.connect()`` session, so the engine's snapshot isolation,
+first-committer-wins conflicts and the cross-session plan cache apply
+to remote clients exactly as they do in process.  Three rules keep the
+event loop responsive under heavy traffic:
+
+* **Never block the loop on a query.**  Statements run on a thread
+  pool via ``run_in_executor``; inside, the engine schedules dataflow
+  onto its own shared worker pool as usual.
+* **Stream, don't materialise.**  Query results leave as columnar
+  ``RESULT_BATCH`` frames of at most ``batch_rows`` rows (raw dtype
+  bytes + NULL masks via :meth:`Result.iter_batches`), and every
+  frame waits for ``writer.drain()`` — a stalled reader suspends its
+  own stream at O(batch) buffered bytes instead of pinning the whole
+  result set (``drain_timeout`` eventually disconnects it).
+* **Bound admission.**  At most ``max_sessions`` concurrent clients
+  (excess connects are refused with an ``OperationalError`` frame),
+  and per connection a bounded in-flight queue of ``max_pending``
+  pipelined requests — when it fills, the server simply stops reading
+  that socket and TCP pushes back.
+
+``CANCEL`` frames bypass the queue: the connection's reader task sets
+a flag the streaming loop checks between batches, so a client can
+abandon a large scan mid-flight.  A client that disconnects
+mid-statement (or mid-stream) has its session rolled back and closed
+— no leaked forks, no leaked admission slots.
+
+Run standalone with ``python -m repro.net.server --port 50123
+[--path FARM --durable]``, embed via :class:`ReproServer`, or use
+:class:`ServerThread` to host one on a background thread (tests,
+benchmarks, examples).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Optional
+
+from repro.engine.database import Database
+from repro.engine.result import Result
+from repro.errors import (
+    NetworkError,
+    OperationalError,
+    ProgrammingError,
+    ProtocolError,
+    SciQLError,
+)
+from repro.net import protocol
+from repro.net.protocol import Msg
+
+DEFAULT_HOST = "127.0.0.1"
+#: default TCP port (an homage to MonetDB's 50000).
+DEFAULT_PORT = 50123
+#: default cap on concurrently admitted client connections.
+DEFAULT_MAX_SESSIONS = 64
+#: default cap on pipelined (queued) requests per connection.
+DEFAULT_MAX_PENDING = 8
+#: seconds a client may take to send its HELLO frame.
+HANDSHAKE_TIMEOUT = 10.0
+#: default seconds a stalled reader may block one batch write.
+DEFAULT_DRAIN_TIMEOUT = 300.0
+
+
+def _env_int(name: str, default: int) -> int:
+    value = os.environ.get(name)
+    if not value:
+        return default
+    try:
+        return max(1, int(value))
+    except ValueError:
+        raise ProgrammingError(
+            f"invalid {name} value {value!r}: expected an integer"
+        ) from None
+
+
+class ServerStats:
+    """Counters the STATS message reports (mutated on the event loop)."""
+
+    __slots__ = (
+        "connections_accepted",
+        "connections_rejected",
+        "connections_active",
+        "disconnects",
+        "statements",
+        "batches_streamed",
+        "bytes_streamed",
+        "peak_batch_bytes",
+        "cancelled",
+        "errors",
+        "stalled_disconnects",
+    )
+
+    def __init__(self) -> None:
+        for name in self.__slots__:
+            setattr(self, name, 0)
+
+    def snapshot(self) -> dict:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+class _ClientState:
+    """Everything one admitted connection owns."""
+
+    __slots__ = (
+        "reader",
+        "writer",
+        "session",
+        "batch_rows",
+        "cancel_event",
+        "statements",
+        "next_statement_id",
+    )
+
+    def __init__(self, reader, writer, session, batch_rows: int):
+        self.reader = reader
+        self.writer = writer
+        self.session = session
+        self.batch_rows = batch_rows
+        self.cancel_event = asyncio.Event()
+        self.statements: dict[int, object] = {}
+        self.next_statement_id = 1
+
+
+class ReproServer:
+    """An asyncio TCP front door over one shared :class:`Database`."""
+
+    def __init__(
+        self,
+        database: Optional[Database] = None,
+        host: str = DEFAULT_HOST,
+        port: int = 0,
+        *,
+        max_sessions: Optional[int] = None,
+        batch_rows: Optional[int] = None,
+        max_pending: Optional[int] = None,
+        auth=None,
+        drain_timeout: Optional[float] = DEFAULT_DRAIN_TIMEOUT,
+    ):
+        if database is None:
+            database = Database()
+            self._owns_database = True
+        else:
+            self._owns_database = False
+        self.database = database
+        self.host = host
+        self.port = port
+        self.max_sessions = (
+            _env_int("REPRO_NET_MAX_SESSIONS", DEFAULT_MAX_SESSIONS)
+            if max_sessions is None
+            else max(1, int(max_sessions))
+        )
+        self.batch_rows = (
+            _env_int("REPRO_NET_BATCH_ROWS", protocol.DEFAULT_BATCH_ROWS)
+            if batch_rows is None
+            else max(1, int(batch_rows))
+        )
+        self.max_pending = (
+            _env_int("REPRO_NET_MAX_PENDING", DEFAULT_MAX_PENDING)
+            if max_pending is None
+            else max(1, int(max_pending))
+        )
+        #: optional ``auth(user, password) -> bool`` hook; None admits all.
+        self.auth = auth
+        self.drain_timeout = drain_timeout
+        self.stats = ServerStats()
+        #: blocking statement calls run here, NOT on the event loop; the
+        #: engine's own dataflow pool parallelises inside each call.
+        self._executor = ThreadPoolExecutor(
+            max_workers=min(self.max_sessions, 32),
+            thread_name_prefix="repro-net",
+        )
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._active = 0
+        #: live ``_handle_client`` tasks, so :meth:`aclose` can cancel
+        #: stragglers instead of abandoning them mid-teardown.
+        self._client_tasks: set = set()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound (host, port) once :meth:`start` ran."""
+        if self._server is None:
+            raise NetworkError("server is not started")
+        return self._server.sockets[0].getsockname()[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"repro://{host}:{port}"
+
+    async def start(self) -> tuple[str, int]:
+        """Bind and start accepting; returns the bound (host, port)."""
+        self._server = await asyncio.start_server(
+            self._handle_client, self.host, self.port
+        )
+        return self.address
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def aclose(self) -> None:
+        """Stop accepting, disconnect remaining clients, close the socket."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._client_tasks):
+            task.cancel()
+        if self._client_tasks:
+            await asyncio.gather(*self._client_tasks, return_exceptions=True)
+        self._executor.shutdown(wait=False)
+        if self._owns_database:
+            self.database.close()
+
+    # ------------------------------------------------------------------
+    # per-connection protocol
+    # ------------------------------------------------------------------
+    async def _send(self, state_or_writer, frame: bytes) -> None:
+        writer = (
+            state_or_writer.writer
+            if isinstance(state_or_writer, _ClientState)
+            else state_or_writer
+        )
+        writer.write(frame)
+        if self.drain_timeout is None:
+            await writer.drain()
+            return
+        try:
+            await asyncio.wait_for(writer.drain(), self.drain_timeout)
+        except asyncio.TimeoutError:
+            self.stats.stalled_disconnects += 1
+            raise NetworkError(
+                f"client stalled for {self.drain_timeout}s; disconnecting"
+            ) from None
+
+    async def _send_error(self, state_or_writer, exc: BaseException) -> None:
+        self.stats.errors += 1
+        await self._send(
+            state_or_writer,
+            protocol.encode_frame(Msg.ERROR, protocol.error_header(exc)),
+        )
+
+    async def _handle_client(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._client_tasks.add(task)
+            task.add_done_callback(self._client_tasks.discard)
+        self.stats.connections_accepted += 1
+        if self._active >= self.max_sessions:
+            self.stats.connections_rejected += 1
+            try:
+                await self._send_error(
+                    writer,
+                    OperationalError(
+                        f"server refused the connection: max_sessions "
+                        f"({self.max_sessions}) already admitted"
+                    ),
+                )
+            except (ConnectionError, NetworkError):
+                pass
+            writer.close()
+            return
+        self._active += 1
+        self.stats.connections_active = self._active
+        session = self.database.connect()
+        state = _ClientState(reader, writer, session, self.batch_rows)
+        try:
+            if await self._handshake(state):
+                await self._serve_session(state)
+        except (
+            ConnectionError,
+            OSError,
+            asyncio.IncompleteReadError,
+            asyncio.TimeoutError,
+            NetworkError,
+        ):
+            self.stats.disconnects += 1
+        except asyncio.CancelledError:
+            # Server shutdown cancelled this handler; absorb it (the
+            # task ends here anyway) so the reclaim below still runs
+            # and asyncio's stream callback never sees the cancel.
+            self.stats.disconnects += 1
+        except ProtocolError as exc:
+            try:
+                await self._send_error(state, exc)
+            except (ConnectionError, NetworkError):
+                pass
+        finally:
+            # Reclaim everything the client held: roll back any open
+            # transaction fork, close the session, release the slot.
+            try:
+                if not session.closed:
+                    session.rollback()
+            except SciQLError:
+                pass
+            session.close()
+            state.statements.clear()
+            self._active -= 1
+            self.stats.connections_active = self._active
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_frame(self, reader) -> tuple[Msg, dict, bytes]:
+        prelude = await reader.readexactly(protocol.FRAME_PRELUDE.size)
+        length, crc = protocol.FRAME_PRELUDE.unpack(prelude)
+        protocol.check_frame_length(length)
+        payload = await reader.readexactly(length)
+        protocol.check_payload(length, crc, payload)
+        return protocol.decode_payload(payload)
+
+    async def _handshake(self, state: _ClientState) -> bool:
+        msg, header, _ = await asyncio.wait_for(
+            self._read_frame(state.reader), HANDSHAKE_TIMEOUT
+        )
+        if msg is not Msg.HELLO or header.get("magic") != protocol.CLIENT_MAGIC:
+            raise ProtocolError("expected a HELLO frame to open the session")
+        if header.get("protocol") != protocol.PROTOCOL_VERSION:
+            await self._send_error(
+                state,
+                ProtocolError(
+                    f"protocol version mismatch: client speaks "
+                    f"{header.get('protocol')!r}, server speaks "
+                    f"{protocol.PROTOCOL_VERSION}"
+                ),
+            )
+            return False
+        if self.auth is not None and not self.auth(
+            header.get("user"), header.get("password")
+        ):
+            await self._send_error(
+                state,
+                OperationalError(
+                    f"authentication failed for user {header.get('user')!r}"
+                ),
+            )
+            return False
+        requested = header.get("batch_rows")
+        if isinstance(requested, int) and requested > 0:
+            state.batch_rows = requested
+        import repro
+
+        await self._send(
+            state,
+            protocol.encode_frame(
+                Msg.WELCOME,
+                {
+                    "server_version": repro.__version__,
+                    "protocol": protocol.PROTOCOL_VERSION,
+                    "batch_rows": state.batch_rows,
+                },
+            ),
+        )
+        return True
+
+    async def _serve_session(self, state: _ClientState) -> None:
+        """Bounded-pipeline request loop: one reader, one worker.
+
+        The reader task moves frames into a bounded queue (so an
+        over-pipelining client blocks on TCP, not on server memory)
+        and handles CANCEL immediately, out of band.  The worker
+        executes requests strictly in order.
+        """
+        queue: asyncio.Queue = asyncio.Queue(self.max_pending)
+
+        async def pump() -> None:
+            try:
+                while True:
+                    frame = await self._read_frame(state.reader)
+                    if frame[0] is Msg.CANCEL:
+                        state.cancel_event.set()
+                        continue
+                    await queue.put(frame)
+                    if frame[0] is Msg.GOODBYE:
+                        return
+            except (
+                ConnectionError,
+                OSError,
+                asyncio.IncompleteReadError,
+                ProtocolError,
+            ) as exc:
+                await queue.put(exc)
+
+        pump_task = asyncio.create_task(pump())
+        try:
+            while True:
+                item = await queue.get()
+                if isinstance(item, ProtocolError):
+                    raise item
+                if isinstance(item, Exception):
+                    raise NetworkError(str(item))
+                msg, header, blob = item
+                if msg is Msg.GOODBYE:
+                    return
+                await self._dispatch(state, msg, header)
+        finally:
+            pump_task.cancel()
+
+    async def _dispatch(self, state: _ClientState, msg: Msg, header: dict) -> None:
+        state.cancel_event.clear()
+        try:
+            handler = self._HANDLERS.get(msg)
+            if handler is None:
+                raise ProtocolError(
+                    f"unexpected {msg.name} frame from a client"
+                )
+            await handler(self, state, header)
+        except (ConnectionError, NetworkError):
+            raise
+        except ProtocolError as exc:
+            await self._send_error(state, exc)
+        except SciQLError as exc:
+            await self._send_error(state, exc)
+        except Exception as exc:  # noqa: BLE001 - surfaced to the client
+            await self._send_error(state, exc)
+
+    async def _call(self, fn, *args):
+        """Run one blocking engine call off the event loop."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(self._executor, lambda: fn(*args))
+
+    # ------------------------------------------------------------------
+    # request handlers
+    # ------------------------------------------------------------------
+    async def _on_execute(self, state: _ClientState, header: dict) -> None:
+        sql = header.get("sql")
+        if not isinstance(sql, str):
+            raise ProtocolError("EXECUTE frame without SQL text")
+        params = protocol.decoded_params(header.get("params"))
+        self.stats.statements += 1
+        result = await self._call(state.session.execute, sql, params)
+        await self._send_result(state, result)
+
+    async def _on_prepare(self, state: _ClientState, header: dict) -> None:
+        sql = header.get("sql")
+        if not isinstance(sql, str):
+            raise ProtocolError("PREPARE frame without SQL text")
+        statement = await self._call(state.session.prepare, sql)
+        statement_id = state.next_statement_id
+        state.next_statement_id += 1
+        state.statements[statement_id] = statement
+        await self._send(
+            state,
+            protocol.encode_frame(
+                Msg.PREPARED,
+                {
+                    "statement_id": statement_id,
+                    "parameters": list(statement.parameters),
+                },
+            ),
+        )
+
+    def _statement(self, state: _ClientState, header: dict):
+        statement = state.statements.get(header.get("statement_id"))
+        if statement is None:
+            raise ProgrammingError(
+                f"unknown prepared statement id {header.get('statement_id')!r}"
+            )
+        return statement
+
+    async def _on_execute_prepared(
+        self, state: _ClientState, header: dict
+    ) -> None:
+        statement = self._statement(state, header)
+        params = protocol.decoded_params(header.get("params"))
+        self.stats.statements += 1
+        result = await self._call(statement.execute, params)
+        await self._send_result(state, result)
+
+    async def _on_executemany(self, state: _ClientState, header: dict) -> None:
+        seq = header.get("params_seq")
+        if not isinstance(seq, list):
+            raise ProtocolError("EXECUTEMANY frame without a parameter list")
+        seq = [protocol.decoded_params(params) for params in seq]
+        self.stats.statements += 1
+        if "statement_id" in header:
+            statement = self._statement(state, header)
+            result = await self._call(statement.executemany, seq)
+        else:
+            sql = header.get("sql")
+            if not isinstance(sql, str):
+                raise ProtocolError("EXECUTEMANY frame without SQL text")
+            result = await self._call(state.session.executemany, sql, seq)
+        await self._send_result(state, result)
+
+    async def _on_begin(self, state: _ClientState, header: dict) -> None:
+        await self._call(state.session.begin)
+        await self._send_ok(state)
+
+    async def _on_commit(self, state: _ClientState, header: dict) -> None:
+        await self._call(state.session.commit)
+        await self._send_ok(state)
+
+    async def _on_rollback(self, state: _ClientState, header: dict) -> None:
+        await self._call(state.session.rollback)
+        await self._send_ok(state)
+
+    async def _on_close_statement(
+        self, state: _ClientState, header: dict
+    ) -> None:
+        state.statements.pop(header.get("statement_id"), None)
+        await self._send_ok(state)
+
+    async def _on_stats(self, state: _ClientState, header: dict) -> None:
+        stats = dict(self.database.stats())
+        stats.update(self.stats.snapshot())
+        stats["batch_rows"] = self.batch_rows
+        stats["max_sessions"] = self.max_sessions
+        await self._send(state, protocol.encode_frame(Msg.STATS_DATA, stats))
+
+    _HANDLERS = {
+        Msg.EXECUTE: _on_execute,
+        Msg.PREPARE: _on_prepare,
+        Msg.EXECUTE_PREPARED: _on_execute_prepared,
+        Msg.EXECUTEMANY: _on_executemany,
+        Msg.BEGIN: _on_begin,
+        Msg.COMMIT: _on_commit,
+        Msg.ROLLBACK: _on_rollback,
+        Msg.CLOSE_STATEMENT: _on_close_statement,
+        Msg.STATS: _on_stats,
+    }
+
+    # ------------------------------------------------------------------
+    # result streaming
+    # ------------------------------------------------------------------
+    async def _send_ok(self, state: _ClientState, affected: int = 0) -> None:
+        await self._send(
+            state,
+            protocol.encode_frame(
+                Msg.OK,
+                {
+                    "affected": affected,
+                    "in_transaction": state.session.in_transaction,
+                },
+            ),
+        )
+
+    async def _send_result(self, state: _ClientState, result: Result) -> None:
+        """Stream one result: header, bounded columnar batches, done.
+
+        The per-connection transfer buffer never exceeds one encoded
+        batch — each frame is encoded from O(batch_rows) column
+        slices and fully drained (backpressure) before the next one
+        is built.  Cancellation is honoured between batches.
+        """
+        if not result.is_query:
+            await self._send_ok(state, result.affected)
+            return
+        await self._send(
+            state,
+            protocol.encode_frame(
+                Msg.RESULT_HEADER,
+                {
+                    "kind": result.kind,
+                    "names": result.names,
+                    "meta": result.meta,
+                    "row_count": result.row_count,
+                    "affected": result.affected,
+                    "batch_rows": state.batch_rows,
+                },
+            ),
+        )
+        batches = 0
+        for columns in result.iter_batches(state.batch_rows):
+            if state.cancel_event.is_set():
+                state.cancel_event.clear()
+                self.stats.cancelled += 1
+                await self._send_error(
+                    state,
+                    OperationalError(
+                        "statement cancelled by the client mid-stream"
+                    ),
+                )
+                return
+            frame = protocol.encode_batch(columns)
+            batches += 1
+            self.stats.batches_streamed += 1
+            self.stats.bytes_streamed += len(frame)
+            if len(frame) > self.stats.peak_batch_bytes:
+                self.stats.peak_batch_bytes = len(frame)
+            await self._send(state, frame)
+        await self._send(
+            state, protocol.encode_frame(Msg.RESULT_DONE, {"batches": batches})
+        )
+
+
+# ----------------------------------------------------------------------
+# hosting helpers
+# ----------------------------------------------------------------------
+class ServerThread:
+    """Host a :class:`ReproServer` on a background event-loop thread.
+
+    ``with ServerThread(database) as server: repro.connect(server.url)``
+    is the test/benchmark/example idiom; production deployments use
+    :func:`serve` (or ``python -m repro.net.server``) on a foreground
+    loop instead.
+    """
+
+    def __init__(self, database: Optional[Database] = None, **kwargs):
+        self.server = ReproServer(database, **kwargs)
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-net-server", daemon=True
+        )
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        self._loop.run_forever()
+
+    def start(self) -> "ServerThread":
+        self._thread.start()
+        asyncio.run_coroutine_threadsafe(
+            self.server.start(), self._loop
+        ).result(timeout=30)
+        return self
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self.server.address
+
+    @property
+    def url(self) -> str:
+        return self.server.url
+
+    def stop(self) -> None:
+        if not self._thread.is_alive():
+            return
+        asyncio.run_coroutine_threadsafe(
+            self.server.aclose(), self._loop
+        ).result(timeout=30)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=30)
+        self._loop.close()
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def serve(
+    database: Optional[Database] = None,
+    host: str = DEFAULT_HOST,
+    port: int = DEFAULT_PORT,
+    **kwargs,
+) -> None:
+    """Run a server on the current thread until interrupted."""
+
+    async def _main() -> None:
+        server = ReproServer(database, host, port, **kwargs)
+        bound_host, bound_port = await server.start()
+        print(f"repro server listening on repro://{bound_host}:{bound_port}")
+        try:
+            await server.serve_forever()
+        finally:
+            await server.aclose()
+
+    asyncio.run(_main())
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Serve a repro database over TCP."
+    )
+    parser.add_argument("--host", default=DEFAULT_HOST)
+    parser.add_argument("--port", type=int, default=DEFAULT_PORT)
+    parser.add_argument(
+        "--path", default=None, help="farm directory to open (default: in-memory)"
+    )
+    parser.add_argument(
+        "--durable",
+        action="store_true",
+        help="keep commits durable via the write-ahead log (needs --path)",
+    )
+    parser.add_argument("--max-sessions", type=int, default=None)
+    parser.add_argument("--batch-rows", type=int, default=None)
+    args = parser.parse_args(argv)
+    if args.path is not None:
+        database = Database.open(args.path, durable="wal" if args.durable else False)
+    else:
+        database = Database()
+    try:
+        serve(
+            database,
+            args.host,
+            args.port,
+            max_sessions=args.max_sessions,
+            batch_rows=args.batch_rows,
+        )
+    except KeyboardInterrupt:
+        pass
+    finally:
+        database.close()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    raise SystemExit(main())

@@ -69,17 +69,26 @@ class TestReadersSeeCommittedSnapshots:
                 sequence = 0
                 for _ in range(blocks):
                     use_sql_txn = rng.random() < 0.5
-                    conn.begin()
-                    for _ in range(TXN_ROWS):
-                        conn.execute(
-                            "INSERT INTO log VALUES (?, ?)",
-                            (writer_id, sequence),
-                        )
-                        sequence += 1
-                    if use_sql_txn:
-                        conn.execute("COMMIT")
-                    else:
-                        conn.commit()
+                    while True:
+                        try:
+                            conn.begin()
+                            for offset in range(TXN_ROWS):
+                                conn.execute(
+                                    "INSERT INTO log VALUES (?, ?)",
+                                    (writer_id, sequence + offset),
+                                )
+                            if use_sql_txn:
+                                conn.execute("COMMIT")
+                            else:
+                                conn.commit()
+                            break
+                        except OperationalError:
+                            # All writers append to `log`, so losing
+                            # the first-committer-wins race is legal;
+                            # the engine rolled the block back whole —
+                            # redo it with the same sequence numbers.
+                            continue
+                    sequence += TXN_ROWS
 
             return work
 
@@ -257,11 +266,20 @@ class TestStressSmoke:
                     conn.execute(
                         "SELECT k, SUM(v) FROM base GROUP BY k"
                     ).rows()
-                    with conn.transaction():
-                        conn.execute(
-                            "INSERT INTO base VALUES (?, ?)",
-                            (worker_id, float(round_no)),
-                        )
+                    while True:
+                        try:
+                            with conn.transaction():
+                                conn.execute(
+                                    "INSERT INTO base VALUES (?, ?)",
+                                    (worker_id, float(round_no)),
+                                )
+                            break
+                        except OperationalError:
+                            # First committer wins: all four workers
+                            # write `base`, so losing the commit race
+                            # is legal engine behaviour — retry like
+                            # any snapshot-isolation client must.
+                            continue
                     conn.begin()
                     conn.execute("DELETE FROM base WHERE k = ?", (worker_id,))
                     conn.rollback()

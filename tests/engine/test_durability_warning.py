@@ -1,0 +1,52 @@
+"""``durable`` without a path must warn, not silently stay volatile."""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+import repro
+from repro.engine.database import resolve_durable_mode
+
+
+class TestDurabilityWarning:
+    @pytest.mark.parametrize("durable", [True, "wal", "full"])
+    def test_pathless_connect_warns(self, durable):
+        with pytest.warns(repro.DurabilityWarning, match="without a database path"):
+            conn = repro.connect(durable=durable)
+        # The session still works — just without durability.
+        assert conn.execute("SELECT 1").scalar() == 1
+        assert conn.database.durable_mode is None
+        conn.close()
+
+    @pytest.mark.parametrize("durable", [True, "wal", "full"])
+    def test_pathless_database_warns(self, durable):
+        with pytest.warns(repro.DurabilityWarning):
+            db = repro.Database(durable=durable)
+        assert db.durable_mode is None
+        db.close()
+
+    def test_no_warning_without_durable(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            repro.connect().close()
+            repro.Database().close()
+
+    def test_no_warning_with_path(self, tmp_path):
+        seed = repro.connect()
+        seed.execute("CREATE TABLE t (v INT)")
+        seed.save(tmp_path / "farm")
+        seed.close()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            conn = repro.connect(tmp_path / "farm", durable=True)
+            conn.close()
+
+    def test_resolver_still_returns_none(self):
+        with pytest.warns(repro.DurabilityWarning):
+            assert resolve_durable_mode(True, None) is None
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resolve_durable_mode(False, None) is None
+            assert resolve_durable_mode(True, "some/path") == "wal"

@@ -1,0 +1,39 @@
+"""Fixtures for the network front-door suite: a live loopback server."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.net.server import ServerThread
+
+
+@pytest.fixture
+def db():
+    """The shared engine the server fronts (also reachable in-process)."""
+    database = repro.Database()
+    yield database
+    database.close()
+
+
+@pytest.fixture
+def server(db):
+    """A running loopback server over *db* on an ephemeral port."""
+    with ServerThread(db) as thread:
+        yield thread
+
+
+@pytest.fixture
+def remote(server):
+    """One connected remote session (closed on teardown)."""
+    conn = repro.connect(server.url)
+    yield conn
+    conn.close()
+
+
+@pytest.fixture
+def local(db):
+    """An in-process session over the same engine, for byte-identity."""
+    session = db.connect()
+    yield session
+    session.close()
