@@ -40,6 +40,7 @@ DEFAULT_SUITES = [
     "benchmarks/bench_concurrency.py",
     "benchmarks/bench_durability.py",
     "benchmarks/bench_server.py",
+    "benchmarks/bench_storage.py",
 ]
 
 

@@ -289,7 +289,7 @@ class Catalog:
                     )
                     for a in entry["attributes"]
                 ]
-                array = Array(name, dimensions, attributes)
+                array = Array(name, dimensions, attributes, materialise=False)
                 for column in array.column_names():
                     array.bats[column] = load_bat(subdir, column)
                 catalog._objects[name] = array

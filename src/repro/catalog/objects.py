@@ -16,6 +16,7 @@ from typing import Any, Optional
 import numpy as np
 
 from repro.errors import CatalogError, DimensionError
+from repro.gdk import dictenc
 from repro.gdk.atoms import Atom
 from repro.gdk.bat import BAT
 from repro.gdk.column import Column
@@ -208,7 +209,12 @@ class Table(_DeltaJournal):
                 incoming = Column.constant(cdef.atom, cdef.default, n)
             else:
                 incoming = Column.nulls(cdef.atom, n)
-            self.bats[cdef.name] = self.bats[cdef.name].append(BAT(incoming))
+            appended = self.bats[cdef.name].append(BAT(incoming))
+            # Re-evaluate dictionary encoding on the grown column before
+            # the journal snapshots it, so WAL replay converges to the
+            # same representation (a column can cross the cardinality
+            # threshold — in either direction — mid-append).
+            self.bats[cdef.name] = dictenc.maybe_encode_bat(appended)
         self._journal_op("append_rows", {"columns": dict(columns)})
         return n
 
@@ -261,6 +267,7 @@ class Array(_DeltaJournal):
         name: str,
         dimensions: list[DimensionDef],
         attributes: list[ColumnDef],
+        materialise: bool = True,
     ):
         if not dimensions:
             raise CatalogError(f"array {name}: needs at least one dimension")
@@ -273,7 +280,12 @@ class Array(_DeltaJournal):
         self.dimensions = dimensions
         self.attributes = attributes
         self.bats: dict[str, BAT] = {}
-        self.materialise()
+        # ``materialise=False`` leaves the BATs to the caller — the farm
+        # loader fills them from disk (possibly as lazy mmap windows);
+        # materialising a large grid here just to overwrite it would
+        # fault the whole heap into memory.
+        if materialise:
+            self.materialise()
 
     # ------------------------------------------------------------------
     # materialisation (paper Section 3, Figure 3)

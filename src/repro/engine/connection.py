@@ -53,6 +53,7 @@ from repro import errors
 from repro.errors import InterfaceError, ProgrammingError
 from repro.catalog import Catalog
 from repro.catalog.objects import Array, ColumnDef, DimensionDef
+from repro.gdk import storage as gdk_storage
 from repro.gdk.atoms import Atom
 from repro.gdk.bat import BAT
 from repro.gdk.column import Column
@@ -365,6 +366,23 @@ class Connection:
             for operation, seconds in stats.seconds_per_operation.items()
         ]
         out.sort(key=lambda entry: entry["seconds"], reverse=True)
+        # Storage-engine counters ride along as synthetic zero-time
+        # entries so profiles expose pruning/fault behaviour without a
+        # schema change: "calls" carries the count, "rows" the bytes.
+        if stats.fragments_pruned:
+            out.append({
+                "operation": "storage.fragments_pruned",
+                "calls": stats.fragments_pruned,
+                "rows": 0,
+                "seconds": 0.0,
+            })
+        if stats.bytes_faulted:
+            out.append({
+                "operation": "storage.bytes_faulted",
+                "calls": 1,
+                "rows": stats.bytes_faulted,
+                "seconds": 0.0,
+            })
         return out
 
     # ------------------------------------------------------------------
@@ -529,6 +547,9 @@ class Connection:
         # fragmentation knobs change the compiled plan shape.  The
         # schema token makes entries snapshot-valid: committed DDL
         # mints keys no stale entry can match.
+        # storage_token folds in the mmap knobs: flipping
+        # REPRO_STORAGE_MMAP mid-process must not replay plans whose
+        # cost assumptions (lazy vs eager heaps) no longer hold.
         return (
             sql,
             self.optimize_programs,
@@ -536,6 +557,7 @@ class Connection:
             self._nr_threads,
             self._fragment_rows,
             self._schema_token(),
+            gdk_storage.storage_token(),
         )
 
     def _build_entry(

@@ -22,15 +22,25 @@ from repro.gdk.column import Column
 
 
 class BAT:
-    """A void-headed Binary Association Table."""
+    """A void-headed Binary Association Table.
 
-    __slots__ = ("tail", "hseqbase")
+    ``_zones`` caches the BAT's zone map (``None`` = not yet built,
+    ``False`` = not buildable, e.g. a plain string tail — see
+    :func:`repro.gdk.zonemap.ensure`); ``_zone_origin`` is set by
+    :func:`partition` to ``(source_bat, start_row)`` so a fragment's
+    selections consult the source's zone map over their own row window
+    instead of building per-fragment statistics.
+    """
+
+    __slots__ = ("tail", "hseqbase", "_zones", "_zone_origin")
 
     def __init__(self, tail: Column, hseqbase: int = 0):
         if hseqbase < 0:
             raise GDKError("hseqbase must be non-negative")
         self.tail = tail
         self.hseqbase = hseqbase
+        self._zones = None
+        self._zone_origin = None
 
     # ------------------------------------------------------------------
     # constructors
@@ -154,13 +164,22 @@ def pack_bats(parts: Sequence[BAT]) -> BAT:
     for part in parts[1:]:
         if part.atom is not atom:
             raise GDKError(f"mat.pack of {atom} and {part.atom} fragments")
-    # Single-pass concatenation: a pairwise fold would re-copy the
-    # accumulated prefix once per fragment (quadratic in fragments).
-    values = np.concatenate([part.tail.values for part in parts])
     if any(part.tail.mask is not None for part in parts):
         mask = np.concatenate([part.tail.effective_mask() for part in parts])
     else:
         mask = None
+    # Fragments of one dictionary-encoded source share the dictionary
+    # object; packing them re-concatenates codes without decoding.
+    first = parts[0].tail
+    dictionary = getattr(first, "dictionary", None)
+    if dictionary is not None and all(
+        getattr(part.tail, "dictionary", None) is dictionary for part in parts[1:]
+    ):
+        codes = np.concatenate([np.asarray(part.tail.codes) for part in parts])
+        return BAT(type(first)(atom, codes, dictionary, mask), parts[0].hseqbase)
+    # Single-pass concatenation: a pairwise fold would re-copy the
+    # accumulated prefix once per fragment (quadratic in fragments).
+    values = np.concatenate([part.tail.values for part in parts])
     return BAT(Column(atom, values, mask), parts[0].hseqbase)
 
 
@@ -208,12 +227,11 @@ def partition(b: BAT, index: int, pieces: int) -> BAT:
     re-materialise the whole column once per fragmented plan.
     """
     start, stop = partition_bounds(len(b), index, pieces)
-    tail = b.tail
-    mask = tail.mask[start:stop] if tail.mask is not None else None
-    return BAT(
-        Column(tail.atom, tail.values[start:stop], mask),
-        b.hseqbase + start,
-    )
+    fragment = BAT(b.tail.view_slice(start, stop), b.hseqbase + start)
+    # Selections over the fragment consult the source's zone map for
+    # the [start, stop) window instead of building per-fragment stats.
+    fragment._zone_origin = (b, start)
+    return fragment
 
 
 def assert_aligned(*bats: BAT) -> int:

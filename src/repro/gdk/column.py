@@ -236,6 +236,18 @@ class Column:
         mask = self.mask[start:stop] if self.mask is not None else None
         return Column(self.atom, values.copy(), None if mask is None else mask.copy())
 
+    def view_slice(self, start: int, stop: int) -> "Column":
+        """Zero-copy window [start, stop) sharing the payload arrays.
+
+        Used by ``mat.partition``: a basic slice of a memory-mapped
+        payload stays a :class:`numpy.memmap`, so an mmap-backed
+        fragment only pages in the window it actually scans.
+        Dictionary-encoded columns override this to slice their codes
+        without decoding.
+        """
+        mask = self.mask[start:stop] if self.mask is not None else None
+        return Column(self.atom, self.values[start:stop], mask)
+
     def concat(self, other: "Column") -> "Column":
         """Concatenation of two columns of the same atom."""
         if self.atom is not other.atom:

@@ -22,6 +22,7 @@ from repro.errors import GDKError
 from repro.gdk.atoms import Atom, canon_key as _canon_key
 from repro.gdk.bat import BAT
 from repro.gdk.column import Column
+from repro.gdk.dictenc import DictColumn
 
 
 @dataclass(frozen=True)
@@ -53,9 +54,15 @@ def _value_codes(column: Column) -> np.ndarray:
     slower than the default introsort plus a ``np.minimum.at`` pass in
     :func:`_densify_first_appearance`.
     """
-    values = column.values
-    if column.atom is Atom.STR:
-        values = values.astype(object)
+    if isinstance(column, DictColumn):
+        # The sorted dictionary makes code order value order, so coding
+        # the int32 codes yields exactly the codes of the decoded
+        # strings — without materialising a single object.
+        values = np.asarray(column.codes)
+    else:
+        values = column.values
+        if column.atom is Atom.STR:
+            values = values.astype(object)
     mask = column.mask
     if mask is None:
         _, codes = np.unique(values, return_inverse=True)

@@ -24,6 +24,7 @@ from repro.errors import GDKError
 from repro.gdk.atoms import Atom, canon_key as _canon_key
 from repro.gdk.bat import BAT
 from repro.gdk.column import Column
+from repro.gdk.dictenc import DictColumn
 from repro.gdk.select import THETA_OPS
 from repro.gdk.select import _candidate_positions as _select_candidate_positions
 
@@ -94,17 +95,52 @@ def _check_join_types(left: BAT, right: BAT) -> None:
         raise GDKError(f"join of {left.atom} and {right.atom}")
 
 
+def _pair_sources(
+    ltail: Column, rtail: Column
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-side key arrays whose comparisons agree across the pair.
+
+    When *both* sides are dictionary-encoded the join runs on integer
+    codes: either the shared codes directly, or each side's codes
+    translated through the union dictionary.  The translation is
+    order-preserving (both dictionaries are sorted and the union is
+    their sorted merge), so sort order, equality spans and therefore
+    the joined oid pairs are byte-identical to the decoded join.
+    Mixed or plain pairs fall back to the value arrays (a lazy decode
+    for an encoded side).
+    """
+    if isinstance(ltail, DictColumn) and isinstance(rtail, DictColumn):
+        lcodes = np.asarray(ltail.codes)
+        rcodes = np.asarray(rtail.codes)
+        if ltail.dictionary is rtail.dictionary:
+            return lcodes, rcodes
+        joint, inverse = np.unique(
+            np.concatenate([ltail.dictionary, rtail.dictionary]),
+            return_inverse=True,
+        )
+        lut = inverse.astype(np.int64)
+        nleft = len(ltail.dictionary)
+        return lut[:nleft][lcodes], lut[nleft:][rcodes]
+    return ltail.values, rtail.values
+
+
 def _valid_split(
-    b: BAT, candidates: BAT | None
+    b: BAT, candidates: BAT | None, source: np.ndarray | None = None
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """(valid positions, their values, null positions) under candidates."""
+    """(valid positions, their keys, null positions) under candidates.
+
+    *source* overrides the key array gathered from (defaults to the
+    tail values; joins pass the code arrays of :func:`_pair_sources`).
+    """
     positions = _candidate_positions(b, candidates)
+    if source is None:
+        source = b.tail.values
     mask = b.tail.mask
     if mask is None:
-        return positions, b.tail.values[positions], np.empty(0, dtype=np.int64)
+        return positions, source[positions], np.empty(0, dtype=np.int64)
     local_null = mask[positions]
     valid = positions[~local_null]
-    return valid, b.tail.values[valid], positions[local_null]
+    return valid, source[valid], positions[local_null]
 
 
 def join(
@@ -121,8 +157,9 @@ def join(
     canonically ordered by (left oid, right oid).
     """
     _check_join_types(left, right)
-    lpos, lvals, lnull = _valid_split(left, lcand)
-    rpos, rvals, rnull = _valid_split(right, rcand)
+    lsrc, rsrc = _pair_sources(left.tail, right.tail)
+    lpos, lvals, lnull = _valid_split(left, lcand, lsrc)
+    rpos, rvals, rnull = _valid_split(right, rcand, rsrc)
 
     # Probe from the left into the sorted right side: left rows ascend
     # and each probe's matches ascend (stable sort), so the output is
@@ -159,9 +196,10 @@ def leftjoin(
     their (candidate) order; matches come in ascending right-oid order.
     """
     _check_join_types(left, right)
+    lsrc, rsrc = _pair_sources(left.tail, right.tail)
     lpos = _candidate_positions(left, lcand)
-    lvals = left.tail.values[lpos]
-    rpos, rvals, _ = _valid_split(right, rcand)
+    lvals = lsrc[lpos]
+    rpos, rvals, _ = _valid_split(right, rcand, rsrc)
 
     order = _sort_values(rvals)
     rsorted = rvals[order]
@@ -237,8 +275,9 @@ def semijoin(
 ) -> BAT:
     """Left oids having at least one equi-match in *right*."""
     _check_join_types(left, right)
-    lpos, lvals, _ = _valid_split(left, lcand)
-    _, rvals, _ = _valid_split(right, rcand)
+    lsrc, rsrc = _pair_sources(left.tail, right.tail)
+    lpos, lvals, _ = _valid_split(left, lcand, lsrc)
+    _, rvals, _ = _valid_split(right, rcand, rsrc)
     # Same span probe as join() so NaN keys stay in one equivalence class
     # (np.isin would never equate NaN with NaN).
     rsorted = rvals[_sort_values(rvals)]
@@ -255,8 +294,9 @@ def antijoin(
 ) -> BAT:
     """Left oids with no equi-match in *right* (NULL left tails excluded)."""
     _check_join_types(left, right)
-    lpos, lvals, _ = _valid_split(left, lcand)
-    _, rvals, _ = _valid_split(right, rcand)
+    lsrc, rsrc = _pair_sources(left.tail, right.tail)
+    lpos, lvals, _ = _valid_split(left, lcand, lsrc)
+    _, rvals, _ = _valid_split(right, rcand, rsrc)
     rsorted = rvals[_sort_values(rvals)]
     lo, hi = _span_search(rsorted, lvals)
     keep = hi == lo
@@ -289,14 +329,24 @@ def _joint_codes(
     nleft = len(left_cols[0]) if left_cols else 0
     keys: np.ndarray | None = None
     for lcol, rcol in zip(left_cols, right_cols):
-        combined = np.concatenate([_pairable(lcol), _pairable(rcol)])
-        uniques, codes = np.unique(combined, return_inverse=True)
-        codes = codes.astype(np.int64)
+        if isinstance(lcol, DictColumn) and isinstance(rcol, DictColumn):
+            # Code the pair through the union dictionary instead of
+            # np.unique over the concatenated object arrays; the codes
+            # need not be dense, only order/equality-faithful, which
+            # the sorted union guarantees.
+            lkeys, rkeys = _pair_sources(lcol, rcol)
+            codes = np.concatenate([lkeys, rkeys]).astype(np.int64)
+            nuniques = int(codes.max()) + 1 if len(codes) else 0
+        else:
+            combined = np.concatenate([_pairable(lcol), _pairable(rcol)])
+            uniques, codes = np.unique(combined, return_inverse=True)
+            codes = codes.astype(np.int64)
+            nuniques = len(uniques)
         if nulls_equal:
             null_mask = np.concatenate(
                 [lcol.effective_mask(), rcol.effective_mask()]
             )
-            codes[null_mask] = len(uniques)
+            codes[null_mask] = nuniques
         if keys is None:
             keys = codes
         else:

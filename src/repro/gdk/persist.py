@@ -1,12 +1,40 @@
 """BAT persistence — the "farm" directory.
 
 MonetDB stores each BAT as memory-mapped files inside a *farm*
-directory.  We reproduce the idea with one ``.npy`` file per column
-payload (plus one for the null mask when present) and a JSON descriptor
-per BAT.  The catalog layer composes these into whole-database
-snapshots (see :mod:`repro.catalog`); :func:`publish_farm` swaps a
-freshly written snapshot in atomically, which is what checkpointing of
-the engine's :class:`~repro.engine.database.Database` builds on.
+directory.  We reproduce the idea with one payload file per column
+(plus one for the null mask when present) and a JSON descriptor per
+BAT.  The catalog layer composes these into whole-database snapshots
+(see :mod:`repro.catalog`); :func:`publish_farm` swaps a freshly
+written snapshot in atomically, which is what checkpointing of the
+engine's :class:`~repro.engine.database.Database` builds on.
+
+Storage formats (chosen per column at :func:`save_bat` time, recorded
+in the descriptor's ``encoding`` entry):
+
+* **plain** — ``<name>.values.npy``, the raw numpy payload;
+* **dict** — string tails always persist as ``<name>.codes.npy``
+  (int32 codes) plus ``<name>.dict.json`` (the sorted dictionary);
+  they load back as :class:`~repro.gdk.dictenc.DictColumn`, so
+  selections/joins/grouping run on codes straight off disk.  Legacy
+  ``<name>.values.json`` payloads still load (as plain columns);
+* **rle** — numeric tails whose (bitwise) run structure compresses
+  well persist as ``<name>.rle.npz`` (run values + run lengths),
+  decoded eagerly on load.
+
+The descriptor also carries the column's zone map
+(:mod:`repro.gdk.zonemap`), computed at save time — publish/checkpoint
+is exactly when fragment statistics are refreshed, and loading them
+costs no payload I/O.
+
+Lazy loading: ``.npy`` payloads at or above the mmap threshold (see
+:func:`repro.gdk.storage.should_mmap`) open as read-only
+:class:`numpy.memmap` views instead of eager reads, so a farm open
+touches only descriptors and a scan only pages in the fragments it
+visits.  CRC verification for memory-mapped payloads is deferred: the
+bytes are re-checksummed when the next checkpoint republishes them,
+and any eager load still verifies up front.  Masks and dictionaries
+are always read (and verified) eagerly — they are small and kernels
+touch them wholesale anyway.
 
 Crash-safety contract (tested by the fault-point matrix in
 ``tests/engine/test_recovery.py``):
@@ -15,10 +43,14 @@ Crash-safety contract (tested by the fault-point matrix in
   a ``.tmp`` sibling, fsync'd, renamed over the target, directory
   fsync'd — so a crash never leaves a torn descriptor or payload under
   the real name;
-* :func:`save_bat` records a CRC32 per payload/mask file in the
-  descriptor and :func:`load_bat` verifies it, quarantining damaged
-  files (``<file>.corrupt``) and raising
-  :class:`~repro.errors.CorruptionError` instead of loading garbage;
+* :func:`save_bat` records a CRC32 per payload/mask/dictionary file in
+  the descriptor and :func:`load_bat` verifies it, quarantining
+  damaged files (``<file>.corrupt``) and raising
+  :class:`~repro.errors.CorruptionError` instead of loading garbage; a
+  descriptor naming a payload, dictionary or mask file that does not
+  exist quarantines the *descriptor* and raises
+  :class:`CorruptionError` too — structural damage never surfaces as a
+  bare ``FileNotFoundError`` mid-load;
 * :func:`publish_farm` never deletes a leftover ``<name>.retired``
   before confirming the main directory exists, and
   :func:`recover_farm` adopts a stranded ``.retired`` copy when a
@@ -39,12 +71,20 @@ from typing import Callable, Optional
 import numpy as np
 
 from repro.errors import CorruptionError, PersistenceError, RecoveryWarning
+from repro.gdk import dictenc, storage
 from repro.gdk.atoms import Atom
 from repro.gdk.bat import BAT
 from repro.gdk.column import Column
+from repro.gdk.dictenc import DictColumn
+from repro.gdk.zonemap import ZoneMap
 from repro.testing.faultpoints import crash_point
 
 _DESCRIPTOR_SUFFIX = ".bat.json"
+
+#: RLE is worth it when the payload has at least this many rows ...
+_RLE_MIN_ROWS = 64
+#: ... and at most ``rows // _RLE_MAX_RUN_DIVISOR`` runs.
+_RLE_MAX_RUN_DIVISOR = 4
 
 
 # ----------------------------------------------------------------------
@@ -188,40 +228,88 @@ def publish_farm(directory: Path, write: Callable[[Path], None]) -> None:
 # ----------------------------------------------------------------------
 # single-BAT save/load
 # ----------------------------------------------------------------------
-def _values_payload(bat: BAT) -> tuple[str, bytes]:
-    """Serialized tail values: (filename suffix, bytes)."""
-    if bat.atom is Atom.STR:
-        # Object arrays do not round-trip via np.save without pickle;
-        # store strings as JSON alongside an index-preserving layout.
-        payload = {"strings": bat.tail.values.tolist()}
-        return ".values.json", json.dumps(payload).encode()
+def _npy_bytes(array: np.ndarray) -> bytes:
     buffer = io.BytesIO()
-    np.save(buffer, bat.tail.values, allow_pickle=False)
-    return ".values.npy", buffer.getvalue()
+    np.save(buffer, array, allow_pickle=False)
+    return buffer.getvalue()
+
+
+def _rle_runs(values: np.ndarray) -> Optional[tuple[np.ndarray, np.ndarray]]:
+    """(run values, run lengths) when run-length encoding pays off.
+
+    Run boundaries compare *bit patterns*, not values: float payloads
+    are compared through an integer view so ``-0.0`` never merges with
+    ``0.0`` and NaNs never merge across payload bits — decoding via
+    ``np.repeat`` must reproduce the exact original bytes.
+    """
+    n = len(values)
+    if n < _RLE_MIN_ROWS:
+        return None
+    comparable = values
+    if values.dtype.kind == "f":
+        comparable = np.ascontiguousarray(values).view(np.int64)
+    changes = np.flatnonzero(comparable[1:] != comparable[:-1])
+    nruns = len(changes) + 1
+    if nruns > n // _RLE_MAX_RUN_DIVISOR:
+        return None
+    starts = np.concatenate([[0], changes + 1])
+    lengths = np.diff(np.concatenate([starts, [n]]))
+    return values[starts], lengths.astype(np.int64)
 
 
 def save_bat(bat: BAT, directory: Path, name: str) -> None:
-    """Write one BAT under *directory* as ``name.values.npy`` (+ mask, meta).
+    """Write one BAT under *directory* (payload + mask + descriptor).
 
     Every file lands atomically and the descriptor carries a CRC32 per
     payload file, so :func:`load_bat` can prove integrity.  The
-    descriptor is written last: a crash mid-save leaves at worst
-    payload files without a descriptor, which :func:`list_bats` ignores.
+    descriptor — including the zone map and the encoding record — is
+    written last: a crash mid-save leaves at worst payload files
+    without a descriptor, which :func:`list_bats` ignores.
     """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
-    suffix, values_data = _values_payload(bat)
-    values_file = f"{name}{suffix}"
-    checksums = {values_file: zlib.crc32(values_data)}
+    tail = bat.tail
+    checksums: dict[str, int] = {}
+    encoding = None
+    if bat.atom is Atom.STR:
+        if isinstance(tail, DictColumn):
+            dictionary = tail.dictionary
+            codes = np.asarray(tail.codes)
+        else:
+            dictionary, codes = dictenc.encode_values(tail.values)
+        dict_file = f"{name}.dict.json"
+        dict_data = json.dumps({"strings": dictionary.tolist()}).encode()
+        checksums[dict_file] = zlib.crc32(dict_data)
+        atomic_write_bytes(directory / dict_file, dict_data)
+        crash_point("persist.dict_staged")
+        values_file = f"{name}.codes.npy"
+        values_data = _npy_bytes(codes)
+        encoding = {"kind": "dict", "dict": dict_file}
+        zone_source = codes
+    else:
+        values = tail.values
+        runs = _rle_runs(values)
+        if runs is not None:
+            run_values, run_lengths = runs
+            buffer = io.BytesIO()
+            np.savez(buffer, values=run_values, lengths=run_lengths)
+            values_file = f"{name}.rle.npz"
+            values_data = buffer.getvalue()
+            encoding = {"kind": "rle"}
+        else:
+            values_file = f"{name}.values.npy"
+            values_data = _npy_bytes(values)
+        zone_source = values
+    checksums[values_file] = zlib.crc32(values_data)
     atomic_write_bytes(directory / values_file, values_data)
     mask_file = None
-    if bat.tail.mask is not None:
+    if tail.mask is not None:
         mask_file = f"{name}.mask.npy"
-        buffer = io.BytesIO()
-        np.save(buffer, bat.tail.mask, allow_pickle=False)
-        mask_data = buffer.getvalue()
+        mask_data = _npy_bytes(tail.mask)
         checksums[mask_file] = zlib.crc32(mask_data)
         atomic_write_bytes(directory / mask_file, mask_data)
+    zones = ZoneMap.build(zone_source, tail.mask)
+    crash_point("persist.zones_computed")
     descriptor = {
         "atom": bat.atom.value,
         "hseqbase": bat.hseqbase,
@@ -230,21 +318,55 @@ def save_bat(bat: BAT, directory: Path, name: str) -> None:
         "mask": mask_file,
         "checksums": checksums,
     }
+    if encoding is not None:
+        descriptor["encoding"] = encoding
+    if zones is not None:
+        descriptor["zones"] = zones.to_json()
     atomic_write_bytes(
         directory / f"{name}{_DESCRIPTOR_SUFFIX}",
         json.dumps(descriptor, indent=1).encode(),
     )
 
 
+def _quarantine_descriptor(
+    descriptor_path: Path, name: str, reason: str
+) -> CorruptionError:
+    """Quarantine a structurally-broken descriptor; build the error."""
+    quarantined = descriptor_path.with_name(descriptor_path.name + ".corrupt")
+    descriptor_path.rename(quarantined)
+    return CorruptionError(
+        f"cannot load BAT {name}: {reason}; the descriptor has been "
+        f"quarantined as {quarantined.name}. Recovery options: restore "
+        "the farm from a backup, re-run a checkpoint from a healthy "
+        "replica, or drop the containing object and reload its data."
+    )
+
+
+def _load_array(directory: Path, filename: str, checksums: Optional[dict]) -> np.ndarray:
+    """One ``.npy`` payload: eager + CRC-verified, or a lazy memmap view.
+
+    The memmap path defers CRC verification (re-checked when the next
+    checkpoint republishes the file); kernels touching the view report
+    faulted bytes via :func:`repro.gdk.storage.note_scan`.
+    """
+    path = directory / filename
+    if storage.should_mmap(path.stat().st_size):
+        return np.load(path, mmap_mode="r", allow_pickle=False)
+    data = _read_checked(directory, filename, checksums)
+    return np.load(io.BytesIO(data), allow_pickle=False)
+
+
 def load_bat(directory: Path, name: str) -> BAT:
     """Read a BAT previously written by :func:`save_bat`.
 
-    Payload and mask files are checksum-verified against the
-    descriptor (descriptors from older farms without checksums still
-    load).  Corrupt files are quarantined and raise
-    :class:`CorruptionError`; structural damage (unparseable
-    descriptor, missing files, count mismatches) raises
-    :class:`PersistenceError` naming the BAT.
+    Payload, mask and dictionary files are checksum-verified against
+    the descriptor (descriptors from older farms without checksums
+    still load; memory-mapped payloads defer verification as described
+    in the module docstring).  Corrupt files are quarantined and raise
+    :class:`CorruptionError`, as does a descriptor listing files that
+    are missing on disk; other structural damage (unparseable
+    descriptor, count mismatches) raises :class:`PersistenceError`
+    naming the BAT.
     """
     directory = Path(directory)
     descriptor_path = directory / f"{name}{_DESCRIPTOR_SUFFIX}"
@@ -255,20 +377,53 @@ def load_bat(directory: Path, name: str) -> BAT:
         atom = Atom(descriptor["atom"])
         checksums = descriptor.get("checksums")
         values_name = descriptor["values"]
-        values_data = _read_checked(directory, values_name, checksums)
-        if values_name.endswith(".json"):
-            payload = json.loads(values_data.decode())
-            values = np.array(payload["strings"], dtype=object)
-        else:
-            values = np.load(io.BytesIO(values_data), allow_pickle=False)
+        encoding = descriptor.get("encoding") or {}
+        kind = encoding.get("kind")
+
+        listed = [values_name]
+        if kind == "dict":
+            listed.append(encoding["dict"])
+        if descriptor.get("mask"):
+            listed.append(descriptor["mask"])
+        for filename in listed:
+            if not (directory / filename).exists():
+                raise _quarantine_descriptor(
+                    descriptor_path,
+                    name,
+                    f"descriptor lists {filename}, which is missing on disk",
+                )
+
         mask = None
         if descriptor.get("mask"):
             mask_data = _read_checked(directory, descriptor["mask"], checksums)
             mask = np.load(io.BytesIO(mask_data), allow_pickle=False)
-        column = Column(atom, values, mask)
+
+        if kind == "dict":
+            dict_data = _read_checked(directory, encoding["dict"], checksums)
+            dictionary = np.array(
+                json.loads(dict_data.decode())["strings"], dtype=object
+            )
+            codes = _load_array(directory, values_name, checksums)
+            column: Column = DictColumn(Atom.STR, codes, dictionary, mask)
+        elif values_name.endswith(".values.json"):
+            # Legacy string payload (pre-dictionary farms).
+            values_data = _read_checked(directory, values_name, checksums)
+            values = np.array(json.loads(values_data.decode())["strings"], dtype=object)
+            column = Column(atom, values, mask)
+        elif kind == "rle":
+            values_data = _read_checked(directory, values_name, checksums)
+            with np.load(io.BytesIO(values_data), allow_pickle=False) as npz:
+                values = np.repeat(npz["values"], npz["lengths"])
+            column = Column(atom, values, mask)
+        else:
+            values = _load_array(directory, values_name, checksums)
+            column = Column(atom, values, mask)
         if len(column) != descriptor["count"]:
             raise PersistenceError(f"BAT {name}: count mismatch on load")
-        return BAT(column, descriptor["hseqbase"])
+        bat = BAT(column, descriptor["hseqbase"])
+        if descriptor.get("zones"):
+            bat._zones = ZoneMap.from_json(descriptor["zones"])
+        return bat
     except CorruptionError:
         raise
     except (OSError, ValueError, KeyError) as exc:
@@ -290,7 +445,9 @@ def delete_bat(directory: Path, name: str) -> None:
     """Remove a BAT's files; missing files are ignored."""
     directory = Path(directory)
     for suffix in (f"{name}{_DESCRIPTOR_SUFFIX}", f"{name}.values.npy",
-                   f"{name}.values.json", f"{name}.mask.npy"):
+                   f"{name}.values.json", f"{name}.mask.npy",
+                   f"{name}.codes.npy", f"{name}.dict.json",
+                   f"{name}.rle.npz"):
         path = directory / suffix
         if path.exists():
             path.unlink()

@@ -4,6 +4,24 @@ All selections produce *candidate lists*: BATs with oid tails holding
 the head-oids of qualifying BUNs in ascending order — exactly how
 MonetDB's ``algebra.select`` family communicates sub-sets between
 operators without copying payloads.
+
+Two storage-engine integrations live here:
+
+* **Zone-map pruning** — with ``prune=True`` (the ``algebra.*zm``
+  twins emitted by the zone-map optimizer pass) a selection first asks
+  the input's zone map for a whole-fragment verdict: provably-empty
+  fragments return the empty candidate list and provably-full ones
+  return the complete (candidate-restricted) oid range, in both cases
+  without touching the payload.  Pruned fragments are counted in
+  :func:`repro.gdk.storage.note_pruned`.
+* **Dictionary codes** — selections over a
+  :class:`~repro.gdk.dictenc.DictColumn` translate the predicate into
+  code space (the dictionary is sorted, so one ``searchsorted`` per
+  bound) and compare the int32 codes; the string payload is never
+  decoded.
+
+Scans over memory-mapped payloads report the bytes they page in via
+:func:`repro.gdk.storage.note_scan`.
 """
 
 from __future__ import annotations
@@ -13,9 +31,11 @@ from typing import Any
 import numpy as np
 
 from repro.errors import GDKError
+from repro.gdk import storage, zonemap
 from repro.gdk.atoms import Atom, coerce_scalar
 from repro.gdk.bat import BAT
 from repro.gdk.column import Column
+from repro.gdk.dictenc import DictColumn
 
 #: comparison operators accepted by :func:`thetaselect`.
 THETA_OPS = ("==", "!=", "<", "<=", ">", ">=")
@@ -46,19 +66,130 @@ def _result(b: BAT, positions: np.ndarray, keep: np.ndarray, is_sorted: bool = F
     return BAT.from_oids(oids)
 
 
-def select_true(b: BAT, candidates: BAT | None = None) -> BAT:
-    """Oids where a bit column is TRUE (NULL counts as not-true)."""
-    if b.atom is not Atom.BIT:
-        raise GDKError("select_true needs a bit BAT")
-    positions, presorted = _candidate_positions(b, candidates)
-    values = b.tail.values[positions]
-    keep = values.astype(np.bool_)
+# ----------------------------------------------------------------------
+# zone-map plumbing
+# ----------------------------------------------------------------------
+def _zone_window(b: BAT) -> tuple:
+    """(zone map, start-row offset) serving *b*, or ``(None, 0)``.
+
+    A fragment produced by ``mat.partition`` carries its source and
+    start row, so the source's single zone map answers for any
+    fragment count; a whole BAT is its own window from row 0.
+    """
+    origin = b._zone_origin
+    if origin is not None:
+        source, start = origin
+        return zonemap.ensure(source), start
+    return zonemap.ensure(b), 0
+
+
+def _verdict(b: BAT, prune: bool, kind: str, *args):
+    """Whole-fragment zone verdict, or ``None`` when a scan is needed."""
+    if not prune or not storage.zonemaps_enabled():
+        return None
+    zm, base = _zone_window(b)
+    if zm is None:
+        return None
+    method = getattr(zm, f"verdict_{kind}")
+    return method(base, base + len(b), *args)
+
+
+def _verdict_result(
+    b: BAT, candidates: BAT | None, verdict: str | None
+) -> BAT | None:
+    """Materialise a ``"none"``/``"all"`` verdict without a payload scan.
+
+    Runs *before* candidate positions are materialised: a pruned
+    fragment must not pay even the ``arange`` of its own oid range.
+    """
+    if verdict == "none":
+        storage.note_pruned()
+        return BAT.empty(Atom.OID)
+    if verdict == "all":
+        storage.note_pruned()
+        if candidates is None:
+            oids = np.arange(
+                b.hseqbase, b.hseqbase + len(b), dtype=np.int64
+            )
+            return BAT.from_oids(oids)
+        positions, presorted = _candidate_positions(b, candidates)
+        keep = np.ones(len(positions), dtype=np.bool_)
+        return _result(b, positions, keep, presorted)
+    return None
+
+
+def _finish(
+    b: BAT,
+    positions: np.ndarray,
+    presorted: bool,
+    keep: np.ndarray,
+) -> BAT:
+    keep = np.asarray(keep, dtype=np.bool_)
     if b.tail.mask is not None:
         keep &= ~b.tail.mask[positions]
     return _result(b, positions, keep, presorted)
 
 
-def thetaselect(b: BAT, value: Any, op: str, candidates: BAT | None = None) -> BAT:
+# ----------------------------------------------------------------------
+# selection kernels
+# ----------------------------------------------------------------------
+def select_true(b: BAT, candidates: BAT | None = None, prune: bool = False) -> BAT:
+    """Oids where a bit column is TRUE (NULL counts as not-true)."""
+    if b.atom is not Atom.BIT:
+        raise GDKError("select_true needs a bit BAT")
+    verdict = _verdict(b, prune, "theta", True, "==")
+    short = _verdict_result(b, candidates, verdict)
+    if short is not None:
+        return short
+    positions, presorted = _candidate_positions(b, candidates)
+    storage.note_scan(b.tail.values)
+    values = b.tail.values[positions]
+    return _finish(b, positions, presorted, values.astype(np.bool_))
+
+
+def _theta_code_predicate(
+    dictionary: np.ndarray, coerced: Any, op: str
+) -> tuple[str, int] | bool:
+    """Translate ``<op> value`` into code space.
+
+    Returns ``(code_op, code)`` — with ``code_op`` one of ``==``,
+    ``!=``, ``<``, ``>=`` — or ``True`` (every non-NULL row matches) /
+    ``False`` (no row matches) when the value is absent and the
+    comparison degenerates.
+    """
+    left = int(np.searchsorted(dictionary, coerced, side="left"))
+    right = int(np.searchsorted(dictionary, coerced, side="right"))
+    found = right > left
+    if op == "==":
+        return ("==", left) if found else False
+    if op == "!=":
+        return ("!=", left) if found else True
+    if op == "<":
+        return ("<", left)
+    if op == "<=":
+        return ("<", right)
+    if op == ">":
+        return (">=", right)
+    return (">=", left)  # ">="
+
+
+def _apply_code_predicate(codes: np.ndarray, code_op: str, code: int) -> np.ndarray:
+    if code_op == "==":
+        return codes == code
+    if code_op == "!=":
+        return codes != code
+    if code_op == "<":
+        return codes < code
+    return codes >= code
+
+
+def thetaselect(
+    b: BAT,
+    value: Any,
+    op: str,
+    candidates: BAT | None = None,
+    prune: bool = False,
+) -> BAT:
     """Oids whose tail satisfies ``tail <op> value``.
 
     NULL tails never qualify; a NULL *value* yields the empty candidate
@@ -66,11 +197,34 @@ def thetaselect(b: BAT, value: Any, op: str, candidates: BAT | None = None) -> B
     """
     if op not in THETA_OPS:
         raise GDKError(f"unknown theta operator {op!r}")
-    positions, presorted = _candidate_positions(b, candidates)
     if value is None:
         return BAT.empty(Atom.OID)
     coerced = coerce_scalar(value, b.atom)
-    values = b.tail.values[positions]
+    tail = b.tail
+    if isinstance(tail, DictColumn):
+        predicate = _theta_code_predicate(tail.dictionary, coerced, op)
+        if predicate is False:
+            return BAT.empty(Atom.OID)
+        if predicate is True:
+            positions, presorted = _candidate_positions(b, candidates)
+            keep = np.ones(len(positions), dtype=np.bool_)
+            return _finish(b, positions, presorted, keep)
+        code_op, code = predicate
+        verdict = _verdict(b, prune, "theta", code, code_op)
+        short = _verdict_result(b, candidates, verdict)
+        if short is not None:
+            return short
+        positions, presorted = _candidate_positions(b, candidates)
+        storage.note_scan(tail.codes)
+        keep = _apply_code_predicate(tail.codes[positions], code_op, code)
+        return _finish(b, positions, presorted, keep)
+    verdict = _verdict(b, prune, "theta", coerced, op)
+    short = _verdict_result(b, candidates, verdict)
+    if short is not None:
+        return short
+    positions, presorted = _candidate_positions(b, candidates)
+    storage.note_scan(tail.values)
+    values = tail.values[positions]
     if op == "==":
         keep = values == coerced
     elif op == "!=":
@@ -83,10 +237,7 @@ def thetaselect(b: BAT, value: Any, op: str, candidates: BAT | None = None) -> B
         keep = values > coerced
     else:
         keep = values >= coerced
-    keep = np.asarray(keep, dtype=np.bool_)
-    if b.tail.mask is not None:
-        keep &= ~b.tail.mask[positions]
-    return _result(b, positions, keep, presorted)
+    return _finish(b, positions, presorted, keep)
 
 
 def rangeselect(
@@ -97,51 +248,121 @@ def rangeselect(
     high_inclusive: bool = True,
     anti: bool = False,
     candidates: BAT | None = None,
+    prune: bool = False,
 ) -> BAT:
     """Oids with tail in the (optionally open) interval [low, high].
 
     ``None`` bounds are unbounded.  With ``anti=True`` the complement is
     returned (still excluding NULL tails).
     """
+    tail = b.tail
+    if isinstance(tail, DictColumn):
+        # Half-open window [code_lo, code_hi) in code space.
+        dictionary = tail.dictionary
+        code_lo = None
+        code_hi = None
+        if low is not None:
+            side = "left" if low_inclusive else "right"
+            code_lo = int(np.searchsorted(dictionary, coerce_scalar(low, b.atom), side=side))
+        if high is not None:
+            side = "right" if high_inclusive else "left"
+            code_hi = int(np.searchsorted(dictionary, coerce_scalar(high, b.atom), side=side))
+        verdict = _verdict(
+            b, prune, "interval", code_lo, code_hi, True, False, anti
+        )
+        short = _verdict_result(b, candidates, verdict)
+        if short is not None:
+            return short
+        positions, presorted = _candidate_positions(b, candidates)
+        storage.note_scan(tail.codes)
+        codes = tail.codes[positions]
+        keep = np.ones(len(positions), dtype=np.bool_)
+        if code_lo is not None:
+            keep &= codes >= code_lo
+        if code_hi is not None:
+            keep &= codes < code_hi
+        if anti:
+            keep = ~keep
+        return _finish(b, positions, presorted, keep)
+    lo = None if low is None else coerce_scalar(low, b.atom)
+    hi = None if high is None else coerce_scalar(high, b.atom)
+    verdict = _verdict(
+        b, prune, "interval", lo, hi, low_inclusive, high_inclusive, anti
+    )
+    short = _verdict_result(b, candidates, verdict)
+    if short is not None:
+        return short
     positions, presorted = _candidate_positions(b, candidates)
-    values = b.tail.values[positions]
+    storage.note_scan(tail.values)
+    values = tail.values[positions]
     keep = np.ones(len(positions), dtype=np.bool_)
-    if low is not None:
-        lo = coerce_scalar(low, b.atom)
+    if lo is not None:
         keep &= (values >= lo) if low_inclusive else (values > lo)
-    if high is not None:
-        hi = coerce_scalar(high, b.atom)
+    if hi is not None:
         keep &= (values <= hi) if high_inclusive else (values < hi)
     if anti:
         keep = ~keep
-    if b.tail.mask is not None:
-        keep &= ~b.tail.mask[positions]
-    return _result(b, positions, keep, presorted)
+    return _finish(b, positions, presorted, keep)
 
 
-def isnull_select(b: BAT, want_null: bool = True, candidates: BAT | None = None) -> BAT:
+def isnull_select(
+    b: BAT,
+    want_null: bool = True,
+    candidates: BAT | None = None,
+    prune: bool = False,
+) -> BAT:
     """Oids whose tail is NULL (or NOT NULL with ``want_null=False``)."""
+    verdict = _verdict(b, prune, "null", want_null)
+    short = _verdict_result(b, candidates, verdict)
+    if short is not None:
+        return short
     positions, presorted = _candidate_positions(b, candidates)
     mask = b.tail.effective_mask()[positions]
     keep = mask if want_null else ~mask
     return _result(b, positions, keep, presorted)
 
 
-def in_select(b: BAT, values: list[Any], candidates: BAT | None = None) -> BAT:
+def in_select(
+    b: BAT,
+    values: list[Any],
+    candidates: BAT | None = None,
+    prune: bool = False,
+) -> BAT:
     """Oids whose tail equals any of *values* (NULL members ignored)."""
-    positions, presorted = _candidate_positions(b, candidates)
     concrete = [coerce_scalar(v, b.atom) for v in values if v is not None]
     if not concrete:
         return BAT.empty(Atom.OID)
-    tail = b.tail.values[positions]
+    tail = b.tail
+    if isinstance(tail, DictColumn):
+        dictionary = tail.dictionary
+        lefts = np.searchsorted(dictionary, np.array(concrete, dtype=object), side="left")
+        present = [
+            int(code)
+            for code, value in zip(lefts, concrete)
+            if code < len(dictionary) and dictionary[code] == value
+        ]
+        if not present:
+            return BAT.from_oids(np.empty(0, dtype=np.int64))
+        verdict = _verdict(b, prune, "in", present)
+        short = _verdict_result(b, candidates, verdict)
+        if short is not None:
+            return short
+        positions, presorted = _candidate_positions(b, candidates)
+        storage.note_scan(tail.codes)
+        keep = np.isin(tail.codes[positions], np.array(present, dtype=np.int32))
+        return _finish(b, positions, presorted, keep)
+    verdict = _verdict(b, prune, "in", concrete)
+    short = _verdict_result(b, candidates, verdict)
+    if short is not None:
+        return short
+    positions, presorted = _candidate_positions(b, candidates)
+    storage.note_scan(tail.values)
+    gathered = tail.values[positions]
     if b.atom is Atom.STR:
-        keep = np.isin(tail.astype(object), np.array(concrete, dtype=object))
+        keep = np.isin(gathered.astype(object), np.array(concrete, dtype=object))
     else:
-        keep = np.isin(tail, np.array(concrete))
-    keep = np.asarray(keep, dtype=np.bool_)
-    if b.tail.mask is not None:
-        keep &= ~b.tail.mask[positions]
-    return _result(b, positions, keep, presorted)
+        keep = np.isin(gathered, np.array(concrete))
+    return _finish(b, positions, presorted, keep)
 
 
 def intersect_candidates(a: BAT, b: BAT) -> BAT:

@@ -32,6 +32,7 @@ from typing import Any, Callable, Optional, Union
 
 from repro.errors import MALError
 from repro.catalog import Catalog
+from repro.gdk import storage as gdk_storage
 from repro.gdk.bat import BAT
 from repro.mal.modules import REGISTRY, load_all
 from repro.mal.program import Constant, Instruction, MALProgram, Param, Var
@@ -86,6 +87,10 @@ class ExecutionStats:
     parallel_batches: int = 0
     #: halo-fragment tiling kernels executed (array.tilepart calls).
     halo_fragments: int = 0
+    #: fragments the select kernels skipped wholesale via zone maps.
+    fragments_pruned: int = 0
+    #: bytes of memory-mapped payload the scan kernels touched.
+    bytes_faulted: int = 0
 
     def record(self, index: int, instruction: Instruction, rows: int, seconds: float) -> None:
         key = f"{instruction.module}.{instruction.function}"
@@ -186,10 +191,14 @@ class Interpreter:
         threads = self.nr_threads if nr_threads is None else max(1, int(nr_threads))
         context = ExecutionContext(catalog, params=params or {})
         stats = ExecutionStats()
+        pruned_before, faulted_before = gdk_storage.counters()
         if threads > 1 and self._wants_dataflow(program):
             self._run_dataflow(program, context, stats, collect_stats, threads)
         else:
             self._run_sequential(program, context, stats, collect_stats)
+        pruned_after, faulted_after = gdk_storage.counters()
+        stats.fragments_pruned = pruned_after - pruned_before
+        stats.bytes_faulted = faulted_after - faulted_before
         return context, stats
 
     @staticmethod

@@ -34,6 +34,39 @@ def _isnilselect(ctx, b: BAT, want_null, candidates=None):
     return select_kernel.isnull_select(b, bool(want_null), candidates)
 
 
+# Zone-map twins of the select family.  The ``zonemaps`` optimizer pass
+# renames fragment-level selects to these after mitosis; they run the
+# identical kernels but with fragment pruning armed, so a fragment whose
+# zone statistics prove all-match / no-match never touches its payload.
+@mal_op("algebra", "selectzm")
+def _selectzm(ctx, b: BAT, candidates=None):
+    return select_kernel.select_true(b, candidates, prune=True)
+
+
+@mal_op("algebra", "thetaselectzm")
+def _thetaselectzm(ctx, b: BAT, value, op: str, candidates=None):
+    return select_kernel.thetaselect(b, value, op, candidates, prune=True)
+
+
+@mal_op("algebra", "rangeselectzm")
+def _rangeselectzm(ctx, b: BAT, low, high, li, hi, anti, candidates=None):
+    return select_kernel.rangeselect(
+        b, low, high, bool(li), bool(hi), bool(anti), candidates, prune=True
+    )
+
+
+@mal_op("algebra", "isnilselectzm")
+def _isnilselectzm(ctx, b: BAT, want_null, candidates=None):
+    return select_kernel.isnull_select(b, bool(want_null), candidates, prune=True)
+
+
+@mal_op("algebra", "inselectzm")
+def _inselectzm(ctx, b: BAT, values_json: str, candidates=None):
+    import json
+
+    return select_kernel.in_select(b, json.loads(values_json), candidates, prune=True)
+
+
 @mal_op("algebra", "projection")
 def _projection(ctx, candidates: BAT, b: BAT):
     """Fetch-join: tail values of *b* at the candidate oids."""

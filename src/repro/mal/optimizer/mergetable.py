@@ -74,7 +74,10 @@ ELEMENTWISE = {
 #: per-fragment candidate lists.
 SELECTS = {
     ("algebra", name)
-    for name in ("select", "thetaselect", "rangeselect", "isnilselect", "inselect")
+    for name in ("select", "thetaselect", "rangeselect", "isnilselect", "inselect",
+                 # zone-map twins (renamed by the zonemaps pass upstream)
+                 "selectzm", "thetaselectzm", "rangeselectzm", "isnilselectzm",
+                 "inselectzm")
 }
 
 #: grouped aggregates whose per-fragment partials merge exactly.
@@ -464,11 +467,19 @@ class _Mergetable:
             or predicate.kind != "val"
             or predicate.space is None
             or not predicate.space.aligned
-            or any(e is not None for e in fragmented[1:])
             or self._has_unfragmented_bat(instruction, fragmented)
             or len(instruction.results) != 1
         ):
             return False
+        # A trailing candidate list may itself be fragmented, but only
+        # as the candidate fragments of the same space: fragment i's
+        # candidates lie inside fragment i's head range, so pairing
+        # them per index is exact (zone-map chains emit this shape).
+        for entry in fragmented[1:]:
+            if entry is not None and not (
+                entry.kind == "cand" and entry.space is predicate.space
+            ):
+                return False
         self._per_fragment(instruction, fragmented, predicate.space, kind="cand")
         return True
 

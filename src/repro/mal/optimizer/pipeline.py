@@ -17,6 +17,7 @@ from typing import Callable, Optional
 from repro.mal.optimizer import passes
 from repro.mal.optimizer.mergetable import mergetable as _mergetable
 from repro.mal.optimizer.mitosis import make_mitosis
+from repro.mal.optimizer.zonemaps import zonemaps as _zonemaps
 from repro.mal.program import MALProgram
 
 
@@ -34,6 +35,7 @@ COMMON_TERMS = OptimizerPass("common_terms", passes.common_terms)
 DEAD_CODE = OptimizerPass("dead_code", passes.dead_code)
 GARBAGE_COLLECT = OptimizerPass("garbage_collect", passes.garbage_collect)
 MERGETABLE = OptimizerPass("mergetable", _mergetable)
+ZONEMAPS = OptimizerPass("zonemaps", _zonemaps)
 
 DEFAULT_PIPELINE: tuple[OptimizerPass, ...] = (
     CONSTANT_FOLD,
@@ -73,6 +75,7 @@ def build_pipeline(
         STRENGTH_REDUCTION,
         COMMON_TERMS,
         mitosis_pass(catalog, fragment_rows, nr_threads),
+        ZONEMAPS,
         MERGETABLE,
         DEAD_CODE,
         GARBAGE_COLLECT,

@@ -1,0 +1,264 @@
+"""Zone-map pruning pass: fold predicates into the select family.
+
+The MAL generator lowers every WHERE clause to element-wise ``batcalc``
+comparisons plus one ``algebra.select`` over the resulting bit column —
+simple, but it forces a full scan of the payload before the selection
+sees a single row.  This pass (running after ``mitosis`` and before
+``mergetable``) recognises the comparison trees feeding a select and
+folds them into the value-based select family armed with zone-map
+pruning:
+
+* ``batcalc.<cmp>(col, const)`` → ``algebra.thetaselectzm``
+  (either argument order; ``batcalc.not`` flips the comparison);
+* ``and(ge/gt(col, lo), le/lt(col, hi))`` → ``algebra.rangeselectzm``,
+  and its ``not`` → the anti-range;
+* ``batcalc.isnil(col)`` (and its ``not``) → ``algebra.isnilselectzm``;
+* an ``or`` tree of equalities on one column → ``algebra.inselectzm``
+  (its ``not`` becomes a chain of ``!=`` theta-selects);
+* conjunctions fold into *candidate chains*: the first predicate's
+  candidate list feeds the next select, so each later predicate only
+  examines surviving rows — a conjunct that resists folding drops to
+  ``algebra.selectzm`` over its bit column at the end of the chain.
+
+The zm ops run the identical kernels with fragment pruning armed: the
+kernel consults the base column's per-zone min/max/null statistics for
+the fragment's row window and short-circuits whole-fragment misses
+(empty candidate list, payload untouched) and whole-fragment hits.
+``mergetable`` then fans the folded selects out per fragment, candidate
+chains included.  The leftover whole-column ``batcalc`` comparisons
+become dead and are swept by the downstream ``dead_code`` pass.
+
+Folding is exact under SQL's three-valued logic: the select family
+never matches NULLs, which coincides with ``TRUE``-only selection over
+the comparison bits for every folded shape (including negations, where
+``NOT (v > 3)`` selects exactly the non-NULL rows with ``v <= 3``).
+The runtime knob ``REPRO_ZONEMAPS=0`` disables only the pruning
+short-circuit, not the folding — results are byte-identical either
+way, so toggling it never invalidates a cached plan.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Optional
+
+from repro.mal.optimizer.passes import _clone_program
+from repro.mal.program import Constant, Instruction, MALProgram, Var, bat_type
+from repro.gdk.atoms import Atom
+
+#: plain select-family name → pruning twin (non-folded renames).
+ZONEMAP_TWINS = {
+    "select": "selectzm",
+    "thetaselect": "thetaselectzm",
+    "rangeselect": "rangeselectzm",
+    "isnilselect": "isnilselectzm",
+    "inselect": "inselectzm",
+}
+
+#: batcalc comparison → theta operator.
+_CMP = {"eq": "==", "ne": "!=", "gt": ">", "ge": ">=", "lt": "<", "le": "<="}
+#: theta operator under swapped arguments (const <op> col).
+_FLIP = {"==": "==", "!=": "!=", ">": "<", ">=": "<=", "<": ">", "<=": ">="}
+#: theta operator under logical negation (NULLs excluded either way).
+_NEGATE = {"==": "!=", "!=": "==", ">": "<=", ">=": "<", "<": ">=", "<=": ">"}
+#: lower-bound comparisons → low_inclusive; upper → high_inclusive.
+_LOWER = {">": False, ">=": True}
+_UPPER = {"<": False, "<=": True}
+
+
+class _Folder:
+    """One program's predicate-folding state."""
+
+    def __init__(self, program: MALProgram):
+        self.program = program
+        self.producers: dict[str, Instruction] = {}
+        for instruction in program.instructions:
+            for result in instruction.results:
+                self.producers[result] = instruction
+        self.out: list[Instruction] = []
+        self.changed = False
+
+    # ------------------------------------------------------------------
+    # predicate tree recognition
+    # ------------------------------------------------------------------
+    def _producer(self, arg) -> Optional[Instruction]:
+        if not isinstance(arg, Var):
+            return None
+        instruction = self.producers.get(arg.name)
+        if (
+            instruction is None
+            or instruction.module != "batcalc"
+            or len(instruction.results) != 1
+        ):
+            return None
+        return instruction
+
+    def spec_of(self, arg) -> Optional[tuple]:
+        """The predicate spec produced by *arg*'s comparison tree.
+
+        Specs: ``("theta", col, op, Constant)``,
+        ``("range", col, lo, hi, li, hi_incl, anti)``,
+        ``("null", col, want_null)``, ``("in", col, [values])``,
+        ``("and", left_spec, right_spec)`` and ``("opaque", bit_var)``
+        (an unfoldable conjunct, kept as a bit-column select).
+        """
+        instruction = self._producer(arg)
+        if instruction is None:
+            return None
+        fn = instruction.function
+        args = instruction.args
+        if fn in _CMP and len(args) == 2:
+            a, b = args
+            if isinstance(a, Var) and isinstance(b, Constant):
+                return ("theta", a.name, _CMP[fn], b)
+            if isinstance(a, Constant) and isinstance(b, Var):
+                return ("theta", b.name, _FLIP[_CMP[fn]], a)
+            return None
+        if fn == "isnil" and len(args) == 1 and isinstance(args[0], Var):
+            return ("null", args[0].name, True)
+        if fn == "not" and len(args) == 1:
+            return self._negate(self.spec_of(args[0]))
+        if fn == "and" and len(args) == 2:
+            left = self.spec_of(args[0])
+            right = self.spec_of(args[1])
+            if left is None and right is None:
+                return None
+            ranged = self._as_range(left, right)
+            if ranged is not None:
+                return ranged
+            if left is None:
+                left = ("opaque", args[0].name) if isinstance(args[0], Var) else None
+            if right is None:
+                right = ("opaque", args[1].name) if isinstance(args[1], Var) else None
+            if left is None or right is None:
+                return None
+            # Chain the foldable (prunable) side first.
+            if left[0] == "opaque" and right[0] != "opaque":
+                left, right = right, left
+            return ("and", left, right)
+        if fn == "or" and len(args) == 2:
+            collected = self._collect_in(arg)
+            if collected is not None:
+                return collected
+            return None
+        return None
+
+    @staticmethod
+    def _as_range(left, right) -> Optional[tuple]:
+        """Fuse two bounds on one column into a range spec."""
+        if (
+            left is None or right is None
+            or left[0] != "theta" or right[0] != "theta"
+            or left[1] != right[1]
+        ):
+            return None
+        bounds = {}
+        for _, col, op, const in (left, right):
+            if op in _LOWER and "lo" not in bounds:
+                bounds["lo"] = (const, _LOWER[op])
+            elif op in _UPPER and "hi" not in bounds:
+                bounds["hi"] = (const, _UPPER[op])
+            else:
+                return None
+        if len(bounds) != 2:
+            return None
+        (lo, li), (hi, hi_incl) = bounds["lo"], bounds["hi"]
+        return ("range", left[1], lo, hi, li, hi_incl, False)
+
+    def _collect_in(self, arg) -> Optional[tuple]:
+        """An ``or`` tree of equalities on one column → an IN spec."""
+        instruction = self._producer(arg)
+        if instruction is None:
+            return None
+        if instruction.function == "or" and len(instruction.args) == 2:
+            left = self._collect_in(instruction.args[0])
+            right = self._collect_in(instruction.args[1])
+            if left is None or right is None or left[1] != right[1]:
+                return None
+            return ("in", left[1], left[2] + right[2])
+        spec = self.spec_of(arg)
+        if spec is not None and spec[0] == "theta" and spec[2] == "==":
+            return ("in", spec[1], [spec[3].value])
+        return None
+
+    def _negate(self, spec) -> Optional[tuple]:
+        if spec is None:
+            return None
+        kind = spec[0]
+        if kind == "theta":
+            return ("theta", spec[1], _NEGATE[spec[2]], spec[3])
+        if kind == "null":
+            return ("null", spec[1], not spec[2])
+        if kind == "range":
+            _, col, lo, hi, li, hi_incl, anti = spec
+            return ("range", col, lo, hi, li, hi_incl, not anti)
+        if kind == "in":
+            # NOT IN ≡ a conjunction of != under three-valued logic.
+            _, col, values = spec
+            chain = ("theta", col, "!=", Constant(values[0]))
+            for value in values[1:]:
+                chain = ("and", chain, ("theta", col, "!=", Constant(value)))
+            return chain
+        return None  # opaque / and: stay with the bit column
+
+    # ------------------------------------------------------------------
+    # emission
+    # ------------------------------------------------------------------
+    def emit_spec(self, spec, cand, result: str) -> None:
+        """Emit the select chain computing *spec* into *result*."""
+        tail = [cand] if cand is not None else []
+        kind = spec[0]
+        if kind == "and":
+            link = self.program.fresh(bat_type(Atom.OID), prefix="Z")
+            self.emit_spec(spec[1], cand, link)
+            self.emit_spec(spec[2], Var(link), result)
+            return
+        if kind == "theta":
+            args = [Var(spec[1]), spec[3], Constant(spec[2])] + tail
+            self.out.append(Instruction("algebra", "thetaselectzm", [result], args))
+        elif kind == "range":
+            _, col, lo, hi, li, hi_incl, anti = spec
+            args = [Var(col), lo, hi, Constant(li), Constant(hi_incl),
+                    Constant(anti)] + tail
+            self.out.append(Instruction("algebra", "rangeselectzm", [result], args))
+        elif kind == "null":
+            args = [Var(spec[1]), Constant(spec[2])] + tail
+            self.out.append(Instruction("algebra", "isnilselectzm", [result], args))
+        elif kind == "in":
+            args = [Var(spec[1]), Constant(json.dumps(spec[2]))] + tail
+            self.out.append(Instruction("algebra", "inselectzm", [result], args))
+        else:  # opaque bit column
+            args = [Var(spec[1])] + tail
+            self.out.append(Instruction("algebra", "selectzm", [result], args))
+
+    def fold(self) -> Optional[MALProgram]:
+        for instruction in self.program.instructions:
+            if instruction.module != "algebra" or len(instruction.results) != 1:
+                twin = None
+            else:
+                twin = ZONEMAP_TWINS.get(instruction.function)
+            if twin is None:
+                self.out.append(instruction)
+                continue
+            self.changed = True
+            if instruction.function == "select" and len(instruction.args) in (1, 2):
+                spec = self.spec_of(instruction.args[0])
+                if spec is not None and spec[0] != "opaque":
+                    cand = instruction.args[1] if len(instruction.args) == 2 else None
+                    self.emit_spec(spec, cand, instruction.results[0])
+                    continue
+            self.out.append(
+                Instruction(
+                    "algebra", twin, instruction.results, instruction.args,
+                    instruction.comment,
+                )
+            )
+        if not self.changed:
+            return None
+        return _clone_program(self.program, self.out)
+
+
+def zonemaps(program: MALProgram) -> MALProgram:
+    """Fold select predicates and arm zone-map pruning."""
+    folded = _Folder(program).fold()
+    return program if folded is None else folded

@@ -58,6 +58,8 @@ REGISTERED_POINTS: tuple[str, ...] = (
     "checkpoint.before_reset",    # farm republished, WAL not yet reset
     # persist.py — file staging and the farm swap
     "persist.file_staged",  # one farm file written to its .tmp sibling
+    "persist.dict_staged",  # string dictionary written, codes not yet
+    "persist.zones_computed",  # payloads written, descriptor (zones) not yet
     "publish.staged",       # staging farm complete, swap not started
     "publish.retired",      # old farm renamed aside, new not yet in place
     "publish.swapped",      # new farm in place, old .retired not removed

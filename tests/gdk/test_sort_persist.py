@@ -127,16 +127,34 @@ class TestPersistenceErrorPaths:
             persist.load_bat(tmp_path, "b")
 
     def test_missing_values_file(self, tmp_path):
+        from repro.errors import CorruptionError
+
         self._save(tmp_path)
         (tmp_path / "b.values.npy").unlink()
-        with pytest.raises(PersistenceError, match="cannot load BAT b"):
+        with pytest.raises(CorruptionError, match="cannot load BAT b"):
             persist.load_bat(tmp_path, "b")
+        # Structural damage quarantines the descriptor, never surfaces
+        # as a bare FileNotFoundError.
+        assert (tmp_path / "b.bat.json.corrupt").exists()
+        assert not (tmp_path / "b.bat.json").exists()
 
     def test_missing_mask_file(self, tmp_path):
+        from repro.errors import CorruptionError
+
         self._save(tmp_path)
         (tmp_path / "b.mask.npy").unlink()
-        with pytest.raises(PersistenceError, match="cannot load BAT b"):
+        with pytest.raises(CorruptionError, match="cannot load BAT b"):
             persist.load_bat(tmp_path, "b")
+        assert (tmp_path / "b.bat.json.corrupt").exists()
+
+    def test_missing_dictionary_file(self, tmp_path):
+        from repro.errors import CorruptionError
+
+        self._save(tmp_path, items=("x", "y", "x"), atom=Atom.STR, name="s")
+        (tmp_path / "s.dict.json").unlink()
+        with pytest.raises(CorruptionError, match="cannot load BAT s"):
+            persist.load_bat(tmp_path, "s")
+        assert (tmp_path / "s.bat.json.corrupt").exists()
 
     def test_count_mismatch(self, tmp_path):
         import json
@@ -149,9 +167,12 @@ class TestPersistenceErrorPaths:
         with pytest.raises(PersistenceError, match="count mismatch"):
             persist.load_bat(tmp_path, "b")
 
-    def test_checksum_mismatch_quarantines(self, tmp_path):
+    def test_checksum_mismatch_quarantines(self, tmp_path, monkeypatch):
         from repro.errors import CorruptionError
 
+        # CRC verification is deferred for mmap-backed payloads by
+        # design; pin the eager path so the mismatch is seen at load.
+        monkeypatch.setenv("REPRO_STORAGE_MMAP", "0")
         self._save(tmp_path)
         values = tmp_path / "b.values.npy"
         data = bytearray(values.read_bytes())
@@ -165,15 +186,77 @@ class TestPersistenceErrorPaths:
         with pytest.raises(PersistenceError):
             persist.load_bat(tmp_path, "b")
 
-    def test_string_bat_json_payload_roundtrip(self, tmp_path):
+    def test_string_bat_dictionary_payload_roundtrip(self, tmp_path):
+        import json
+
+        from repro.gdk.dictenc import DictColumn
+
         bat = self._save(
             tmp_path, items=("x", None, "longer-string", ""), atom=Atom.STR,
             name="words",
         )
-        assert (tmp_path / "words.values.json").exists()
+        # Strings persist as int32 codes plus a sorted dictionary.
+        assert (tmp_path / "words.codes.npy").exists()
+        assert (tmp_path / "words.dict.json").exists()
         assert not (tmp_path / "words.values.npy").exists()
-        assert persist.load_bat(tmp_path, "words") == bat
+        descriptor = json.loads((tmp_path / "words.bat.json").read_text())
+        assert descriptor["encoding"] == {"kind": "dict", "dict": "words.dict.json"}
+        assert "words.dict.json" in descriptor["checksums"]
+        loaded = persist.load_bat(tmp_path, "words")
+        assert isinstance(loaded.tail, DictColumn)
+        assert loaded == bat
         assert persist.list_bats(tmp_path) == ["words"]
+
+    def test_legacy_json_string_payload_still_loads(self, tmp_path):
+        import json
+        import zlib
+
+        strings = ["x", "", "longer-string"]
+        payload = json.dumps({"strings": strings}).encode()
+        (tmp_path / "old.values.json").write_bytes(payload)
+        descriptor = {
+            "atom": "str", "hseqbase": 0, "count": 3,
+            "values": "old.values.json", "mask": None,
+            "checksums": {"old.values.json": zlib.crc32(payload)},
+        }
+        (tmp_path / "old.bat.json").write_text(json.dumps(descriptor))
+        assert persist.load_bat(tmp_path, "old").tail.to_pylist() == strings
+
+    def test_descriptor_carries_zone_map(self, tmp_path):
+        import json
+
+        self._save(tmp_path, items=range(300), atom=Atom.INT, name="z")
+        descriptor = json.loads((tmp_path / "z.bat.json").read_text())
+        zones = descriptor["zones"]
+        assert zones["count"] == 300
+        assert zones["mins"][0] == 0
+        assert zones["maxs"][-1] == 299
+        assert all(n == 0 for n in zones["nulls"])
+        loaded = persist.load_bat(tmp_path, "z")
+        assert loaded._zones is not None
+        assert loaded._zones.count == 300
+
+    def test_rle_payload_roundtrips_byte_identical(self, tmp_path):
+        values = np.repeat(np.array([7, -1, 7], dtype=np.int32), 40)
+        bat = BAT(Column(Atom.INT, values))
+        persist.save_bat(bat, tmp_path, "runs")
+        assert (tmp_path / "runs.rle.npz").exists()
+        assert not (tmp_path / "runs.values.npy").exists()
+        loaded = persist.load_bat(tmp_path, "runs")
+        assert loaded.tail.values.tobytes() == values.tobytes()
+
+    def test_rle_preserves_negative_zero_and_nan(self, tmp_path):
+        # Bitwise run comparison: -0.0 must not merge into a 0.0 run.
+        values = np.concatenate([
+            np.repeat(np.float64(0.0), 40),
+            np.repeat(np.float64(-0.0), 40),
+            np.repeat(np.float64(2.5), 40),
+        ])
+        bat = BAT(Column(Atom.DBL, values))
+        persist.save_bat(bat, tmp_path, "f")
+        assert (tmp_path / "f.rle.npz").exists()
+        loaded = persist.load_bat(tmp_path, "f")
+        assert loaded.tail.values.tobytes() == values.tobytes()
 
     def test_list_bats_ignores_payloads_without_descriptor(self, tmp_path):
         self._save(tmp_path, name="whole")
