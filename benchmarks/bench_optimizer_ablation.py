@@ -133,3 +133,71 @@ def test_compilation_cost_fragmented(benchmark):
     conn = repro.connect(nr_threads=1, fragment_rows=ABLATION_FRAGMENT_ROWS)
     build_obs(conn, rows=2000)
     benchmark(conn.compile, CSE_QUERY)
+
+
+# ----------------------------------------------------------------------
+# dead-code ablation: the def/use-analysis-driven pass is output-identical
+# ----------------------------------------------------------------------
+def no_dead_code_pipeline():
+    """The default pipeline with the dead-code sweep removed: CSE's
+    leftover duplicates (and any other unreferenced instruction) stay
+    in the plan and are interpreted for nothing."""
+    return tuple(
+        optimizer_pass
+        for optimizer_pass in optimizer_pipeline.DEFAULT_PIPELINE
+        if optimizer_pass.name != "dead_code"
+    )
+
+
+@pytest.mark.benchmark(group="E12-deadcode")
+def test_with_dead_code(benchmark):
+    conn = repro.connect(optimize=True, nr_threads=1)
+    build_obs(conn)
+    result = benchmark(conn.execute, CSE_QUERY)
+    assert len(result.rows()) == 7
+
+
+@pytest.mark.benchmark(group="E12-deadcode")
+def test_without_dead_code(benchmark):
+    conn = repro.connect(optimize=True, nr_threads=1)
+    build_obs(conn)
+    conn.pipeline = no_dead_code_pipeline()
+    result = benchmark(conn.execute, CSE_QUERY)
+    assert len(result.rows()) == 7
+
+
+def test_dead_code_equivalence_and_sweep():
+    """The ablation's invariant: dead-code elimination (driven by the
+    same def/use analysis as the plan verifier) never changes results,
+    and it does sweep the duplicates common_terms leaves behind."""
+    with_pass = repro.connect(optimize=True, nr_threads=1)
+    without = repro.connect(optimize=True, nr_threads=1)
+    for connection in (with_pass, without):
+        build_obs(connection, rows=500)
+    without.pipeline = no_dead_code_pipeline()
+    queries = [
+        CSE_QUERY,
+        "SELECT day, temp FROM obs WHERE day * 2 > 10 ORDER BY temp LIMIT 7",
+        "SELECT COUNT(*) FROM obs WHERE temp + 0 >= 0",
+    ]
+    for sql in queries:
+        assert sorted(with_pass.execute(sql).rows()) == sorted(
+            without.execute(sql).rows()
+        ), sql
+    # In the fragmented pipeline the sweep has real prey: mergetable
+    # leaves the packs it propagated through unreferenced.
+    swept_conn = repro.connect(nr_threads=1, fragment_rows=ABLATION_FRAGMENT_ROWS)
+    unswept_conn = repro.connect(nr_threads=1, fragment_rows=ABLATION_FRAGMENT_ROWS)
+    for connection in (swept_conn, unswept_conn):
+        build_obs(connection, rows=500)
+    unswept_conn.pipeline = tuple(
+        optimizer_pass
+        for optimizer_pass in unswept_conn.pipeline
+        if optimizer_pass.name != "dead_code"
+    )
+    assert sorted(swept_conn.execute(CSE_QUERY).rows()) == sorted(
+        unswept_conn.execute(CSE_QUERY).rows()
+    )
+    swept = len(swept_conn.compile(CSE_QUERY).instructions)
+    unswept = len(unswept_conn.compile(CSE_QUERY).instructions)
+    assert swept < unswept

@@ -60,6 +60,7 @@ from repro.errors import (
     NetworkError,
     NotSupportedError,
     OperationalError,
+    PlanVerificationError,
     ProgrammingError,
     ProtocolError,
     SciQLError,
@@ -92,6 +93,7 @@ __all__ = [
     "NotSupportedError",
     "NetworkError",
     "ProtocolError",
+    "PlanVerificationError",
     "DurabilityWarning",
     "apilevel",
     "threadsafety",

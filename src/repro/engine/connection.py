@@ -61,6 +61,7 @@ from repro.algebra import nodes
 from repro.algebra.compiler import plan_statement
 from repro.algebra.malgen import MALGenerator
 from repro.mal.interpreter import ExecutionStats
+from repro.mal.analysis import annotate_program, verify_program
 from repro.mal.optimizer import optimize
 from repro.mal.program import MALProgram
 from repro.semantic.binder import Parameter
@@ -113,6 +114,8 @@ class CompiledStatement:
     write_targets: frozenset = frozenset()
     #: the parsed AST when the entry came from a script (no SQL text).
     statement: Any = None
+    #: VerificationReport when compiled via EXPLAIN VERIFY, else None.
+    verify_report: Any = None
 
     @property
     def is_write(self) -> bool:
@@ -534,11 +537,16 @@ class Connection:
             return txn.catalog
         return self._database.head().catalog
 
-    def _compile_plan(self, plan: nodes.StatementPlan, catalog: Catalog) -> MALProgram:
+    def _compile_plan(
+        self,
+        plan: nodes.StatementPlan,
+        catalog: Catalog,
+        verify: Optional[bool] = None,
+    ) -> MALProgram:
         self._database.note_compile(self)
         program = MALGenerator(catalog).generate(plan)
         if self.optimize_programs:
-            program = optimize(program, self.pipeline)
+            program = optimize(program, self.pipeline, verify=verify)
         return program
 
     def _cache_key(self, sql: str) -> tuple:
@@ -569,10 +577,18 @@ class Connection:
         catalog: Catalog,
     ) -> CompiledStatement:
         is_explain = isinstance(statement, ast.Explain)
+        wants_verify = is_explain and statement.verify
         inner = statement.statement if is_explain else statement
         plan = plan_statement(inner, catalog)
-        program = self._compile_plan(plan, catalog)
+        program = self._compile_plan(
+            plan, catalog, verify=True if wants_verify else None
+        )
         program.param_keys = param_keys
+        report = None
+        if wants_verify:
+            # The pipeline already re-checked after every pass; one
+            # final run produces the report the listing displays.
+            report = verify_program(program, phase="final")
         bulk = None
         if isinstance(plan, nodes.InsertValuesPlan) and len(plan.rows) == 1:
             bulk = plan
@@ -586,6 +602,7 @@ class Connection:
             bulk,
             frozenset() if is_explain else program.write_targets(),
             None if sql else statement,
+            report,
         )
 
     def _compile_sql(self, sql: str, token) -> CompiledStatement:
@@ -666,8 +683,13 @@ class Connection:
             return Result()
         return self._run_compiled(self._compiled(sql), params, collect_stats)
 
-    def _explain_result(self, program: MALProgram) -> Result:
-        lines = program.to_text().splitlines()
+    def _explain_result(self, program: MALProgram, report=None) -> Result:
+        lines = annotate_program(program).splitlines()
+        if report is not None:
+            lines.append(
+                f"# verified: {report.checked_ops} ops, {report.frees} frees, "
+                f"{len(report.fragment_groups)} fragment groups"
+            )
         return Result(
             "table",
             ["mal"],
@@ -716,7 +738,7 @@ class Connection:
     ) -> Result:
         self._check_open()
         if entry.is_explain:
-            return self._explain_result(entry.program)
+            return self._explain_result(entry.program, entry.verify_report)
         bindings = bind_parameters(entry.param_keys, params)
         with self._lock:
             txn = self._txn
@@ -871,8 +893,31 @@ class Connection:
     # plan inspection
     # ------------------------------------------------------------------
     def explain(self, sql: str) -> str:
-        """The optimized MAL program of a statement as MAL surface text."""
-        return self.compile(sql).to_text()
+        """The optimized MAL program of a statement as MAL surface text.
+
+        The listing is prefixed with a stable content digest and one
+        line per mitosis fragment group, so plan-shape regressions
+        diff cleanly in golden tests.
+        """
+        return annotate_program(self.compile(sql))
+
+    def verify_plan(self, sql: str):
+        """Statically verify the optimized plan of *sql*.
+
+        Recompiles the statement with per-pass verification forced on
+        (regardless of ``REPRO_VERIFY_PLANS``) and returns the final
+        :class:`~repro.mal.analysis.VerificationReport`; a malformed
+        plan raises :class:`~repro.errors.PlanVerificationError`
+        naming the offending pass and instruction.
+        """
+        self._check_open()
+        statement = parse(sql)
+        if isinstance(statement, ast.Explain):
+            statement = statement.statement
+        catalog = self._exec_catalog()
+        plan = plan_statement(statement, catalog)
+        program = self._compile_plan(plan, catalog, verify=True)
+        return verify_program(program, phase="final")
 
     def explain_unoptimized(self, sql: str) -> str:
         """The MAL program before the optimizer pipeline runs."""

@@ -46,6 +46,7 @@ from collections import OrderedDict
 from pathlib import Path
 from typing import Optional
 
+from repro import knobs
 from repro.errors import (
     DurabilityWarning,
     InterfaceError,
@@ -110,7 +111,7 @@ def resolve_durable_mode(value, path) -> Optional[str]:
 
 
 def _resolve_checkpoint_threshold(env_name: str, default: int) -> int:
-    value = os.environ.get(env_name)
+    value = knobs.raw(env_name)
     if not value:
         return default
     try:
@@ -125,7 +126,7 @@ def resolve_nr_threads(value: Optional[int]) -> int:
     """Worker count: explicit knob > ``REPRO_NR_THREADS`` > cpu count."""
     source = "nr_threads"
     if value is None:
-        env = os.environ.get("REPRO_NR_THREADS")
+        env = knobs.raw("REPRO_NR_THREADS")
         if env:
             value = env
             source = "REPRO_NR_THREADS"
@@ -147,7 +148,7 @@ def resolve_fragment_rows(value) -> Optional[float]:
     """
     source = "fragment_rows"
     if value is None:
-        env = os.environ.get("REPRO_FRAGMENT_ROWS")
+        env = knobs.raw("REPRO_FRAGMENT_ROWS")
         if env is not None:
             value = env
             source = "REPRO_FRAGMENT_ROWS"

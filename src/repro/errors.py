@@ -105,6 +105,32 @@ class GDKError(InternalError):
     """Raised by the column kernel on malformed operator input."""
 
 
+class PlanVerificationError(InternalError):
+    """A MAL plan failed static verification.
+
+    Raised by the plan analyzer (``repro.mal.analysis``) when a program
+    violates an op signature, SSA/def-before-use, the free-after-last-
+    reader discipline, or a structural fragment invariant.  ``phase``
+    names the optimizer pass (or ``"malgen"``) that produced the broken
+    program; ``index``/``instruction`` pinpoint the offending line.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        phase: str = "plan",
+        index: int = -1,
+        instruction: str = "",
+    ):
+        detail = f"[{phase}] {message}"
+        if index >= 0:
+            detail += f" (instruction #{index}: {instruction})"
+        super().__init__(detail)
+        self.phase = phase
+        self.index = index
+        self.instruction = instruction
+
+
 class DimensionError(DataError):
     """Raised for invalid dimension ranges or out-of-domain cell access."""
 

@@ -134,7 +134,7 @@ def _read_checked(directory: Path, filename: str, checksums: Optional[dict]) -> 
     expected = (checksums or {}).get(filename)
     if expected is not None and zlib.crc32(data) != expected:
         quarantined = path.with_name(path.name + ".corrupt")
-        path.rename(quarantined)
+        path.rename(quarantined)  # lint: allow-rename (quarantine, not durability)
         raise CorruptionError(
             f"checksum mismatch in {path}: the file is damaged and has "
             f"been quarantined as {quarantined.name}. Recovery options: "
@@ -333,7 +333,7 @@ def _quarantine_descriptor(
 ) -> CorruptionError:
     """Quarantine a structurally-broken descriptor; build the error."""
     quarantined = descriptor_path.with_name(descriptor_path.name + ".corrupt")
-    descriptor_path.rename(quarantined)
+    descriptor_path.rename(quarantined)  # lint: allow-rename (quarantine, not durability)
     return CorruptionError(
         f"cannot load BAT {name}: {reason}; the descriptor has been "
         f"quarantined as {quarantined.name}. Recovery options: restore "

@@ -23,10 +23,11 @@ profile stays a useful aggregate under concurrency).
 
 from __future__ import annotations
 
-import os
 import threading
 
 import numpy as np
+
+from repro import knobs
 
 #: default payload size (bytes) above which "auto" mode memory-maps.
 DEFAULT_MMAP_THRESHOLD = 1 << 20
@@ -47,7 +48,7 @@ _bytes_faulted = 0
 # ----------------------------------------------------------------------
 def storage_mmap_mode() -> str:
     """The ``REPRO_STORAGE_MMAP`` knob: ``"on"``, ``"off"`` or ``"auto"``."""
-    raw = os.environ.get("REPRO_STORAGE_MMAP", "auto").strip().lower()
+    raw = (knobs.raw("REPRO_STORAGE_MMAP") or "auto").strip().lower()
     if raw in ("1", "on", "true", "yes"):
         return "on"
     if raw in ("0", "off", "false", "no"):
@@ -57,7 +58,7 @@ def storage_mmap_mode() -> str:
 
 def mmap_threshold_bytes() -> int:
     """Payload size at which ``auto`` mode switches to memory-mapping."""
-    raw = os.environ.get("REPRO_MMAP_THRESHOLD_BYTES")
+    raw = knobs.raw("REPRO_MMAP_THRESHOLD_BYTES")
     if not raw:
         return DEFAULT_MMAP_THRESHOLD
     try:
@@ -93,13 +94,13 @@ def zonemaps_enabled() -> bool:
     only disables their short-circuit, so toggling it never invalidates
     a cached plan (results are byte-identical either way).
     """
-    raw = os.environ.get("REPRO_ZONEMAPS", "1").strip().lower()
+    raw = (knobs.raw("REPRO_ZONEMAPS") or "1").strip().lower()
     return raw not in ("0", "off", "false", "no")
 
 
 def dict_min_rows() -> int:
     """Minimum column length before in-memory dictionary encoding."""
-    raw = os.environ.get("REPRO_DICT_MIN_ROWS")
+    raw = knobs.raw("REPRO_DICT_MIN_ROWS")
     if not raw:
         return DEFAULT_DICT_MIN_ROWS
     try:
@@ -110,13 +111,13 @@ def dict_min_rows() -> int:
 
 def dict_enabled() -> bool:
     """``REPRO_DICT`` (default on) — dictionary-encoding ablation."""
-    raw = os.environ.get("REPRO_DICT", "1").strip().lower()
+    raw = (knobs.raw("REPRO_DICT") or "1").strip().lower()
     return raw not in ("0", "off", "false", "no")
 
 
 def zone_rows() -> int:
     """Rows per zone of a zone map (``REPRO_ZONE_ROWS``)."""
-    raw = os.environ.get("REPRO_ZONE_ROWS")
+    raw = knobs.raw("REPRO_ZONE_ROWS")
     if not raw:
         return DEFAULT_ZONE_ROWS
     try:

@@ -1,0 +1,47 @@
+"""Def/use analysis shared by the verifier and the ``dead_code`` pass."""
+
+from __future__ import annotations
+
+from repro.mal.program import MALProgram
+
+
+def def_use(
+    program: MALProgram,
+) -> tuple[dict[str, int], dict[str, list[int]]]:
+    """``(producers, uses)``: defining index and use indexes per variable.
+
+    ``language.free`` arguments are *not* uses — they name variables by
+    constant string and mark release, which the verifier tracks
+    separately.
+    """
+    producers: dict[str, int] = {}
+    uses: dict[str, list[int]] = {}
+    for index, instruction in enumerate(program.instructions):
+        for used in instruction.used_vars():
+            uses.setdefault(used, []).append(index)
+        for result in instruction.results:
+            producers.setdefault(result, index)
+    return producers, uses
+
+
+def live_instructions(program: MALProgram) -> list[bool]:
+    """Backward liveness: which instructions feed a side effect or result.
+
+    An instruction is live when it has side effects or any of its
+    results is (transitively) consumed by a live instruction, a result
+    column, or a pinned variable.  This is the analysis behind the
+    ``dead_code`` optimizer pass; the verifier reuses it to report how
+    much of a plan is dead weight.
+    """
+    live_vars: set[str] = set(program.pinned)
+    live_vars.update(var for _, var in program.result_columns)
+    keep = [False] * len(program.instructions)
+    for index in range(len(program.instructions) - 1, -1, -1):
+        instruction = program.instructions[index]
+        needed = instruction.has_side_effects or any(
+            result in live_vars for result in instruction.results
+        )
+        if needed:
+            keep[index] = True
+            live_vars.update(instruction.used_vars())
+    return keep

@@ -16,6 +16,19 @@ from typing import Any, Callable
 #: tuple of results (or a single value for single-result ops).
 REGISTRY: dict[tuple[str, str], Callable] = {}
 
+#: (module, function) -> (signature text, side-effect class).  Parsed
+#: and type-checked by ``repro.mal.analysis.signatures``; the grammar is
+#: documented there.  Every entry in :data:`REGISTRY` must have one
+#: (enforced by the signature-completeness check in CI), and pseudo-ops
+#: the interpreter special-cases (``language.*``) declare theirs via
+#: :func:`declare_op`.
+SIGNATURE_DECLS: dict[tuple[str, str], tuple[str, str]] = {}
+
+
+def declare_op(module: str, function: str, sig: str, effect: str = "none") -> None:
+    """Declare a signature for an op without a REGISTRY implementation."""
+    SIGNATURE_DECLS[(module, function)] = (sig, effect)
+
 
 @functools.lru_cache(maxsize=1024)
 def cached_loads(text: str) -> Any:
@@ -29,14 +42,28 @@ def cached_loads(text: str) -> Any:
     return json.loads(text)
 
 
-def mal_op(module: str, function: str):
-    """Decorator registering a MAL operator implementation."""
+def mal_op(module: str, function: str, sig: str | None = None, effect: str = "none"):
+    """Decorator registering a MAL operator implementation.
+
+    ``sig`` declares the op's static signature for the plan verifier
+    (e.g. ``"bat, scalar, str, cand? -> cand"``); ``effect`` its
+    side-effect class (``none``/``read``/``write``/``result``/``free``).
+    """
 
     def decorate(fn: Callable) -> Callable:
         REGISTRY[(module, function)] = fn
+        if sig is not None:
+            SIGNATURE_DECLS[(module, function)] = (sig, effect)
         return fn
 
     return decorate
+
+
+# Pseudo-ops without REGISTRY implementations: the interpreter
+# special-cases ``language.free`` (environment eviction barrier) and
+# ``language.raise`` never executes in well-formed plans.
+declare_op("language", "free", "name* ->", effect="free")
+declare_op("language", "raise", "any* ->", effect="result")
 
 
 def load_all() -> None:

@@ -16,7 +16,7 @@ def _grouping(groups: BAT, ngroups) -> group_kernel.GroupView:
 
 
 def _register_scalar(name: str) -> None:
-    @mal_op("aggr", name)
+    @mal_op("aggr", name, sig="bat -> scalar")
     def _op(ctx, b: BAT, _name=name):
         if not isinstance(b, BAT):
             raise MALError(f"aggr.{_name} expects a BAT")
@@ -28,7 +28,7 @@ for _name in ("sum", "avg", "min", "max", "count", "stddev", "median"):
 
 
 def _register_grouped(name: str) -> None:
-    @mal_op("aggr", f"sub{name}")
+    @mal_op("aggr", f"sub{name}", sig="bat, oids, scalar -> bat")
     def _op(ctx, b: BAT, groups: BAT, ngroups, _name=name):
         if not isinstance(b, BAT) or not isinstance(groups, BAT):
             raise MALError(f"aggr.sub{_name} expects BATs")
@@ -40,25 +40,25 @@ for _name in ("sum", "prod", "avg", "min", "max", "count", "stddev", "median"):
     _register_grouped(_name)
 
 
-@mal_op("aggr", "subcountstar")
+@mal_op("aggr", "subcountstar", sig="oids, scalar -> bat")
 def _subcountstar(ctx, groups: BAT, ngroups):
     grouping = _grouping(groups, ngroups)
     return BAT(aggregate_kernel.grouped_count_star(grouping))
 
 
-@mal_op("aggr", "subcountdistinct")
+@mal_op("aggr", "subcountdistinct", sig="bat, oids, scalar -> bat")
 def _subcountdistinct(ctx, b: BAT, groups: BAT, ngroups):
     grouping = _grouping(groups, ngroups)
     return BAT(aggregate_kernel.grouped_count_distinct(b.tail, grouping))
 
 
-@mal_op("aggr", "countdistinct")
+@mal_op("aggr", "countdistinct", sig="bat -> scalar")
 def _countdistinct(ctx, b: BAT):
     return aggregate_kernel.scalar_count_distinct(b.tail)
 
 
 def _register_merge(name: str) -> None:
-    @mal_op("aggr", f"merge{name}")
+    @mal_op("aggr", f"merge{name}", sig="bat, oids, scalar -> bat")
     def _op(ctx, partials: BAT, groups: BAT, ngroups, _name=name):
         """Fold per-fragment partials into the global per-group result."""
         if not isinstance(partials, BAT) or not isinstance(groups, BAT):
@@ -71,7 +71,7 @@ for _name in sorted(aggregate_kernel.MERGEABLE):
     _register_merge(_name)
 
 
-@mal_op("aggr", "mergeavg")
+@mal_op("aggr", "mergeavg", sig="bat, bat, oids, scalar -> bat")
 def _mergeavg(ctx, sums: BAT, counts: BAT, groups: BAT, ngroups):
     """Merge (sum, count) partials into the global per-group mean."""
     if not all(isinstance(b, BAT) for b in (sums, counts, groups)):
@@ -80,7 +80,7 @@ def _mergeavg(ctx, sums: BAT, counts: BAT, groups: BAT, ngroups):
     return BAT(aggregate_kernel.merge_avg(sums.tail, counts.tail, grouping))
 
 
-@mal_op("aggr", "firstocc")
+@mal_op("aggr", "firstocc", sig="oids, scalar -> cand")
 def _firstocc(ctx, groups: BAT, ngroups):
     """Reconstruct grouping extents from row-aligned global group ids."""
     if not isinstance(groups, BAT):

@@ -13,23 +13,23 @@ from repro.gdk.bat import BAT
 from repro.mal.modules import mal_op
 
 
-@mal_op("algebra", "select")
+@mal_op("algebra", "select", sig="bat(bit), cand? -> cand")
 def _select(ctx, b: BAT, candidates=None):
     """Candidate list of oids whose bit tail is TRUE."""
     return select_kernel.select_true(b, candidates)
 
 
-@mal_op("algebra", "thetaselect")
+@mal_op("algebra", "thetaselect", sig="bat, scalar, str, cand? -> cand")
 def _thetaselect(ctx, b: BAT, value, op: str, candidates=None):
     return select_kernel.thetaselect(b, value, op, candidates)
 
 
-@mal_op("algebra", "rangeselect")
+@mal_op("algebra", "rangeselect", sig="bat, scalar, scalar, bool, bool, bool, cand? -> cand")
 def _rangeselect(ctx, b: BAT, low, high, li, hi, anti, candidates=None):
     return select_kernel.rangeselect(b, low, high, bool(li), bool(hi), bool(anti), candidates)
 
 
-@mal_op("algebra", "isnilselect")
+@mal_op("algebra", "isnilselect", sig="bat, bool, cand? -> cand")
 def _isnilselect(ctx, b: BAT, want_null, candidates=None):
     return select_kernel.isnull_select(b, bool(want_null), candidates)
 
@@ -38,42 +38,42 @@ def _isnilselect(ctx, b: BAT, want_null, candidates=None):
 # renames fragment-level selects to these after mitosis; they run the
 # identical kernels but with fragment pruning armed, so a fragment whose
 # zone statistics prove all-match / no-match never touches its payload.
-@mal_op("algebra", "selectzm")
+@mal_op("algebra", "selectzm", sig="bat(bit), cand? -> cand")
 def _selectzm(ctx, b: BAT, candidates=None):
     return select_kernel.select_true(b, candidates, prune=True)
 
 
-@mal_op("algebra", "thetaselectzm")
+@mal_op("algebra", "thetaselectzm", sig="bat, scalar, str, cand? -> cand")
 def _thetaselectzm(ctx, b: BAT, value, op: str, candidates=None):
     return select_kernel.thetaselect(b, value, op, candidates, prune=True)
 
 
-@mal_op("algebra", "rangeselectzm")
+@mal_op("algebra", "rangeselectzm", sig="bat, scalar, scalar, bool, bool, bool, cand? -> cand")
 def _rangeselectzm(ctx, b: BAT, low, high, li, hi, anti, candidates=None):
     return select_kernel.rangeselect(
         b, low, high, bool(li), bool(hi), bool(anti), candidates, prune=True
     )
 
 
-@mal_op("algebra", "isnilselectzm")
+@mal_op("algebra", "isnilselectzm", sig="bat, bool, cand? -> cand")
 def _isnilselectzm(ctx, b: BAT, want_null, candidates=None):
     return select_kernel.isnull_select(b, bool(want_null), candidates, prune=True)
 
 
-@mal_op("algebra", "inselectzm")
+@mal_op("algebra", "inselectzm", sig="bat, json, cand? -> cand")
 def _inselectzm(ctx, b: BAT, values_json: str, candidates=None):
     import json
 
     return select_kernel.in_select(b, json.loads(values_json), candidates, prune=True)
 
 
-@mal_op("algebra", "projection")
+@mal_op("algebra", "projection", sig="oids, bat -> bat")
 def _projection(ctx, candidates: BAT, b: BAT):
     """Fetch-join: tail values of *b* at the candidate oids."""
     return b.project(candidates)
 
 
-@mal_op("algebra", "projectionsafe")
+@mal_op("algebra", "projectionsafe", sig="oids, bat -> bat")
 def _projectionsafe(ctx, candidates: BAT, b: BAT):
     """Like projection but oid -1 yields NULL (outer-join fetch)."""
     if candidates.atom is not Atom.OID:
@@ -83,64 +83,64 @@ def _projectionsafe(ctx, candidates: BAT, b: BAT):
     return BAT(b.tail.take_with_invalid(positions))
 
 
-@mal_op("algebra", "join")
+@mal_op("algebra", "join", sig="bat, bat, bool?, cand?, cand? -> oids, oids")
 def _join(ctx, left: BAT, right: BAT, nil_matches=False, lcand=None, rcand=None):
     return join_kernel.join(left, right, bool(nil_matches), lcand, rcand)
 
 
-@mal_op("algebra", "leftjoin")
+@mal_op("algebra", "leftjoin", sig="bat, bat, cand?, cand? -> oids, oids")
 def _leftjoin(ctx, left: BAT, right: BAT, lcand=None, rcand=None):
     return join_kernel.leftjoin(left, right, lcand, rcand)
 
 
-@mal_op("algebra", "thetajoin")
+@mal_op("algebra", "thetajoin", sig="bat, bat, str -> oids, oids")
 def _thetajoin(ctx, left: BAT, right: BAT, op: str):
     return join_kernel.thetajoin(left, right, op)
 
 
-@mal_op("algebra", "crossproduct")
+@mal_op("algebra", "crossproduct", sig="int, int -> oids, oids")
 def _crossproduct(ctx, left_count, right_count):
     return join_kernel.crossproduct(int(left_count), int(right_count))
 
 
-@mal_op("algebra", "semijoin")
+@mal_op("algebra", "semijoin", sig="bat, bat, cand?, cand? -> cand")
 def _semijoin(ctx, left: BAT, right: BAT, lcand=None, rcand=None):
     return join_kernel.semijoin(left, right, lcand, rcand)
 
 
-@mal_op("algebra", "antijoin")
+@mal_op("algebra", "antijoin", sig="bat, bat, cand?, cand? -> cand")
 def _antijoin(ctx, left: BAT, right: BAT, lcand=None, rcand=None):
     return join_kernel.antijoin(left, right, lcand, rcand)
 
 
-@mal_op("algebra", "intersect")
+@mal_op("algebra", "intersect", sig="cand, cand -> cand")
 def _intersect(ctx, a: BAT, b: BAT):
     return select_kernel.intersect_candidates(a, b)
 
 
-@mal_op("algebra", "union")
+@mal_op("algebra", "union", sig="cand, cand -> cand")
 def _union(ctx, a: BAT, b: BAT):
     return select_kernel.union_candidates(a, b)
 
 
-@mal_op("algebra", "difference")
+@mal_op("algebra", "difference", sig="cand, cand -> cand")
 def _difference(ctx, a: BAT, b: BAT):
     return select_kernel.difference_candidates(a, b)
 
 
-@mal_op("algebra", "firstn")
+@mal_op("algebra", "firstn", sig="cand, int -> cand")
 def _firstn(ctx, candidates: BAT, n):
     return select_kernel.firstn(candidates, int(n))
 
 
-@mal_op("algebra", "sort")
+@mal_op("algebra", "sort", sig="bat, bool? -> bat, oids")
 def _sort(ctx, b: BAT, descending=False):
     """Returns (sorted-tail BAT, order oid BAT)."""
     order = sort_kernel.sort_order(b.tail, bool(descending))
     return BAT(b.tail.take(order)), BAT.from_oids(order + b.hseqbase)
 
 
-@mal_op("algebra", "sortmulti")
+@mal_op("algebra", "sortmulti", sig="json, bat+ -> oids")
 def _sortmulti(ctx, flags_json: str, *bats: BAT):
     """Multi-key sort; flags encode descending per key. Returns order."""
     import json
@@ -151,14 +151,14 @@ def _sortmulti(ctx, flags_json: str, *bats: BAT):
     return BAT.from_oids(order)
 
 
-@mal_op("algebra", "inselect")
+@mal_op("algebra", "inselect", sig="bat, json, cand? -> cand")
 def _inselect(ctx, b: BAT, values_json: str, candidates=None):
     import json
 
     return select_kernel.in_select(b, json.loads(values_json), candidates)
 
 
-@mal_op("algebra", "rowmembership")
+@mal_op("algebra", "rowmembership", sig="int, bat+ -> bat(bit)")
 def _rowmembership(ctx, count, *bats: BAT):
     """bit BAT over the first *count* BATs (left rows) marking rows that
     also appear in the remaining *count* BATs (right rows)."""

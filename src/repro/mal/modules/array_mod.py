@@ -62,12 +62,12 @@ def filler_column(count: int, value: Any, atom: Atom | None = None) -> Column:
     return Column.constant(resolved, coerce_scalar(value, resolved), count)
 
 
-@mal_op("array", "series")
+@mal_op("array", "series", sig="scalar, scalar, scalar, int, int -> bat")
 def _series(ctx, start, step, stop, inner, outer):
     return BAT(series_column(int(start), int(step), int(stop), int(inner), int(outer)))
 
 
-@mal_op("array", "filler")
+@mal_op("array", "filler", sig="int, scalar, str? -> bat")
 def _filler(ctx, count, value, atom_name=None):
     atom = Atom(atom_name) if atom_name else None
     return BAT(filler_column(int(count), value, atom))
@@ -81,7 +81,7 @@ def _tile_meta(meta_json: str) -> tuple[tuple[int, ...], TileSpec]:
     return shape, spec
 
 
-@mal_op("array", "tileagg")
+@mal_op("array", "tileagg", sig="bat, str, json -> bat")
 def _tileagg(ctx, values: BAT, aggregate: str, meta_json: str):
     """Aggregate every anchor's tile over a cell-aligned value BAT.
 
@@ -94,7 +94,7 @@ def _tileagg(ctx, values: BAT, aggregate: str, meta_json: str):
     return BAT(tile_aggregate(values.tail, shape, spec, aggregate))
 
 
-@mal_op("array", "tilepart")
+@mal_op("array", "tilepart", sig="bat, str, json, int, int -> bat")
 def _tilepart(ctx, values: BAT, aggregate: str, meta_json: str, index, pieces):
     """Halo fragment *index* of *pieces* of a tile aggregate.
 
@@ -116,7 +116,7 @@ def _tilepart(ctx, values: BAT, aggregate: str, meta_json: str, index, pieces):
     return BAT(fragment, hseqbase=values.hseqbase + start)
 
 
-@mal_op("array", "shift")
+@mal_op("array", "shift", sig="bat, json, json -> bat")
 def _shift(ctx, values: BAT, shape_json: str, deltas_json: str):
     """Relative cell access: entry *a* becomes ``values[a + deltas]``.
 
@@ -150,7 +150,7 @@ def _shift(ctx, values: BAT, shape_json: str, deltas_json: str):
     return BAT(values.tail.take_with_invalid(sources))
 
 
-@mal_op("array", "cellindex")
+@mal_op("array", "cellindex", sig="json, json, bat+ -> oids")
 def _cellindex(ctx, shape_json: str, dims_json: str, *coordinate_bats: BAT):
     """Linear cell oids for coordinate columns; -1 for out-of-domain.
 

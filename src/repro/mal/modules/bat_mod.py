@@ -11,39 +11,39 @@ from repro.gdk.column import Column
 from repro.mal.modules import mal_op
 
 
-@mal_op("bat", "new")
+@mal_op("bat", "new", sig="str -> bat")
 def _new(ctx, atom_name: str):
     return BAT.empty(Atom(atom_name))
 
 
-@mal_op("bat", "densebat")
+@mal_op("bat", "densebat", sig="int -> cand")
 def _densebat(ctx, count):
     return BAT.dense(0, int(count))
 
 
-@mal_op("bat", "mirror")
+@mal_op("bat", "mirror", sig="bat -> cand")
 def _mirror(ctx, b: BAT):
     return b.mirror()
 
 
-@mal_op("bat", "append")
+@mal_op("bat", "append", sig="bat, bat -> bat")
 def _append(ctx, target: BAT, source: BAT):
     return target.append(source)
 
 
-@mal_op("bat", "replace")
+@mal_op("bat", "replace", sig="bat, oids, bat -> bat")
 def _replace(ctx, target: BAT, oids: BAT, values: BAT):
     if oids.atom is not Atom.OID:
         raise MALError("bat.replace positions must be oids")
     return target.replace(oids.tail.values, values.tail)
 
 
-@mal_op("bat", "slice")
+@mal_op("bat", "slice", sig="bat, int, int -> bat")
 def _slice(ctx, b: BAT, start, stop):
     return b.slice(int(start), int(stop))
 
 
-@mal_op("bat", "pack")
+@mal_op("bat", "pack", sig="scalar* -> bat")
 def _pack(ctx, *values):
     """Materialise scalars into a single-column BAT (VALUES rows)."""
     if not values:
@@ -57,12 +57,12 @@ def _pack(ctx, *values):
     return BAT(Column.from_pylist(atom, list(values)))
 
 
-@mal_op("bat", "getcount")
+@mal_op("bat", "getcount", sig="bat -> scalar")
 def _getcount(ctx, b: BAT):
     return len(b)
 
 
-@mal_op("bat", "fetch")
+@mal_op("bat", "fetch", sig="bat, int -> scalar")
 def _fetch(ctx, b: BAT, position):
     """Scalar tail value at a physical position (0-based)."""
     index = int(position)
@@ -71,7 +71,7 @@ def _fetch(ctx, b: BAT, position):
     return b.tail.get(index)
 
 
-@mal_op("bat", "project_const")
+@mal_op("bat", "project_const", sig="bat, scalar, str? -> bat")
 def _project_const(ctx, b: BAT, value, atom_name: str | None = None):
     """Constant column aligned with *b* (MAL's ``algebra.project`` w/ const).
 
@@ -86,12 +86,12 @@ def _project_const(ctx, b: BAT, value, atom_name: str | None = None):
     return BAT(Column.constant(atom, value, len(b)))
 
 
-@mal_op("bat", "cast")
+@mal_op("bat", "cast", sig="bat, str -> bat")
 def _cast(ctx, b: BAT, atom_name: str):
     return BAT(b.tail.cast(Atom(atom_name)), b.hseqbase)
 
 
-@mal_op("bat", "mergecand")
+@mal_op("bat", "mergecand", sig="cand+ -> cand")
 def _mergecand(ctx, *parts: BAT):
     """Ordered union of per-fragment candidate lists (mergetable rejoin)."""
     from repro.gdk.bat import merge_candidates
@@ -101,7 +101,7 @@ def _mergecand(ctx, *parts: BAT):
     return merge_candidates(parts)
 
 
-@mal_op("bat", "negative_oids")
+@mal_op("bat", "negative_oids", sig="oids -> cand")
 def _negative_oids(ctx, b: BAT):
     """Positions of -1 entries in an oid BAT (invalid cell markers)."""
     if b.atom is not Atom.OID:

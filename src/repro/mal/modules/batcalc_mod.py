@@ -33,7 +33,7 @@ def _wrap(column: Column, *operands) -> BAT:
 
 
 def _register_arith(symbol: str, name: str) -> None:
-    @mal_op("batcalc", name)
+    @mal_op("batcalc", name, sig="val, val -> bat")
     def _op(ctx, left, right, _symbol=symbol):
         return _wrap(calc.arithmetic(_symbol, _unwrap(left), _unwrap(right)), left, right)
 
@@ -43,7 +43,7 @@ for _symbol, _name in (("+", "add"), ("-", "sub"), ("*", "mul"), ("/", "div"), (
 
 
 def _register_compare(symbol: str, name: str) -> None:
-    @mal_op("batcalc", name)
+    @mal_op("batcalc", name, sig="val, val -> bat(bit)")
     def _op(ctx, left, right, _symbol=symbol):
         return _wrap(calc.compare(_symbol, _unwrap(left), _unwrap(right)), left, right)
 
@@ -59,17 +59,17 @@ for _symbol, _name in (
     _register_compare(_symbol, _name)
 
 
-@mal_op("batcalc", "and")
+@mal_op("batcalc", "and", sig="val, val -> bat(bit)")
 def _and(ctx, left, right):
     return _wrap(calc.logical_and(_unwrap(left), _unwrap(right)), left, right)
 
 
-@mal_op("batcalc", "or")
+@mal_op("batcalc", "or", sig="val, val -> bat(bit)")
 def _or(ctx, left, right):
     return _wrap(calc.logical_or(_unwrap(left), _unwrap(right)), left, right)
 
 
-@mal_op("batcalc", "not")
+@mal_op("batcalc", "not", sig="bat -> bat(bit)")
 def _not(ctx, operand):
     column = _unwrap(operand)
     if not isinstance(column, Column):
@@ -77,7 +77,7 @@ def _not(ctx, operand):
     return _wrap(calc.logical_not(column), operand)
 
 
-@mal_op("batcalc", "isnil")
+@mal_op("batcalc", "isnil", sig="bat -> bat(bit)")
 def _isnil(ctx, operand):
     column = _unwrap(operand)
     if not isinstance(column, Column):
@@ -85,7 +85,7 @@ def _isnil(ctx, operand):
     return _wrap(calc.isnull(column), operand)
 
 
-@mal_op("batcalc", "ifthenelse")
+@mal_op("batcalc", "ifthenelse", sig="bat, val, val -> bat")
 def _ifthenelse(ctx, condition, then_value, else_value):
     cond = _unwrap(condition)
     if not isinstance(cond, Column):
@@ -93,27 +93,27 @@ def _ifthenelse(ctx, condition, then_value, else_value):
     return _wrap(calc.ifthenelse(cond, _unwrap(then_value), _unwrap(else_value)), condition, then_value, else_value)
 
 
-@mal_op("batcalc", "negate")
+@mal_op("batcalc", "negate", sig="bat -> bat")
 def _negate(ctx, operand):
     return _wrap(calc.negate(_unwrap(operand)), operand)
 
 
-@mal_op("batcalc", "abs")
+@mal_op("batcalc", "abs", sig="bat -> bat")
 def _abs(ctx, operand):
     return _wrap(calc.absolute(_unwrap(operand)), operand)
 
 
-@mal_op("batcalc", "math")
+@mal_op("batcalc", "math", sig="str, bat -> bat")
 def _math(ctx, name: str, operand):
     return _wrap(calc.apply_unary_math(name, _unwrap(operand)), operand)
 
 
-@mal_op("batcalc", "concat")
+@mal_op("batcalc", "concat", sig="val, val -> bat")
 def _concat(ctx, left, right):
     return _wrap(calc.concat_str(_unwrap(left), _unwrap(right)), left, right)
 
 
-@mal_op("batcalc", "cast")
+@mal_op("batcalc", "cast", sig="bat, str -> bat")
 def _cast(ctx, operand, atom_name: str):
     column = _unwrap(operand)
     if not isinstance(column, Column):
@@ -121,7 +121,7 @@ def _cast(ctx, operand, atom_name: str):
     return _wrap(column.cast(Atom(atom_name)), operand)
 
 
-@mal_op("batcalc", "fillnulls")
+@mal_op("batcalc", "fillnulls", sig="bat, scalar -> bat")
 def _fillnulls(ctx, operand, value):
     column = _unwrap(operand)
     if not isinstance(column, Column):
@@ -135,27 +135,27 @@ def _fillnulls(ctx, operand, value):
 from repro.gdk import strings as _strings
 
 
-@mal_op("batcalc", "lower")
+@mal_op("batcalc", "lower", sig="bat -> bat")
 def _lower(ctx, operand):
     return _wrap(_strings.lower(_unwrap(operand)), operand)
 
 
-@mal_op("batcalc", "upper")
+@mal_op("batcalc", "upper", sig="bat -> bat")
 def _upper(ctx, operand):
     return _wrap(_strings.upper(_unwrap(operand)), operand)
 
 
-@mal_op("batcalc", "length")
+@mal_op("batcalc", "length", sig="bat -> bat")
 def _length(ctx, operand):
     return _wrap(_strings.length(_unwrap(operand)), operand)
 
 
-@mal_op("batcalc", "trim")
+@mal_op("batcalc", "trim", sig="bat -> bat")
 def _trim(ctx, operand):
     return _wrap(_strings.trim(_unwrap(operand)), operand)
 
 
-@mal_op("batcalc", "substring")
+@mal_op("batcalc", "substring", sig="bat, int, int? -> bat")
 def _substring(ctx, operand, start, count=None):
     return _wrap(_strings.substring(
         _unwrap(operand),
@@ -164,6 +164,6 @@ def _substring(ctx, operand, start, count=None):
     ), operand)
 
 
-@mal_op("batcalc", "like")
+@mal_op("batcalc", "like", sig="bat, scalar -> bat(bit)")
 def _like(ctx, operand, pattern):
     return _wrap(_strings.like(_unwrap(operand), pattern), operand)

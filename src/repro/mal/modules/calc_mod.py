@@ -11,7 +11,7 @@ def _both_null(left, right) -> bool:
 
 
 def _register_arith(symbol: str, name: str) -> None:
-    @mal_op("calc", name)
+    @mal_op("calc", name, sig="scalar, scalar -> scalar")
     def _op(ctx, left, right, _symbol=symbol):
         if _both_null(left, right):
             return None
@@ -55,7 +55,7 @@ _COMPARATORS = {
 
 
 def _register_compare(name: str) -> None:
-    @mal_op("calc", name)
+    @mal_op("calc", name, sig="scalar, scalar -> scalar")
     def _op(ctx, left, right, _name=name):
         if _both_null(left, right):
             return None
@@ -66,7 +66,7 @@ for _name in _COMPARATORS:
     _register_compare(_name)
 
 
-@mal_op("calc", "and")
+@mal_op("calc", "and", sig="scalar, scalar -> scalar")
 def _and(ctx, left, right):
     if left is False or right is False:
         return False
@@ -75,7 +75,7 @@ def _and(ctx, left, right):
     return bool(left) and bool(right)
 
 
-@mal_op("calc", "or")
+@mal_op("calc", "or", sig="scalar, scalar -> scalar")
 def _or(ctx, left, right):
     if left is True or right is True:
         return True
@@ -84,34 +84,34 @@ def _or(ctx, left, right):
     return bool(left) or bool(right)
 
 
-@mal_op("calc", "not")
+@mal_op("calc", "not", sig="scalar -> scalar")
 def _not(ctx, operand):
     if operand is None:
         return None
     return not bool(operand)
 
 
-@mal_op("calc", "isnil")
+@mal_op("calc", "isnil", sig="scalar -> scalar")
 def _isnil(ctx, operand):
     return operand is None
 
 
-@mal_op("calc", "negate")
+@mal_op("calc", "negate", sig="scalar -> scalar")
 def _negate(ctx, operand):
     return None if operand is None else -operand
 
 
-@mal_op("calc", "abs")
+@mal_op("calc", "abs", sig="scalar -> scalar")
 def _abs(ctx, operand):
     return None if operand is None else abs(operand)
 
 
-@mal_op("calc", "ifthenelse")
+@mal_op("calc", "ifthenelse", sig="scalar, scalar, scalar -> scalar")
 def _ifthenelse(ctx, condition, then_value, else_value):
     return then_value if condition else else_value
 
 
-@mal_op("calc", "cast")
+@mal_op("calc", "cast", sig="scalar, str -> scalar")
 def _cast(ctx, operand, atom_name: str):
     from repro.gdk.atoms import Atom, coerce_scalar
 
@@ -120,14 +120,14 @@ def _cast(ctx, operand, atom_name: str):
     return coerce_scalar(operand, Atom(atom_name))
 
 
-@mal_op("calc", "concat")
+@mal_op("calc", "concat", sig="scalar, scalar -> scalar")
 def _concat(ctx, left, right):
     if _both_null(left, right):
         return None
     return str(left) + str(right)
 
 
-@mal_op("calc", "math")
+@mal_op("calc", "math", sig="str, scalar -> scalar")
 def _math(ctx, name: str, operand):
     import math
 
@@ -160,27 +160,27 @@ def _math(ctx, name: str, operand):
 # ----------------------------------------------------------------------
 # scalar string functions
 # ----------------------------------------------------------------------
-@mal_op("calc", "lower")
+@mal_op("calc", "lower", sig="scalar -> scalar")
 def _lower(ctx, operand):
     return None if operand is None else str(operand).lower()
 
 
-@mal_op("calc", "upper")
+@mal_op("calc", "upper", sig="scalar -> scalar")
 def _upper(ctx, operand):
     return None if operand is None else str(operand).upper()
 
 
-@mal_op("calc", "length")
+@mal_op("calc", "length", sig="scalar -> scalar")
 def _length(ctx, operand):
     return None if operand is None else len(str(operand))
 
 
-@mal_op("calc", "trim")
+@mal_op("calc", "trim", sig="scalar -> scalar")
 def _trim(ctx, operand):
     return None if operand is None else str(operand).strip()
 
 
-@mal_op("calc", "substring")
+@mal_op("calc", "substring", sig="scalar, int, int? -> scalar")
 def _substring(ctx, operand, start, count=None):
     if operand is None:
         return None
@@ -191,7 +191,7 @@ def _substring(ctx, operand, start, count=None):
     return text[begin : begin + int(count)]
 
 
-@mal_op("calc", "like")
+@mal_op("calc", "like", sig="scalar, scalar -> scalar")
 def _like(ctx, operand, pattern):
     from repro.gdk.strings import scalar_like
 

@@ -8,7 +8,7 @@ from repro.gdk.bat import BAT
 from repro.mal.modules import mal_op
 
 
-@mal_op("group", "group")
+@mal_op("group", "group", sig="bat -> oids, cand, bat")
 def _group(ctx, b: BAT):
     """Returns (groups, extents, histogram) — MonetDB's triple."""
     grouping = group_kernel.group(b.tail)
@@ -22,7 +22,7 @@ def _group(ctx, b: BAT):
     )
 
 
-@mal_op("group", "subgroup")
+@mal_op("group", "subgroup", sig="bat, oids -> oids, cand, bat")
 def _subgroup(ctx, b: BAT, groups: BAT):
     """Refine existing group ids by another column."""
     if len(b) != len(groups):

@@ -20,21 +20,21 @@ from repro.gdk.bat import BAT, pack_bats, partition
 from repro.mal.modules import mal_op
 
 
-@mal_op("mat", "partition")
+@mal_op("mat", "partition", sig="bat, int, int -> bat")
 def _partition(ctx, b: BAT, index, pieces):
     if not isinstance(b, BAT):
         raise MALError("mat.partition expects a BAT")
     return partition(b, int(index), int(pieces))
 
 
-@mal_op("mat", "pack")
+@mal_op("mat", "pack", sig="bat+ -> bat")
 def _pack(ctx, *parts: BAT):
     if not parts or not all(isinstance(p, BAT) for p in parts):
         raise MALError("mat.pack expects BAT fragments")
     return pack_bats(parts)
 
 
-@mal_op("mat", "packgroups")
+@mal_op("mat", "packgroups", sig="int, any* -> oids")
 def _packgroups(ctx, count, *args):
     """Concatenate per-fragment local group ids into one shifted id BAT.
 

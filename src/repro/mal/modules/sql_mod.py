@@ -43,18 +43,18 @@ def _dimension_defs(dims_json: str) -> list[DimensionDef]:
     ]
 
 
-@mal_op("sql", "bind")
+@mal_op("sql", "bind", sig="str, str -> bat", effect="read")
 def _bind(ctx, name: str, column: str):
     """The storage BAT of ``object.column``."""
     return ctx.catalog.get(name).bind(column)
 
 
-@mal_op("sql", "count")
+@mal_op("sql", "count", sig="str -> scalar", effect="read")
 def _count(ctx, name: str):
     return ctx.catalog.get(name).count
 
 
-@mal_op("sql", "createTable")
+@mal_op("sql", "createTable", sig="str, json, bool? -> scalar", effect="write")
 def _create_table(ctx, name: str, defs_json: str, if_not_exists=False):
     if if_not_exists and name.lower() in ctx.catalog:
         return 0
@@ -62,7 +62,7 @@ def _create_table(ctx, name: str, defs_json: str, if_not_exists=False):
     return 0
 
 
-@mal_op("sql", "createArray")
+@mal_op("sql", "createArray", sig="str, json, json, bool? -> scalar", effect="write")
 def _create_array(ctx, name: str, dims_json: str, attrs_json: str, if_not_exists=False):
     if if_not_exists and name.lower() in ctx.catalog:
         return 0
@@ -70,20 +70,20 @@ def _create_array(ctx, name: str, dims_json: str, attrs_json: str, if_not_exists
     return 0
 
 
-@mal_op("sql", "dropObject")
+@mal_op("sql", "dropObject", sig="str, bool -> scalar", effect="write")
 def _drop(ctx, name: str, if_exists):
     ctx.catalog.drop(name, bool(if_exists))
     return 0
 
 
-@mal_op("sql", "alterDimension")
+@mal_op("sql", "alterDimension", sig="str, str, scalar, scalar, scalar -> scalar", effect="write")
 def _alter_dimension(ctx, name: str, dimension: str, start, step, stop):
     array = ctx.catalog.get_array(name)
     array.alter_dimension(dimension, int(start), int(step), int(stop))
     return 0
 
 
-@mal_op("sql", "append")
+@mal_op("sql", "append", sig="str, json, bat* -> scalar", effect="write")
 def _append(ctx, name: str, columns_json: str, *bats: BAT):
     """Bulk-append aligned columns to a table."""
     table = ctx.catalog.get_table(name)
@@ -93,7 +93,7 @@ def _append(ctx, name: str, columns_json: str, *bats: BAT):
     return table.append_rows({n: b.tail for n, b in zip(names, bats)})
 
 
-@mal_op("sql", "update")
+@mal_op("sql", "update", sig="str, str, oids, bat -> scalar", effect="write")
 def _update(ctx, name: str, column: str, oids: BAT, values: BAT):
     """Point-update one column/attribute at the given oids."""
     obj = ctx.catalog.get(name)
@@ -105,7 +105,7 @@ def _update(ctx, name: str, column: str, oids: BAT, values: BAT):
     return int(keep.sum())
 
 
-@mal_op("sql", "delete")
+@mal_op("sql", "delete", sig="str, oids -> scalar", effect="write")
 def _delete(ctx, name: str, oids: BAT):
     """DELETE: physical removal for tables, hole-punching for arrays."""
     obj = ctx.catalog.get(name)
@@ -118,7 +118,7 @@ def _delete(ctx, name: str, oids: BAT):
     return len(positions)
 
 
-@mal_op("sql", "clear_table")
+@mal_op("sql", "clear_table", sig="str -> scalar", effect="write")
 def _clear(ctx, name: str):
     table = ctx.catalog.get_table(name)
     count = table.count
@@ -136,7 +136,7 @@ class InternalResult:
         self.meta = meta
 
 
-@mal_op("sql", "resultSet")
+@mal_op("sql", "resultSet", sig="str, json, json, bat* -> scalar", effect="result")
 def _result_set(ctx, kind: str, names_json: str, meta_json: str, *bats: BAT):
     names = list(cached_loads(names_json))
     if len(names) != len(bats):
@@ -148,13 +148,13 @@ def _result_set(ctx, kind: str, names_json: str, meta_json: str, *bats: BAT):
     return 0
 
 
-@mal_op("sql", "setVariable")
+@mal_op("sql", "setVariable", sig="str, any -> scalar", effect="result")
 def _set_variable(ctx, name: str, value):
     ctx.variables[name] = value
     return 0
 
 
-@mal_op("sql", "affected")
+@mal_op("sql", "affected", sig="scalar -> scalar", effect="result")
 def _affected(ctx, count):
     """Record the affected-row count of a DML statement."""
     ctx.affected = int(count) if count is not None else 0

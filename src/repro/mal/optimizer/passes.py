@@ -114,18 +114,16 @@ def common_terms(program: MALProgram) -> MALProgram:
 
 
 def dead_code(program: MALProgram) -> MALProgram:
-    """Remove side-effect-free instructions whose results are never used."""
-    live: set[str] = set(program.pinned)
-    live.update(var for _, var in program.result_columns)
-    keep: list[bool] = [False] * len(program.instructions)
-    for index in range(len(program.instructions) - 1, -1, -1):
-        instruction = program.instructions[index]
-        needed = instruction.has_side_effects or any(
-            result in live for result in instruction.results
-        )
-        if needed:
-            keep[index] = True
-            live.update(instruction.used_vars())
+    """Remove side-effect-free instructions whose results are never used.
+
+    Built on the same backward-liveness analysis the plan verifier uses
+    (:func:`repro.mal.analysis.defuse.live_instructions`), so the
+    eliminator and the checker can never disagree about what feeds a
+    side effect or a result column.
+    """
+    from repro.mal.analysis.defuse import live_instructions
+
+    keep = live_instructions(program)
     out = [ins for ins, k in zip(program.instructions, keep) if k]
     return _clone_program(program, out)
 

@@ -82,10 +82,41 @@ def build_pipeline(
     )
 
 
+def verification_enabled() -> bool:
+    """Whether ``REPRO_VERIFY_PLANS`` asks for per-pass plan checking.
+
+    Off by default in production (verification is compile-time only,
+    but still costs a pass over every fresh plan); the test suite and
+    CI turn it on so every plan the corpus produces is statically
+    checked after every pass.
+    """
+    from repro import knobs
+
+    return knobs.flag("REPRO_VERIFY_PLANS", False)
+
+
 def optimize(
-    program: MALProgram, pipeline: tuple[OptimizerPass, ...] = DEFAULT_PIPELINE
+    program: MALProgram,
+    pipeline: tuple[OptimizerPass, ...] = DEFAULT_PIPELINE,
+    verify: Optional[bool] = None,
 ) -> MALProgram:
-    """Run *program* through the pass pipeline and return the result."""
+    """Run *program* through the pass pipeline and return the result.
+
+    With ``verify`` true (or the ``REPRO_VERIFY_PLANS`` knob on), the
+    static analyzer re-checks the program as generated and after every
+    pass, raising :class:`~repro.errors.PlanVerificationError` naming
+    the pass that produced the first broken plan.
+    """
+    if verify is None:
+        verify = verification_enabled()
+    if verify:
+        from repro.mal.analysis import verify_program
+
+        verify_program(program, phase="malgen")
+        for optimizer_pass in pipeline:
+            program = optimizer_pass.apply(program)
+            verify_program(program, phase=optimizer_pass.name)
+        return program
     for optimizer_pass in pipeline:
         program = optimizer_pass.apply(program)
     return program

@@ -37,11 +37,11 @@ from __future__ import annotations
 
 import argparse
 import asyncio
-import os
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Optional
 
+from repro import knobs
 from repro.engine.database import Database
 from repro.engine.result import Result
 from repro.errors import (
@@ -68,7 +68,7 @@ DEFAULT_DRAIN_TIMEOUT = 300.0
 
 
 def _env_int(name: str, default: int) -> int:
-    value = os.environ.get(name)
+    value = knobs.raw(name)
     if not value:
         return default
     try:

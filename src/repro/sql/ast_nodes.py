@@ -367,9 +367,16 @@ class Delete:
 
 @dataclass(frozen=True)
 class Explain:
-    """``EXPLAIN <statement>`` — returns the optimized MAL program text."""
+    """``EXPLAIN [VERIFY] <statement>`` — the optimized MAL program text.
+
+    With ``verify`` the plan is additionally re-checked by the static
+    analyzer after every optimizer pass (regardless of the
+    ``REPRO_VERIFY_PLANS`` knob) and the listing gains a verification
+    summary line; a broken plan raises ``PlanVerificationError``.
+    """
 
     statement: "Statement"
+    verify: bool = False
 
 
 Statement = Union[

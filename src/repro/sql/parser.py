@@ -136,6 +136,12 @@ class Parser:
         token = self._peek()
         if token.is_keyword("EXPLAIN"):
             self._advance()
+            # VERIFY is deliberately not a reserved keyword (it stays
+            # usable as an identifier); EXPLAIN peeks for it by text.
+            peeked = self._peek()
+            if peeked.type is TokenType.IDENT and peeked.text == "verify":
+                self._advance()
+                return ast.Explain(self._statement(), verify=True)
             return ast.Explain(self._statement())
         if token.is_keyword("SELECT"):
             return self._query_expression()

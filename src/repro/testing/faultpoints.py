@@ -36,6 +36,8 @@ from collections import Counter
 from contextlib import contextmanager
 from typing import Callable, Iterator, Optional
 
+from repro import knobs
+
 #: exit status of a process killed by an environment-armed fault point.
 CRASH_EXIT_CODE = 42
 
@@ -102,7 +104,7 @@ def crash_point(name: str) -> None:
             del _armed[name]
             action(name)
         return
-    spec = os.environ.get(ENV_VAR)
+    spec = knobs.raw(ENV_VAR)
     if not spec:
         return
     target, _, count = spec.partition(":")

@@ -2,9 +2,17 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
-import repro
+# Default-on in the test suite (production default is off): every plan
+# the corpus compiles is statically verified after every optimizer
+# pass, so a pass emitting a malformed program fails loudly here even
+# when today's kernels would happen to execute it.
+os.environ.setdefault("REPRO_VERIFY_PLANS", "1")
+
+import repro  # noqa: E402
 
 
 @pytest.fixture

@@ -1,0 +1,59 @@
+"""The central ``REPRO_*`` knob registry."""
+
+from pathlib import Path
+
+import pytest
+
+from repro import knobs
+
+README = Path(__file__).resolve().parents[2] / "README.md"
+
+
+class TestRegistry:
+    def test_names_are_unique_and_namespaced(self):
+        names = [knob.name for knob in knobs.KNOBS]
+        assert len(names) == len(set(names))
+        assert all(name.startswith("REPRO_") for name in names)
+
+    def test_every_knob_is_documented(self):
+        for knob in knobs.KNOBS:
+            assert knob.description.strip()
+            assert knob.section in ("execution", "storage", "durability", "network")
+
+    def test_raw_rejects_unregistered_names(self):
+        with pytest.raises(KeyError, match="unregistered REPRO knob"):
+            knobs.raw("REPRO_NOT_A_KNOB")
+        assert not knobs.registered("REPRO_NOT_A_KNOB")
+
+    def test_raw_reads_the_environment(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ZONE_ROWS", raising=False)
+        assert knobs.raw("REPRO_ZONE_ROWS") is None
+        monkeypatch.setenv("REPRO_ZONE_ROWS", "128")
+        assert knobs.raw("REPRO_ZONE_ROWS") == "128"
+
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            ("1", True), ("true", True), ("ON", True), ("yes", True),
+            ("0", False), ("false", False), ("off", False), ("", None),
+        ],
+    )
+    def test_flag_parsing(self, monkeypatch, value, expected):
+        monkeypatch.setenv("REPRO_ZONEMAPS", value)
+        if expected is None:  # blank falls back to the default
+            assert knobs.flag("REPRO_ZONEMAPS", True) is True
+            assert knobs.flag("REPRO_ZONEMAPS", False) is False
+        else:
+            assert knobs.flag("REPRO_ZONEMAPS", not expected) is expected
+
+
+class TestReadmeTable:
+    def test_table_lists_every_knob(self):
+        table = knobs.markdown_table()
+        for knob in knobs.KNOBS:
+            assert f"`{knob.name}`" in table
+
+    def test_readme_is_in_sync(self):
+        assert knobs.sync_readme(str(README)), (
+            "README knob table is stale; run: python -m repro.knobs --write"
+        )

@@ -1,0 +1,118 @@
+"""The repo self-lint (``tools/lint_repro.py``).
+
+Each rule is exercised against synthetic violating files, and the real
+tree must come back clean — the same invocation CI's lint leg runs.
+"""
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[2]
+
+_spec = importlib.util.spec_from_file_location(
+    "lint_repro", REPO / "tools" / "lint_repro.py"
+)
+lint = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(lint)
+
+
+def rules_in(tmp_path, source, name="sample.py"):
+    path = tmp_path / name
+    path.write_text(source, encoding="utf-8")
+    return [finding.rule for finding in lint.lint_paths([path])]
+
+
+class TestRules:
+    def test_env_knob_reads_are_flagged(self, tmp_path):
+        rules = rules_in(
+            tmp_path,
+            "import os\n"
+            "a = os.environ.get('REPRO_NR_THREADS')\n"
+            "b = os.getenv('REPRO_ZONE_ROWS', '1')\n"
+            "c = os.environ['REPRO_DICT']\n"
+            "ok = os.environ.get('HOME')\n",
+        )
+        assert rules == ["env-knob"] * 3
+
+    def test_unregistered_crash_point(self, tmp_path):
+        rules = rules_in(
+            tmp_path,
+            "from repro.testing.faultpoints import crash_point\n"
+            "crash_point('definitely-not-registered')\n",
+        )
+        assert rules == ["crash-point"]
+
+    def test_registered_crash_point_is_clean(self, tmp_path):
+        from repro.testing.faultpoints import REGISTERED_POINTS
+
+        point = sorted(REGISTERED_POINTS)[0]
+        rules = rules_in(
+            tmp_path,
+            "from repro.testing.faultpoints import crash_point\n"
+            f"crash_point({point!r})\n",
+        )
+        assert rules == []
+
+    def test_non_literal_crash_point(self, tmp_path):
+        rules = rules_in(tmp_path, "crash_point(name)\n")
+        assert rules == ["crash-point"]
+
+    def test_pickle_import(self, tmp_path):
+        assert rules_in(tmp_path, "import pickle\n") == ["no-pickle"]
+        assert rules_in(tmp_path, "from pickle import loads\n") == ["no-pickle"]
+
+    def test_bare_except(self, tmp_path):
+        rules = rules_in(
+            tmp_path,
+            "try:\n    pass\nexcept:\n    pass\n",
+        )
+        assert rules == ["bare-except"]
+        assert rules_in(
+            tmp_path, "try:\n    pass\nexcept ValueError:\n    pass\n"
+        ) == []
+
+    def test_fsync_rename_discipline(self, tmp_path, monkeypatch):
+        path = tmp_path / "persist.py"
+        monkeypatch.setattr(lint, "FSYNC_FILES", {path})
+        bad = (
+            "import os\n"
+            "def publish(a, b):\n"
+            "    os.replace(a, b)\n"
+        )
+        path.write_text(bad, encoding="utf-8")
+        assert [f.rule for f in lint.lint_paths([path])] == ["fsync-rename"]
+
+        good = (
+            "import os\n"
+            "def publish(fd, a, b):\n"
+            "    os.fsync(fd)\n"
+            "    os.replace(a, b)\n"
+        )
+        path.write_text(good, encoding="utf-8")
+        assert lint.lint_paths([path]) == []
+
+        waived = (
+            "import os\n"
+            "def quarantine(a, b):\n"
+            "    os.replace(a, b)  # lint: allow-rename\n"
+        )
+        path.write_text(waived, encoding="utf-8")
+        assert lint.lint_paths([path]) == []
+
+    def test_syntax_errors_are_reported_not_raised(self, tmp_path):
+        assert rules_in(tmp_path, "def broken(:\n") == ["syntax"]
+
+
+class TestRealTree:
+    def test_repo_is_lint_clean(self):
+        roots = [REPO / "src" / "repro", REPO / "tools"]
+        paths = sorted(p for root in roots for p in root.rglob("*.py"))
+        findings = lint.lint_paths(paths)
+        assert findings == [], "\n".join(str(f) for f in findings)
+
+    def test_signature_registry_is_complete(self):
+        findings = []
+        lint._check_signatures(findings)
+        assert findings == []

@@ -1,0 +1,266 @@
+#!/usr/bin/env python3
+"""Repo self-lint: engine conventions the type system can't enforce.
+
+AST-based checks over ``src/repro`` (and this ``tools`` directory):
+
+* ``crash-point``   — every ``crash_point("name")`` site names a point
+  registered in ``repro.testing.faultpoints.REGISTERED_POINTS`` (a
+  typo'd name would make the crash matrix silently skip the site);
+* ``env-knob``      — ``os.environ``/``os.getenv`` reads of ``REPRO_*``
+  names appear only in ``repro/knobs.py``, the central knob registry;
+* ``no-pickle``     — ``pickle`` is never imported (the WAL and wire
+  protocol serialize explicitly; pickle would smuggle in arbitrary
+  code execution on load);
+* ``bare-except``   — no ``except:`` without an exception class;
+* ``fsync-rename``  — in ``gdk/persist.py``/``engine/wal.py`` every
+  function that renames a file into place also fsyncs (atomic-write
+  discipline), unless the rename line carries ``# lint: allow-rename``;
+* ``signatures``    — every op in the MAL interpreter registry has a
+  declared static signature (the plan verifier's completeness
+  guarantee).
+
+Exit status 0 when clean; 1 with ``file:line: [rule] message`` findings.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+KNOB_MODULE = SRC / "repro" / "knobs.py"
+FSYNC_FILES = {
+    SRC / "repro" / "gdk" / "persist.py",
+    SRC / "repro" / "engine" / "wal.py",
+}
+ALLOW_RENAME = "# lint: allow-rename"
+
+
+class Finding:
+    def __init__(self, path: Path, line: int, rule: str, message: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self) -> str:
+        rel = self.path.relative_to(REPO)
+        return f"{rel}:{self.line}: [{self.rule}] {self.message}"
+
+
+def _call_name(node: ast.Call) -> str:
+    """Dotted name of a call target (best effort): ``os.environ.get``."""
+    parts: list[str] = []
+    target = node.func
+    while isinstance(target, ast.Attribute):
+        parts.append(target.attr)
+        target = target.value
+    if isinstance(target, ast.Name):
+        parts.append(target.id)
+    return ".".join(reversed(parts))
+
+
+def _repro_env_name(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        if node.value.startswith("REPRO_"):
+            return node.value
+    return None
+
+
+def _check_env(tree: ast.AST, path: Path, findings: list[Finding]) -> None:
+    if path == KNOB_MODULE:
+        return
+    for node in ast.walk(tree):
+        name = None
+        if isinstance(node, ast.Call):
+            called = _call_name(node)
+            if called in ("os.environ.get", "os.getenv", "os.environ.setdefault"):
+                if node.args:
+                    name = _repro_env_name(node.args[0])
+        elif isinstance(node, ast.Subscript):
+            target = node.value
+            if (
+                isinstance(target, ast.Attribute)
+                and target.attr == "environ"
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "os"
+                and isinstance(node.ctx, ast.Load)
+            ):
+                name = _repro_env_name(node.slice)
+        if name is not None:
+            findings.append(
+                Finding(
+                    path,
+                    node.lineno,
+                    "env-knob",
+                    f"read of {name} bypasses the knob registry — use "
+                    "repro.knobs.raw()",
+                )
+            )
+
+
+def _check_crash_points(
+    tree: ast.AST, path: Path, registered: frozenset, findings: list[Finding]
+) -> None:
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call) or _call_name(node) not in (
+            "crash_point",
+            "faultpoints.crash_point",
+        ):
+            continue
+        if not node.args or not isinstance(node.args[0], ast.Constant):
+            findings.append(
+                Finding(
+                    path, node.lineno, "crash-point",
+                    "crash_point requires a literal point name",
+                )
+            )
+            continue
+        name = node.args[0].value
+        if name not in registered:
+            findings.append(
+                Finding(
+                    path, node.lineno, "crash-point",
+                    f"crash_point({name!r}) is not in REGISTERED_POINTS — "
+                    "the crash matrix would never exercise this site",
+                )
+            )
+
+
+def _check_imports(tree: ast.AST, path: Path, findings: list[Finding]) -> None:
+    for node in ast.walk(tree):
+        names = []
+        if isinstance(node, ast.Import):
+            names = [alias.name for alias in node.names]
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            names = [node.module]
+        for name in names:
+            root = name.split(".")[0]
+            if root in ("pickle", "cPickle", "_pickle"):
+                findings.append(
+                    Finding(
+                        path, node.lineno, "no-pickle",
+                        f"import of {root} — serialize explicitly instead",
+                    )
+                )
+
+
+def _check_bare_except(tree: ast.AST, path: Path, findings: list[Finding]) -> None:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ExceptHandler) and node.type is None:
+            findings.append(
+                Finding(
+                    path, node.lineno, "bare-except",
+                    "bare 'except:' swallows KeyboardInterrupt/SystemExit — "
+                    "name the exception class",
+                )
+            )
+
+
+def _is_rename_call(node: ast.Call) -> bool:
+    called = _call_name(node)
+    if called in ("os.replace", "os.rename", "shutil.move"):
+        return True
+    # Path.rename(...) — the attribute name alone identifies it; plain
+    # str.replace is a different attribute and never matches.
+    return isinstance(node.func, ast.Attribute) and node.func.attr == "rename"
+
+
+def _check_fsync_rename(
+    tree: ast.AST, path: Path, lines: list[str], findings: list[Finding]
+) -> None:
+    if path not in FSYNC_FILES:
+        return
+    for func in ast.walk(tree):
+        if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        renames = []
+        has_fsync = False
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Call):
+                continue
+            called = _call_name(node)
+            if called in ("os.fsync", "fsync_directory", "persist.fsync_directory"):
+                has_fsync = True
+            elif _is_rename_call(node):
+                renames.append(node)
+        if has_fsync:
+            continue
+        for node in renames:
+            line_text = lines[node.lineno - 1] if node.lineno <= len(lines) else ""
+            if ALLOW_RENAME in line_text:
+                continue
+            findings.append(
+                Finding(
+                    path, node.lineno, "fsync-rename",
+                    f"{func.name} renames into place without an fsync — "
+                    "stage + fsync + rename, or mark the line "
+                    f"'{ALLOW_RENAME}'",
+                )
+            )
+
+
+def _check_signatures(findings: list[Finding]) -> None:
+    sys.path.insert(0, str(SRC))
+    try:
+        from repro.mal.analysis.signatures import check_completeness
+
+        missing = check_completeness()
+    except Exception as exc:  # signature decl parse errors land here
+        findings.append(
+            Finding(SRC / "repro", 0, "signatures", f"registry check failed: {exc}")
+        )
+        return
+    for op in missing:
+        findings.append(
+            Finding(
+                SRC / "repro" / "mal" / "modules" / "__init__.py", 0,
+                "signatures",
+                f"interpreted op {op} has no declared signature",
+            )
+        )
+
+
+def lint_paths(paths: list[Path]) -> list[Finding]:
+    from repro.testing.faultpoints import REGISTERED_POINTS
+
+    registered = frozenset(REGISTERED_POINTS)
+    findings: list[Finding] = []
+    for path in paths:
+        source = path.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            findings.append(
+                Finding(path, exc.lineno or 0, "syntax", str(exc.msg))
+            )
+            continue
+        lines = source.splitlines()
+        _check_env(tree, path, findings)
+        _check_crash_points(tree, path, registered, findings)
+        _check_imports(tree, path, findings)
+        _check_bare_except(tree, path, findings)
+        _check_fsync_rename(tree, path, lines, findings)
+    return findings
+
+
+def main(argv: list[str]) -> int:
+    sys.path.insert(0, str(SRC))
+    roots = [SRC / "repro", REPO / "tools"]
+    paths = sorted(p for root in roots for p in root.rglob("*.py"))
+    findings = lint_paths(paths)
+    if "--no-signatures" not in argv:
+        _check_signatures(findings)
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"{len(findings)} finding(s)")
+        return 1
+    print(f"lint clean: {len(paths)} files, signature registry complete")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
