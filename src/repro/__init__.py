@@ -63,6 +63,10 @@ from repro.errors import (
     PlanVerificationError,
     ProgrammingError,
     ProtocolError,
+    QueryCancelledError,
+    QueryGovernanceError,
+    QueryTimeoutError,
+    ResourceError,
     SciQLError,
     Warning,
 )
@@ -94,6 +98,10 @@ __all__ = [
     "NetworkError",
     "ProtocolError",
     "PlanVerificationError",
+    "QueryGovernanceError",
+    "QueryCancelledError",
+    "QueryTimeoutError",
+    "ResourceError",
     "DurabilityWarning",
     "apilevel",
     "threadsafety",

@@ -50,7 +50,8 @@ from typing import Any, Iterable, Mapping, Optional, Sequence, Union
 import numpy as np
 
 from repro import errors
-from repro.errors import InterfaceError, ProgrammingError
+from repro.errors import InterfaceError, ProgrammingError, QueryGovernanceError
+from repro.lifecycle import QueryContext
 from repro.catalog import Catalog
 from repro.catalog.objects import Array, ColumnDef, DimensionDef
 from repro.gdk import storage as gdk_storage
@@ -72,11 +73,14 @@ from repro.engine.database import (
     DEFAULT_STATEMENT_CACHE_SIZE,
     Database,
     Transaction,
+    default_mem_budget,
+    default_statement_timeout,
     resolve_durable_mode,
     resolve_fragment_rows,
     resolve_nr_threads,
 )
 from repro.engine.result import Result
+from repro.testing.faultpoints import crash_point
 
 #: statements whose execution changes the schema (bumps the version).
 _DDL_NODES = (
@@ -116,6 +120,9 @@ class CompiledStatement:
     statement: Any = None
     #: VerificationReport when compiled via EXPLAIN VERIFY, else None.
     verify_report: Any = None
+    #: administrative AST node (SHOW QUERIES / KILL) — executed against
+    #: the query registry instead of the MAL interpreter.
+    admin: Any = None
 
     @property
     def is_write(self) -> bool:
@@ -273,6 +280,18 @@ class Connection:
         self._txn: Optional[Transaction] = None
         self._lock = threading.RLock()
         self._closed = False
+        #: query governance: deadline (seconds; None = unbounded) and
+        #: per-query memory budget (bytes; None = unbounded), seeded
+        #: from REPRO_STATEMENT_TIMEOUT_MS / REPRO_MEM_BUDGET_BYTES.
+        self.statement_timeout: Optional[float] = default_statement_timeout()
+        self.mem_budget_bytes: Optional[int] = default_mem_budget()
+        #: the statement currently executing on this session.  Guarded
+        #: by ``_query_lock`` (NOT the session lock) so other threads —
+        #: kill_query, the server's CANCEL path — can cancel while the
+        #: executing thread holds ``_lock``.
+        self._query_lock = threading.Lock()
+        self._active_query: Optional[QueryContext] = None
+        self._session_id = 0  # assigned by _register_session
         database._register_session(self)
 
     # ------------------------------------------------------------------
@@ -579,6 +598,23 @@ class Connection:
         is_explain = isinstance(statement, ast.Explain)
         wants_verify = is_explain and statement.verify
         inner = statement.statement if is_explain else statement
+        if isinstance(inner, (ast.ShowQueries, ast.KillQuery)):
+            if is_explain:
+                raise ProgrammingError(
+                    "cannot EXPLAIN an administrative statement"
+                )
+            # Administrative statements never reach the planner: they
+            # execute against the query registry at run time.
+            return CompiledStatement(
+                sql,
+                MALProgram(),
+                param_keys,
+                False,
+                False,
+                token,
+                statement=None if sql else statement,
+                admin=inner,
+            )
         plan = plan_statement(inner, catalog)
         program = self._compile_plan(
             plan, catalog, verify=True if wants_verify else None
@@ -654,6 +690,100 @@ class Connection:
         return PreparedStatement(self, self._compiled(sql))
 
     # ------------------------------------------------------------------
+    # query lifecycle governance
+    # ------------------------------------------------------------------
+    @property
+    def session_id(self) -> int:
+        """Engine-assigned session serial (shown by ``SHOW QUERIES``)."""
+        return self._session_id
+
+    def cancel_running(self, reason: str = "") -> bool:
+        """Cancel whatever statement this session is executing right now.
+
+        Safe to call from any thread (the network server's CANCEL path
+        and disconnect reclaim use it); returns False when the session
+        is idle.  The executing thread aborts at its next instruction
+        boundary with :class:`~repro.errors.QueryCancelledError`.
+        """
+        with self._query_lock:
+            query = self._active_query
+        if query is None:
+            return False
+        query.cancel(reason or "cancelled by request")
+        return True
+
+    @contextmanager
+    def _governed(self, sql: str):
+        """Register one top-level statement with the query registry.
+
+        Reentrant: nested execution (``executemany`` driving
+        ``_run_compiled`` per row, the bulk-insert path) rides on the
+        already-active context so the whole batch is one qid, one
+        deadline and one budget.  Callers hold the session lock, so the
+        reuse check cannot race another statement of this session.
+
+        A governance abort (cancel / deadline / budget) rolls any open
+        transaction back before the error surfaces: the statement may
+        have died mid-write inside the transaction fork, and a torn
+        fork must never survive into the next statement.
+        """
+        with self._query_lock:
+            active = self._active_query
+        if active is not None:
+            yield active
+            return
+        database = self._database
+        query = database.register_query(
+            sql,
+            self._session_id,
+            self.statement_timeout,
+            self.mem_budget_bytes,
+        )
+        with self._query_lock:
+            self._active_query = query
+        try:
+            # One upfront poll so an already-expired deadline (or a
+            # pre-armed cancel) aborts even statements that never enter
+            # the interpreter (bulk ingestion, empty programs).
+            query.check()
+            yield query
+        except QueryGovernanceError:
+            self._txn = None
+            # Kill-during-rollback must recover byte-identically: the
+            # crash matrix dies here and asserts the farm digest.
+            crash_point("govern.cancel_rollback")
+            raise
+        finally:
+            with self._query_lock:
+                if self._active_query is query:
+                    self._active_query = None
+            database.finish_query(query)
+
+    def _admin_result(self, admin) -> Result:
+        """Execute SHOW QUERIES / KILL against the query registry."""
+        if isinstance(admin, ast.ShowQueries):
+            rows = self._database.list_queries()
+            atoms = [
+                Atom.LNG, Atom.LNG, Atom.STR, Atom.DBL,
+                Atom.LNG, Atom.LNG, Atom.STR,
+            ]
+            names = [
+                "qid", "session", "status", "elapsed_ms",
+                "rows", "bytes", "sql",
+            ]
+            return Result(
+                "table",
+                names,
+                [
+                    Column.from_pylist(atom, [row[name] for row in rows])
+                    for name, atom in zip(names, atoms)
+                ],
+                {"dims": [], "atoms": [atom.value for atom in atoms]},
+            )
+        self._database.kill_query(admin.qid, f"killed by KILL {admin.qid}")
+        return Result(affected=1)
+
+    # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
     def execute(
@@ -704,12 +834,15 @@ class Connection:
         bindings: dict,
         collect_stats: bool,
     ) -> Result:
+        with self._query_lock:
+            query = self._active_query
         context, stats = self._database.interpreter.run(
             entry.program,
             collect_stats,
             bindings,
             catalog=catalog,
             nr_threads=self._nr_threads,
+            query=query,
         )
         self.last_stats = stats if collect_stats else None
         if context.result is not None:
@@ -739,27 +872,38 @@ class Connection:
         self._check_open()
         if entry.is_explain:
             return self._explain_result(entry.program, entry.verify_report)
+        if entry.admin is not None:
+            if params:
+                raise ProgrammingError(
+                    "administrative statements take no parameters"
+                )
+            return self._admin_result(entry.admin)
         bindings = bind_parameters(entry.param_keys, params)
         with self._lock:
-            txn = self._txn
-            if txn is not None:
-                return self._apply_entry(txn, entry, bindings, collect_stats)
-            if not entry.is_write:
-                # Read-only autocommit: bind against the committed head
-                # snapshot — never blocks on, nor observes, writers.
-                return self._execute_on(
-                    self._database.head().catalog, entry, bindings, collect_stats
-                )
-            # Autocommit write: fork, execute, publish — all under the
-            # writer lock, so concurrent autocommit writers serialise
-            # instead of conflicting.
-            database = self._database
-            with database._writer_lock:
-                entry = self._refresh(entry)
-                txn = database.begin_transaction()
-                result = self._apply_entry(txn, entry, bindings, collect_stats)
-                database.commit_transaction(txn)
-                return result
+            with self._governed(entry.sql or "<script statement>"):
+                txn = self._txn
+                if txn is not None:
+                    return self._apply_entry(txn, entry, bindings, collect_stats)
+                if not entry.is_write:
+                    # Read-only autocommit: bind against the committed
+                    # head snapshot — never blocks on, nor observes,
+                    # writers.
+                    return self._execute_on(
+                        self._database.head().catalog,
+                        entry,
+                        bindings,
+                        collect_stats,
+                    )
+                # Autocommit write: fork, execute, publish — all under
+                # the writer lock, so concurrent autocommit writers
+                # serialise instead of conflicting.
+                database = self._database
+                with database._writer_lock:
+                    entry = self._refresh(entry)
+                    txn = database.begin_transaction()
+                    result = self._apply_entry(txn, entry, bindings, collect_stats)
+                    database.commit_transaction(txn)
+                    return result
 
     def executemany(
         self, sql: str, seq_of_params: Iterable[Params]
@@ -779,9 +923,15 @@ class Connection:
         self._check_open()
         if entry.is_explain:
             raise ProgrammingError("cannot executemany an EXPLAIN statement")
+        if entry.admin is not None:
+            raise ProgrammingError(
+                "cannot executemany an administrative statement"
+            )
         seq = list(seq_of_params)
-        if entry.bulk_insert is not None and entry.param_keys and seq:
-            with self._lock:
+        # The whole batch is one governed statement: one qid, one
+        # deadline, one budget — KILL aborts every remaining row.
+        with self._lock, self._governed(entry.sql or "<script statement>"):
+            if entry.bulk_insert is not None and entry.param_keys and seq:
                 txn = self._txn
                 if txn is not None:
                     txn.writes.update(entry.write_targets)
@@ -798,11 +948,10 @@ class Connection:
                     )
                     database.commit_transaction(txn)
                     return result
-        if entry.is_write:
-            # One implicit transaction for the whole batch: a single
-            # fork + publish instead of one per parameter row, and the
-            # batch becomes atomic (all rows or none).
-            with self._lock:
+            if entry.is_write:
+                # One implicit transaction for the whole batch: a single
+                # fork + publish instead of one per parameter row, and
+                # the batch becomes atomic (all rows or none).
                 if self._txn is not None:
                     total = 0
                     for params in seq:
@@ -820,10 +969,10 @@ class Connection:
                         ).affected
                     database.commit_transaction(txn)
                     return Result(affected=total)
-        total = 0
-        for params in seq:
-            total += self._run_compiled(entry, params).affected
-        return Result(affected=total)
+            total = 0
+            for params in seq:
+                total += self._run_compiled(entry, params).affected
+            return Result(affected=total)
 
     def _bulk_insert(
         self, catalog: Catalog, entry: CompiledStatement, seq: list
@@ -1105,6 +1254,7 @@ def connect(
     nr_threads: Optional[int] = None,
     fragment_rows: Optional[float] = None,
     durable: bool | str = False,
+    **client_options,
 ) -> Connection:
     """Create a session: in-memory by default, or load a saved farm.
 
@@ -1131,6 +1281,9 @@ def connect(
     returns a :class:`~repro.net.client.RemoteConnection` with the
     same DB-API surface (the remaining keyword arguments are
     server-side concerns and are ignored for remote sessions).
+    Extra keyword arguments — ``user``, ``password``, ``batch_rows``,
+    ``timeout``, ``statement_timeout_ms`` — are client options
+    forwarded to the remote connection and are an error otherwise.
 
     ``durable`` without a *path* cannot be honoured — there is no farm
     to log against — so it emits a :class:`DurabilityWarning` and
@@ -1139,7 +1292,12 @@ def connect(
     if isinstance(path, str) and path.startswith("repro://"):
         from repro.net.client import connect_url
 
-        return connect_url(path)
+        return connect_url(path, **client_options)
+    if client_options:
+        raise ProgrammingError(
+            f"option(s) {sorted(client_options)} only apply to "
+            "repro:// URLs"
+        )
     if path is None:
         resolve_durable_mode(durable, None)
         return Connection(

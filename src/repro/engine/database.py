@@ -57,6 +57,7 @@ from repro.errors import (
 from repro.catalog import Catalog
 from repro.catalog.catalog import farm_versions
 from repro.engine import wal as wal_mod
+from repro.lifecycle import QueryContext, QueryRegistry
 from repro.gdk.persist import recover_farm
 from repro.mal.interpreter import Interpreter
 from repro.mal.optimizer import DEFAULT_PIPELINE, build_pipeline
@@ -168,6 +169,41 @@ def resolve_fragment_rows(value) -> Optional[float]:
     if math.isinf(value) or value <= 0:
         return math.inf
     return int(value)
+
+
+def default_statement_timeout() -> Optional[float]:
+    """Session default deadline in *seconds* from ``REPRO_STATEMENT_TIMEOUT_MS``.
+
+    ``None`` (no deadline) when unset, empty or non-positive.
+    """
+    env = knobs.raw("REPRO_STATEMENT_TIMEOUT_MS")
+    if not env:
+        return None
+    try:
+        millis = float(env)
+    except ValueError:
+        raise ProgrammingError(
+            f"invalid REPRO_STATEMENT_TIMEOUT_MS value {env!r}: "
+            "expected milliseconds"
+        ) from None
+    return millis / 1000.0 if millis > 0 else None
+
+
+def default_mem_budget() -> Optional[int]:
+    """Session default per-query byte budget from ``REPRO_MEM_BUDGET_BYTES``.
+
+    ``None`` (no budget) when unset, empty or non-positive.
+    """
+    env = knobs.raw("REPRO_MEM_BUDGET_BYTES")
+    if not env:
+        return None
+    try:
+        budget = int(env)
+    except ValueError:
+        raise ProgrammingError(
+            f"invalid REPRO_MEM_BUDGET_BYTES value {env!r}: expected bytes"
+        ) from None
+    return budget if budget > 0 else None
 
 
 class CatalogVersion:
@@ -293,6 +329,9 @@ class Database:
         self.interpreter = Interpreter(self._catalog_now, self._nr_threads)
         self._sessions: weakref.WeakSet = weakref.WeakSet()
         self._txn_serial = 0
+        self._session_serial = 0
+        #: registry of running statements (SHOW QUERIES / KILL <qid>).
+        self._queries = QueryRegistry()
         self._closed = False
         #: commit-time durability.  ``durable_mode`` is ``"wal"`` (append
         #: fsync'd logical deltas to ``<farm>.wal``, checkpoint on
@@ -371,12 +410,49 @@ class Database:
         )
 
     def _register_session(self, session) -> None:
+        with self._cache_lock:
+            self._session_serial += 1
+            session._session_id = self._session_serial
         self._sessions.add(session)
 
     @property
     def session_count(self) -> int:
         """Number of live (not-yet-closed) sessions on this engine."""
         return sum(1 for session in self._sessions if not session._closed)
+
+    # ------------------------------------------------------------------
+    # query lifecycle governance
+    # ------------------------------------------------------------------
+    def register_query(
+        self,
+        sql: str,
+        session_id: int = 0,
+        timeout: Optional[float] = None,
+        mem_budget_bytes: Optional[int] = None,
+    ) -> QueryContext:
+        """Enter one top-level statement into the running-query registry."""
+        return self._queries.register(sql, session_id, timeout, mem_budget_bytes)
+
+    def finish_query(self, query: QueryContext) -> None:
+        """Remove a statement from the registry (always runs, even on abort)."""
+        self._queries.finish(query)
+
+    def list_queries(self) -> list[dict]:
+        """One dict per running statement: qid, session, sql, status,
+        elapsed_ms, rows, bytes (the SQL surface is ``SHOW QUERIES``)."""
+        return self._queries.list()
+
+    def kill_query(self, qid: int, reason: str = "") -> None:
+        """Cancel the running statement *qid* cooperatively.
+
+        The executing thread observes the token at its next instruction
+        boundary and aborts with
+        :class:`~repro.errors.QueryCancelledError`; its session rolls
+        back any open transaction and stays usable.  Raises
+        :class:`ProgrammingError` when *qid* is not running.
+        """
+        crash_point("govern.kill_requested")
+        self._queries.kill(qid, reason)
 
     def stats(self) -> dict:
         """Engine-level observability as one JSON-able snapshot.
@@ -391,6 +467,7 @@ class Database:
         with self._cache_lock:
             return {
                 "sessions": self.session_count,
+                "queries_running": len(self._queries.list()),
                 "version": head.version,
                 "schema_version": head.schema_version,
                 "objects": len(head.catalog.names()),

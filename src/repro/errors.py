@@ -161,6 +161,35 @@ class ProtocolError(InterfaceError):
     """
 
 
+class QueryGovernanceError(OperationalError):
+    """Base class for query-lifecycle aborts (cancel/deadline/budget).
+
+    Raised cooperatively at an instruction boundary by the MAL
+    interpreter when the statement's
+    :class:`~repro.lifecycle.QueryContext` trips.  The session survives
+    the abort: any open transaction is rolled back and the committed
+    snapshot is untouched, so the next statement runs normally.
+    """
+
+
+class QueryCancelledError(QueryGovernanceError):
+    """The statement was cancelled (``KILL <qid>``, ``kill_query`` or a
+    remote CANCEL frame) before it completed."""
+
+
+class QueryTimeoutError(QueryGovernanceError):
+    """The statement exceeded its deadline (``statement_timeout`` /
+    ``REPRO_STATEMENT_TIMEOUT_MS``)."""
+
+
+class ResourceError(QueryGovernanceError):
+    """The statement exceeded a resource budget.
+
+    Today: the per-query memory budget (``REPRO_MEM_BUDGET_BYTES``),
+    accounted from the bytes of every BAT an instruction materialises.
+    """
+
+
 class PersistenceError(OperationalError):
     """Raised when loading or saving a database farm directory fails."""
 

@@ -112,6 +112,21 @@ KNOBS: tuple[Knob, ...] = (
         "durability",
     ),
     Knob(
+        "REPRO_STATEMENT_TIMEOUT_MS",
+        "unset (no deadline)",
+        "Default per-statement deadline in milliseconds; expiry aborts "
+        "the statement with `QueryTimeoutError` at the next instruction "
+        "boundary.",
+        "governance",
+    ),
+    Knob(
+        "REPRO_MEM_BUDGET_BYTES",
+        "unset (no budget)",
+        "Default per-query memory budget; BAT materialisations beyond "
+        "it abort the statement with `ResourceError`.",
+        "governance",
+    ),
+    Knob(
         "REPRO_NET_MAX_SESSIONS",
         "64",
         "Server admission cap; connects beyond it are refused with an "
@@ -129,6 +144,20 @@ KNOBS: tuple[Knob, ...] = (
         "8",
         "Per-connection pipeline queue bound; over-pipelining blocks "
         "on TCP instead of server memory.",
+        "network",
+    ),
+    Knob(
+        "REPRO_NET_RETRIES",
+        "2",
+        "Reconnect attempts for idempotent client operations (connect, "
+        "ping, stats) before `NetworkError` surfaces.",
+        "network",
+    ),
+    Knob(
+        "REPRO_NET_RETRY_BACKOFF_MS",
+        "100",
+        "Base delay of the client's exponential reconnect backoff "
+        "(doubles per attempt, capped at 2s).",
         "network",
     ),
 )

@@ -34,6 +34,7 @@ from repro.errors import MALError
 from repro.catalog import Catalog
 from repro.gdk import storage as gdk_storage
 from repro.gdk.bat import BAT
+from repro.lifecycle import QueryContext
 from repro.mal.modules import REGISTRY, load_all
 from repro.mal.program import Constant, Instruction, MALProgram, Param, Var
 
@@ -46,6 +47,30 @@ PARALLEL_MIN_ROWS = 4096
 INLINE_OPS = {("mat", "partition"), ("bat", "getcount"), ("bat", "mirror")}
 
 
+def _bat_bytes(bat: BAT) -> int:
+    """Approximate heap bytes of one BAT tail (values + null mask)."""
+    tail = bat.tail
+    nbytes = tail.values.nbytes
+    if tail.mask is not None:
+        nbytes += tail.mask.nbytes
+    return nbytes
+
+
+def _output_cost(output: Any) -> tuple[int, int]:
+    """(bytes, rows) one instruction materialised, for budget accounting."""
+    if isinstance(output, BAT):
+        return _bat_bytes(output), len(output)
+    if isinstance(output, tuple):
+        nbytes = 0
+        rows = 0
+        for item in output:
+            if isinstance(item, BAT):
+                nbytes += _bat_bytes(item)
+                rows += len(item)
+        return nbytes, rows
+    return 0, 0
+
+
 @dataclass
 class ExecutionContext:
     """Mutable state shared by every instruction of one execution."""
@@ -56,6 +81,9 @@ class ExecutionContext:
     variables: dict[str, Any] = field(default_factory=dict)
     #: bind-parameter values for this execution (key -> Python scalar).
     params: dict[Any, Any] = field(default_factory=dict)
+    #: governance state (cancellation token, deadline, memory budget)
+    #: polled at every instruction dispatch; None = ungoverned run.
+    query: Optional[QueryContext] = None
 
 
 @dataclass
@@ -176,6 +204,7 @@ class Interpreter:
         *,
         catalog: Optional[Catalog] = None,
         nr_threads: Optional[int] = None,
+        query: Optional[QueryContext] = None,
     ) -> tuple[ExecutionContext, ExecutionStats]:
         """Execute *program*; returns the final context and statistics.
 
@@ -184,12 +213,15 @@ class Interpreter:
         (prepared-statement re-execution).  ``catalog`` is the snapshot
         this execution binds against (default: the interpreter's own);
         ``nr_threads`` lets a session request sequential execution (1)
-        or dataflow scheduling on the shared pool.
+        or dataflow scheduling on the shared pool.  ``query`` is the
+        statement's governance context: its cancellation token,
+        deadline and memory budget are enforced at every instruction
+        boundary (see :class:`~repro.lifecycle.QueryContext`).
         """
         if catalog is None:
             catalog = self._default_catalog()
         threads = self.nr_threads if nr_threads is None else max(1, int(nr_threads))
-        context = ExecutionContext(catalog, params=params or {})
+        context = ExecutionContext(catalog, params=params or {}, query=query)
         stats = ExecutionStats()
         pruned_before, faulted_before = gdk_storage.counters()
         if threads > 1 and self._wants_dataflow(program):
@@ -287,7 +319,17 @@ class Interpreter:
                 if not pending:
                     ready.append(dependent)
 
+        query = context.query
         while (ready or in_flight) and failure is None:
+            if query is not None:
+                # Scheduler-side poll: a cancelled/expired query stops
+                # dispatching new waves even while workers are busy;
+                # the failure path below cancels the pending futures.
+                try:
+                    query.check()
+                except Exception as exc:
+                    failure = exc
+                    break
             submitted = 0
             while ready:
                 index = ready.popleft()
@@ -425,14 +467,29 @@ class Interpreter:
             raise MALError(
                 f"undefined MAL operation {instruction.module}.{instruction.function}"
             )
+        # Governance boundary: the cancellation token / deadline is
+        # polled before every instruction (sequential loop, inlined
+        # dataflow instructions and pool workers all funnel through
+        # here), and the instruction's output bytes are charged against
+        # the memory budget afterwards.  Both raise outside the kernel
+        # try-block so governance errors keep their PEP 249 type
+        # instead of being wrapped as MALError.
+        query = context.query
+        if query is not None:
+            query.check()
         try:
-            return implementation(context, *args)
+            output = implementation(context, *args)
         except MALError:
             raise
         except Exception as exc:  # surface kernel errors with MAL context
             raise MALError(
                 f"{instruction.module}.{instruction.function} failed: {exc}"
             ) from exc
+        if query is not None:
+            nbytes, rows = _output_cost(output)
+            if nbytes or rows:
+                query.note_materialised(nbytes, rows)
+        return output
 
     @staticmethod
     def _store(instruction: Instruction, output: Any, env: dict[str, Any]) -> None:

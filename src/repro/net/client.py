@@ -31,12 +31,13 @@ from __future__ import annotations
 import queue as queue_mod
 import socket
 import threading
+import time
 from typing import Any, Iterable, Iterator, Optional
 from urllib.parse import parse_qsl, urlsplit
 
 import numpy as np
 
-from repro import errors
+from repro import errors, knobs
 from repro.engine.result import Result
 from repro.errors import (
     InterfaceError,
@@ -50,7 +51,37 @@ from repro.net import protocol
 from repro.net.protocol import Msg
 
 #: options a repro:// URL may carry in its query string.
-_URL_INT_OPTIONS = ("batch_rows", "pool_size")
+_URL_INT_OPTIONS = ("batch_rows", "pool_size", "statement_timeout_ms")
+
+#: the exponential reconnect backoff never sleeps longer than this.
+_BACKOFF_CAP_S = 2.0
+
+
+def _net_retries() -> int:
+    """Reconnect attempts for idempotent operations (``REPRO_NET_RETRIES``)."""
+    value = knobs.raw("REPRO_NET_RETRIES")
+    if value is None or not value.strip():
+        return 2
+    try:
+        return max(0, int(value))
+    except ValueError:
+        raise ProgrammingError(
+            f"invalid REPRO_NET_RETRIES value {value!r}: expected an integer"
+        ) from None
+
+
+def _net_backoff_s() -> float:
+    """Base backoff in seconds (``REPRO_NET_RETRY_BACKOFF_MS``)."""
+    value = knobs.raw("REPRO_NET_RETRY_BACKOFF_MS")
+    if value is None or not value.strip():
+        return 0.1
+    try:
+        return max(0.0, float(value)) / 1000.0
+    except ValueError:
+        raise ProgrammingError(
+            f"invalid REPRO_NET_RETRY_BACKOFF_MS value {value!r}: "
+            "expected milliseconds"
+        ) from None
 
 
 def parse_url(url: str) -> tuple[str, int, dict]:
@@ -128,6 +159,7 @@ class RemoteConnection:
         password: Optional[str] = None,
         batch_rows: Optional[int] = None,
         timeout: Optional[float] = None,
+        statement_timeout_ms: Optional[int] = None,
     ):
         self.host = host
         self.port = port
@@ -138,36 +170,80 @@ class RemoteConnection:
         #: guards raw socket writes so CANCEL can be sent mid-stream.
         self._write_lock = threading.Lock()
         self._active_cursor: Optional[RemoteCursor] = None
+        self._sock: Optional[socket.socket] = None
+        self._timeout = timeout
+        self._hello = {
+            "magic": protocol.CLIENT_MAGIC,
+            "protocol": protocol.PROTOCOL_VERSION,
+            "user": user,
+            "password": password,
+            "batch_rows": batch_rows,
+            "statement_timeout_ms": statement_timeout_ms,
+        }
+        self._in_transaction = False
         try:
-            self._sock = socket.create_connection((host, port), timeout=timeout)
-            self._sock.settimeout(timeout)
-        except OSError as exc:
-            raise NetworkError(
-                f"cannot connect to repro://{host}:{port}: {exc}"
-            ) from None
-        try:
-            self._send(
-                Msg.HELLO,
-                {
-                    "magic": protocol.CLIENT_MAGIC,
-                    "protocol": protocol.PROTOCOL_VERSION,
-                    "user": user,
-                    "password": password,
-                    "batch_rows": batch_rows,
-                },
-            )
-            msg, header, _ = self._expect(Msg.WELCOME)
+            # _establish opens its own fresh socket per attempt; no
+            # reconnect step needed between retries.
+            self._idempotent(self._establish, reconnect=False)
         except BaseException:
-            self._sock.close()
             self._closed = True
             raise
-        self.server_version = header.get("server_version")
-        self.batch_rows = header.get("batch_rows")
-        self._in_transaction = False
 
     # ------------------------------------------------------------------
     # transport
     # ------------------------------------------------------------------
+    def _establish(self) -> None:
+        """Open the socket and run the HELLO/WELCOME handshake."""
+        try:
+            self._sock = socket.create_connection(
+                (self.host, self.port), timeout=self._timeout
+            )
+            self._sock.settimeout(self._timeout)
+        except OSError as exc:
+            raise NetworkError(
+                f"cannot connect to repro://{self.host}:{self.port}: {exc}"
+            ) from None
+        try:
+            self._send(Msg.HELLO, self._hello)
+            _, header, _ = self._expect(Msg.WELCOME)
+        except BaseException:
+            self._sock.close()
+            raise
+        self.server_version = header.get("server_version")
+        self.batch_rows = header.get("batch_rows")
+
+    def _reconnect(self) -> None:
+        """Replace a dead socket with a fresh session (idle state only)."""
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+        self._active_cursor = None
+        self._establish()
+
+    def _idempotent(self, fn, *, reconnect: bool = True):
+        """Run *fn*, reconnecting with exponential backoff on transport loss.
+
+        Only idempotent conversations (the handshake itself, ping,
+        stats) route through here; statements never silently re-run,
+        and an open transaction disables retry entirely — its server
+        state died with the old socket.
+        """
+        retries = _net_retries()
+        delay = _net_backoff_s()
+        for attempt in range(retries + 1):
+            try:
+                if attempt and reconnect:
+                    self._reconnect()
+                return fn()
+            except NetworkError:
+                if attempt == retries or self._in_transaction or self._closed:
+                    raise
+                if delay > 0:
+                    time.sleep(delay)
+                delay = min(delay * 2.0, _BACKOFF_CAP_S)
+
     def _read_exactly(self, n: int) -> bytes:
         chunks = []
         remaining = n
@@ -266,12 +342,39 @@ class RemoteConnection:
     def cancel(self) -> None:
         """Ask the server to abandon the in-flight statement.
 
-        Safe to call from another thread while a statement streams;
-        the stream then terminates with an ``OperationalError``.
-        Best-effort: a statement that already completed is unaffected.
+        Safe to call from another thread while a statement streams
+        *or* while it is still executing: the server both marks the
+        stream and cancels the running statement through its
+        cooperative token, so the statement fails with
+        ``QueryCancelledError`` (an ``OperationalError``) at the next
+        instruction boundary.  Best-effort: a statement that already
+        completed is unaffected.
         """
         self._check_open()
         self._send(Msg.CANCEL, {})
+
+    def ping(self) -> bool:
+        """One PING/PONG round-trip; False when the server is gone.
+
+        Never raises for transport failure — the pool's health-check
+        idiom.  A failed ping closes the connection, so callers can
+        discard it without a second probe.
+        """
+        if self._closed:
+            return False
+        with self._lock:
+            try:
+                self._drain_active()
+                self._send(Msg.PING, {})
+                self._expect(Msg.PONG)
+                return True
+            except errors.Error:
+                self._closed = True
+                try:
+                    self._sock.close()
+                except OSError:
+                    pass
+                return False
 
     # ------------------------------------------------------------------
     # PEP 249 connection surface
@@ -334,7 +437,15 @@ class RemoteConnection:
         return self._in_transaction
 
     def stats(self) -> dict:
-        """Server + engine observability counters, one snapshot."""
+        """Server + engine observability counters, one snapshot.
+
+        Idempotent, so a dropped socket reconnects with backoff
+        (``REPRO_NET_RETRIES`` / ``REPRO_NET_RETRY_BACKOFF_MS``)
+        before the ``NetworkError`` surfaces.
+        """
+        return self._idempotent(self._stats_once)
+
+    def _stats_once(self) -> dict:
         with self._lock:
             msg, header, _ = self._request(Msg.STATS, {})
             if msg is not Msg.STATS_DATA:
@@ -689,37 +800,81 @@ class ConnectionPool:
 
     ``with pool.acquire() as conn: ...`` hands out an idle connection
     (creating one while under *size*) and returns it on exit; broken
-    connections are discarded, not recycled.  Intended for many
-    short-lived logical sessions over few TCP connections —
-    connection churn is the one cost the server cannot amortise.
+    connections are discarded, not recycled.  Every recycled
+    connection is **pinged on acquire** — a dead socket (server
+    restart, chaos proxy, idle-kill firewall) is evicted and replaced
+    instead of surfacing as a mid-statement ``NetworkError``.  With
+    *idle_timeout* set, a background reaper closes connections that
+    sat unused longer than that many seconds, so a burst does not pin
+    server admission slots forever.  Intended for many short-lived
+    logical sessions over few TCP connections — connection churn is
+    the one cost the server cannot amortise.
     """
 
-    def __init__(self, url: str, size: int = 4, **kwargs):
+    def __init__(
+        self,
+        url: str,
+        size: int = 4,
+        *,
+        idle_timeout: Optional[float] = None,
+        ping_on_acquire: bool = True,
+        **kwargs,
+    ):
         if size < 1:
             raise ProgrammingError(f"pool size must be >= 1, got {size}")
+        if idle_timeout is not None and idle_timeout <= 0:
+            raise ProgrammingError(
+                f"idle_timeout must be positive, got {idle_timeout}"
+            )
         self.url = url
         self.size = size
+        self.idle_timeout = idle_timeout
+        self.ping_on_acquire = ping_on_acquire
         self._kwargs = kwargs
+        #: idle entries are (connection, check-in monotonic time).
         self._idle: queue_mod.Queue = queue_mod.Queue()
         self._lock = threading.Lock()
         self._created = 0
         self._closed = False
+        self._reap_stop = threading.Event()
+        if idle_timeout is not None:
+            self._reaper = threading.Thread(
+                target=self._reap_loop, name="repro-pool-reaper", daemon=True
+            )
+            self._reaper.start()
 
     def _connect(self) -> RemoteConnection:
         return connect_url(self.url, **self._kwargs)
+
+    def _discard(self, conn: RemoteConnection) -> None:
+        with self._lock:
+            self._created -= 1
+        conn.close()
+
+    def _usable(self, conn: RemoteConnection, checked_in: float) -> bool:
+        """Health-check one idle connection before handing it out."""
+        if conn.closed:
+            return False
+        if (
+            self.idle_timeout is not None
+            and time.monotonic() - checked_in > self.idle_timeout
+        ):
+            return False
+        # ping() closes the connection itself on failure, so a False
+        # here leaves nothing half-alive behind.
+        return not self.ping_on_acquire or conn.ping()
 
     def _checkout(self, timeout: Optional[float]) -> RemoteConnection:
         if self._closed:
             raise InterfaceError("connection pool is closed")
         while True:
             try:
-                conn = self._idle.get_nowait()
+                conn, checked_in = self._idle.get_nowait()
             except queue_mod.Empty:
                 break
-            if not conn.closed:
+            if self._usable(conn, checked_in):
                 return conn
-            with self._lock:
-                self._created -= 1
+            self._discard(conn)
         with self._lock:
             if self._created < self.size:
                 self._created += 1
@@ -729,24 +884,54 @@ class ConnectionPool:
                     self._created -= 1
                     raise
         try:
-            conn = self._idle.get(timeout=timeout)
+            conn, checked_in = self._idle.get(timeout=timeout)
         except queue_mod.Empty:
             raise NetworkError(
                 f"no pooled connection became free within {timeout}s"
             ) from None
-        if conn.closed:
-            with self._lock:
-                self._created -= 1
+        if not self._usable(conn, checked_in):
+            self._discard(conn)
             return self._checkout(timeout)
         return conn
 
     def _checkin(self, conn: RemoteConnection) -> None:
         if self._closed or conn.closed:
-            with self._lock:
-                self._created -= 1
-            conn.close()
+            self._discard(conn)
             return
-        self._idle.put(conn)
+        self._idle.put((conn, time.monotonic()))
+
+    # ------------------------------------------------------------------
+    # idle reaper
+    # ------------------------------------------------------------------
+    def _reap_loop(self) -> None:
+        interval = max(0.05, min(self.idle_timeout / 2.0, 1.0))
+        while not self._reap_stop.wait(interval):
+            self.reap_idle()
+
+    def reap_idle(self) -> int:
+        """Close idle connections past *idle_timeout*; returns the count.
+
+        The reaper thread calls this periodically; tests may call it
+        directly for determinism.
+        """
+        if self.idle_timeout is None:
+            return 0
+        now = time.monotonic()
+        keep: list[tuple[RemoteConnection, float]] = []
+        reaped = 0
+        while True:
+            try:
+                conn, checked_in = self._idle.get_nowait()
+            except queue_mod.Empty:
+                break
+            if conn.closed or now - checked_in > self.idle_timeout:
+                self._discard(conn)
+                reaped += 1
+            else:
+                keep.append((conn, checked_in))
+        for entry in keep:
+            self._idle.put(entry)
+        return reaped
 
     class _Lease:
         def __init__(self, pool: "ConnectionPool", conn: RemoteConnection):
@@ -766,9 +951,10 @@ class ConnectionPool:
     def close(self) -> None:
         """Close every idle connection; leased ones close on check-in."""
         self._closed = True
+        self._reap_stop.set()
         while True:
             try:
-                conn = self._idle.get_nowait()
+                conn, _ = self._idle.get_nowait()
             except queue_mod.Empty:
                 break
             conn.close()

@@ -45,7 +45,7 @@ from repro.gdk.atoms import NUMPY_DTYPE, Atom
 from repro.gdk.column import Column
 
 #: bumped on every incompatible wire change; both sides must match.
-PROTOCOL_VERSION = 1
+PROTOCOL_VERSION = 2
 
 #: magic token the client presents in its HELLO frame.
 CLIENT_MAGIC = "REPRO"
@@ -76,6 +76,7 @@ class Msg(enum.IntEnum):
     STATS = 0x0A
     CLOSE_STATEMENT = 0x0B
     GOODBYE = 0x0C
+    PING = 0x0D
 
     WELCOME = 0x81
     OK = 0x82
@@ -85,6 +86,7 @@ class Msg(enum.IntEnum):
     PREPARED = 0x86
     ERROR = 0x87
     STATS_DATA = 0x88
+    PONG = 0x89
 
 
 # ----------------------------------------------------------------------
@@ -335,6 +337,10 @@ _ERROR_CLASS_NAMES = (
     "CorruptionError",
     "NetworkError",
     "ProtocolError",
+    "QueryGovernanceError",
+    "QueryCancelledError",
+    "QueryTimeoutError",
+    "ResourceError",
 )
 
 ERROR_CLASSES: dict[str, type] = {

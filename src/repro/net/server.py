@@ -22,10 +22,12 @@ event loop responsive under heavy traffic:
   that socket and TCP pushes back.
 
 ``CANCEL`` frames bypass the queue: the connection's reader task sets
-a flag the streaming loop checks between batches, so a client can
-abandon a large scan mid-flight.  A client that disconnects
-mid-statement (or mid-stream) has its session rolled back and closed
-— no leaked forks, no leaked admission slots.
+a flag the streaming loop checks between batches *and* cancels the
+session's running statement through its cooperative token, so even a
+scan that never yields a batch dies at the next instruction boundary.
+A client that disconnects mid-statement (or mid-stream) has its
+running statement cancelled, its session rolled back and closed —
+no leaked forks, no leaked admission slots.
 
 Run standalone with ``python -m repro.net.server --port 50123
 [--path FARM --durable]``, embed via :class:`ReproServer`, or use
@@ -53,6 +55,7 @@ from repro.errors import (
 )
 from repro.net import protocol
 from repro.net.protocol import Msg
+from repro.testing.faultpoints import crash_point
 
 DEFAULT_HOST = "127.0.0.1"
 #: default TCP port (an homage to MonetDB's 50000).
@@ -65,6 +68,8 @@ DEFAULT_MAX_PENDING = 8
 HANDSHAKE_TIMEOUT = 10.0
 #: default seconds a stalled reader may block one batch write.
 DEFAULT_DRAIN_TIMEOUT = 300.0
+#: seconds teardown waits for a transport/handler before forcing it.
+CLOSE_GRACE = 5.0
 
 
 def _env_int(name: str, default: int) -> int:
@@ -180,6 +185,11 @@ class ReproServer:
         #: live ``_handle_client`` tasks, so :meth:`aclose` can cancel
         #: stragglers instead of abandoning them mid-teardown.
         self._client_tasks: set = set()
+        #: admitted connection states, so :meth:`shutdown` can cancel
+        #: their running statements cooperatively.
+        self._states: set = set()
+        #: requests currently being dispatched (drain watches this).
+        self._inflight = 0
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -210,15 +220,43 @@ class ReproServer:
             await self._server.serve_forever()
 
     async def aclose(self) -> None:
-        """Stop accepting, disconnect remaining clients, close the socket."""
+        """Immediate teardown: :meth:`shutdown` without the grace period."""
+        await self.shutdown(drain_timeout=None)
+
+    async def shutdown(self, drain_timeout: Optional[float] = 5.0) -> None:
+        """Graceful teardown: stop accepting, drain, then disconnect.
+
+        New connections are refused immediately; requests already in
+        flight get *drain_timeout* seconds to finish.  Whatever still
+        runs past the deadline is cancelled cooperatively through its
+        session's token, then the remaining clients are disconnected
+        and the executor (and an owned database) close.
+        """
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        if drain_timeout:
+            loop = asyncio.get_running_loop()
+            deadline = loop.time() + drain_timeout
+            while self._inflight and loop.time() < deadline:
+                await asyncio.sleep(0.02)
+        for state in list(self._states):
+            state.session.cancel_running("server shutting down")
         for task in list(self._client_tasks):
             task.cancel()
         if self._client_tasks:
-            await asyncio.gather(*self._client_tasks, return_exceptions=True)
+            # A handler absorbing the first cancel can still wedge on
+            # its transport teardown (wait_closed never resolving for
+            # an already-dead peer); bound the wait and cancel again
+            # so shutdown terminates no matter what clients do.
+            _, pending = await asyncio.wait(
+                list(self._client_tasks), timeout=CLOSE_GRACE
+            )
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
         self._executor.shutdown(wait=False)
         if self._owns_database:
             self.database.close()
@@ -275,6 +313,7 @@ class ReproServer:
         self.stats.connections_active = self._active
         session = self.database.connect()
         state = _ClientState(reader, writer, session, self.batch_rows)
+        self._states.add(state)
         try:
             if await self._handshake(state):
                 await self._serve_session(state)
@@ -297,8 +336,12 @@ class ReproServer:
             except (ConnectionError, NetworkError):
                 pass
         finally:
-            # Reclaim everything the client held: roll back any open
-            # transaction fork, close the session, release the slot.
+            # Reclaim everything the client held: cancel whatever is
+            # still running, roll back any open transaction fork,
+            # close the session, release the slot.
+            crash_point("net.disconnect_reclaim")
+            self._states.discard(state)
+            session.cancel_running("client disconnected")
             try:
                 if not session.closed:
                     session.rollback()
@@ -308,11 +351,12 @@ class ReproServer:
             state.statements.clear()
             self._active -= 1
             self.stats.connections_active = self._active
+            # close() is enough: it tears the transport down on the
+            # loop without blocking this handler.  Awaiting
+            # wait_closed here can wedge forever on a peer that
+            # vanished mid-teardown, pinning the shutdown gather —
+            # and everything the client held is already released.
             writer.close()
-            try:
-                await writer.wait_closed()
-            except (ConnectionError, OSError):
-                pass
 
     async def _read_frame(self, reader) -> tuple[Msg, dict, bytes]:
         prelude = await reader.readexactly(protocol.FRAME_PRELUDE.size)
@@ -351,6 +395,12 @@ class ReproServer:
         requested = header.get("batch_rows")
         if isinstance(requested, int) and requested > 0:
             state.batch_rows = requested
+        timeout_ms = header.get("statement_timeout_ms")
+        if isinstance(timeout_ms, (int, float)) and timeout_ms > 0:
+            # The session's default deadline travels with the
+            # handshake; every statement on this connection inherits
+            # it unless the server environment set a tighter one.
+            state.session.statement_timeout = float(timeout_ms) / 1000.0
         import repro
 
         await self._send(
@@ -381,7 +431,15 @@ class ReproServer:
                 while True:
                     frame = await self._read_frame(state.reader)
                     if frame[0] is Msg.CANCEL:
+                        # Flag the between-batch check AND cancel the
+                        # running statement through its cooperative
+                        # token, so a statement that never yields a
+                        # batch is still killable mid-execution.
                         state.cancel_event.set()
+                        if state.session.cancel_running(
+                            "cancelled by client CANCEL"
+                        ):
+                            self.stats.cancelled += 1
                         continue
                     await queue.put(frame)
                     if frame[0] is Msg.GOODBYE:
@@ -392,6 +450,9 @@ class ReproServer:
                 asyncio.IncompleteReadError,
                 ProtocolError,
             ) as exc:
+                # The socket died under a running statement: abort it
+                # now instead of computing for a client that is gone.
+                state.session.cancel_running("client disconnected")
                 await queue.put(exc)
 
         pump_task = asyncio.create_task(pump())
@@ -411,6 +472,7 @@ class ReproServer:
 
     async def _dispatch(self, state: _ClientState, msg: Msg, header: dict) -> None:
         state.cancel_event.clear()
+        self._inflight += 1
         try:
             handler = self._HANDLERS.get(msg)
             if handler is None:
@@ -426,6 +488,8 @@ class ReproServer:
             await self._send_error(state, exc)
         except Exception as exc:  # noqa: BLE001 - surfaced to the client
             await self._send_error(state, exc)
+        finally:
+            self._inflight -= 1
 
     async def _call(self, fn, *args):
         """Run one blocking engine call off the event loop."""
@@ -514,6 +578,11 @@ class ReproServer:
         state.statements.pop(header.get("statement_id"), None)
         await self._send_ok(state)
 
+    async def _on_ping(self, state: _ClientState, header: dict) -> None:
+        # In-band on purpose: the reply must never interleave with a
+        # result stream, so PING rides the ordered request queue.
+        await self._send(state, protocol.encode_frame(Msg.PONG, {}))
+
     async def _on_stats(self, state: _ClientState, header: dict) -> None:
         stats = dict(self.database.stats())
         stats.update(self.stats.snapshot())
@@ -531,6 +600,7 @@ class ReproServer:
         Msg.ROLLBACK: _on_rollback,
         Msg.CLOSE_STATEMENT: _on_close_statement,
         Msg.STATS: _on_stats,
+        Msg.PING: _on_ping,
     }
 
     # ------------------------------------------------------------------
@@ -635,12 +705,13 @@ class ServerThread:
     def url(self) -> str:
         return self.server.url
 
-    def stop(self) -> None:
+    def stop(self, drain_timeout: Optional[float] = None) -> None:
+        """Tear the server down; *drain_timeout* > 0 drains gracefully."""
         if not self._thread.is_alive():
             return
         asyncio.run_coroutine_threadsafe(
-            self.server.aclose(), self._loop
-        ).result(timeout=30)
+            self.server.shutdown(drain_timeout), self._loop
+        ).result(timeout=60)
         self._loop.call_soon_threadsafe(self._loop.stop)
         self._thread.join(timeout=30)
         self._loop.close()

@@ -379,10 +379,34 @@ class Explain:
     verify: bool = False
 
 
+@dataclass(frozen=True)
+class ShowQueries:
+    """``SHOW QUERIES`` — one row per running statement on the engine.
+
+    An administrative statement: it never compiles to MAL, it reads the
+    database's query registry directly (qid, session, status, elapsed,
+    rows, bytes, sql).
+    """
+
+
+@dataclass(frozen=True)
+class KillQuery:
+    """``KILL <qid>`` — cooperatively cancel a running statement.
+
+    The victim aborts at its next instruction boundary with
+    ``QueryCancelledError``; its session survives with any open
+    transaction rolled back.
+    """
+
+    qid: int
+
+
 Statement = Union[
     SelectStatement,
     SetOperation,
     Explain,
+    ShowQueries,
+    KillQuery,
     CreateTable,
     CreateArray,
     DropObject,

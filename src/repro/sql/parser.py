@@ -157,7 +157,30 @@ class Parser:
             return self._drop()
         if token.is_keyword("ALTER"):
             return self._alter()
+        if token.is_keyword("SHOW"):
+            return self._show()
+        if token.is_keyword("KILL"):
+            return self._kill()
         raise self._error(f"cannot parse statement starting with {token.text!r}")
+
+    # ------------------------ administration -------------------------
+    def _show(self) -> ast.ShowQueries:
+        self._expect_keyword("SHOW")
+        # QUERIES is deliberately not a reserved keyword (it stays
+        # usable as an identifier); SHOW peeks for it by text.
+        token = self._peek()
+        if token.type is TokenType.IDENT and token.text.lower() == "queries":
+            self._advance()
+            return ast.ShowQueries()
+        raise self._error("expected QUERIES after SHOW")
+
+    def _kill(self) -> ast.KillQuery:
+        self._expect_keyword("KILL")
+        token = self._peek()
+        if token.type is not TokenType.INTEGER:
+            raise self._error("expected a query id after KILL")
+        self._advance()
+        return ast.KillQuery(int(token.value))
 
     # ------------------------------ DDL ------------------------------
     def _create(self) -> ast.Statement:

@@ -38,6 +38,7 @@ KEYWORDS = frozenset(
         "DISTINCT", "JOIN", "INNER", "LEFT", "RIGHT", "OUTER", "CROSS", "ON",
         "MOD", "CAST", "TRUE", "FALSE", "PRIMARY", "KEY",
         "UNION", "EXCEPT", "INTERSECT", "ALL", "EXPLAIN",
+        "SHOW", "KILL",
     }
 )
 

@@ -1,0 +1,258 @@
+"""A fault-injecting TCP proxy for network chaos tests.
+
+:class:`ChaosProxy` sits between a ``repro://`` client and a
+:class:`~repro.net.server.ReproServer`, forwarding bytes verbatim
+until a fault is armed:
+
+* :meth:`set_delay` — per-chunk latency in both directions (slow,
+  not broken, links);
+* :meth:`stall_after` — stop forwarding a direction once *n* bytes
+  passed, without closing anything (a black-holing middlebox);
+* :meth:`cut_after` — forward exactly *n* bytes of a direction and
+  then hard-close both sides (pick *n* inside a frame to truncate it
+  mid-payload, which the CRC framing must surface as
+  ``ProtocolError``/``NetworkError``, never as garbage data);
+* :meth:`disconnect_all` — RST every live link immediately (a
+  crashed middlebox / yanked cable).
+
+Faults are armed per *direction* (``"c2s"`` client→server, ``"s2c"``
+server→client); byte counters are per accepted connection, so each
+test connection sees the fault at the same deterministic offset.
+:meth:`reset` returns the proxy to transparent forwarding.  Designed
+for the chaos matrix in ``tests/net/test_chaos.py``; deliberately
+threaded and dependency-free so it runs anywhere the suite does.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+import time
+from typing import Optional
+
+_CHUNK = 65536
+DIRECTIONS = ("c2s", "s2c")
+
+
+def _hard_close(sock: socket.socket) -> None:
+    """Kill a connection abruptly, waking any thread blocked on it.
+
+    ``shutdown`` (not just ``close``) is essential: the pump threads
+    block in ``recv`` on these sockets, and a bare ``close`` from a
+    sibling thread defers the FIN until that recv returns — the peer
+    would never notice.  ``shutdown`` tears the connection down at
+    the file-description level immediately; SO_LINGER 0 makes the
+    eventual close an RST rather than a polite FIN where possible.
+    """
+    try:
+        sock.setsockopt(
+            socket.SOL_SOCKET, socket.SO_LINGER, struct.pack("ii", 1, 0)
+        )
+    except OSError:
+        pass
+    try:
+        sock.shutdown(socket.SHUT_RDWR)
+    except OSError:
+        pass
+    try:
+        sock.close()
+    except OSError:
+        pass
+
+
+class _Link:
+    """One accepted client connection and its upstream twin."""
+
+    def __init__(self, proxy: "ChaosProxy", client: socket.socket):
+        self.proxy = proxy
+        self.client = client
+        self.upstream = socket.create_connection(
+            (proxy.target_host, proxy.target_port), timeout=30.0
+        )
+        self.closed = threading.Event()
+        #: bytes forwarded so far, per direction.
+        self.forwarded = {"c2s": 0, "s2c": 0}
+        self._threads = [
+            threading.Thread(
+                target=self._pump,
+                args=(self.client, self.upstream, "c2s"),
+                daemon=True,
+                name="chaos-c2s",
+            ),
+            threading.Thread(
+                target=self._pump,
+                args=(self.upstream, self.client, "s2c"),
+                daemon=True,
+                name="chaos-s2c",
+            ),
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    def close(self) -> None:
+        if self.closed.is_set():
+            return
+        self.closed.set()
+        _hard_close(self.client)
+        _hard_close(self.upstream)
+
+    def _pump(self, src: socket.socket, dst: socket.socket, direction: str) -> None:
+        try:
+            while not self.closed.is_set():
+                try:
+                    data = src.recv(_CHUNK)
+                except OSError:
+                    break
+                if not data:
+                    break
+                delay = self.proxy.delay
+                if delay:
+                    time.sleep(delay)
+                stall_at = self.proxy.faults[direction]["stall_at"]
+                cut_at = self.proxy.faults[direction]["cut_at"]
+                sent = self.forwarded[direction]
+                if cut_at is not None and sent + len(data) >= cut_at:
+                    # Forward the exact prefix, then kill the link —
+                    # the peer sees a frame truncated mid-payload.
+                    keep = max(0, cut_at - sent)
+                    if keep:
+                        try:
+                            dst.sendall(data[:keep])
+                        except OSError:
+                            pass
+                        self.forwarded[direction] += keep
+                    self.close()
+                    return
+                if stall_at is not None and sent + len(data) > stall_at:
+                    # Black hole: swallow everything from here on but
+                    # keep both sockets open (the worst middlebox).
+                    self.closed.wait()
+                    return
+                try:
+                    dst.sendall(data)
+                except OSError:
+                    break
+                self.forwarded[direction] += len(data)
+        finally:
+            self.close()
+
+
+class ChaosProxy:
+    """A transparent TCP proxy with armable byte-level faults."""
+
+    def __init__(self, target_host: str, target_port: int, host: str = "127.0.0.1"):
+        self.target_host = target_host
+        self.target_port = target_port
+        self.delay = 0.0
+        #: per-direction byte-offset faults; None means inactive.
+        self.faults: dict[str, dict[str, Optional[int]]] = {
+            direction: {"stall_at": None, "cut_at": None}
+            for direction in DIRECTIONS
+        }
+        self._lock = threading.Lock()
+        self._links: list[_Link] = []
+        self._closed = False
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, 0))
+        self._listener.listen()
+        self.host, self.port = self._listener.getsockname()[:2]
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, daemon=True, name="chaos-accept"
+        )
+        self._accept_thread.start()
+
+    @property
+    def url(self) -> str:
+        """The ``repro://`` URL clients should connect to."""
+        return f"repro://{self.host}:{self.port}"
+
+    # ------------------------------------------------------------------
+    # fault arming
+    # ------------------------------------------------------------------
+    def _check_direction(self, direction: str) -> None:
+        if direction not in DIRECTIONS:
+            raise ValueError(
+                f"direction must be one of {DIRECTIONS}, got {direction!r}"
+            )
+
+    def set_delay(self, seconds: float) -> None:
+        """Sleep *seconds* before forwarding every chunk (both ways)."""
+        self.delay = max(0.0, seconds)
+
+    def stall_after(self, nbytes: int, direction: str = "s2c") -> None:
+        """Stop forwarding *direction* after *nbytes*, sockets left open."""
+        self._check_direction(direction)
+        self.faults[direction]["stall_at"] = max(0, int(nbytes))
+
+    def cut_after(self, nbytes: int, direction: str = "s2c") -> None:
+        """Forward exactly *nbytes* of *direction*, then RST both sides."""
+        self._check_direction(direction)
+        self.faults[direction]["cut_at"] = max(0, int(nbytes))
+
+    def bytes_forwarded(self, direction: str = "s2c") -> int:
+        """Total bytes forwarded in *direction* across live links.
+
+        With one client connected this is the link's byte offset —
+        the anchor for arming :meth:`cut_after` / :meth:`stall_after`
+        "a little past here", inside the next frame.
+        """
+        self._check_direction(direction)
+        with self._lock:
+            return sum(
+                link.forwarded[direction]
+                for link in self._links
+                if not link.closed.is_set()
+            )
+
+    def disconnect_all(self) -> int:
+        """Hard-close every live link right now; returns how many died."""
+        with self._lock:
+            links = [link for link in self._links if not link.closed.is_set()]
+        for link in links:
+            link.close()
+        return len(links)
+
+    def reset(self) -> None:
+        """Back to transparent forwarding (existing links keep their fate)."""
+        self.delay = 0.0
+        for direction in DIRECTIONS:
+            self.faults[direction] = {"stall_at": None, "cut_at": None}
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        while not self._closed:
+            try:
+                client, _ = self._listener.accept()
+            except OSError:
+                return
+            try:
+                link = _Link(self, client)
+            except OSError:
+                _hard_close(client)
+                continue
+            with self._lock:
+                self._links = [
+                    live for live in self._links if not live.closed.is_set()
+                ]
+                self._links.append(link)
+
+    def close(self) -> None:
+        """Stop accepting and kill every link."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        self.disconnect_all()
+
+    def __enter__(self) -> "ChaosProxy":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

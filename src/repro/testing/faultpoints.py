@@ -65,6 +65,13 @@ REGISTERED_POINTS: tuple[str, ...] = (
     "publish.staged",       # staging farm complete, swap not started
     "publish.retired",      # old farm renamed aside, new not yet in place
     "publish.swapped",      # new farm in place, old .retired not removed
+    # connection.py / database.py — query-lifecycle governance
+    "govern.kill_requested",   # kill_query about to flip the token
+    "govern.cancel_rollback",  # governed abort rolled the txn back,
+                               # error not yet surfaced to the caller
+    # net/server.py — client-gone reclaim
+    "net.disconnect_reclaim",  # client vanished, session rollback/close
+                               # not yet run
 )
 
 #: per-point hit counters (shared by env and in-process activation).

@@ -18,7 +18,9 @@ class TestRegistry:
     def test_every_knob_is_documented(self):
         for knob in knobs.KNOBS:
             assert knob.description.strip()
-            assert knob.section in ("execution", "storage", "durability", "network")
+            assert knob.section in (
+                "execution", "storage", "durability", "network", "governance"
+            )
 
     def test_raw_rejects_unregistered_names(self):
         with pytest.raises(KeyError, match="unregistered REPRO knob"):

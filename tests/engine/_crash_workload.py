@@ -33,8 +33,69 @@ def build_seed(conn) -> None:
     )
 
 
+def _governed_abort(c) -> None:
+    """A statement aborted by its deadline (digest-neutral).
+
+    Reaches the ``govern.cancel_rollback`` fault point: the rollback
+    path of a governance abort is a registered crash site, and
+    recovery after a kill there must land on the previous commit
+    byte-identically — the aborted statement changed nothing.
+    """
+    from repro.errors import QueryGovernanceError
+
+    previous = c.statement_timeout
+    c.statement_timeout = 1e-9  # pre-expired at the first check
+    try:
+        c.execute("SELECT COUNT(*) FROM obs")
+    except QueryGovernanceError:
+        pass
+    finally:
+        c.statement_timeout = previous
+
+
+def _kill_missing(c) -> None:
+    """Reach ``govern.kill_requested`` without touching any state.
+
+    The fault point fires before the registry lookup, so a bogus qid
+    exercises it; unarmed, the lookup failure is the whole effect.
+    """
+    from repro.errors import ProgrammingError
+
+    try:
+        c.database.kill_query(999999)
+    except ProgrammingError:
+        pass
+
+
+def _net_reclaim(c) -> None:
+    """One remote session open/select/close (digest-neutral).
+
+    The server-side teardown runs ``net.disconnect_reclaim``; armed,
+    the process dies on the server's event-loop thread mid-reclaim
+    and recovery must still see the last acked commit.
+    """
+    import time
+
+    from repro.net.client import connect_url
+    from repro.net.server import ServerThread
+
+    with ServerThread(c.database) as server:
+        remote = connect_url(server.url)
+        remote.execute("SELECT COUNT(*) FROM obs")
+        remote.close()
+        # The reclaim (and its crash point) runs on the server loop;
+        # wait for the slot release so the op is ordered determinis-
+        # tically before the ack write — or die at the armed point.
+        for _ in range(500):
+            if c.database.session_count <= 1:
+                break
+            time.sleep(0.01)
+
+
 #: one committed statement per entry: appends, point updates, deletes,
-#: string data, bulk ingestion, and DDL (create/alter/drop).
+#: string data, bulk ingestion, and DDL (create/alter/drop), plus the
+#: digest-neutral query-governance ops that reach the govern.* and
+#: net.* fault points.
 OPS = [
     lambda c: c.execute("INSERT INTO obs VALUES (1, 'one'), (2, 'two')"),
     lambda c: c.execute("UPDATE grid SET v = 1.5 WHERE x = 1"),
@@ -48,6 +109,9 @@ OPS = [
     lambda c: c.execute("DELETE FROM grid WHERE x = 0"),
     lambda c: c.execute("DROP TABLE scratch"),
     lambda c: c.execute("INSERT INTO obs VALUES (5, 'five')"),
+    _governed_abort,
+    _kill_missing,
+    _net_reclaim,
 ]
 
 

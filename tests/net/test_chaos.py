@@ -1,0 +1,223 @@
+"""The network chaos matrix: injected faults × connection phases.
+
+Every combination must end in a clean, *typed* error on the client, a
+reclaimed session slot on the server (``Database.session_count`` back
+to its baseline — no leaked admissions), and no trace of uncommitted
+work visible to any other session.  The fault injector is
+:class:`repro.testing.chaosproxy.ChaosProxy`, a real TCP middlebox:
+nothing here reaches into the server's internals to simulate failure.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+import repro
+from repro.engine.database import Database
+from repro.errors import Error, NetworkError
+from repro.net.client import ConnectionPool
+from repro.net.server import ServerThread
+from repro.testing.chaosproxy import ChaosProxy
+from repro.testing.verify import catalog_digest
+
+
+def _wait_until(predicate, timeout=10.0, interval=0.01):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        value = predicate()
+        if value:
+            return value
+        time.sleep(interval)
+    raise AssertionError("condition not reached within timeout")
+
+
+#: a value no seeding loop produces — if it ever becomes visible, a
+#: torn write leaked through a fault.
+SENTINEL = 999_999
+
+
+@pytest.fixture
+def proxy(server):
+    host, port = server.address
+    with ChaosProxy(host, port) as chaos:
+        yield chaos
+
+
+@pytest.fixture
+def seeded(db):
+    session = db.connect()
+    session.execute("CREATE TABLE t (a INT)")
+    session.executemany(
+        "INSERT INTO t VALUES (?)", [(i,) for i in range(1000)]
+    )
+    session.close()
+    return db
+
+
+def _reclaimed(db, baseline: int) -> bool:
+    return db.session_count <= baseline
+
+
+class TestTransparentAndSlow:
+    def test_passthrough_is_byte_identical(self, seeded, proxy, local):
+        remote = repro.connect(proxy.url)
+        direct = local.execute("SELECT COUNT(*), SUM(a) FROM t").rows()
+        assert remote.execute("SELECT COUNT(*), SUM(a) FROM t").rows() == direct
+        assert remote.ping()
+        remote.close()
+
+    def test_delay_is_slow_not_broken(self, seeded, proxy):
+        remote = repro.connect(proxy.url)
+        proxy.set_delay(0.02)
+        assert remote.execute("SELECT COUNT(*) FROM t").scalar() == 1000
+        proxy.reset()
+        remote.close()
+
+
+class TestChaosMatrix:
+    """fault × phase: typed error, reclaimed slot, no torn state."""
+
+    @pytest.mark.parametrize("fault", ["cut", "disconnect"])
+    def test_idle_connection(self, seeded, proxy, fault):
+        baseline = seeded.session_count
+        remote = repro.connect(proxy.url)
+        assert remote.execute("SELECT 1").scalar() == 1
+        if fault == "cut":
+            proxy.cut_after(proxy.bytes_forwarded("s2c") + 8, "s2c")
+        else:
+            proxy.disconnect_all()
+        with pytest.raises(NetworkError):
+            remote.execute("SELECT COUNT(*) FROM t")
+        _wait_until(lambda: _reclaimed(seeded, baseline))
+
+    @pytest.mark.parametrize("fault", ["cut", "disconnect", "stall"])
+    def test_mid_stream(self, db, proxy, fault):
+        session = db.connect()
+        session.register_array("big", np.arange(500_000, dtype=np.int64))
+        session.close()
+        baseline = db.session_count
+        # A finite socket timeout turns the black-hole stall into a
+        # typed client-side error instead of an eternal hang.
+        remote = repro.connect(proxy.url, timeout=2.0, batch_rows=4096)
+        cur = remote.cursor().execute("SELECT v FROM big")
+        assert cur.fetchone() == (0,)
+        if fault == "cut":
+            proxy.cut_after(proxy.bytes_forwarded("s2c") + 100, "s2c")
+        elif fault == "stall":
+            proxy.stall_after(proxy.bytes_forwarded("s2c"), "s2c")
+        else:
+            proxy.disconnect_all()
+        with pytest.raises(Error):
+            while cur.fetchone() is not None:
+                pass
+        # The server notices the dead/stalled client and reclaims the
+        # slot; for the stall this happens when its next batch write
+        # hits the black hole, so give it room.
+        proxy.disconnect_all()  # release the stalled link server-side
+        _wait_until(lambda: _reclaimed(db, baseline))
+
+    @pytest.mark.parametrize("fault", ["cut", "disconnect"])
+    def test_mid_transaction(self, seeded, proxy, local, fault):
+        baseline = seeded.session_count
+        remote = repro.connect(proxy.url)
+        remote.begin()
+        remote.execute(f"INSERT INTO t VALUES ({SENTINEL})")
+        if fault == "cut":
+            proxy.cut_after(proxy.bytes_forwarded("s2c") + 8, "s2c")
+        else:
+            proxy.disconnect_all()
+        with pytest.raises(NetworkError):
+            remote.execute("SELECT COUNT(*) FROM t")
+            remote.commit()
+        _wait_until(lambda: _reclaimed(seeded, baseline))
+        # The fork died with the connection: nothing staged became
+        # visible to a concurrent session.
+        assert local.execute(
+            f"SELECT COUNT(*) FROM t WHERE a = {SENTINEL}"
+        ).scalar() == 0
+
+
+class TestIngestAtomicity:
+    """Client vanishing mid-ingest leaves no partial rows behind."""
+
+    def test_cut_mid_executemany(self, seeded, proxy, local):
+        baseline = seeded.session_count
+        remote = repro.connect(proxy.url)
+        remote.execute("SELECT 1")
+        # Truncate the *client's* upload stream a few KB in: the
+        # server sees a frame die mid-payload during the batch.
+        proxy.cut_after(proxy.bytes_forwarded("c2s") + 4096, "c2s")
+        with pytest.raises(NetworkError):
+            remote.executemany(
+                "INSERT INTO t VALUES (?)",
+                [(SENTINEL,) for _ in range(200_000)],
+            )
+        _wait_until(lambda: _reclaimed(seeded, baseline))
+        assert local.execute(
+            f"SELECT COUNT(*) FROM t WHERE a = {SENTINEL}"
+        ).scalar() == 0
+
+    def test_disconnect_mid_transactional_ingest(self, seeded, proxy, local):
+        baseline = seeded.session_count
+        remote = repro.connect(proxy.url)
+        remote.begin()
+        remote.executemany(
+            "INSERT INTO t VALUES (?)", [(SENTINEL,) for _ in range(50)]
+        )
+        proxy.disconnect_all()
+        with pytest.raises(Error):
+            remote.commit()
+        _wait_until(lambda: _reclaimed(seeded, baseline))
+        assert local.execute(
+            f"SELECT COUNT(*) FROM t WHERE a = {SENTINEL}"
+        ).scalar() == 0
+
+
+class TestPoolThroughChaos:
+    def test_ping_on_acquire_heals_after_disconnect(self, seeded, proxy):
+        with ConnectionPool(proxy.url, size=1) as pool:
+            with pool.acquire() as conn:
+                first = conn
+                assert conn.execute("SELECT COUNT(*) FROM t").scalar() == 1000
+            proxy.disconnect_all()
+            # The recycled connection is dead; ping-on-acquire evicts
+            # it and dials a fresh one through the (healed) proxy.
+            with pool.acquire() as conn:
+                assert conn is not first
+                assert conn.execute("SELECT COUNT(*) FROM t").scalar() == 1000
+
+
+class TestDurableFarmSurvivesChaos:
+    def test_farm_digest_unscathed_by_disconnects(self, tmp_path):
+        farm = tmp_path / "farm"
+        db = Database(path=farm, durable=True)
+        thread = ServerThread(db).start()
+        host, port = thread.address
+        try:
+            with ChaosProxy(host, port) as proxy:
+                remote = repro.connect(proxy.url)
+                remote.execute("CREATE TABLE t (a INT)")
+                remote.execute("INSERT INTO t VALUES (1), (2)")
+                committed = catalog_digest(db.catalog)
+                # An uncommitted transactional write dies with the
+                # link...
+                remote.begin()
+                remote.execute(f"INSERT INTO t VALUES ({SENTINEL})")
+                proxy.disconnect_all()
+                _wait_until(lambda: db.session_count == 0)
+                assert catalog_digest(db.catalog) == committed
+        finally:
+            thread.stop()
+        # ...and the farm on disk reopens to exactly the committed
+        # state: durability was not corrupted by the chaos.
+        survivor = repro.connect(farm, durable=True)
+        assert catalog_digest(survivor.database.catalog) == committed
+        assert survivor.execute("SELECT COUNT(*) FROM t").scalar() == 2
+        assert survivor.execute(
+            f"SELECT COUNT(*) FROM t WHERE a = {SENTINEL}"
+        ).scalar() == 0
+        survivor.close()

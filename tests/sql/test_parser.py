@@ -376,3 +376,33 @@ class TestSetOperationsAndExplain:
     def test_count_distinct_flag(self):
         expr = parse("SELECT COUNT(DISTINCT a) FROM t").items[0].expression
         assert expr.distinct
+
+
+class TestAdminStatements:
+    def test_show_queries(self):
+        assert isinstance(parse("SHOW QUERIES"), ast.ShowQueries)
+
+    def test_show_queries_case_insensitive(self):
+        assert isinstance(parse("show Queries"), ast.ShowQueries)
+
+    def test_show_without_queries_rejected(self):
+        with pytest.raises(ParseError, match="expected QUERIES after SHOW"):
+            parse("SHOW TABLES")
+
+    def test_queries_stays_usable_as_identifier(self):
+        stmt = parse("SELECT queries FROM queries")
+        assert stmt.items[0].expression == ast.ColumnRef("queries")
+
+    def test_kill_qid(self):
+        stmt = parse("KILL 42")
+        assert isinstance(stmt, ast.KillQuery)
+        assert stmt.qid == 42
+
+    def test_kill_without_qid_rejected(self):
+        with pytest.raises(ParseError, match="expected a query id after KILL"):
+            parse("KILL soft")
+
+    def test_kill_in_script(self):
+        stmts = parse_script("SHOW QUERIES; KILL 7;")
+        assert isinstance(stmts[0], ast.ShowQueries)
+        assert stmts[1].qid == 7
